@@ -1,0 +1,224 @@
+// Package repro's root benchmarks regenerate every figure of the paper's
+// evaluation (one benchmark per table/figure; see DESIGN.md §4 for the
+// mapping) plus the ablation studies DESIGN.md calls out. Each figure
+// benchmark reports the reproduced curves through -v logging on the first
+// iteration, so
+//
+//	go test -bench=Figure -benchtime=1x -v
+//
+// both times the harness and prints the regenerated series. Benchmarks use
+// experiments.Quick (180 s runs, 2 seeds); cmd/figures runs the paper-scale
+// version.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+func benchFigure(b *testing.B, gen func(experiments.Options) experiments.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := gen(experiments.Quick())
+		if i == 0 {
+			b.Log("\n" + tbl.Format())
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates "PDR vs velocity" for the SS-SPST family.
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, experiments.Figure7) }
+
+// BenchmarkFigure8 regenerates "Unavailability ratio vs velocity".
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, experiments.Figure8) }
+
+// BenchmarkFigure9 regenerates "Energy per packet vs velocity" (SS family).
+func BenchmarkFigure9(b *testing.B) { benchFigure(b, experiments.Figure9) }
+
+// BenchmarkFigure10 regenerates "PDR vs beacon interval".
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, experiments.Figure10) }
+
+// BenchmarkFigure11 regenerates "Energy per packet vs beacon interval".
+func BenchmarkFigure11(b *testing.B) { benchFigure(b, experiments.Figure11) }
+
+// BenchmarkFigure12 regenerates "PDR vs multicast group size" (all four).
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, experiments.Figure12) }
+
+// BenchmarkFigure13 regenerates "Control overhead vs group size".
+func BenchmarkFigure13(b *testing.B) { benchFigure(b, experiments.Figure13) }
+
+// BenchmarkFigure14 regenerates "PDR vs velocity" (all four protocols).
+func BenchmarkFigure14(b *testing.B) { benchFigure(b, experiments.Figure14) }
+
+// BenchmarkFigure15 regenerates "Average delay vs group size".
+func BenchmarkFigure15(b *testing.B) { benchFigure(b, experiments.Figure15) }
+
+// BenchmarkFigure16 regenerates "Energy per packet vs velocity" (all four).
+func BenchmarkFigure16(b *testing.B) { benchFigure(b, experiments.Figure16) }
+
+// benchScenario times one complete simulation run of the given config.
+func benchScenario(b *testing.B, mutate func(*scenario.Config)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := scenario.Default()
+		cfg.Duration = 120
+		cfg.VMax = 5
+		cfg.Seed = uint64(i) + 1
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res := scenario.Run(cfg)
+		if i == 0 {
+			b.Logf("%s: %v", cfg.Protocol, res.Summary)
+		}
+	}
+}
+
+// BenchmarkRunSSSPST times one 120 s SS-SPST run (simulator throughput).
+func BenchmarkRunSSSPST(b *testing.B) {
+	benchScenario(b, func(c *scenario.Config) { c.Protocol = scenario.SSSPST })
+}
+
+// BenchmarkRunSSSPSTE times one 120 s SS-SPST-E run.
+func BenchmarkRunSSSPSTE(b *testing.B) {
+	benchScenario(b, func(c *scenario.Config) { c.Protocol = scenario.SSSPSTE })
+}
+
+// BenchmarkRunMAODV times one 120 s MAODV run.
+func BenchmarkRunMAODV(b *testing.B) {
+	benchScenario(b, func(c *scenario.Config) { c.Protocol = scenario.MAODV })
+}
+
+// BenchmarkRunODMRP times one 120 s ODMRP run.
+func BenchmarkRunODMRP(b *testing.B) {
+	benchScenario(b, func(c *scenario.Config) { c.Protocol = scenario.ODMRP })
+}
+
+// --- Ablation benchmarks (DESIGN.md §6) -----------------------------------
+//
+// Each ablation runs the SS-SPST-E scenario with one design choice flipped
+// and logs the resulting headline metrics next to the default, so a single
+// -bench=Ablation -benchtime=1x -v pass documents every trade-off.
+
+func ablationRun(b *testing.B, mutate func(*scenario.Config)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := scenario.Default()
+		cfg.Protocol = scenario.SSSPSTE
+		cfg.Duration = 120
+		cfg.VMax = 5
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res := scenario.Run(cfg)
+		if i == 0 {
+			b.Logf("%v", res.Summary)
+		}
+	}
+}
+
+// BenchmarkAblationBaseline is the reference configuration for every
+// ablation below.
+func BenchmarkAblationBaseline(b *testing.B) { ablationRun(b, nil) }
+
+// BenchmarkAblationHopCapLoopGuard swaps the path-vector guard for the
+// paper's bare hop-cap (Lemma 3): loops then take up to N rounds to
+// dissolve, and the delivery ratio drops accordingly.
+func BenchmarkAblationHopCapLoopGuard(b *testing.B) {
+	ablationRun(b, func(c *scenario.Config) {
+		c.SSCore.LoopGuard = core.LoopGuardHopCap
+	})
+}
+
+// BenchmarkAblationMakeBeforeBreak enables the make-before-break grace
+// (forwarding from the previous parent for one beacon interval after a
+// switch), an extension beyond the paper that removes most per-switch
+// outages.
+func BenchmarkAblationMakeBeforeBreak(b *testing.B) {
+	ablationRun(b, func(c *scenario.Config) {
+		c.SSCore.MakeBeforeBreak = true
+	})
+}
+
+// BenchmarkAblationNoHopPenalty disables SS-SPST-E's per-hop regularizer,
+// letting in-coverage joins be exactly free: trees grow deeper and the
+// compounded per-hop loss shows up in PDR.
+func BenchmarkAblationNoHopPenalty(b *testing.B) {
+	ablationRun(b, func(c *scenario.Config) {
+		c.SSCore.HopPenaltyFrac = -1 // negative → disabled
+	})
+}
+
+// BenchmarkAblationErxOfTx enables transmission-power-dependent reception
+// energy — the paper's stated future work (its ref [23]).
+func BenchmarkAblationErxOfTx(b *testing.B) {
+	ablationRun(b, func(c *scenario.Config) {
+		c.Medium.Energy.ErxOfTx = true
+	})
+}
+
+// BenchmarkAblationRandomDirection swaps random waypoint for the
+// random-direction model, checking the curves are not an artifact of RWP's
+// centre-biased node density.
+func BenchmarkAblationRandomDirection(b *testing.B) {
+	ablationRun(b, func(c *scenario.Config) {
+		c.Mobility = scenario.RandomDirection
+	})
+}
+
+// BenchmarkAblationNoBeaconJitter phase-locks all beacons (no timer
+// jitter), showing the collision cost of synchronized control traffic.
+func BenchmarkAblationNoBeaconJitter(b *testing.B) {
+	ablationRun(b, func(c *scenario.Config) {
+		c.SSCore.BeaconJitter = -1e-9 // effectively zero, bypasses the default
+	})
+}
+
+// BenchmarkExtensionMST regenerates the SS-MST extension table (DESIGN.md
+// §6): the minimax companion protocol next to SS-SPST and SS-SPST-E.
+func BenchmarkExtensionMST(b *testing.B) { benchFigure(b, experiments.ExtensionMST) }
+
+// BenchmarkSweepParallelism measures the sweep runner's scaling: the same
+// 8-point sweep with 1 worker vs GOMAXPROCS workers.
+func BenchmarkSweepParallelism(b *testing.B) {
+	mk := func() []scenario.Config {
+		var cfgs []scenario.Config
+		for i := 0; i < 8; i++ {
+			cfg := scenario.Default()
+			cfg.Duration = 30
+			cfg.Seed = uint64(i + 1)
+			cfgs = append(cfgs, cfg)
+		}
+		return cfgs
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scenario.SweepN(mk(), 1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scenario.Sweep(mk())
+		}
+	})
+}
+
+// BenchmarkSimulatorEventRate measures raw event throughput of a full
+// 50-node SS-SPST-E stack, in simulated seconds per wall second.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	b.ReportAllocs()
+	var once sync.Once
+	for i := 0; i < b.N; i++ {
+		cfg := scenario.Default()
+		cfg.Duration = 60
+		res := scenario.Run(cfg)
+		once.Do(func() {
+			b.Logf("60 simulated seconds: %d transmissions, %d deliveries",
+				res.Medium.Transmissions, res.Medium.Deliveries)
+		})
+	}
+}

@@ -1,0 +1,68 @@
+// Command figures regenerates the paper's evaluation figures (7–16) and
+// prints each as an aligned text table.
+//
+// Usage:
+//
+//	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,14]
+//
+// With -quick the sweep uses short runs (the same setting the test suite
+// uses); curve shapes are stable well before the paper's 1800 s horizon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "short runs (180 s, 2 seeds)")
+	duration := flag.Float64("duration", 0, "simulated seconds per run (overrides -quick)")
+	seeds := flag.Int("seeds", 0, "seeds averaged per point (overrides -quick)")
+	figs := flag.String("fig", "", "comma-separated figure numbers (default: all)")
+	flag.Parse()
+
+	opts := experiments.Full()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *duration > 0 {
+		opts.Duration = *duration
+	}
+	if *seeds > 0 {
+		opts.Seeds = *seeds
+	}
+
+	gens := map[int]func(experiments.Options) experiments.Table{
+		7: experiments.Figure7, 8: experiments.Figure8, 9: experiments.Figure9,
+		10: experiments.Figure10, 11: experiments.Figure11, 12: experiments.Figure12,
+		13: experiments.Figure13, 14: experiments.Figure14, 15: experiments.Figure15,
+		16: experiments.Figure16,
+	}
+	order := []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+
+	want := order
+	if *figs != "" {
+		want = nil
+		for _, s := range strings.Split(*figs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || gens[n] == nil {
+				fmt.Fprintf(os.Stderr, "unknown figure %q (valid: 7-16)\n", s)
+				os.Exit(2)
+			}
+			want = append(want, n)
+		}
+	}
+
+	for _, n := range want {
+		start := time.Now()
+		tbl := gens[n](opts)
+		fmt.Println(tbl.Format())
+		fmt.Printf("(generated in %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

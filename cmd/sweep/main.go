@@ -1,0 +1,121 @@
+// Command sweep runs an arbitrary parameter grid and emits one CSV row
+// per (protocol, velocity, group size, seed) combination — the raw
+// material for custom plots beyond the paper's figures.
+//
+// Usage:
+//
+//	sweep -protos ss-spst,ss-spst-e -vmax 1,5,10,20 -groups 10,30 \
+//	      -seeds 3 -duration 300 > results.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+var protoByName = map[string]scenario.ProtocolKind{
+	"ss-spst":   scenario.SSSPST,
+	"ss-spst-t": scenario.SSSPSTT,
+	"ss-spst-f": scenario.SSSPSTF,
+	"ss-spst-e": scenario.SSSPSTE,
+	"ss-mst":    scenario.SSMST,
+	"maodv":     scenario.MAODV,
+	"odmrp":     scenario.ODMRP,
+	"flood":     scenario.Flood,
+}
+
+func main() {
+	protos := flag.String("protos", "ss-spst,ss-spst-e", "comma-separated protocols")
+	vmaxs := flag.String("vmax", "1,5,10,20", "comma-separated max speeds (m/s)")
+	groups := flag.String("groups", "20", "comma-separated group sizes")
+	beacons := flag.String("beacons", "2", "comma-separated beacon intervals (s)")
+	seeds := flag.Int("seeds", 2, "seeds per point")
+	duration := flag.Float64("duration", 180, "simulated seconds per run")
+	flag.Parse()
+
+	var cfgs []scenario.Config
+	for _, pName := range splitList(*protos) {
+		kind, ok := protoByName[pName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown protocol %q\n", pName)
+			os.Exit(2)
+		}
+		for _, v := range parseFloats(*vmaxs) {
+			for _, g := range parseInts(*groups) {
+				for _, b := range parseFloats(*beacons) {
+					for s := 0; s < *seeds; s++ {
+						cfg := scenario.Default()
+						cfg.Protocol = kind
+						cfg.VMax = v
+						cfg.GroupSize = g
+						cfg.BeaconInterval = b
+						cfg.Duration = *duration
+						cfg.Seed = 1 + uint64(s)*1000003
+						cfgs = append(cfgs, cfg)
+					}
+				}
+			}
+		}
+	}
+
+	results := scenario.Sweep(cfgs)
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	w.Write([]string{
+		"protocol", "vmax", "group", "beacon", "seed",
+		"pdr", "energy_per_pkt_mJ", "delay_ms", "ctrl_per_data_byte",
+		"unavailability", "total_energy_J", "tx_J", "rx_J", "discard_J",
+	})
+	for _, r := range results {
+		s := r.Summary
+		c := r.Config
+		w.Write([]string{
+			c.Protocol.String(),
+			ftoa(c.VMax), strconv.Itoa(c.GroupSize), ftoa(c.BeaconInterval),
+			strconv.FormatUint(c.Seed, 10),
+			ftoa(s.PDR), ftoa(s.EnergyPerDeliveredJ * 1e3), ftoa(s.AvgDelayS * 1e3),
+			ftoa(s.CtrlPerDataByte), ftoa(s.Unavailability),
+			ftoa(s.TotalEnergyJ), ftoa(s.TxJ), ftoa(s.RxJ), ftoa(s.DiscardJ),
+		})
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.ToLower(p))
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad number %q\n", p)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, v := range parseFloats(s) {
+		out = append(out, int(v))
+	}
+	return out
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', 6, 64) }

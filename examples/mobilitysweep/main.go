@@ -1,0 +1,66 @@
+// Mobilitysweep reproduces the paper's headline energy-latency trade-off
+// (Figures 7/9 in miniature): it sweeps node mobility and prints, for
+// each SS-SPST metric, the delivery ratio, energy per delivered packet
+// and delay side by side.
+//
+//	go run ./examples/mobilitysweep
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+func main() {
+	protos := []scenario.ProtocolKind{
+		scenario.SSSPST, scenario.SSSPSTT, scenario.SSSPSTF, scenario.SSSPSTE,
+	}
+	velocities := []float64{1, 5, 10, 20}
+
+	fmt.Println("SS-SPST metric family under increasing mobility")
+	fmt.Println("(50 nodes, 20 receivers, 64 kb/s CBR, 2 s beacons, 240 s runs)")
+	fmt.Println()
+	fmt.Printf("%-12s", "vmax (m/s)")
+	for _, p := range protos {
+		fmt.Printf("%24s", p)
+	}
+	fmt.Println()
+
+	rows := make(map[float64]map[scenario.ProtocolKind]metrics.Summary)
+	var cfgs []scenario.Config
+	type key struct {
+		v float64
+		p scenario.ProtocolKind
+	}
+	var keys []key
+	for _, v := range velocities {
+		rows[v] = map[scenario.ProtocolKind]metrics.Summary{}
+		for _, p := range protos {
+			cfg := scenario.Default()
+			cfg.Protocol = p
+			cfg.VMax = v
+			cfg.Duration = 240
+			cfgs = append(cfgs, cfg)
+			keys = append(keys, key{v, p})
+		}
+	}
+	for i, res := range scenario.Sweep(cfgs) {
+		rows[keys[i].v][keys[i].p] = res.Summary
+	}
+
+	for _, v := range velocities {
+		fmt.Printf("%-12.0f", v)
+		for _, p := range protos {
+			s := rows[v][p]
+			fmt.Printf("  PDR %.2f %5.1fmJ %4.0fms", s.PDR, s.EnergyPerDeliveredJ*1e3, s.AvgDelayS*1e3)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Expected shape (paper §7.1): the energy-aware metric delivers the")
+	fmt.Println("cheapest packets, paying for it with deeper trees — higher delay and")
+	fmt.Println("a delivery ratio below plain SS-SPST; the gap narrows as mobility")
+	fmt.Println("grows and stabilization lags behind faults for every metric.")
+}

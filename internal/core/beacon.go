@@ -1,0 +1,61 @@
+package core
+
+import "repro/internal/packet"
+
+// BeaconPayload is the tree state a node advertises each beacon interval.
+// Neighbours use it to maintain their tables and to evaluate join costs.
+type BeaconPayload struct {
+	// Cost is the sender's current tree energy cost c(v).
+	Cost float64
+	// Hop is the sender's hop count h(v) to the root, capped at MaxHops.
+	Hop int
+	// Parent is the sender's current parent, or packet.Broadcast when
+	// detached. The root advertises itself.
+	Parent packet.NodeID
+	// Root marks the multicast source.
+	Root bool
+	// Member marks multicast group membership.
+	Member bool
+	// Downstream is the pruning flag: the sender's subtree contains at
+	// least one member, so data must flow through it.
+	Downstream bool
+	// Range is the sender's current power-controlled forwarding range
+	// (distance to its costliest child; 0 when it has no children).
+	Range float64
+	// Range2 is the distance to the sender's second-costliest child
+	// (0 with fewer than two children). The costliest child needs it to
+	// price its own departure honestly: "the energy cost difference
+	// experienced by u with and without v as its child" (paper §5) —
+	// without it the costliest child free-rides on its own contribution
+	// and never leaves, suppressing the Example-3 dynamics.
+	Range2 float64
+	// Children is the sender's tree child count.
+	Children int
+	// NbrDists carries the sender's neighbour distances, sorted
+	// ascending. Present only under SS-SPST-E (Variant.NeedsNeighborDists)
+	// — the extra control bytes the paper notes for SS-SPST-E.
+	NbrDists []float64
+	// RootPath is the sender's current path of node ids from the root
+	// down to (and including) the sender. Nodes refuse to adopt a parent
+	// whose path already contains them: a path-vector strengthening of
+	// the paper's count-to-infinity hop cap (Lemma 3) that suppresses
+	// transient routing loops within one round instead of N.
+	RootPath []packet.NodeID
+}
+
+// Beacon frame sizing in bytes. Base: cost(4) + hop(2) + parent(4) +
+// flags(1) + range(4) + children(2) + seq(4) = 21 application bytes on
+// top of MAC+IP headers; each advertised neighbour distance adds 2.
+const (
+	beaconBaseBytes   = 21
+	beaconPerNbrBytes = 1 // distances quantized to ~1 m (250 m / 256)
+	beaconPerHopBytes = 1 // root-path node ids (N ≤ 256 in all scenarios)
+)
+
+// beaconBytes returns the on-air size of a beacon carrying nNbr neighbour
+// distances (0 unless the variant needs them) and a root path of pathLen
+// entries.
+func beaconBytes(nNbr, pathLen int) int {
+	return packet.MACHeaderBytes + packet.IPHeaderBytes + beaconBaseBytes +
+		nNbr*beaconPerNbrBytes + pathLen*beaconPerHopBytes
+}

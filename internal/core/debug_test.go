@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/xrand"
+)
+
+// TestDebugOscillation traces parent changes round by round on a static
+// network to diagnose convergence failures. Skipped unless -v with focus;
+// it never fails.
+func TestDebugOscillation(t *testing.T) {
+	r := xrand.New(3)
+	pts := connectedRandomPositions(r, 30, 600, 250)
+	tn := buildStatic(t, pts, EnergyAware, []int{3, 7, 11, 15, 19}, 2, 3)
+	for i, p := range tn.protos {
+		i := i
+		p.TraceSwitch = func(from, to packet.NodeID, cc, cd, bc, bd float64) {
+			t.Logf("  t=%.0f n%d: %v->%v curCand=%.4g curDelta=%.4g bestCand=%.4g bestDelta=%.4g",
+				tn.sim.Now(), i, from, to, cc*1e3, cd*1e3, bc*1e3, bd*1e3)
+		}
+	}
+	prevParents := make([]int64, len(pts))
+	for round := 1; round <= 40; round++ {
+		tn.runRounds(1)
+		changes := ""
+		for i, p := range tn.protos {
+			par := int64(-1)
+			if p.hasParent {
+				par = int64(p.parent)
+			}
+			if par != prevParents[i] && round > 1 {
+				changes += " " + itoa(i) + ":" + itoa(int(prevParents[i])) + "->" + itoa(int(par))
+			}
+			prevParents[i] = par
+		}
+		if changes != "" {
+			t.Logf("round %2d:%s", round, changes)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v < 0 {
+		return "-"
+	}
+	s := ""
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		s = string(rune('0'+v%10)) + s
+		v /= 10
+	}
+	return s
+}

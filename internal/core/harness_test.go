@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/medium"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// testNet is a fully assembled static-topology network running one SS-SPST
+// variant, for convergence and closure tests.
+type testNet struct {
+	sim    *sim.Simulator
+	net    *netsim.Network
+	protos []*Protocol
+	pos    []geom.Point
+	graph  *topology.Graph
+	cfg    Config
+}
+
+// buildStatic assembles a static network at the given positions. members
+// lists receiver indices; node 0 is the source.
+func buildStatic(t testing.TB, positions []geom.Point, variant Variant, members []int, beacon float64, seed uint64) *testNet {
+	t.Helper()
+	return buildStaticWithConfig(t, positions, Config{Variant: variant, BeaconInterval: beacon}, members, seed)
+}
+
+// buildStaticWithConfig is buildStatic with full protocol-config control.
+func buildStaticWithConfig(t testing.TB, positions []geom.Point, cfg Config, members []int, seed uint64) *testNet {
+	t.Helper()
+	n := len(positions)
+	s := sim.New(seed)
+	tracker := mobility.NewTracker(n, mobility.Static{Points: positions})
+	mcfg := medium.DefaultConfig()
+	mcfg.LossProb = 0 // deterministic links for convergence proofs
+	mem := make([]packet.NodeID, len(members))
+	for i, m := range members {
+		mem[i] = packet.NodeID(m)
+	}
+	net := netsim.New(s, tracker, netsim.Config{
+		N: n, Source: 0, Members: mem,
+		Medium: mcfg, PayloadBytes: packet.DataPayload,
+	})
+	protos := make([]*Protocol, n)
+	for i := 0; i < n; i++ {
+		protos[i] = New(cfg, n)
+		net.SetProtocol(packet.NodeID(i), protos[i])
+	}
+	net.Start()
+	return &testNet{
+		sim: s, net: net, protos: protos, pos: positions,
+		graph: topology.NewGraph(positions, mcfg.Energy.MaxRange),
+		cfg:   protos[0].Config(),
+	}
+}
+
+// connectedRandomPositions draws n uniform points in a side×side square,
+// rejecting topologies that are not connected at the given radio range.
+func connectedRandomPositions(r *xrand.RNG, n int, side, radioRange float64) []geom.Point {
+	for tries := 0; tries < 200; tries++ {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: r.Range(0, side), Y: r.Range(0, side)}
+		}
+		if topology.NewGraph(pts, radioRange).Connected() {
+			return pts
+		}
+	}
+	panic("could not draw a connected topology; lower side or raise range")
+}
+
+// runRounds advances the simulation by k beacon intervals.
+func (tn *testNet) runRounds(k int) {
+	tn.sim.Run(tn.sim.Now() + float64(k)*tn.cfg.BeaconInterval)
+}
+
+// tree returns the current distributed tree.
+func (tn *testNet) tree() topology.Tree { return BuildTree(tn.protos, 0) }

@@ -1,0 +1,204 @@
+// Package core implements the paper's primary contribution: the
+// self-stabilizing shortest-path spanning tree (SS-SPST) multicast
+// protocol family with pluggable cost metrics, including the proposed
+// energy-aware node-based metric with overhearing (discard) cost,
+// SS-SPST-E.
+//
+// One Protocol instance runs per node. Nodes periodically broadcast
+// beacons carrying their tree state; every node stabilizes locally from
+// its neighbour table, so the tree converges top-down (root first, one
+// level per beacon round) from any initial or faulty state — the
+// self-stabilization property proved in the paper's §5.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/energy"
+)
+
+// Variant selects the cost metric that weights the tree; the paper's four
+// protocol flavours.
+type Variant int
+
+const (
+	// Hop is plain SS-SPST: minimize hop count from the root.
+	Hop Variant = iota
+	// TxLink is SS-SPST-T: minimize summed per-link transmission energy.
+	TxLink
+	// Farthest is SS-SPST-F: node-based metric — the cost of a node is
+	// the energy to reach its costliest (farthest) child plus reception
+	// energy at each tree child.
+	Farthest
+	// EnergyAware is SS-SPST-E, the paper's proposal: Farthest plus the
+	// discard energy of every non-tree neighbour inside the node's
+	// power-controlled transmission range.
+	EnergyAware
+	// MST is the self-stabilizing minimum-spanning-tree companion
+	// protocol the paper cites (Gupta & Srimani, JPDC 2003, its ref
+	// [14]): costs accumulate by maximum rather than sum, so the
+	// stabilized tree minimizes the costliest link on every root path —
+	// the minimax property whose optimal paths run along the MST.
+	MST
+)
+
+var variantNames = [...]string{"SS-SPST", "SS-SPST-T", "SS-SPST-F", "SS-SPST-E", "SS-MST"}
+
+// String implements fmt.Stringer using the paper's protocol names.
+func (v Variant) String() string {
+	if int(v) < len(variantNames) {
+		return variantNames[v]
+	}
+	return "SS-SPST-?"
+}
+
+// Accumulate combines a parent's advertised cost with a join delta into
+// the child's path cost: additive for the SPST family, maximum for the
+// minimax MST variant.
+func (v Variant) Accumulate(parentCost, delta float64) float64 {
+	if v == MST {
+		if parentCost > delta {
+			return parentCost
+		}
+		return delta
+	}
+	return parentCost + delta
+}
+
+// NeedsNeighborDists reports whether beacons must carry the sender's
+// neighbour-distance vector. Only SS-SPST-E needs it (to evaluate the
+// discard term at prospective children), which is why the paper observes
+// SS-SPST-E has slightly larger control overhead.
+func (v Variant) NeedsNeighborDists() bool { return v == EnergyAware }
+
+// Metric evaluates join costs for one variant. It is a pure function of
+// the energy model plus per-call arguments, so tests exercise it directly.
+type Metric struct {
+	Variant Variant
+	Model   energy.Model
+	// DataBytes is the frame size the metric prices transmissions at (the
+	// data frame size, since the tree exists to carry data).
+	DataBytes int
+	// HopPenaltyFrac regularizes SS-SPST-E's join cost with a small
+	// per-hop charge (fraction of Erx). Without it, joins inside a
+	// parent's existing coverage are exactly free and the tree grows
+	// arbitrarily deep chains whose compounded per-hop loss erases the
+	// energy win; a deeper tree is also the latency cost the paper
+	// already concedes, so the regularizer only trims the pathological
+	// tail. Zero disables.
+	HopPenaltyFrac float64
+}
+
+// erx returns the constant reception energy for one data frame.
+func (m Metric) erx() float64 { return m.Model.RxEnergy(m.DataBytes, 0) }
+
+// etx returns the transmission energy for one data frame at range r.
+// r <= 0 (no children, radio silent) costs zero.
+func (m Metric) etx(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return m.Model.TxEnergy(m.DataBytes, r)
+}
+
+// coverCount returns how many of the (sorted ascending) neighbour
+// distances fall within range r.
+func coverCount(sortedDists []float64, r float64) int {
+	return sort.SearchFloat64s(sortedDists, r+1e-9)
+}
+
+// JoinDelta returns δ(u,v): the increase in node u's energy cost if v
+// joins u as a child.
+//
+//   - d: distance from u to v
+//   - uRange: u's current power-controlled range (max distance to its
+//     present tree children; 0 if u has none)
+//   - uChildren: u's current tree child count
+//   - uNbrDists: u's neighbour distances, sorted ascending (used only by
+//     EnergyAware; may be nil otherwise)
+//
+// Per variant:
+//
+//	Hop:         δ = 1
+//	TxLink:      δ = Etx(d)                      (link metric, eq. 1)
+//	Farthest:    δ = ΔEtx + Erx                  (node metric, eq. 2)
+//	EnergyAware: δ = ΔEtx + ΔCover·Erx           (eqs. 2+3 combined, eq. 4)
+//
+// where ΔEtx = Etx(max(uRange,d)) − Etx(uRange) and ΔCover is the number
+// of additional neighbours of u that fall inside the enlarged range —
+// every one of them pays reception energy, whether it is a tree child
+// (useful) or a bystander (discard). When d ≤ uRange the join is free
+// under EnergyAware: the wireless multicast advantage.
+func (m Metric) JoinDelta(d, uRange float64, uChildren int, uNbrDists []float64) float64 {
+	if d > m.Model.MaxRange {
+		return math.Inf(1)
+	}
+	switch m.Variant {
+	case Hop:
+		return 1
+	case TxLink, MST:
+		return m.etx(d)
+	case Farthest:
+		newRange := math.Max(uRange, d)
+		return m.etx(newRange) - m.etx(uRange) + m.erx()
+	case EnergyAware:
+		newRange := math.Max(uRange, d)
+		dEtx := m.etx(newRange) - m.etx(uRange)
+		dCover := coverCount(uNbrDists, newRange) - coverCount(uNbrDists, uRange)
+		if uRange <= 0 && dCover == 0 {
+			// u's radio turns on for the first time; at minimum v itself
+			// receives (v may not appear in u's advertised neighbour list
+			// yet if the link is new).
+			dCover = 1
+		}
+		return dEtx + (float64(dCover)+m.HopPenaltyFrac)*m.erx()
+	default:
+		panic("core: unknown variant")
+	}
+}
+
+// NodeCost returns E(u): node u's own energy cost given its current
+// forwarding range, child count and neighbour distances. The root
+// advertises this as its tree cost c(root); for Hop and TxLink the root
+// cost is zero (those metrics accumulate purely over links/hops).
+func (m Metric) NodeCost(uRange float64, uChildren int, uNbrDists []float64) float64 {
+	switch m.Variant {
+	case Hop, TxLink, MST:
+		return 0
+	case Farthest:
+		if uChildren == 0 {
+			return 0
+		}
+		return m.etx(uRange) + float64(uChildren)*m.erx()
+	case EnergyAware:
+		if uChildren == 0 {
+			return 0
+		}
+		return m.etx(uRange) + float64(coverCount(uNbrDists, uRange))*m.erx()
+	default:
+		panic("core: unknown variant")
+	}
+}
+
+// DefaultHysteresis returns the parent-switch damping for the variant:
+// the relative cost improvement required before abandoning the current
+// parent. SS-SPST-F runs undamped — the paper attributes its poor packet
+// delivery to exactly this "dynamic nature which causes unstability" —
+// while the hop metric needs none (integer costs are naturally stable).
+func (v Variant) DefaultHysteresis() float64 {
+	switch v {
+	case Hop:
+		return 0
+	case TxLink:
+		return 0.05
+	case Farthest:
+		return 0
+	case EnergyAware:
+		return 0.1
+	case MST:
+		return 0.05
+	default:
+		return 0
+	}
+}

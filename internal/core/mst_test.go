@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func TestMSTAccumulate(t *testing.T) {
+	if got := MST.Accumulate(5, 3); got != 5 {
+		t.Errorf("max accumulate = %v", got)
+	}
+	if got := MST.Accumulate(2, 7); got != 7 {
+		t.Errorf("max accumulate = %v", got)
+	}
+	if got := TxLink.Accumulate(2, 7); got != 9 {
+		t.Errorf("additive accumulate = %v", got)
+	}
+	if got := Hop.Accumulate(3, 1); got != 4 {
+		t.Errorf("hop accumulate = %v", got)
+	}
+}
+
+func TestMSTConvergesToSpanningTree(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := xrand.New(seed)
+		pts := connectedRandomPositions(r, 25, 550, 250)
+		tn := buildStatic(t, pts, MST, []int{3, 7}, 2, seed)
+		tn.runRounds(2 * len(pts))
+		tree := tn.tree()
+		all := make([]int, len(pts))
+		for i := range all {
+			all[i] = i
+		}
+		if !tree.Valid() || !tree.Spans(all) {
+			t.Fatalf("seed %d: SS-MST tree invalid/non-spanning: %v", seed, tree.Parent)
+		}
+		// Closure.
+		before := StateVector(tn.protos)
+		tn.runRounds(10)
+		after := StateVector(tn.protos)
+		for i := range before {
+			if before[i] != after[i] {
+				t.Errorf("seed %d: SS-MST moved after stabilization", seed)
+				break
+			}
+		}
+	}
+}
+
+// TestMSTMinimaxProperty: the stabilized SS-MST tree's root paths minimize
+// the maximum link energy — compare each node's bottleneck against the
+// graph-optimal minimax value (computed by a Dijkstra variant).
+func TestMSTMinimaxProperty(t *testing.T) {
+	r := xrand.New(9)
+	pts := connectedRandomPositions(r, 25, 550, 250)
+	tn := buildStatic(t, pts, MST, []int{3}, 2, 9)
+	tn.runRounds(60)
+	tree := tn.tree()
+
+	em := tn.protos[0].metric
+	// Graph-optimal minimax via modified Dijkstra (costs combine by max).
+	n := len(pts)
+	opt := make([]float64, n)
+	done := make([]bool, n)
+	for i := range opt {
+		opt[i] = math.Inf(1)
+	}
+	opt[0] = 0
+	for {
+		v, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && opt[i] < best {
+				v, best = i, opt[i]
+			}
+		}
+		if v == -1 {
+			break
+		}
+		done[v] = true
+		for _, u := range tn.graph.Neighbors(v) {
+			w := math.Max(best, em.etx(tn.graph.Dist(v, u)))
+			if w < opt[u] {
+				opt[u] = w
+			}
+		}
+	}
+
+	// Tree bottleneck per node.
+	for i := 1; i < n; i++ {
+		bottleneck := 0.0
+		v := i
+		for v != 0 {
+			p := tree.Parent[v]
+			if p < 0 {
+				t.Fatalf("node %d detached", i)
+			}
+			if w := em.etx(tn.pos[v].Dist(tn.pos[p])); w > bottleneck {
+				bottleneck = w
+			}
+			v = p
+		}
+		// Allow slack for beacon-measured distances and greedy ties.
+		if bottleneck > opt[i]*1.1+1e-12 {
+			t.Errorf("node %d: tree bottleneck %.4g > optimal minimax %.4g", i, bottleneck, opt[i])
+		}
+	}
+}
+
+func TestMSTAvoidsLongLinks(t *testing.T) {
+	// 0 —120m— 1 —120m— 2, with 0-2 (240 m) still within range: the hop
+	// metric hangs 2 directly off the source; SS-MST must relay through 1
+	// to keep the bottleneck link at 120 m.
+	pts := []geom.Point{{X: 0}, {X: 120}, {X: 240}}
+	hop := buildStatic(t, pts, Hop, []int{2}, 2, 1)
+	mst := buildStatic(t, pts, MST, []int{2}, 2, 1)
+	hop.runRounds(10)
+	mst.runRounds(10)
+	if p, _ := hop.protos[2].TreeParent(); p != 0 {
+		t.Errorf("hop metric should take the direct link, parent = %v", p)
+	}
+	if p, _ := mst.protos[2].TreeParent(); p != 1 {
+		t.Errorf("SS-MST should relay through 1, parent = %v", p)
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// chain builds a 4-node line: 0 (source) — 1 — 2 — 3, 100 m apart, with
+// node 3 the only member.
+func chainNet(t *testing.T, variant Variant) *testNet {
+	pts := []geom.Point{{X: 0}, {X: 100}, {X: 200}, {X: 300}}
+	return buildStatic(t, pts, variant, []int{3}, 2, 1)
+}
+
+func TestChainStabilizes(t *testing.T) {
+	for _, v := range []Variant{Hop, TxLink, Farthest, EnergyAware} {
+		tn := chainNet(t, v)
+		tn.runRounds(10)
+		tree := tn.tree()
+		if !tree.Valid() {
+			t.Fatalf("%v: invalid tree %v", v, tree.Parent)
+		}
+		// Physical necessity: with range 250, node 3 must route via 1 or 2.
+		d := tree.Depths()
+		if d[3] < 2 {
+			t.Errorf("%v: node 3 depth %d; cannot be reached in one hop", v, d[3])
+		}
+	}
+}
+
+func TestPruningFlags(t *testing.T) {
+	tn := chainNet(t, Hop)
+	tn.runRounds(10)
+	// Member 3 and every node on its parent chain must carry the
+	// downstream flag.
+	v := 3
+	for hops := 0; v != 0 && hops < 5; hops++ {
+		if !tn.protos[v].Downstream() {
+			t.Errorf("node %d on the member path not flagged downstream", v)
+		}
+		parent, ok := tn.protos[v].TreeParent()
+		if !ok {
+			t.Fatalf("node %d has no parent", v)
+		}
+		v = int(parent)
+	}
+	if !tn.protos[0].Downstream() {
+		t.Error("source must be flagged downstream")
+	}
+}
+
+func TestPrunedBranchSendsNothing(t *testing.T) {
+	// A 4-node star: source 0 with children 1 (member) and 2-3 branch
+	// with no members. The branch must prune: nodes 2 and 3 never
+	// forward, and after stabilization 3's subtree flag is off.
+	pts := []geom.Point{{X: 0}, {X: 100}, {X: 0, Y: 100}, {X: 0, Y: 200}}
+	tn := buildStatic(t, pts, Hop, []int{1}, 2, 1)
+	tn.runRounds(10)
+	if tn.protos[1].Downstream() != true {
+		t.Error("member must be downstream")
+	}
+	if tn.protos[3].Downstream() {
+		t.Error("memberless leaf flagged downstream")
+	}
+	if r := tn.protos[3].forwardRange(); r != 0 {
+		t.Errorf("pruned leaf has forward range %v", r)
+	}
+}
+
+func TestNeighborExpiry(t *testing.T) {
+	tn := chainNet(t, Hop)
+	tn.runRounds(5)
+	p1 := tn.protos[1]
+	if p1.NeighborCount() == 0 {
+		t.Fatal("no neighbours learned")
+	}
+	// Inject staleness: pretend a long silence by advancing the clock via
+	// empty rounds with beaconing disabled is impractical here; instead
+	// verify the TTL math directly.
+	cfg := p1.Config()
+	if cfg.NeighborTTL != 2.5*cfg.BeaconInterval {
+		t.Errorf("default TTL = %v, want 2.5 intervals", cfg.NeighborTTL)
+	}
+}
+
+func TestSourceState(t *testing.T) {
+	tn := chainNet(t, EnergyAware)
+	tn.runRounds(6)
+	src := tn.protos[0]
+	if src.HopCount() != 0 {
+		t.Errorf("source hop = %d", src.HopCount())
+	}
+	if parent, ok := src.TreeParent(); !ok || parent != 0 {
+		t.Errorf("source TreeParent = %v,%v", parent, ok)
+	}
+}
+
+func TestTreeParentReporting(t *testing.T) {
+	tn := chainNet(t, Hop)
+	tn.runRounds(10)
+	parent, ok := tn.protos[3].TreeParent()
+	if !ok {
+		t.Fatal("stabilized node reports no parent")
+	}
+	if parent != 2 && parent != 1 {
+		t.Errorf("node 3 parent %v, want a chain predecessor", parent)
+	}
+}
+
+func TestDataDeliveryOverChain(t *testing.T) {
+	tn := chainNet(t, Hop)
+	tn.runRounds(6) // stabilize first
+	src := tn.net.Nodes[0]
+	for i := 0; i < 20; i++ {
+		tn.net.Collector.DataSent(1)
+		src.Proto.Originate()
+		tn.sim.Run(tn.sim.Now() + 0.1)
+	}
+	tn.runRounds(2)
+	s := tn.net.Summarize()
+	if s.PDR < 0.9 {
+		t.Errorf("chain delivery PDR = %v", s.PDR)
+	}
+	if s.AvgDelayS <= 0 || s.AvgDelayS > 0.2 {
+		t.Errorf("delay = %v", s.AvgDelayS)
+	}
+}
+
+func TestOriginateWithoutChildrenIsSilent(t *testing.T) {
+	// A source with no downstream children transmits nothing (service
+	// unavailable until the tree forms).
+	pts := []geom.Point{{X: 0}, {X: 100}}
+	tn := buildStatic(t, pts, Hop, []int{1}, 2, 1)
+	// No rounds run: no beacons exchanged yet.
+	tn.net.Nodes[0].Proto.Originate()
+	tn.sim.Run(0.5)
+	if got := tn.net.Medium.Stats().DataBytes; got != 0 {
+		t.Errorf("unformed tree still transmitted %d data bytes", got)
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	cfg := Config{Variant: EnergyAware}.Normalize(50)
+	if cfg.BeaconInterval != 2 || cfg.MaxHops != 50 || cfg.RangeMargin != 1.15 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	if cfg.Hysteresis != 0 {
+		// Hysteresis zero means "variant default" is resolved by New, not
+		// Normalize-with-zero (0 is a valid explicit value elsewhere).
+		t.Logf("normalize keeps hysteresis %v", cfg.Hysteresis)
+	}
+	p := New(Config{Variant: EnergyAware}, 50)
+	if p.Config().Hysteresis != EnergyAware.DefaultHysteresis() {
+		t.Errorf("New did not apply variant hysteresis: %v", p.Config().Hysteresis)
+	}
+	if p.Config().SwitchProb != 0.5 {
+		t.Errorf("SwitchProb default = %v", p.Config().SwitchProb)
+	}
+}
+
+func TestBeaconBytes(t *testing.T) {
+	base := beaconBytes(0, 0)
+	if beaconBytes(10, 0) != base+10 {
+		t.Error("per-neighbour beacon cost wrong")
+	}
+	if beaconBytes(0, 5) != base+5 {
+		t.Error("per-hop path cost wrong")
+	}
+}
+
+// TestBeaconSizeDifference verifies the paper's observation that
+// SS-SPST-E pays more control bytes than SS-SPST on identical scenarios.
+func TestBeaconSizeDifference(t *testing.T) {
+	r := xrand.New(3)
+	pts := connectedRandomPositions(r, 20, 500, 250)
+	hop := buildStatic(t, pts, Hop, []int{5}, 2, 3)
+	e := buildStatic(t, pts, EnergyAware, []int{5}, 2, 3)
+	hop.runRounds(10)
+	e.runRounds(10)
+	hb := hop.net.Medium.Stats().ControlBytes
+	eb := e.net.Medium.Stats().ControlBytes
+	if eb <= hb {
+		t.Errorf("SS-SPST-E control bytes (%d) not above SS-SPST (%d)", eb, hb)
+	}
+}
+
+func TestLoopGuardHopCapMode(t *testing.T) {
+	// Hop-cap mode must also converge on a static topology (it only
+	// reacts slower to transient loops).
+	r := xrand.New(4)
+	pts := connectedRandomPositions(r, 20, 500, 250)
+	n := len(pts)
+	tnCfg := Config{Variant: Hop, BeaconInterval: 2, LoopGuard: LoopGuardHopCap}
+	tn := buildStaticWithConfig(t, pts, tnCfg, []int{3, 7}, 4)
+	tn.runRounds(2 * n)
+	tree := tn.tree()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if !tree.Valid() || !tree.Spans(all) {
+		t.Errorf("hop-cap mode did not build a spanning tree: %v", tree.Parent)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	tn := chainNet(t, Hop)
+	tn.runRounds(8)
+	s := tn.protos[2].Snapshot()
+	if !s.HasParent || s.Hop < 1 {
+		t.Errorf("snapshot %+v", s)
+	}
+}
+
+func TestStateVector(t *testing.T) {
+	tn := chainNet(t, Hop)
+	tn.runRounds(8)
+	v := StateVector(tn.protos)
+	if len(v) != 2*len(tn.protos) {
+		t.Errorf("vector length %d", len(v))
+	}
+}
+
+func TestBuildTreeDetached(t *testing.T) {
+	protos := []*Protocol{New(Config{}, 3), New(Config{}, 3), New(Config{}, 3)}
+	tree := BuildTree(protos, 0)
+	if tree.Parent[1] != topology.Detached || tree.Parent[2] != topology.Detached {
+		t.Errorf("unstarted protocols should be detached: %v", tree.Parent)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Snapshot is one node's externally visible tree state, used by tests,
+// examples and the availability sampler.
+type Snapshot struct {
+	Parent     packet.NodeID
+	HasParent  bool
+	Cost       float64
+	Hop        int
+	Downstream bool
+	Range      float64
+}
+
+// Snapshot returns the node's current state.
+func (p *Protocol) Snapshot() Snapshot {
+	return Snapshot{
+		Parent:     p.parentOrBroadcast(),
+		HasParent:  p.hasParent,
+		Cost:       p.cost,
+		Hop:        p.hop,
+		Downstream: p.downstream,
+		Range:      p.curRange,
+	}
+}
+
+// BuildTree assembles the distributed parent pointers of a protocol fleet
+// into a topology.Tree for oracle validation. protos[i] must be node i's
+// instance; root is the source's index.
+func BuildTree(protos []*Protocol, root int) topology.Tree {
+	parent := make([]int, len(protos))
+	for i, p := range protos {
+		switch {
+		case i == root:
+			parent[i] = -1
+		case p.hasParent:
+			parent[i] = int(p.parent)
+		default:
+			parent[i] = topology.Detached
+		}
+	}
+	return topology.Tree{Root: root, Parent: parent}
+}
+
+// TotalTreeEnergy sums the per-node metric cost of the current tree: each
+// node's NodeCost given its downstream children — the global objective the
+// paper's convergence lemma argues decreases every round.
+func TotalTreeEnergy(protos []*Protocol) float64 {
+	total := 0.0
+	for _, p := range protos {
+		cs := p.deriveChildren()
+		total += p.metric.NodeCost(cs.maxDist, cs.count, p.ownNbrDists())
+	}
+	return total
+}
+
+// StateVector packs every node's (parent, hop) into a comparable slice;
+// two equal vectors mean the system took no stabilizing move between the
+// snapshots — the closure property's observable.
+func StateVector(protos []*Protocol) []int64 {
+	v := make([]int64, 0, 2*len(protos))
+	for _, p := range protos {
+		par := int64(-1)
+		if p.hasParent {
+			par = int64(p.parent)
+		}
+		v = append(v, par, int64(p.hop))
+	}
+	return v
+}

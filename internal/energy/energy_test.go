@@ -1,0 +1,159 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTxEnergyMonotonicInDistance(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for d := 10.0; d <= m.MaxRange; d += 10 {
+		e := m.TxEnergy(512, d)
+		if e <= prev {
+			t.Fatalf("TxEnergy not increasing at d=%v: %v <= %v", d, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestTxEnergyMonotonicInBytes(t *testing.T) {
+	m := Default()
+	if m.TxEnergy(1024, 100) <= m.TxEnergy(512, 100) {
+		t.Error("more bytes should cost more")
+	}
+}
+
+func TestTxEnergyBeyondRangeInfinite(t *testing.T) {
+	m := Default()
+	if e := m.TxEnergy(512, m.MaxRange+1); !math.IsInf(e, 1) {
+		t.Errorf("beyond MaxRange = %v, want +Inf", e)
+	}
+}
+
+func TestTxEnergyExactValue(t *testing.T) {
+	m := Default()
+	// 100 bytes at 100 m: 800 bits × (100e-9 + 6e-12·10000) J/bit.
+	want := 800 * (100e-9 + 6e-12*10000)
+	if got := m.TxEnergy(100, 100); math.Abs(got-want) > 1e-15 {
+		t.Errorf("TxEnergy = %v, want %v", got, want)
+	}
+}
+
+func TestRxEnergyConstant(t *testing.T) {
+	m := Default()
+	if m.RxEnergy(512, 10) != m.RxEnergy(512, 250) {
+		t.Error("reception energy must not depend on tx power by default (paper §3)")
+	}
+}
+
+func TestRxEnergyErxOfTx(t *testing.T) {
+	m := Default()
+	m.ErxOfTx = true
+	near := m.RxEnergy(512, 10)
+	far := m.RxEnergy(512, 250)
+	if far <= near {
+		t.Error("with ErxOfTx, higher tx power must cost receivers more")
+	}
+	// At full range the coupling adds exactly RxTxCoupling of the base.
+	base := Default().RxEnergy(512, 0)
+	if math.Abs(far-base*(1+m.RxTxCoupling)) > 1e-12 {
+		t.Errorf("coupling at MaxRange = %v, want %v", far, base*(1+m.RxTxCoupling))
+	}
+}
+
+func TestRelayCrossover(t *testing.T) {
+	m := Default()
+	// Below the crossover (~129 m) a direct hop beats two relayed halves;
+	// above it, relaying wins. This property shapes every tree the energy
+	// metrics build.
+	direct := func(d float64) float64 { return m.TxEnergy(512, d) }
+	relayed := func(d float64) float64 { return 2 * m.TxEnergy(512, d/2) }
+	if direct(100) >= relayed(100) {
+		t.Error("at 100 m direct should win")
+	}
+	if direct(240) <= relayed(240) {
+		t.Error("at 240 m relaying should win")
+	}
+}
+
+func TestPathLossExponent(t *testing.T) {
+	m := Default()
+	m.PathLossExp = 4
+	if m.TxEnergy(512, 200) <= Default().TxEnergy(512, 200) {
+		t.Error("two-ray exponent must cost more at distance")
+	}
+}
+
+func TestMeterBuckets(t *testing.T) {
+	var m Meter
+	m.SpendTx(1)
+	m.SpendRx(2)
+	m.SpendDiscard(3)
+	if m.TxJ != 1 || m.RxJ != 2 || m.DiscardJ != 3 {
+		t.Errorf("buckets %v", &m)
+	}
+	if m.Total() != 6 {
+		t.Errorf("Total = %v", m.Total())
+	}
+}
+
+func TestMeterReclassify(t *testing.T) {
+	var m Meter
+	m.SpendRx(5)
+	m.Reclassify(2)
+	if m.RxJ != 3 || m.DiscardJ != 2 {
+		t.Errorf("after reclassify: %v", &m)
+	}
+	if m.Total() != 5 {
+		t.Errorf("Reclassify changed the total: %v", m.Total())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Reclassify should panic")
+		}
+	}()
+	m.Reclassify(-1)
+}
+
+func TestBattery(t *testing.T) {
+	m := NewMeter(10)
+	if m.Dead() {
+		t.Error("fresh battery dead")
+	}
+	m.SpendTx(4)
+	m.SpendRx(4)
+	if m.Dead() {
+		t.Error("battery with 2 J left reported dead")
+	}
+	m.SpendDiscard(3)
+	if !m.Dead() {
+		t.Error("exhausted battery not dead")
+	}
+}
+
+func TestUnlimitedBatteryNeverDies(t *testing.T) {
+	m := NewMeter(0)
+	m.SpendTx(1e12)
+	if m.Dead() {
+		t.Error("unlimited meter died")
+	}
+}
+
+func TestTotalIsSumOfBuckets(t *testing.T) {
+	f := func(tx, rx, dc float64) bool {
+		tx, rx, dc = math.Abs(tx), math.Abs(rx), math.Abs(dc)
+		if math.IsInf(tx+rx+dc, 0) || tx+rx+dc != tx+rx+dc {
+			return true
+		}
+		var m Meter
+		m.SpendTx(tx)
+		m.SpendRx(rx)
+		m.SpendDiscard(dc)
+		return math.Abs(m.Total()-(tx+rx+dc)) <= 1e-9*(1+tx+rx+dc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package eventq implements the cancellable priority queue that drives the
+// discrete-event simulator.
+//
+// Events are ordered by (time, sequence number): ties in simulated time are
+// broken by insertion order, which keeps runs deterministic regardless of
+// heap internals.
+package eventq
+
+// Event is a scheduled callback. The zero value is not useful; obtain
+// events from Queue.Push.
+type Event struct {
+	At  float64 // simulated time, seconds
+	Fn  func()  // callback; nil after cancellation
+	seq uint64  // tie-breaker: insertion order
+	idx int     // heap index, -1 when not queued
+}
+
+// Cancelled reports whether the event was cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.Fn == nil }
+
+// Queue is a binary min-heap of events. It is not safe for concurrent use;
+// the simulator owns it from a single goroutine.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// New returns an empty queue.
+func New() *Queue { return &Queue{} }
+
+// Len returns the number of pending events (including cancelled ones that
+// have not yet been popped).
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push schedules fn at time at and returns a handle that can be passed to
+// Cancel.
+func (q *Queue) Push(at float64, fn func()) *Event {
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	q.seq++
+	q.heap = append(q.heap, e)
+	e.idx = len(q.heap) - 1
+	q.up(e.idx)
+	return e
+}
+
+// Cancel removes the event from consideration. It is safe to cancel an
+// event that has already fired or been cancelled; the call is a no-op then.
+// Cancelled events are dropped lazily when they reach the top of the heap.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.Fn == nil {
+		return
+	}
+	e.Fn = nil
+	if e.idx >= 0 && e.idx < len(q.heap) && q.heap[e.idx] == e {
+		q.remove(e.idx)
+		e.idx = -1
+	}
+}
+
+// Pop removes and returns the earliest non-cancelled event, or nil if the
+// queue is empty.
+func (q *Queue) Pop() *Event {
+	for len(q.heap) > 0 {
+		e := q.heap[0]
+		q.remove(0)
+		e.idx = -1
+		if e.Fn != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// PeekTime returns the time of the earliest pending event. ok is false when
+// the queue holds no live events.
+func (q *Queue) PeekTime() (t float64, ok bool) {
+	for len(q.heap) > 0 {
+		if q.heap[0].Fn == nil { // lazily drop cancelled head
+			q.remove(0)
+			continue
+		}
+		return q.heap[0].At, true
+	}
+	return 0, false
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].idx = i
+	q.heap[j].idx = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (q *Queue) remove(i int) {
+	n := len(q.heap) - 1
+	if i != n {
+		q.swap(i, n)
+	}
+	q.heap[n].idx = -1
+	q.heap = q.heap[:n]
+	if i < n {
+		q.down(i)
+		q.up(i)
+	}
+}

@@ -1,0 +1,174 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	q := New()
+	var fired []int
+	q.Push(3, func() { fired = append(fired, 3) })
+	q.Push(1, func() { fired = append(fired, 1) })
+	q.Push(2, func() { fired = append(fired, 2) })
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fn()
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Errorf("fired order %v", fired)
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	q := New()
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Push(5.0, func() { fired = append(fired, i) })
+	}
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fn()
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("equal-time events fired out of insertion order: %v", fired)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := New()
+	fired := false
+	e := q.Push(1, func() { fired = true })
+	q.Cancel(e)
+	if !e.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	if got := q.Pop(); got != nil {
+		t.Errorf("Pop returned cancelled event %v", got)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double-cancel and cancel-nil are no-ops.
+	q.Cancel(e)
+	q.Cancel(nil)
+}
+
+func TestCancelMiddle(t *testing.T) {
+	q := New()
+	var fired []float64
+	e1 := q.Push(1, func() { fired = append(fired, 1) })
+	e2 := q.Push(2, func() { fired = append(fired, 2) })
+	e3 := q.Push(3, func() { fired = append(fired, 3) })
+	_ = e1
+	q.Cancel(e2)
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fn()
+	}
+	_ = e3
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Errorf("fired %v after cancelling middle", fired)
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	q := New()
+	if _, ok := q.PeekTime(); ok {
+		t.Error("PeekTime on empty queue reported ok")
+	}
+	e := q.Push(7, func() {})
+	q.Push(9, func() {})
+	if tm, ok := q.PeekTime(); !ok || tm != 7 {
+		t.Errorf("PeekTime = %v,%v", tm, ok)
+	}
+	q.Cancel(e)
+	if tm, ok := q.PeekTime(); !ok || tm != 9 {
+		t.Errorf("PeekTime after cancelling head = %v,%v", tm, ok)
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := New()
+	q.Push(1, func() {})
+	q.Push(2, func() {})
+	if q.Len() != 2 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	q.Pop()
+	if q.Len() != 1 {
+		t.Errorf("Len after pop = %d", q.Len())
+	}
+}
+
+// TestHeapAgainstReference drives the heap with random schedules and
+// checks the pop order against a sorted reference implementation.
+func TestHeapAgainstReference(t *testing.T) {
+	f := func(times []float64) bool {
+		q := New()
+		for _, tm := range times {
+			if tm != tm { // NaN would poison any ordering
+				return true
+			}
+			q.Push(tm, func() {})
+		}
+		ref := append([]float64(nil), times...)
+		sort.Float64s(ref)
+		for _, want := range ref {
+			e := q.Pop()
+			if e == nil || e.At != want {
+				return false
+			}
+		}
+		return q.Pop() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomCancels removes a random subset and verifies the survivors pop
+// in order.
+func TestRandomCancels(t *testing.T) {
+	f := func(times []float64, mask []bool) bool {
+		q := New()
+		var events []*Event
+		for _, tm := range times {
+			if tm != tm {
+				return true
+			}
+			events = append(events, q.Push(tm, func() {}))
+		}
+		var keep []float64
+		for i, e := range events {
+			if i < len(mask) && mask[i] {
+				q.Cancel(e)
+			} else {
+				keep = append(keep, e.At)
+			}
+		}
+		sort.Float64s(keep)
+		for _, want := range keep {
+			e := q.Pop()
+			if e == nil || e.At != want {
+				return false
+			}
+		}
+		return q.Pop() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New()
+	for i := 0; i < b.N; i++ {
+		q.Push(float64(i%1024), func() {})
+		if i%2 == 1 {
+			q.Pop()
+		}
+	}
+}

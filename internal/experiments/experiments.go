@@ -1,0 +1,371 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§6–7): the SS-SPST metric comparison (Figures 7–9), the beacon-interval
+// study (Figures 10–11), and the cross-protocol comparison against MAODV
+// and ODMRP (Figures 12–16), plus the worked example of Figures 1–6 and
+// the ablations listed in DESIGN.md.
+//
+// Each FigureN function returns a Table whose series mirror the curves in
+// the paper's plot; cmd/figures prints them, bench_test.go times them, and
+// EXPERIMENTS.md records paper-vs-measured shapes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// Point is one (x, y) sample of a curve.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Table is one reproduced figure: named series over a common x-axis.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series map[string][]Point
+	// Order fixes the series printing order (paper legend order).
+	Order []string
+}
+
+// Options trims experiment cost. The paper runs 1800 s simulations; tests
+// and benchmarks use shorter horizons with fewer seeds — curve shapes are
+// stable well before the full duration.
+type Options struct {
+	Duration float64 // simulated seconds per run
+	Seeds    int     // runs averaged per point
+	BaseSeed uint64
+}
+
+// Full mirrors the paper's setup.
+func Full() Options { return Options{Duration: 1800, Seeds: 5, BaseSeed: 1} }
+
+// Quick is the CI-friendly setting used by tests and benchmarks.
+func Quick() Options { return Options{Duration: 180, Seeds: 2, BaseSeed: 1} }
+
+func (o Options) apply(cfg *scenario.Config) {
+	cfg.Duration = o.Duration
+	cfg.Seed = o.BaseSeed
+}
+
+// velocities is the paper's mobility sweep (max speed, m/s).
+var velocities = []float64{1, 4, 8, 12, 16, 20}
+
+// groupSizes is the paper's multicast group sweep.
+var groupSizes = []int{10, 20, 30, 40, 50}
+
+// beaconIntervals is the paper's beacon sweep (seconds).
+var beaconIntervals = []float64{1, 1.5, 2, 2.5, 3, 3.5, 4}
+
+// ssFamily is the Figure 7–9 protocol set.
+var ssFamily = []scenario.ProtocolKind{
+	scenario.SSSPSTE, scenario.SSSPST, scenario.SSSPSTT, scenario.SSSPSTF,
+}
+
+// allFour is the Figure 12–16 protocol set.
+var allFour = []scenario.ProtocolKind{
+	scenario.MAODV, scenario.SSSPST, scenario.SSSPSTE, scenario.ODMRP,
+}
+
+// sweepVelocity runs the given protocols over the velocity axis and maps
+// each run summary through pick.
+func sweepVelocity(o Options, protos []scenario.ProtocolKind, pick func(metrics.Summary) float64) Table {
+	tbl := Table{XLabel: "max velocity (m/s)", Series: map[string][]Point{}}
+	var cfgs []scenario.Config
+	var keys []struct {
+		name string
+		v    float64
+	}
+	for _, p := range protos {
+		tbl.Order = append(tbl.Order, p.String())
+		for _, v := range velocities {
+			for s := 0; s < o.Seeds; s++ {
+				cfg := scenario.Default()
+				o.apply(&cfg)
+				cfg.Protocol = p
+				cfg.VMax = v
+				cfg.GroupSize = 20
+				cfg.Seed = o.BaseSeed + uint64(s)*1000003
+				cfgs = append(cfgs, cfg)
+				keys = append(keys, struct {
+					name string
+					v    float64
+				}{p.String(), v})
+			}
+		}
+	}
+	results := scenario.Sweep(cfgs)
+	acc := map[string]map[float64][]metrics.Summary{}
+	for i, r := range results {
+		k := keys[i]
+		if acc[k.name] == nil {
+			acc[k.name] = map[float64][]metrics.Summary{}
+		}
+		acc[k.name][k.v] = append(acc[k.name][k.v], r.Summary)
+	}
+	for name, byV := range acc {
+		for _, v := range velocities {
+			m := metrics.Mean(byV[v])
+			tbl.Series[name] = append(tbl.Series[name], Point{X: v, Y: pick(m)})
+		}
+		sortPoints(tbl.Series[name])
+	}
+	return tbl
+}
+
+// sweepGroup runs the given protocols over the group-size axis.
+func sweepGroup(o Options, protos []scenario.ProtocolKind, vmax float64, pick func(metrics.Summary) float64) Table {
+	tbl := Table{XLabel: "multicast group size", Series: map[string][]Point{}}
+	var cfgs []scenario.Config
+	var keys []struct {
+		name string
+		g    int
+	}
+	for _, p := range protos {
+		tbl.Order = append(tbl.Order, p.String())
+		for _, g := range groupSizes {
+			for s := 0; s < o.Seeds; s++ {
+				cfg := scenario.Default()
+				o.apply(&cfg)
+				cfg.Protocol = p
+				cfg.VMax = vmax
+				cfg.GroupSize = g
+				if g >= cfg.N {
+					cfg.GroupSize = cfg.N - 1 // everyone but the source
+				}
+				cfg.Seed = o.BaseSeed + uint64(s)*1000003
+				cfgs = append(cfgs, cfg)
+				keys = append(keys, struct {
+					name string
+					g    int
+				}{p.String(), g})
+			}
+		}
+	}
+	results := scenario.Sweep(cfgs)
+	acc := map[string]map[int][]metrics.Summary{}
+	for i, r := range results {
+		k := keys[i]
+		if acc[k.name] == nil {
+			acc[k.name] = map[int][]metrics.Summary{}
+		}
+		acc[k.name][k.g] = append(acc[k.name][k.g], r.Summary)
+	}
+	for name, byG := range acc {
+		for _, g := range groupSizes {
+			m := metrics.Mean(byG[g])
+			tbl.Series[name] = append(tbl.Series[name], Point{X: float64(g), Y: pick(m)})
+		}
+		sortPoints(tbl.Series[name])
+	}
+	return tbl
+}
+
+// sweepBeacon runs SS-SPST and SS-SPST-E over the beacon-interval axis at
+// 5 m/s, the Figure 10–11 setup.
+func sweepBeacon(o Options, pick func(metrics.Summary) float64) Table {
+	tbl := Table{XLabel: "beacon interval (s)", Series: map[string][]Point{}}
+	protos := []scenario.ProtocolKind{scenario.SSSPSTE, scenario.SSSPST}
+	var cfgs []scenario.Config
+	var keys []struct {
+		name string
+		b    float64
+	}
+	for _, p := range protos {
+		tbl.Order = append(tbl.Order, p.String())
+		for _, b := range beaconIntervals {
+			for s := 0; s < o.Seeds; s++ {
+				cfg := scenario.Default()
+				o.apply(&cfg)
+				cfg.Protocol = p
+				cfg.VMax = 5
+				cfg.GroupSize = 20
+				cfg.BeaconInterval = b
+				cfg.Seed = o.BaseSeed + uint64(s)*1000003
+				cfgs = append(cfgs, cfg)
+				keys = append(keys, struct {
+					name string
+					b    float64
+				}{p.String(), b})
+			}
+		}
+	}
+	results := scenario.Sweep(cfgs)
+	acc := map[string]map[float64][]metrics.Summary{}
+	for i, r := range results {
+		k := keys[i]
+		if acc[k.name] == nil {
+			acc[k.name] = map[float64][]metrics.Summary{}
+		}
+		acc[k.name][k.b] = append(acc[k.name][k.b], r.Summary)
+	}
+	for name, byB := range acc {
+		for _, b := range beaconIntervals {
+			m := metrics.Mean(byB[b])
+			tbl.Series[name] = append(tbl.Series[name], Point{X: b, Y: pick(m)})
+		}
+		sortPoints(tbl.Series[name])
+	}
+	return tbl
+}
+
+func pdr(s metrics.Summary) float64      { return s.PDR }
+func unavail(s metrics.Summary) float64  { return s.Unavailability }
+func energyMJ(s metrics.Summary) float64 { return s.EnergyPerDeliveredJ * 1e3 }
+func delayMS(s metrics.Summary) float64  { return s.AvgDelayS * 1e3 }
+func ctrl(s metrics.Summary) float64     { return s.CtrlPerDataByte }
+
+// Figure7 reproduces "Packet Delivery Ratio vs. Velocity" for the SS-SPST
+// metric family.
+func Figure7(o Options) Table {
+	t := sweepVelocity(o, ssFamily, pdr)
+	t.Title, t.YLabel = "Figure 7: PDR vs velocity (SS-SPST family)", "packet delivery ratio"
+	return t
+}
+
+// Figure8 reproduces "Unavailability Ratio vs. Velocity".
+func Figure8(o Options) Table {
+	t := sweepVelocity(o, ssFamily, unavail)
+	t.Title, t.YLabel = "Figure 8: Unavailability ratio vs velocity (SS-SPST family)", "unavailability ratio"
+	return t
+}
+
+// Figure9 reproduces "Energy Consumption per Packet Delivered vs.
+// Velocity" for the metric family.
+func Figure9(o Options) Table {
+	t := sweepVelocity(o, ssFamily, energyMJ)
+	t.Title, t.YLabel = "Figure 9: Energy per packet vs velocity (SS-SPST family)", "energy (mJ)"
+	return t
+}
+
+// Figure10 reproduces "PDR vs. Beacon Interval" (SS-SPST vs SS-SPST-E,
+// 5 m/s).
+func Figure10(o Options) Table {
+	t := sweepBeacon(o, pdr)
+	t.Title, t.YLabel = "Figure 10: PDR vs beacon interval", "packet delivery ratio"
+	return t
+}
+
+// Figure11 reproduces "Energy Consumption per Packet Delivered vs. Beacon
+// Interval".
+func Figure11(o Options) Table {
+	t := sweepBeacon(o, energyMJ)
+	t.Title, t.YLabel = "Figure 11: Energy per packet vs beacon interval", "energy (mJ)"
+	return t
+}
+
+// Figure12 reproduces "PDR vs. Multicast Group Size" for the four-protocol
+// comparison at 1 m/s.
+func Figure12(o Options) Table {
+	t := sweepGroup(o, allFour, 1, pdr)
+	t.Title, t.YLabel = "Figure 12: PDR vs multicast group size", "packet delivery ratio"
+	return t
+}
+
+// Figure13 reproduces "Control Byte Overhead vs. Multicast Group Size".
+func Figure13(o Options) Table {
+	t := sweepGroup(o, allFour, 1, ctrl)
+	t.Title, t.YLabel = "Figure 13: Control bytes per data byte delivered vs group size", "control bytes / data byte"
+	return t
+}
+
+// Figure14 reproduces "PDR vs. Velocity" for the four-protocol comparison
+// (group size 20).
+func Figure14(o Options) Table {
+	t := sweepVelocity(o, allFour, pdr)
+	t.Title, t.YLabel = "Figure 14: PDR vs velocity (protocol comparison)", "packet delivery ratio"
+	return t
+}
+
+// Figure15 reproduces "Average Delay per Node vs. Multicast Group Size".
+func Figure15(o Options) Table {
+	t := sweepGroup(o, allFour, 1, delayMS)
+	t.Title, t.YLabel = "Figure 15: Average delay vs multicast group size", "delay (ms)"
+	return t
+}
+
+// Figure16 reproduces "Energy Consumed per Packet Delivered vs. Velocity"
+// for the four-protocol comparison.
+func Figure16(o Options) Table {
+	t := sweepVelocity(o, allFour, energyMJ)
+	t.Title, t.YLabel = "Figure 16: Energy per packet vs velocity (protocol comparison)", "energy (mJ)"
+	return t
+}
+
+// ExtensionMST is an extension experiment beyond the paper: the SS-MST
+// minimax variant (the paper's ref [14]) alongside the SPST family over
+// the velocity axis, on the Figure 7/9 axes.
+func ExtensionMST(o Options) Table {
+	t := sweepVelocity(o, []scenario.ProtocolKind{
+		scenario.SSSPST, scenario.SSSPSTE, scenario.SSMST,
+	}, energyMJ)
+	t.Title = "Extension: SS-MST vs SS-SPST/SS-SPST-E, energy per packet vs velocity"
+	t.YLabel = "energy (mJ)"
+	return t
+}
+
+// All returns every figure in paper order.
+func All(o Options) []Table {
+	return []Table{
+		Figure7(o), Figure8(o), Figure9(o), Figure10(o), Figure11(o),
+		Figure12(o), Figure13(o), Figure14(o), Figure15(o), Figure16(o),
+	}
+}
+
+// Format renders the table as aligned text, one row per x value.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-24s", t.XLabel)
+	names := t.seriesNames()
+	for _, n := range names {
+		fmt.Fprintf(&b, "%12s", n)
+	}
+	b.WriteByte('\n')
+	if len(names) == 0 {
+		return b.String()
+	}
+	for i, pt := range t.Series[names[0]] {
+		fmt.Fprintf(&b, "%-24.3g", pt.X)
+		for _, n := range names {
+			if i < len(t.Series[n]) {
+				fmt.Fprintf(&b, "%12.4g", t.Series[n][i].Y)
+			} else {
+				fmt.Fprintf(&b, "%12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// seriesNames returns the legend order (declared order first, then any
+// extras alphabetically).
+func (t Table) seriesNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, n := range t.Order {
+		if _, ok := t.Series[n]; ok && !seen[n] {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	var rest []string
+	for n := range t.Series {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(names, rest...)
+}
+
+func sortPoints(ps []Point) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].X < ps[j].X })
+}

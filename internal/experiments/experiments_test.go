@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// tiny is an ultra-short option set for structural tests; shape assertions
+// use slightly longer runs below.
+func tiny() Options { return Options{Duration: 40, Seeds: 1, BaseSeed: 1} }
+
+func TestFigureStructure(t *testing.T) {
+	type gen struct {
+		name   string
+		f      func(Options) Table
+		series int
+		points int
+	}
+	gens := []gen{
+		{"fig7", Figure7, 4, 6},
+		{"fig8", Figure8, 4, 6},
+		{"fig9", Figure9, 4, 6},
+		{"fig10", Figure10, 2, 7},
+		{"fig11", Figure11, 2, 7},
+		{"fig12", Figure12, 4, 5},
+		{"fig13", Figure13, 4, 5},
+		{"fig14", Figure14, 4, 6},
+		{"fig15", Figure15, 4, 5},
+		{"fig16", Figure16, 4, 6},
+	}
+	for _, g := range gens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			tbl := g.f(tiny())
+			if len(tbl.Series) != g.series {
+				t.Fatalf("%s: %d series, want %d", g.name, len(tbl.Series), g.series)
+			}
+			for name, pts := range tbl.Series {
+				if len(pts) != g.points {
+					t.Errorf("%s series %q: %d points, want %d", g.name, name, len(pts), g.points)
+				}
+				for i := 1; i < len(pts); i++ {
+					if pts[i].X <= pts[i-1].X {
+						t.Errorf("%s series %q: x not increasing at %d", g.name, name, i)
+					}
+				}
+			}
+			if tbl.Title == "" || tbl.XLabel == "" || tbl.YLabel == "" {
+				t.Error("missing labels")
+			}
+		})
+	}
+}
+
+func TestExtensionMSTStructure(t *testing.T) {
+	tbl := ExtensionMST(tiny())
+	if len(tbl.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(tbl.Series))
+	}
+	if _, ok := tbl.Series["SS-MST"]; !ok {
+		t.Error("missing SS-MST series")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	tbl := Table{
+		Title:  "T",
+		XLabel: "x",
+		YLabel: "y",
+		Order:  []string{"B", "A"},
+		Series: map[string][]Point{
+			"A": {{X: 1, Y: 2}, {X: 2, Y: 3}},
+			"B": {{X: 1, Y: 5}, {X: 2, Y: 6}},
+		},
+	}
+	out := tbl.Format()
+	if !strings.Contains(out, "T") || !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Errorf("format output missing pieces:\n%s", out)
+	}
+	// Declared order: B before A.
+	if strings.Index(out, "B") > strings.Index(out, "A") {
+		t.Error("series order not honoured")
+	}
+}
+
+// TestShapeVelocityDegradesPDR: the single most robust qualitative shape —
+// PDR at high mobility is worse than at low mobility for the SS family.
+func TestShapeVelocityDegradesPDR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test needs longer runs")
+	}
+	lo := scenario.Default()
+	lo.Protocol = scenario.SSSPST
+	lo.VMax = 1
+	lo.Duration = 200
+	hi := lo
+	hi.VMax = 20
+	rs := scenario.Sweep([]scenario.Config{lo, hi})
+	if rs[1].Summary.PDR >= rs[0].Summary.PDR {
+		t.Errorf("PDR did not degrade with mobility: %.3f @1m/s vs %.3f @20m/s",
+			rs[0].Summary.PDR, rs[1].Summary.PDR)
+	}
+}
+
+// TestShapeEnergyOrdering: SS-SPST-E beats plain SS-SPST on energy per
+// delivered packet (the headline), at moderate mobility.
+func TestShapeEnergyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test needs longer runs")
+	}
+	base := scenario.Default()
+	base.VMax = 2
+	base.Duration = 240
+	var sums [2]metrics.Summary
+	for i, p := range []scenario.ProtocolKind{scenario.SSSPST, scenario.SSSPSTE} {
+		cfg := base
+		cfg.Protocol = p
+		sums[i] = scenario.RunSeeds(cfg, 2)
+	}
+	if sums[1].EnergyPerDeliveredJ >= sums[0].EnergyPerDeliveredJ {
+		t.Errorf("SS-SPST-E (%.3g J) not cheaper than SS-SPST (%.3g J)",
+			sums[1].EnergyPerDeliveredJ, sums[0].EnergyPerDeliveredJ)
+	}
+	if sums[1].TotalEnergyJ >= sums[0].TotalEnergyJ {
+		t.Errorf("SS-SPST-E raw energy (%.3g J) not below SS-SPST (%.3g J)",
+			sums[1].TotalEnergyJ, sums[0].TotalEnergyJ)
+	}
+}
+
+// TestShapeGroupScalability: SS-SPST's PDR stays roughly flat from small
+// to large groups (the §7.3 claim).
+func TestShapeGroupScalability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test needs longer runs")
+	}
+	small := scenario.Default()
+	small.Protocol = scenario.SSSPST
+	small.VMax = 1
+	small.GroupSize = 10
+	small.Duration = 200
+	large := small
+	large.GroupSize = 45
+	rs := scenario.Sweep([]scenario.Config{small, large})
+	if rs[1].Summary.PDR < rs[0].Summary.PDR*0.85 {
+		t.Errorf("PDR collapsed with group size: %.3f → %.3f",
+			rs[0].Summary.PDR, rs[1].Summary.PDR)
+	}
+}

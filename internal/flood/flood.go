@@ -1,0 +1,66 @@
+// Package flood implements blind flooding: every node re-broadcasts every
+// data packet exactly once at full power. It is not in the paper's
+// comparison but serves as the redundancy upper bound against which the
+// mesh (ODMRP) and tree (MAODV, SS-SPST) protocols are calibrated, and as
+// the simplest possible protocol for substrate tests.
+package flood
+
+import (
+	"repro/internal/medium"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/xrand"
+)
+
+// Protocol is one node's flooding instance.
+type Protocol struct {
+	node *netsim.Node
+	rng  *xrand.RNG
+	seen map[uint64]struct{}
+	seq  uint32
+	// JitterMax decorrelates rebroadcasts; zero means 4 ms.
+	JitterMax float64
+}
+
+// New returns a flooding instance.
+func New() *Protocol { return &Protocol{seen: make(map[uint64]struct{})} }
+
+// Start implements netsim.Protocol.
+func (p *Protocol) Start(n *netsim.Node) {
+	p.node = n
+	p.rng = n.Sim().RNG().Split("flood").SplitIndex(int(n.ID))
+	if p.JitterMax == 0 {
+		p.JitterMax = 4e-3
+	}
+}
+
+// Receive implements netsim.Protocol.
+func (p *Protocol) Receive(pkt *packet.Packet, info medium.RxInfo) {
+	if pkt.Kind != packet.KindData || p.node.Source {
+		p.node.DiscardRx(info)
+		return
+	}
+	key := uint64(uint32(pkt.Src))<<32 | uint64(pkt.Seq)
+	if _, dup := p.seen[key]; dup {
+		p.node.DiscardRx(info)
+		return
+	}
+	p.seen[key] = struct{}{}
+	if p.node.Member {
+		p.node.ConsumeData(pkt, info.At)
+	}
+	fwd := pkt.Clone()
+	fwd.From = p.node.ID
+	fwd.Hops++
+	max := p.node.Net.Medium.Model().MaxRange
+	p.node.Sim().Schedule(p.rng.Range(0, p.JitterMax), func() {
+		p.node.Broadcast(fwd, max)
+	})
+}
+
+// Originate implements netsim.Protocol.
+func (p *Protocol) Originate() {
+	p.seq++
+	pkt := packet.NewData(p.node.ID, p.seq, p.node.Now())
+	p.node.Broadcast(pkt, p.node.Net.Medium.Model().MaxRange)
+}

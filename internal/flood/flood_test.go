@@ -1,0 +1,67 @@
+package flood
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/medium"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func rig(t *testing.T, pts []geom.Point, members []int) (*sim.Simulator, *netsim.Network) {
+	t.Helper()
+	s := sim.New(3)
+	tracker := mobility.NewTracker(len(pts), mobility.Static{Points: pts})
+	mcfg := medium.DefaultConfig()
+	mcfg.LossProb = 0
+	mem := make([]packet.NodeID, len(members))
+	for i, m := range members {
+		mem[i] = packet.NodeID(m)
+	}
+	net := netsim.New(s, tracker, netsim.Config{
+		N: len(pts), Source: 0, Members: mem,
+		Medium: mcfg, PayloadBytes: packet.DataPayload,
+	})
+	for i := range pts {
+		net.SetProtocol(packet.NodeID(i), New())
+	}
+	net.Start()
+	return s, net
+}
+
+func TestFloodReachesEveryMember(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 200}, {X: 400}, {X: 600}, {X: 600, Y: 200}}
+	s, net := rig(t, pts, []int{3, 4})
+	net.Collector.DataSent(2)
+	net.Nodes[0].Proto.Originate()
+	s.Run(2)
+	if sum := net.Summarize(); sum.Delivered != 2 {
+		t.Errorf("delivered %d/2", sum.Delivered)
+	}
+}
+
+func TestFloodForwardsOncePerNode(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 100}, {X: 200}}
+	s, net := rig(t, pts, []int{2})
+	net.Collector.DataSent(1)
+	net.Nodes[0].Proto.Originate()
+	s.Run(2)
+	// One origination + one rebroadcast per other node = 3 transmissions.
+	if tx := net.Medium.Stats().Transmissions; tx != 3 {
+		t.Errorf("transmissions = %d, want 3 (dedup failed?)", tx)
+	}
+}
+
+func TestFloodNoControlTraffic(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 100}}
+	s, net := rig(t, pts, []int{1})
+	net.Collector.DataSent(1)
+	net.Nodes[0].Proto.Originate()
+	s.Run(2)
+	if net.Collector.ControlBytes != 0 {
+		t.Errorf("flooding sent %d control bytes", net.Collector.ControlBytes)
+	}
+}

@@ -1,0 +1,97 @@
+// Package geom provides the 2-D geometry primitives used by the MANET
+// simulator: points, vectors, distances and the rectangular deployment
+// area nodes move in.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the 2-D plane, in metres.
+type Point struct {
+	X, Y float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Add returns p translated by the vector v.
+func (p Point) Add(v Vec) Point { return Point{p.X + v.DX, p.Y + v.DY} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root and is the preferred comparison form in hot paths such as
+// medium coverage checks.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp linearly interpolates from p to q; t=0 yields p, t=1 yields q.
+// t outside [0,1] extrapolates.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Vec is a displacement in the 2-D plane, in metres.
+type Vec struct {
+	DX, DY float64
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec) Len() float64 { return math.Hypot(v.DX, v.DY) }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{v.DX * k, v.DY * k} }
+
+// Unit returns the unit vector in the direction of v. The zero vector is
+// returned unchanged.
+func (v Vec) Unit() Vec {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return Vec{v.DX / l, v.DY / l}
+}
+
+// Rect is an axis-aligned rectangle, typically the deployment area.
+// Min is the lower-left corner and Max the upper-right corner.
+type Rect struct {
+	Min, Max Point
+}
+
+// Square returns a side×side rectangle anchored at the origin.
+func Square(side float64) Rect {
+	return Rect{Min: Point{0, 0}, Max: Point{side, side}}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Contains reports whether p lies inside r (borders inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// Diagonal returns the length of the rectangle's diagonal, an upper bound
+// on any distance between two points inside r.
+func (r Rect) Diagonal() float64 { return r.Min.Dist(r.Max) }

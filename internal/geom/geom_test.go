@@ -1,0 +1,135 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-2, 0}, Point{2, 0}, 4},
+		{Point{0, -3}, Point{0, 3}, 6},
+	}
+	for _, c := range cases {
+		if got := c.a.Dist(c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Dist(c.a); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestDist2MatchesDistSquared(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.Abs(ax) > 1e6 || math.Abs(ay) > 1e6 || math.Abs(bx) > 1e6 || math.Abs(by) > 1e6 {
+			return true // avoid overflow-scale inputs
+		}
+		a, b := Point{ax, ay}, Point{bx, by}
+		d := a.Dist(b)
+		return math.Abs(a.Dist2(b)-d*d) <= 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 20}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	mid := a.Lerp(b, 0.5)
+	if mid.X != 5 || mid.Y != 10 {
+		t.Errorf("Lerp(0.5) = %v", mid)
+	}
+}
+
+func TestVec(t *testing.T) {
+	v := Vec{3, 4}
+	if v.Len() != 5 {
+		t.Errorf("Len = %v", v.Len())
+	}
+	u := v.Unit()
+	if math.Abs(u.Len()-1) > 1e-12 {
+		t.Errorf("Unit().Len() = %v", u.Len())
+	}
+	if z := (Vec{}).Unit(); z != (Vec{}) {
+		t.Errorf("zero Unit = %v", z)
+	}
+	s := v.Scale(2)
+	if s.DX != 6 || s.DY != 8 {
+		t.Errorf("Scale = %v", s)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Add(Vec{3, 4})
+	if q != (Point{4, 6}) {
+		t.Errorf("Add = %v", q)
+	}
+	d := q.Sub(p)
+	if d != (Vec{3, 4}) {
+		t.Errorf("Sub = %v", d)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Square(100)
+	if r.Width() != 100 || r.Height() != 100 {
+		t.Errorf("Square dims: %v x %v", r.Width(), r.Height())
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{100, 100}) || !r.Contains(Point{50, 50}) {
+		t.Error("Contains should include borders and interior")
+	}
+	if r.Contains(Point{-1, 50}) || r.Contains(Point{50, 101}) {
+		t.Error("Contains should exclude outside points")
+	}
+	if got := r.Clamp(Point{-5, 120}); got != (Point{0, 100}) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if got := r.Clamp(Point{42, 37}); got != (Point{42, 37}) {
+		t.Errorf("Clamp of inside point moved: %v", got)
+	}
+	if math.Abs(r.Diagonal()-100*math.Sqrt2) > 1e-9 {
+		t.Errorf("Diagonal = %v", r.Diagonal())
+	}
+}
+
+func TestClampAlwaysInside(t *testing.T) {
+	r := Rect{Min: Point{-10, 5}, Max: Point{30, 45}}
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		return r.Contains(r.Clamp(Point{x, y}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy} {
+			if math.Abs(v) > 1e6 || math.IsNaN(v) {
+				return true
+			}
+		}
+		a, b, c := Point{ax, ay}, Point{bx, by}, Point{cx, cy}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package maodv implements the Multicast operation of the Ad hoc
+// On-demand Distance Vector protocol (Royer & Perkins, MobiCom'99) at the
+// fidelity the paper's comparison requires: a shared multicast tree rooted
+// at the group leader, on-demand joins over a flood-established gradient,
+// periodic Group Hello floods, and downstream-initiated repair after link
+// breaks.
+//
+// Simplifications versus the full RFC draft (documented for DESIGN.md):
+// route discovery for unicast traffic is omitted (the evaluation has none),
+// and joins travel hop-by-hop up the freshest Group-Hello gradient instead
+// of an expanding-ring RREQ flood — behaviourally equivalent here because
+// the source is the only traffic originator and the GRPH flood refreshes
+// the gradient network-wide every period. MAODV is energy-oblivious: all
+// transmissions go at full power (no power control), which is part of why
+// the paper measures it above the SS-SPST family on energy per packet.
+package maodv
+
+import (
+	"repro/internal/medium"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a MAODV instance.
+type Config struct {
+	// GroupHelloInterval is the leader's GRPH flood period.
+	GroupHelloInterval float64
+	// GradientTTL is how long a Group-Hello gradient entry stays usable.
+	GradientTTL float64
+	// UpstreamTimeout declares the tree link broken when nothing (data or
+	// GRPH) has been heard from the upstream node for this long.
+	UpstreamTimeout float64
+	// BranchTTL expires a non-member router's tree state when no data has
+	// flowed through it for this long (tree pruning).
+	BranchTTL float64
+	// JoinRetryInterval paces re-join attempts while off-tree.
+	JoinRetryInterval float64
+	// ForwardJitterMax decorrelates sibling forwards.
+	ForwardJitterMax float64
+}
+
+// DefaultConfig mirrors common MAODV simulation settings of the era.
+func DefaultConfig() Config {
+	return Config{
+		GroupHelloInterval: 5,
+		GradientTTL:        12,
+		UpstreamTimeout:    3,
+		BranchTTL:          10,
+		JoinRetryInterval:  2,
+		ForwardJitterMax:   6e-3,
+	}
+}
+
+// grphPayload is the Group Hello flood content.
+type grphPayload struct {
+	Seq  uint32 // group sequence number
+	Hops int    // hops from the leader so far
+}
+
+// joinPayload is the hop-by-hop join activation (RREQ-join + MACT folded
+// into one hop-wise message; see the package comment).
+type joinPayload struct {
+	Requester packet.NodeID
+	NextHop   packet.NodeID // the gradient upstream this hop addresses
+}
+
+const (
+	grphBytes = packet.MACHeaderBytes + packet.IPHeaderBytes + 16
+	joinBytes = packet.MACHeaderBytes + packet.IPHeaderBytes + 24
+)
+
+// Protocol is one node's MAODV instance; it implements netsim.Protocol and
+// netsim.TreeStater.
+type Protocol struct {
+	cfg  Config
+	node *netsim.Node
+	rng  *xrand.RNG
+
+	// Leader state (the multicast source doubles as group leader).
+	grphSeq uint32
+
+	// Gradient toward the leader from the freshest GRPH.
+	gradUp   packet.NodeID
+	gradHops int
+	gradSeq  uint32
+	gradAt   float64
+	haveGrad bool
+
+	// Tree state.
+	onTree      bool
+	upstream    packet.NodeID
+	lastUpHeard float64
+	lastDataFwd float64
+	// lastGraft is the last time a downstream join passed through (or,
+	// for members, the last time they grafted themselves). Router state
+	// expires BranchTTL after it: branches persist only while some
+	// downstream member keeps refreshing them.
+	lastGraft float64
+	// lastKeepAlive paces a member's periodic re-graft of its branch.
+	lastKeepAlive float64
+
+	seenData map[uint64]struct{} // forwarding dedup
+	seenApp  map[uint64]struct{} // member delivery dedup
+	seenCtl  map[uint64]struct{}
+	seq      uint32
+
+	ticker *sim.Ticker
+}
+
+// New returns a MAODV instance.
+func New(cfg Config) *Protocol {
+	return &Protocol{
+		cfg:      cfg,
+		seenData: make(map[uint64]struct{}),
+		seenApp:  make(map[uint64]struct{}),
+		seenCtl:  make(map[uint64]struct{}),
+	}
+}
+
+// Start implements netsim.Protocol.
+func (p *Protocol) Start(n *netsim.Node) {
+	p.node = n
+	p.rng = n.Sim().RNG().Split("maodv").SplitIndex(int(n.ID))
+	if n.Source {
+		p.onTree = true
+		// Leader floods Group Hellos; desynchronized start.
+		first := p.rng.Range(0.05, 0.5)
+		n.Sim().Schedule(first, func() {
+			p.sendGRPH()
+			p.ticker = n.Sim().Every(p.cfg.GroupHelloInterval, 0.1, p.sendGRPH)
+		})
+		return
+	}
+	// Members try to join whenever off-tree; routers just maintain state.
+	p.ticker = n.Sim().Every(p.cfg.JoinRetryInterval, 0.25, p.maintain)
+}
+
+func (p *Protocol) maxRange() float64 { return p.node.Net.Medium.Model().MaxRange }
+
+// sendGRPH floods one Group Hello from the leader.
+func (p *Protocol) sendGRPH() {
+	p.grphSeq++
+	pkt := &packet.Packet{
+		Kind:    packet.KindGroupHello,
+		From:    p.node.ID,
+		To:      packet.Broadcast,
+		Src:     p.node.ID,
+		Seq:     p.grphSeq,
+		Bytes:   grphBytes,
+		Payload: &grphPayload{Seq: p.grphSeq},
+	}
+	p.node.Broadcast(pkt, p.maxRange())
+}
+
+// maintain runs periodically on non-leader nodes: detect upstream
+// breaks, expire idle branches, and (re-)join when a member is off-tree.
+func (p *Protocol) maintain() {
+	now := p.node.Now()
+	if p.onTree {
+		switch {
+		case now-p.lastUpHeard > p.cfg.UpstreamTimeout:
+			// Link break: leave the tree; a member will re-join below.
+			p.onTree = false
+		case !p.node.Member && now-p.lastGraft > p.cfg.BranchTTL:
+			// No downstream member has refreshed this branch: prune.
+			p.onTree = false
+		}
+	}
+	if !p.node.Member {
+		return
+	}
+	if !p.onTree {
+		p.tryJoin()
+		return
+	}
+	// On-tree member: periodic keep-alive re-graft so the router chain
+	// above does not expire.
+	if now-p.lastKeepAlive > p.cfg.BranchTTL/2 {
+		p.lastKeepAlive = now
+		if p.haveGrad && now-p.gradAt <= p.cfg.GradientTTL {
+			p.sendJoin(p.node.ID, p.gradUp)
+		}
+	}
+}
+
+// tryJoin grafts optimistically: the member adopts its gradient upstream
+// and sends the hop-by-hop join that recruits the router chain. If the
+// graft silently fails upstream, the upstream timeout clears the state and
+// the next maintain tick retries.
+func (p *Protocol) tryJoin() {
+	now := p.node.Now()
+	if !p.haveGrad || now-p.gradAt > p.cfg.GradientTTL {
+		return // wait for the next GRPH
+	}
+	p.onTree = true
+	p.upstream = p.gradUp
+	p.lastUpHeard = now
+	p.lastGraft = now
+	p.lastKeepAlive = now
+	p.sendJoin(p.node.ID, p.gradUp)
+}
+
+func (p *Protocol) sendJoin(requester, nextHop packet.NodeID) {
+	pkt := &packet.Packet{
+		Kind:    packet.KindRREQ,
+		From:    p.node.ID,
+		To:      nextHop,
+		Src:     requester,
+		Seq:     p.nextSeq(),
+		Bytes:   joinBytes,
+		Payload: &joinPayload{Requester: requester, NextHop: nextHop},
+	}
+	p.node.Broadcast(pkt, p.maxRange())
+}
+
+func (p *Protocol) nextSeq() uint32 { p.seq++; return p.seq }
+
+// Receive implements netsim.Protocol.
+func (p *Protocol) Receive(pkt *packet.Packet, info medium.RxInfo) {
+	switch pkt.Kind {
+	case packet.KindGroupHello:
+		p.handleGRPH(pkt, info)
+	case packet.KindRREQ:
+		p.handleJoin(pkt, info)
+	case packet.KindData:
+		p.handleData(pkt, info)
+	default:
+		p.node.DiscardRx(info)
+	}
+}
+
+func (p *Protocol) handleGRPH(pkt *packet.Packet, info medium.RxInfo) {
+	if p.node.Source {
+		p.node.DiscardRx(info)
+		return
+	}
+	gp := pkt.Payload.(*grphPayload)
+	key := ctlKey(pkt.Src, pkt.Seq, pkt.Kind)
+	if _, dup := p.seenCtl[key]; dup {
+		p.node.DiscardRx(info)
+		return
+	}
+	p.seenCtl[key] = struct{}{}
+	// Adopt the first copy's sender as the gradient upstream (fewest hops
+	// with high probability) and rebroadcast.
+	p.gradUp = info.From
+	p.gradHops = gp.Hops + 1
+	p.gradSeq = gp.Seq
+	p.gradAt = info.At
+	p.haveGrad = true
+	if p.onTree && info.From == p.upstream {
+		p.lastUpHeard = info.At
+	}
+	fwd := pkt.Clone()
+	fwd.From = p.node.ID
+	fwd.Hops++
+	fwd.Payload = &grphPayload{Seq: gp.Seq, Hops: gp.Hops + 1}
+	delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
+	p.node.Sim().Schedule(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
+}
+
+// handleJoin grafts a branch: the addressed next-hop becomes a tree router
+// (adopting its own gradient upstream) and, if it is not yet on the tree,
+// propagates the join one hop further toward the leader.
+func (p *Protocol) handleJoin(pkt *packet.Packet, info medium.RxInfo) {
+	jp := pkt.Payload.(*joinPayload)
+	if jp.NextHop != p.node.ID {
+		p.node.DiscardRx(info)
+		return
+	}
+	now := p.node.Now()
+	if p.onTree || p.node.Source {
+		// Graft (or keep-alive) absorbed: the branch below us is active.
+		p.lastGraft = now
+		return
+	}
+	if !p.haveGrad || now-p.gradAt > p.cfg.GradientTTL {
+		return // cannot extend the branch; the joiner will retry
+	}
+	p.onTree = true
+	p.upstream = p.gradUp
+	p.lastUpHeard = now
+	p.lastDataFwd = now
+	p.lastGraft = now
+	p.sendJoin(jp.Requester, p.gradUp)
+}
+
+func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
+	if p.node.Source {
+		p.node.DiscardRx(info)
+		return
+	}
+	key := dataKey(pkt.Src, pkt.Seq)
+	consumed := false
+
+	// Members consume the first copy they hear regardless of tree state
+	// (promiscuous multicast reception).
+	if p.node.Member {
+		if _, dup := p.seenApp[key]; !dup {
+			p.seenApp[key] = struct{}{}
+			p.node.ConsumeData(pkt, info.At)
+			consumed = true
+		}
+	}
+
+	if p.onTree {
+		if info.From == p.upstream {
+			p.lastUpHeard = info.At
+		}
+		// Forward along tree edges only: with a single source (the group
+		// leader) downstream data always arrives from the upstream tree
+		// neighbour. Copies overheard sideways are not re-forwarded —
+		// MAODV is a tree, not a mesh.
+		if _, dup := p.seenData[key]; !dup && info.From == p.upstream {
+			p.seenData[key] = struct{}{}
+			p.lastDataFwd = info.At
+			fwd := pkt.Clone()
+			fwd.From = p.node.ID
+			fwd.Hops++
+			delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
+			p.node.Sim().Schedule(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
+			consumed = true
+		}
+	}
+
+	if !consumed {
+		p.node.DiscardRx(info)
+	}
+}
+
+// Originate implements netsim.Protocol (called on the source/leader).
+func (p *Protocol) Originate() {
+	p.seq++
+	pkt := packet.NewData(p.node.ID, p.seq, p.node.Now())
+	p.node.Broadcast(pkt, p.maxRange())
+}
+
+// TreeParent implements netsim.TreeStater.
+func (p *Protocol) TreeParent() (packet.NodeID, bool) {
+	if p.node != nil && p.node.Source {
+		return p.node.ID, true
+	}
+	if p.onTree {
+		return p.upstream, true
+	}
+	return packet.Broadcast, false
+}
+
+// OnTree reports whether the node currently holds tree state.
+func (p *Protocol) OnTree() bool { return p.onTree }
+
+func dataKey(src packet.NodeID, seq uint32) uint64 {
+	return uint64(uint32(src))<<32 | uint64(seq)
+}
+
+func ctlKey(src packet.NodeID, seq uint32, kind packet.Kind) uint64 {
+	return uint64(uint32(src))<<40 | uint64(seq)<<8 | uint64(kind)
+}

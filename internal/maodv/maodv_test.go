@@ -1,0 +1,161 @@
+package maodv
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/medium"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// rig builds a static MAODV network; node 0 is source/leader.
+func rig(t *testing.T, pts []geom.Point, members []int) (*sim.Simulator, *netsim.Network, []*Protocol) {
+	t.Helper()
+	s := sim.New(3)
+	tracker := mobility.NewTracker(len(pts), mobility.Static{Points: pts})
+	mcfg := medium.DefaultConfig()
+	mcfg.LossProb = 0
+	mem := make([]packet.NodeID, len(members))
+	for i, m := range members {
+		mem[i] = packet.NodeID(m)
+	}
+	net := netsim.New(s, tracker, netsim.Config{
+		N: len(pts), Source: 0, Members: mem,
+		Medium: mcfg, PayloadBytes: packet.DataPayload,
+	})
+	protos := make([]*Protocol, len(pts))
+	for i := range pts {
+		protos[i] = New(DefaultConfig())
+		net.SetProtocol(packet.NodeID(i), protos[i])
+	}
+	net.Start()
+	return s, net, protos
+}
+
+func chain() []geom.Point {
+	return []geom.Point{{X: 0}, {X: 200}, {X: 400}, {X: 600}}
+}
+
+func TestGradientEstablished(t *testing.T) {
+	s, _, protos := rig(t, chain(), []int{3})
+	s.Run(6) // at least one GRPH flood
+	for i := 1; i < 4; i++ {
+		if !protos[i].haveGrad {
+			t.Errorf("node %d has no gradient after GRPH flood", i)
+		}
+	}
+	if protos[1].gradUp != 0 {
+		t.Errorf("node 1 gradient upstream = %v, want leader", protos[1].gradUp)
+	}
+	if protos[2].gradHops >= protos[3].gradHops {
+		t.Errorf("gradient hops not increasing along the chain: %d then %d",
+			protos[2].gradHops, protos[3].gradHops)
+	}
+}
+
+func TestMemberJoinsAndGrafts(t *testing.T) {
+	s, _, protos := rig(t, chain(), []int{3})
+	s.Run(15)
+	if !protos[3].OnTree() {
+		t.Fatal("member never joined the tree")
+	}
+	// The graft must have recruited the intermediate routers.
+	if !protos[1].OnTree() || !protos[2].OnTree() {
+		t.Error("intermediate nodes not grafted as routers")
+	}
+}
+
+func TestDataFlowsDownTree(t *testing.T) {
+	s, net, _ := rig(t, chain(), []int{3})
+	s.Run(15) // join completes
+	for i := 0; i < 30; i++ {
+		net.Collector.DataSent(1)
+		net.Nodes[0].Proto.Originate()
+		s.Run(s.Now() + 0.0625)
+	}
+	s.Run(s.Now() + 1)
+	sum := net.Summarize()
+	if sum.PDR < 0.9 {
+		t.Errorf("PDR over established tree = %v", sum.PDR)
+	}
+}
+
+func TestNonMemberBranchPrunes(t *testing.T) {
+	// Member 3 leaves the group... not supported dynamically; instead
+	// verify a router with no downstream member expires after BranchTTL.
+	pts := []geom.Point{{X: 0}, {X: 200}, {X: 400}}
+	s, _, protos := rig(t, pts, nil) // no members at all
+	s.Run(40)
+	if protos[1].OnTree() || protos[2].OnTree() {
+		t.Error("routers on tree without any member grafts")
+	}
+}
+
+func TestTreeParent(t *testing.T) {
+	s, _, protos := rig(t, chain(), []int{3})
+	s.Run(15)
+	if p, ok := protos[0].TreeParent(); !ok || p != 0 {
+		t.Errorf("leader TreeParent = %v,%v", p, ok)
+	}
+	if p, ok := protos[3].TreeParent(); !ok || p != 2 {
+		t.Errorf("member TreeParent = %v,%v (want upstream 2)", p, ok)
+	}
+}
+
+func TestControlBytesCounted(t *testing.T) {
+	s, net, _ := rig(t, chain(), []int{3})
+	s.Run(15)
+	if net.Collector.ControlBytes == 0 {
+		t.Error("no control bytes recorded despite GRPH floods and joins")
+	}
+}
+
+func TestRepairAfterBreak(t *testing.T) {
+	// A mobile middle node walks away, severing the branch; the member
+	// must rejoin via the surviving path within a few GRPH periods.
+	pts := []geom.Point{{X: 0}, {X: 200, Y: 10}, {X: 200, Y: -10}, {X: 400}}
+	s := sim.New(5)
+	// Node 1 moves straight out of the field at t=20 (model by a custom
+	// static-then-jump: easiest is two trackers — instead park node 1 far
+	// away from the start and keep 2 as the only relay, then kill 2's
+	// forwarding by... simpler: build with both relays, run, then verify
+	// the member survives on at least one path).
+	tracker := mobility.NewTracker(len(pts), mobility.Static{Points: pts})
+	mcfg := medium.DefaultConfig()
+	mcfg.LossProb = 0
+	net := netsim.New(s, tracker, netsim.Config{
+		N: len(pts), Source: 0, Members: []packet.NodeID{3},
+		Medium: mcfg, PayloadBytes: packet.DataPayload,
+	})
+	protos := make([]*Protocol, len(pts))
+	for i := range pts {
+		protos[i] = New(DefaultConfig())
+		net.SetProtocol(packet.NodeID(i), protos[i])
+	}
+	net.Start()
+	s.Run(15)
+	if !protos[3].OnTree() {
+		t.Fatal("member did not join")
+	}
+	up, _ := protos[3].TreeParent()
+	// Simulate upstream failure: force the member's upstream off-tree and
+	// silence it by clearing its own tree state.
+	protos[up].onTree = false
+	protos[up].haveGrad = false
+	s.Run(40)
+	if !protos[3].OnTree() {
+		t.Error("member did not repair its branch after upstream loss")
+	}
+}
+
+func TestCtlKeyDistinct(t *testing.T) {
+	a := ctlKey(1, 1, packet.KindGroupHello)
+	b := ctlKey(1, 1, packet.KindRREQ)
+	c := ctlKey(2, 1, packet.KindGroupHello)
+	if a == b || a == c {
+		t.Error("control dedup keys collide across kind/src")
+	}
+}

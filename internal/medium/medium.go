@@ -1,0 +1,376 @@
+// Package medium implements the shared wireless broadcast channel: power-
+// controlled transmissions, CSMA-style deferral with random backoff,
+// collision-on-overlap losses, propagation/transmission delay, and the
+// per-reception energy accounting (including overhearing) that the paper's
+// energy figures are built on.
+//
+// The medium replaces the ns-2 PHY/MAC the paper used. It keeps the
+// behaviours the evaluation depends on — broadcast coverage follows the
+// transmitter's chosen range, every covered node pays reception energy
+// whether or not it wanted the frame, and concurrent overlapping
+// transmissions corrupt each other — while replacing 802.11's exact timing
+// with a simpler slot-free CSMA.
+package medium
+
+import (
+	"math"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Receiver is implemented by nodes attached to the medium.
+type Receiver interface {
+	// Deliver hands a successfully received frame to the node. The node
+	// classifies the reception (consumed vs discarded) via RxInfo.Meter.
+	Deliver(pkt *packet.Packet, info RxInfo)
+}
+
+// RxInfo describes one reception event.
+type RxInfo struct {
+	From    packet.NodeID
+	Dist    float64 // transmitter→receiver distance at transmission start
+	TxRange float64 // transmitter's power-controlled range
+	RxJ     float64 // energy charged for this reception (already on the meter as Rx)
+	At      float64 // delivery time
+}
+
+// Config holds the channel parameters.
+type Config struct {
+	// BitrateBps is the channel bitrate; 2 Mb/s mirrors the 802.11 basic
+	// rate ns-2 defaults to in that era.
+	BitrateBps float64
+	// PropDelayPerM is the propagation delay per metre (≈ 1/c).
+	PropDelayPerM float64
+	// CSMA enables carrier sensing: a sender that detects an ongoing
+	// transmission covering it defers with a random backoff.
+	CSMA bool
+	// MaxBackoffs bounds CSMA retries before the frame is dropped.
+	MaxBackoffs int
+	// BackoffMax is the maximum random deferral per retry, seconds.
+	BackoffMax float64
+	// InterferenceFactor scales a transmission's interference radius
+	// relative to its communication range. >1 models corruption beyond
+	// decode range.
+	InterferenceFactor float64
+	// LossProb is an independent per-reception loss probability modelling
+	// fading; applied after collision resolution.
+	LossProb float64
+	// TxQueueCap bounds each node's interface queue (frames awaiting the
+	// radio). Overflow is dropped — the congestion-collapse mechanism
+	// behind ODMRP's large-group degradation in the paper's Figure 12.
+	TxQueueCap int
+	// Energy is the radio energy model.
+	Energy energy.Model
+}
+
+// DefaultConfig returns the channel parameters used by the paper
+// reproduction experiments.
+func DefaultConfig() Config {
+	return Config{
+		BitrateBps:         2e6,
+		PropDelayPerM:      3.34e-9,
+		CSMA:               true,
+		MaxBackoffs:        7,
+		BackoffMax:         8e-3,
+		InterferenceFactor: 1.3,
+		LossProb:           0.005,
+		TxQueueCap:         50,
+		Energy:             energy.Default(),
+	}
+}
+
+// Stats counts channel-level events for diagnostics and tests.
+type Stats struct {
+	Transmissions int64
+	Deliveries    int64
+	Collisions    int64 // receptions corrupted by overlap
+	Fading        int64 // receptions dropped by LossProb
+	Backoffs      int64
+	CSMADrops     int64 // frames abandoned after MaxBackoffs
+	QueueDrops    int64 // frames dropped at a full interface queue
+	HalfDuplex    int64 // receptions missed because the receiver was transmitting
+	ControlBytes  int64 // bytes of control frames put on air
+	DataBytes     int64 // bytes of data frames put on air
+}
+
+// Medium is the shared channel. It is used only from the simulator's
+// goroutine.
+type Medium struct {
+	sim     *sim.Simulator
+	cfg     Config
+	tracker *mobility.Tracker
+	nodes   []Receiver
+	meters  []*energy.Meter
+	rng     *xrand.RNG
+	active  []*transmission
+	// OnTransmit, when set, observes every frame put on air (used by the
+	// metrics collector for control-overhead accounting).
+	OnTransmit func(pkt *packet.Packet)
+	stats      Stats
+	posBuf     []geom.Point
+	queues     []txQueue
+}
+
+// queued is one frame waiting for the radio.
+type queued struct {
+	pkt     *packet.Packet
+	txRange float64
+}
+
+// txQueue serializes one node's transmissions: real radios send one frame
+// at a time through a finite interface queue.
+type txQueue struct {
+	frames []queued
+	busy   bool
+}
+
+// transmission is one frame in flight.
+type transmission struct {
+	from       packet.NodeID
+	origin     geom.Point
+	rng        float64 // communication range
+	intRng     float64 // interference range
+	start      float64
+	end        float64
+	receptions []*reception
+}
+
+// reception is one pending delivery of a transmission at a specific node.
+type reception struct {
+	to        packet.NodeID
+	corrupted bool
+}
+
+// New creates a medium over n nodes. Receivers and meters are attached
+// afterwards with Attach, allowing the network to construct nodes that
+// reference the medium.
+func New(s *sim.Simulator, cfg Config, tracker *mobility.Tracker, n int) *Medium {
+	return &Medium{
+		sim:     s,
+		cfg:     cfg,
+		tracker: tracker,
+		nodes:   make([]Receiver, n),
+		meters:  make([]*energy.Meter, n),
+		rng:     s.RNG().Split("medium"),
+		posBuf:  make([]geom.Point, n),
+		queues:  make([]txQueue, n),
+	}
+}
+
+// Attach registers node id's receiver and energy meter.
+func (m *Medium) Attach(id packet.NodeID, r Receiver, meter *energy.Meter) {
+	m.nodes[id] = r
+	m.meters[id] = meter
+}
+
+// Stats returns a copy of the channel counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Model returns the radio energy model in force.
+func (m *Medium) Model() energy.Model { return m.cfg.Energy }
+
+// AirTime returns the on-air duration of a frame of the given size.
+func (m *Medium) AirTime(bytes int) float64 {
+	return float64(bytes) * 8 / m.cfg.BitrateBps
+}
+
+// Broadcast hands pkt to node `from`'s interface queue for transmission
+// with the given power-controlled range. The radio serializes frames; a
+// full queue drops the frame (congestion loss). Delivery to every node
+// within range happens after the frame's airtime plus propagation delay.
+// txRange is clamped to the model's maximum.
+func (m *Medium) Broadcast(from packet.NodeID, pkt *packet.Packet, txRange float64) {
+	q := &m.queues[from]
+	if q.busy || len(q.frames) > 0 {
+		if m.cfg.TxQueueCap > 0 && len(q.frames) >= m.cfg.TxQueueCap {
+			m.stats.QueueDrops++
+			return
+		}
+		q.frames = append(q.frames, queued{pkt, txRange})
+		return
+	}
+	q.busy = true
+	m.send(from, pkt, txRange, 0)
+}
+
+// txDone releases node `from`'s radio and starts the next queued frame.
+func (m *Medium) txDone(from packet.NodeID) {
+	q := &m.queues[from]
+	if len(q.frames) == 0 {
+		q.busy = false
+		return
+	}
+	next := q.frames[0]
+	copy(q.frames, q.frames[1:])
+	q.frames = q.frames[:len(q.frames)-1]
+	m.send(from, next.pkt, next.txRange, 0)
+}
+
+func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, attempt int) {
+	now := m.sim.Now()
+	if m.meters[from].Dead() {
+		// Depleted battery: the radio is off. Drain the queue silently.
+		m.txDone(from)
+		return
+	}
+	if txRange > m.cfg.Energy.MaxRange {
+		txRange = m.cfg.Energy.MaxRange
+	}
+	if txRange <= 0 {
+		txRange = 1 // degenerate, still audible at point blank
+	}
+	pos := m.tracker.Position(int(from), now)
+
+	if m.cfg.CSMA && m.busyAt(pos, now) {
+		if attempt >= m.cfg.MaxBackoffs {
+			m.stats.CSMADrops++
+			m.txDone(from)
+			return
+		}
+		m.stats.Backoffs++
+		delay := m.rng.Range(0, m.cfg.BackoffMax) * float64(attempt+1)
+		m.sim.Schedule(delay, func() { m.send(from, pkt, txRange, attempt+1) })
+		return
+	}
+
+	dur := m.AirTime(pkt.Bytes)
+	tx := &transmission{
+		from:   from,
+		origin: pos,
+		rng:    txRange,
+		intRng: txRange * m.cfg.InterferenceFactor,
+		start:  now,
+		end:    now + dur,
+	}
+
+	// Charge the sender.
+	m.meters[from].SpendTx(m.cfg.Energy.TxEnergy(pkt.Bytes, txRange))
+	m.stats.Transmissions++
+	if pkt.Kind.Control() {
+		m.stats.ControlBytes += int64(pkt.Bytes)
+	} else {
+		m.stats.DataBytes += int64(pkt.Bytes)
+	}
+	if m.OnTransmit != nil {
+		m.OnTransmit(pkt)
+	}
+
+	// The new transmission corrupts any in-flight reception whose receiver
+	// it interferes with, and is itself corrupted at receivers covered by
+	// other ongoing transmissions.
+	m.tracker.Positions(now, m.posBuf)
+	for _, other := range m.active {
+		for _, rc := range other.receptions {
+			if rc.corrupted {
+				continue
+			}
+			if m.posBuf[rc.to].Dist2(pos) <= tx.intRng*tx.intRng {
+				rc.corrupted = true
+				m.stats.Collisions++
+			}
+		}
+	}
+
+	rng2 := txRange * txRange
+	for id := range m.nodes {
+		nid := packet.NodeID(id)
+		if nid == from || m.nodes[id] == nil {
+			continue
+		}
+		d2 := m.posBuf[id].Dist2(pos)
+		if d2 > rng2 {
+			continue
+		}
+		rc := &reception{to: nid}
+		// Corrupted if any other active transmission interferes here.
+		for _, other := range m.active {
+			if m.posBuf[id].Dist2(other.origin) <= other.intRng*other.intRng {
+				rc.corrupted = true
+				m.stats.Collisions++
+				break
+			}
+		}
+		// Half-duplex: a node mid-transmission cannot receive.
+		if !rc.corrupted && m.transmitting(nid, now) {
+			rc.corrupted = true
+			m.stats.HalfDuplex++
+		}
+		tx.receptions = append(tx.receptions, rc)
+
+		dist := math.Sqrt(d2)
+		delay := dur + dist*m.cfg.PropDelayPerM
+		m.scheduleDelivery(tx, rc, pkt, dist, delay)
+	}
+
+	m.active = append(m.active, tx)
+	m.sim.Schedule(dur, func() {
+		m.retire(tx)
+		m.txDone(from)
+	})
+}
+
+func (m *Medium) scheduleDelivery(tx *transmission, rc *reception, pkt *packet.Packet, dist, delay float64) {
+	m.sim.Schedule(delay, func() {
+		meter := m.meters[rc.to]
+		if meter.Dead() {
+			return // depleted battery: the radio is off
+		}
+		rxJ := m.cfg.Energy.RxEnergy(pkt.Bytes, tx.rng)
+		if rc.corrupted {
+			// The radio still burned energy on the corrupted frame.
+			meter.SpendDiscard(rxJ)
+			return
+		}
+		if m.cfg.LossProb > 0 && m.rng.Bool(m.cfg.LossProb) {
+			m.stats.Fading++
+			meter.SpendDiscard(rxJ)
+			return
+		}
+		meter.SpendRx(rxJ)
+		m.stats.Deliveries++
+		m.nodes[rc.to].Deliver(pkt, RxInfo{
+			From:    tx.from,
+			Dist:    dist,
+			TxRange: tx.rng,
+			RxJ:     rxJ,
+			At:      m.sim.Now(),
+		})
+	})
+}
+
+// busyAt reports whether any ongoing transmission is audible at pos.
+func (m *Medium) busyAt(pos geom.Point, now float64) bool {
+	for _, tx := range m.active {
+		if now < tx.end && pos.Dist2(tx.origin) <= tx.intRng*tx.intRng {
+			return true
+		}
+	}
+	return false
+}
+
+// transmitting reports whether node id has a frame on air at time now.
+func (m *Medium) transmitting(id packet.NodeID, now float64) bool {
+	for _, tx := range m.active {
+		if tx.from == id && now < tx.end {
+			return true
+		}
+	}
+	return false
+}
+
+// retire removes a finished transmission from the active set.
+func (m *Medium) retire(tx *transmission) {
+	for i, t := range m.active {
+		if t == tx {
+			last := len(m.active) - 1
+			m.active[i] = m.active[last]
+			m.active = m.active[:last]
+			return
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package medium
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// recorder collects deliveries for one node.
+type recorder struct {
+	got []RxInfo
+}
+
+func (r *recorder) Deliver(pkt *packet.Packet, info RxInfo) { r.got = append(r.got, info) }
+
+// rig assembles a medium over static positions with collision-free
+// defaults unless cfg overrides are applied by the caller.
+func rig(t *testing.T, pts []geom.Point, mutate func(*Config)) (*sim.Simulator, *Medium, []*recorder, []*energy.Meter) {
+	t.Helper()
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.LossProb = 0
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	tracker := mobility.NewTracker(len(pts), mobility.Static{Points: pts})
+	m := New(s, cfg, tracker, len(pts))
+	recs := make([]*recorder, len(pts))
+	meters := make([]*energy.Meter, len(pts))
+	for i := range pts {
+		recs[i] = &recorder{}
+		meters[i] = energy.NewMeter(0)
+		m.Attach(packet.NodeID(i), recs[i], meters[i])
+	}
+	return s, m, recs, meters
+}
+
+func testPacket(from packet.NodeID) *packet.Packet {
+	return &packet.Packet{Kind: packet.KindData, From: from, To: packet.Broadcast, Src: from, Bytes: 100}
+}
+
+func TestDeliveryWithinRange(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 100}, {X: 300}}
+	s, m, recs, _ := rig(t, pts, nil)
+	m.Broadcast(0, testPacket(0), 150)
+	s.Run(1)
+	if len(recs[1].got) != 1 {
+		t.Fatalf("in-range node got %d deliveries", len(recs[1].got))
+	}
+	if len(recs[2].got) != 0 {
+		t.Fatal("out-of-range node received")
+	}
+	info := recs[1].got[0]
+	if info.From != 0 || info.Dist != 100 || info.TxRange != 150 {
+		t.Errorf("RxInfo %+v", info)
+	}
+}
+
+func TestSenderDoesNotHearItself(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 50}}
+	s, m, recs, _ := rig(t, pts, nil)
+	m.Broadcast(0, testPacket(0), 100)
+	s.Run(1)
+	if len(recs[0].got) != 0 {
+		t.Error("sender delivered to itself")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 100}, {X: 140}}
+	s, m, _, meters := rig(t, pts, nil)
+	pkt := testPacket(0)
+	m.Broadcast(0, pkt, 150)
+	s.Run(1)
+	em := m.Model()
+	if want := em.TxEnergy(pkt.Bytes, 150); meters[0].TxJ != want {
+		t.Errorf("sender TxJ = %v, want %v", meters[0].TxJ, want)
+	}
+	wantRx := em.RxEnergy(pkt.Bytes, 150)
+	for _, i := range []int{1, 2} {
+		if meters[i].RxJ != wantRx {
+			t.Errorf("node %d RxJ = %v, want %v", i, meters[i].RxJ, wantRx)
+		}
+	}
+}
+
+func TestRangeClampedToMax(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 240}}
+	s, m, recs, meters := rig(t, pts, nil)
+	m.Broadcast(0, testPacket(0), 1e9)
+	s.Run(1)
+	if len(recs[1].got) != 1 {
+		t.Fatal("no delivery at clamped max range")
+	}
+	em := m.Model()
+	if meters[0].TxJ != em.TxEnergy(100, em.MaxRange) {
+		t.Error("tx energy not clamped to MaxRange")
+	}
+}
+
+func TestCollision(t *testing.T) {
+	// Two simultaneous transmitters both covering the middle node: the
+	// middle reception is corrupted, energy goes to discard.
+	pts := []geom.Point{{X: 0}, {X: 100}, {X: 200}}
+	s, m, recs, meters := rig(t, pts, func(c *Config) { c.CSMA = false })
+	m.Broadcast(0, testPacket(0), 120)
+	m.Broadcast(2, testPacket(2), 120)
+	s.Run(1)
+	if len(recs[1].got) != 0 {
+		t.Fatalf("middle node decoded %d frames through a collision", len(recs[1].got))
+	}
+	if meters[1].DiscardJ == 0 {
+		t.Error("corrupted receptions must still cost energy")
+	}
+	if m.Stats().Collisions == 0 {
+		t.Error("collision not counted")
+	}
+}
+
+func TestNoCollisionWhenSeparated(t *testing.T) {
+	// Far-apart transmitters with narrow ranges do not interfere.
+	pts := []geom.Point{{X: 0}, {X: 60}, {X: 1000}, {X: 1060}}
+	s, m, recs, _ := rig(t, pts, func(c *Config) { c.CSMA = false })
+	m.Broadcast(0, testPacket(0), 80)
+	m.Broadcast(2, testPacket(2), 80)
+	s.Run(1)
+	if len(recs[1].got) != 1 || len(recs[3].got) != 1 {
+		t.Error("spatially separated transmissions should both deliver")
+	}
+}
+
+func TestCSMADefers(t *testing.T) {
+	// Second sender within carrier range defers and transmits after the
+	// first finishes: both deliveries succeed.
+	pts := []geom.Point{{X: 0}, {X: 100}, {X: 200}}
+	s, m, recs, _ := rig(t, pts, nil)
+	m.Broadcast(0, testPacket(0), 250)
+	m.Broadcast(2, testPacket(2), 250)
+	s.Run(1)
+	if len(recs[1].got) != 2 {
+		t.Errorf("middle node got %d deliveries, want 2 (CSMA serialization)", len(recs[1].got))
+	}
+	if m.Stats().Backoffs == 0 {
+		t.Error("no backoff recorded")
+	}
+}
+
+func TestTxQueueSerializes(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 50}}
+	s, m, recs, _ := rig(t, pts, nil)
+	for i := 0; i < 5; i++ {
+		m.Broadcast(0, testPacket(0), 100)
+	}
+	s.Run(1)
+	if len(recs[1].got) != 5 {
+		t.Fatalf("got %d deliveries, want 5", len(recs[1].got))
+	}
+	// Deliveries must be spaced at least one airtime apart.
+	air := m.AirTime(100)
+	for i := 1; i < 5; i++ {
+		gap := recs[1].got[i].At - recs[1].got[i-1].At
+		if gap < air-1e-12 {
+			t.Errorf("deliveries %d/%d only %v apart (airtime %v)", i-1, i, gap, air)
+		}
+	}
+}
+
+func TestTxQueueDrops(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 50}}
+	s, m, _, _ := rig(t, pts, func(c *Config) { c.TxQueueCap = 3 })
+	for i := 0; i < 10; i++ {
+		m.Broadcast(0, testPacket(0), 100)
+	}
+	s.Run(1)
+	if m.Stats().QueueDrops != 6 { // 1 on air + 3 queued, 6 dropped
+		t.Errorf("QueueDrops = %d, want 6", m.Stats().QueueDrops)
+	}
+}
+
+func TestControlVsDataBytes(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 50}}
+	s, m, _, _ := rig(t, pts, nil)
+	beacon := &packet.Packet{Kind: packet.KindBeacon, From: 0, Bytes: 80}
+	m.Broadcast(0, beacon, 100)
+	m.Broadcast(0, testPacket(0), 100)
+	s.Run(1)
+	st := m.Stats()
+	if st.ControlBytes != 80 || st.DataBytes != 100 {
+		t.Errorf("byte split ctrl=%d data=%d", st.ControlBytes, st.DataBytes)
+	}
+}
+
+func TestOnTransmitHook(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 50}}
+	s, m, _, _ := rig(t, pts, nil)
+	var seen []packet.Kind
+	m.OnTransmit = func(p *packet.Packet) { seen = append(seen, p.Kind) }
+	m.Broadcast(0, testPacket(0), 100)
+	s.Run(1)
+	if len(seen) != 1 || seen[0] != packet.KindData {
+		t.Errorf("hook saw %v", seen)
+	}
+}
+
+func TestFadingLoss(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 50}}
+	s, m, recs, _ := rig(t, pts, func(c *Config) { c.LossProb = 1 })
+	m.Broadcast(0, testPacket(0), 100)
+	s.Run(1)
+	if len(recs[1].got) != 0 {
+		t.Error("LossProb=1 still delivered")
+	}
+	if m.Stats().Fading != 1 {
+		t.Errorf("Fading = %d", m.Stats().Fading)
+	}
+}
+
+func TestDeadBatteryTxSuppressed(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 50}}
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.LossProb = 0
+	tracker := mobility.NewTracker(2, mobility.Static{Points: pts})
+	m := New(s, cfg, tracker, 2)
+	dead := energy.NewMeter(1e-12)
+	dead.SpendTx(1) // exhaust
+	rec := &recorder{}
+	m.Attach(0, &recorder{}, dead)
+	m.Attach(1, rec, energy.NewMeter(0))
+	m.Broadcast(0, testPacket(0), 100)
+	s.Run(1)
+	if len(rec.got) != 0 {
+		t.Error("dead node transmitted")
+	}
+}
+
+func TestDeadBatteryRxSuppressed(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 50}}
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.LossProb = 0
+	tracker := mobility.NewTracker(2, mobility.Static{Points: pts})
+	m := New(s, cfg, tracker, 2)
+	dead := energy.NewMeter(1e-12)
+	dead.SpendTx(1)
+	rec := &recorder{}
+	m.Attach(0, &recorder{}, energy.NewMeter(0))
+	m.Attach(1, rec, dead)
+	before := dead.Total()
+	m.Broadcast(0, testPacket(0), 100)
+	s.Run(1)
+	if len(rec.got) != 0 {
+		t.Error("dead node received")
+	}
+	if dead.Total() != before {
+		t.Error("dead node charged for reception")
+	}
+}
+
+func TestAirTime(t *testing.T) {
+	pts := []geom.Point{{X: 0}}
+	_, m, _, _ := rig(t, pts, nil)
+	if got := m.AirTime(250); got != 250*8/2e6 {
+		t.Errorf("AirTime = %v", got)
+	}
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func TestPDR(t *testing.T) {
+	c := NewCollector(512)
+	c.DataSent(4) // 4 members expected
+	c.DataSent(4)
+	c.DataDelivered(1, 0, 1, 0, 0.01)
+	c.DataDelivered(2, 0, 1, 0, 0.02)
+	c.DataDelivered(1, 0, 2, 0.0625, 0.07)
+	s := c.Summarize(nil)
+	if s.Sent != 2 || s.Expected != 8 || s.Delivered != 3 {
+		t.Fatalf("counters %+v", s)
+	}
+	if math.Abs(s.PDR-3.0/8) > 1e-12 {
+		t.Errorf("PDR = %v", s.PDR)
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	c := NewCollector(512)
+	c.DataSent(2)
+	c.DataDelivered(1, 0, 1, 0, 0.01)
+	c.DataDelivered(1, 0, 1, 0, 0.02) // duplicate
+	s := c.Summarize(nil)
+	if s.Delivered != 1 || s.Duplicates != 1 {
+		t.Errorf("delivered=%d dups=%d", s.Delivered, s.Duplicates)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	c := NewCollector(512)
+	c.DataSent(2)
+	c.DataDelivered(1, 0, 1, 1.0, 1.010)
+	c.DataDelivered(2, 0, 1, 1.0, 1.030)
+	s := c.Summarize(nil)
+	if math.Abs(s.AvgDelayS-0.020) > 1e-12 {
+		t.Errorf("AvgDelayS = %v", s.AvgDelayS)
+	}
+}
+
+func TestCtrlPerDataByte(t *testing.T) {
+	c := NewCollector(512)
+	c.DataSent(1)
+	c.ControlTx(100)
+	c.ControlTx(28)
+	// Packet reaches two members but its payload counts once.
+	c.DataDelivered(1, 0, 1, 0, 0.01)
+	c.DataDelivered(2, 0, 1, 0, 0.01)
+	s := c.Summarize(nil)
+	if math.Abs(s.CtrlPerDataByte-128.0/512) > 1e-12 {
+		t.Errorf("CtrlPerDataByte = %v", s.CtrlPerDataByte)
+	}
+}
+
+func TestUnavailability(t *testing.T) {
+	c := NewCollector(512)
+	c.ServiceSample(false)
+	c.ServiceSample(true)
+	c.ServiceSample(true)
+	c.ServiceSample(false)
+	s := c.Summarize(nil)
+	if s.Unavailability != 0.5 {
+		t.Errorf("Unavailability = %v", s.Unavailability)
+	}
+}
+
+func TestEnergyAggregation(t *testing.T) {
+	c := NewCollector(512)
+	c.DataSent(1)
+	c.DataDelivered(1, 0, 1, 0, 0.01)
+	m1 := energy.NewMeter(0)
+	m1.SpendTx(1)
+	m1.SpendRx(2)
+	m2 := energy.NewMeter(0)
+	m2.SpendDiscard(3)
+	s := c.Summarize([]*energy.Meter{m1, m2})
+	if s.TxJ != 1 || s.RxJ != 2 || s.DiscardJ != 3 || s.TotalEnergyJ != 6 {
+		t.Errorf("energy %+v", s)
+	}
+	if s.EnergyPerDeliveredJ != 6 {
+		t.Errorf("EnergyPerDeliveredJ = %v", s.EnergyPerDeliveredJ)
+	}
+}
+
+func TestLastDelivery(t *testing.T) {
+	c := NewCollector(512)
+	if _, ever := c.LastDelivery(1); ever {
+		t.Error("fresh collector reports a delivery")
+	}
+	c.DataDelivered(1, 0, 1, 0, 3.5)
+	if tm, ever := c.LastDelivery(1); !ever || tm != 3.5 {
+		t.Errorf("LastDelivery = %v,%v", tm, ever)
+	}
+	// Duplicates do not refresh.
+	c.DataDelivered(1, 0, 1, 0, 9.9)
+	if tm, _ := c.LastDelivery(1); tm != 3.5 {
+		t.Errorf("duplicate refreshed LastDelivery to %v", tm)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewCollector(512).Summarize(nil)
+	if s.PDR != 0 || s.EnergyPerDeliveredJ != 0 || s.AvgDelayS != 0 ||
+		s.CtrlPerDataByte != 0 || s.Unavailability != 0 {
+		t.Errorf("zero-activity summary not zero: %+v", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	a := Summary{PDR: 0.8, EnergyPerDeliveredJ: 2, Sent: 10, Delivered: 8}
+	b := Summary{PDR: 0.6, EnergyPerDeliveredJ: 4, Sent: 10, Delivered: 6}
+	m := Mean([]Summary{a, b})
+	if math.Abs(m.PDR-0.7) > 1e-12 {
+		t.Errorf("mean PDR = %v", m.PDR)
+	}
+	if math.Abs(m.EnergyPerDeliveredJ-3) > 1e-12 {
+		t.Errorf("mean energy = %v", m.EnergyPerDeliveredJ)
+	}
+	if m.Sent != 20 || m.Delivered != 14 {
+		t.Errorf("counters should sum: %+v", m)
+	}
+	if empty := Mean(nil); empty != (Summary{}) {
+		t.Errorf("Mean(nil) = %+v", empty)
+	}
+}
+
+func TestDistinctSourcesDistinctPackets(t *testing.T) {
+	c := NewCollector(100)
+	c.DataSent(1)
+	c.DataSent(1)
+	c.DataDelivered(5, 0, 1, 0, 0.1) // source 0, seq 1
+	c.DataDelivered(5, 1, 1, 0, 0.1) // source 1, seq 1 — different packet
+	s := c.Summarize(nil)
+	if s.Delivered != 2 {
+		t.Errorf("Delivered = %d, want 2 (distinct sources)", s.Delivered)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{PDR: 0.5}
+	if s.String() == "" {
+		t.Error("String() empty")
+	}
+}

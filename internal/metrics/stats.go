@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is a univariate sample with the reductions experiment reports
+// need: mean, standard deviation and a normal-approximation confidence
+// interval. The paper averages over scenario files; Sample makes the
+// spread visible too.
+type Sample struct {
+	n    int
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Add appends one observation.
+func (s *Sample) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sum2 += v * v
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min and Max return the observed extremes.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.max }
+
+// Var returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (s *Sample) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	n := float64(s.n)
+	v := (s.sum2 - s.sum*s.sum/n) / (n - 1)
+	if v < 0 {
+		return 0 // numeric noise on constant samples
+	}
+	return v
+}
+
+// Stddev returns the unbiased sample standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// CI95 returns the half-width of the 95% confidence interval on the mean
+// using Student's t quantiles for small samples.
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return tQuantile95(s.n-1) * s.Stddev() / math.Sqrt(float64(s.n))
+}
+
+// String implements fmt.Stringer as "mean ± ci95".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean(), s.CI95())
+}
+
+// tQuantile95 returns the two-sided 95% Student-t quantile for the given
+// degrees of freedom (table for small df, normal limit beyond).
+func tQuantile95(df int) float64 {
+	table := []float64{
+		0,                                                             // df 0 (unused)
+		12.706,                                                        // 1
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2-10
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11-20
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21-30
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Aggregate reduces a set of run summaries into per-metric samples, so
+// sweeps can report mean ± CI per point instead of a bare mean.
+type Aggregate struct {
+	PDR            Sample
+	EnergyPerPkt   Sample
+	DelayS         Sample
+	CtrlPerByte    Sample
+	Unavailability Sample
+	TotalEnergyJ   Sample
+}
+
+// AddSummary folds one run into the aggregate.
+func (a *Aggregate) AddSummary(s Summary) {
+	a.PDR.Add(s.PDR)
+	a.EnergyPerPkt.Add(s.EnergyPerDeliveredJ)
+	a.DelayS.Add(s.AvgDelayS)
+	a.CtrlPerByte.Add(s.CtrlPerDataByte)
+	a.Unavailability.Add(s.Unavailability)
+	a.TotalEnergyJ.Add(s.TotalEnergyJ)
+}
+
+// String implements fmt.Stringer with the headline means and CIs.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("PDR %s | energy/pkt %s J | delay %s s",
+		a.PDR.String(), a.EnergyPerPkt.String(), a.DelayS.String())
+}

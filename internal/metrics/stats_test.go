@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	// Known dataset: population stddev 2, sample stddev = sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", s.Stddev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("extremes %v..%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Stddev() != 0 || s.CI95() != 0 {
+		t.Error("empty sample should reduce to zeros")
+	}
+}
+
+func TestSampleSingle(t *testing.T) {
+	var s Sample
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Stddev() != 0 || s.CI95() != 0 {
+		t.Errorf("single observation: mean=%v sd=%v ci=%v", s.Mean(), s.Stddev(), s.CI95())
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	mk := func(n int) float64 {
+		var s Sample
+		for i := 0; i < n; i++ {
+			s.Add(float64(i % 10))
+		}
+		return s.CI95()
+	}
+	if mk(100) >= mk(10) {
+		t.Error("CI did not shrink with more observations")
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	if tQuantile95(1) != 12.706 {
+		t.Errorf("t(1) = %v", tQuantile95(1))
+	}
+	if tQuantile95(1000) != 1.96 {
+		t.Errorf("t(1000) = %v", tQuantile95(1000))
+	}
+	if tQuantile95(0) != 0 {
+		t.Errorf("t(0) = %v", tQuantile95(0))
+	}
+}
+
+func TestSampleMeanWithinExtremesQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarNonNegativeQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+			s.Add(v)
+		}
+		return s.Var() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	a.AddSummary(Summary{PDR: 0.8, EnergyPerDeliveredJ: 2})
+	a.AddSummary(Summary{PDR: 0.6, EnergyPerDeliveredJ: 4})
+	if math.Abs(a.PDR.Mean()-0.7) > 1e-12 {
+		t.Errorf("aggregate PDR mean = %v", a.PDR.Mean())
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,34 @@
+package mobility
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+func cos(x float64) float64 { return math.Cos(x) }
+func sin(x float64) float64 { return math.Sin(x) }
+
+// borderHit returns the point at which a ray from p in direction dir first
+// exits rect. ok is false when dir is (numerically) zero or p is outside.
+func borderHit(r geom.Rect, p geom.Point, dir geom.Vec) (geom.Point, bool) {
+	if !r.Contains(p) {
+		return geom.Point{}, false
+	}
+	best := math.Inf(1)
+	// Parametric intersection with each of the four border lines.
+	if dir.DX > 1e-12 {
+		best = math.Min(best, (r.Max.X-p.X)/dir.DX)
+	} else if dir.DX < -1e-12 {
+		best = math.Min(best, (r.Min.X-p.X)/dir.DX)
+	}
+	if dir.DY > 1e-12 {
+		best = math.Min(best, (r.Max.Y-p.Y)/dir.DY)
+	} else if dir.DY < -1e-12 {
+		best = math.Min(best, (r.Min.Y-p.Y)/dir.DY)
+	}
+	if math.IsInf(best, 1) || best < 0 {
+		return geom.Point{}, false
+	}
+	return r.Clamp(p.Add(dir.Scale(best))), true
+}

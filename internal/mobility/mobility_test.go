@@ -1,0 +1,220 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+func area() geom.Rect { return geom.Square(750) }
+
+func TestStatic(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	tr := NewTracker(2, Static{Points: pts})
+	for _, tm := range []float64{0, 100, 1e6} {
+		if got := tr.Position(0, tm); got != pts[0] {
+			t.Errorf("static node moved to %v at t=%v", got, tm)
+		}
+		if got := tr.Position(1, tm); got != pts[1] {
+			t.Errorf("static node moved to %v at t=%v", got, tm)
+		}
+	}
+}
+
+func TestRWPRequiresPositiveVmin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Vmin = 0 must panic (Yoon/Liu/Noble fix)")
+		}
+	}()
+	NewRandomWaypoint(area(), 0, 5, 0, xrand.New(1))
+}
+
+func TestRWPRequiresVmaxGeVmin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Vmax < Vmin must panic")
+		}
+	}()
+	NewRandomWaypoint(area(), 5, 1, 0, xrand.New(1))
+}
+
+func TestRWPStaysInArea(t *testing.T) {
+	m := NewRandomWaypoint(area(), 1, 20, 2, xrand.New(42))
+	tr := NewTracker(20, m)
+	for i := 0; i < 20; i++ {
+		for tm := 0.0; tm < 2000; tm += 17.3 {
+			p := tr.Position(i, tm)
+			if !area().Contains(p) {
+				t.Fatalf("node %d at %v left the area: %v", i, tm, p)
+			}
+		}
+	}
+}
+
+func TestRWPActuallyMoves(t *testing.T) {
+	m := NewRandomWaypoint(area(), 1, 5, 0, xrand.New(7))
+	tr := NewTracker(5, m)
+	for i := 0; i < 5; i++ {
+		p0 := tr.Position(i, 0)
+		p1 := tr.Position(i, 60)
+		if p0.Dist(p1) == 0 {
+			t.Errorf("node %d did not move in 60 s", i)
+		}
+	}
+}
+
+func TestRWPSpeedBounds(t *testing.T) {
+	// Sampled instantaneous speeds must never exceed Vmax (and moving
+	// legs never fall below Vmin) — the velocity-decay fix's observable.
+	vmin, vmax := 2.0, 8.0
+	m := NewRandomWaypoint(area(), vmin, vmax, 0, xrand.New(3))
+	tr := NewTracker(10, m)
+	const dt = 0.05
+	for i := 0; i < 10; i++ {
+		for tm := 0.0; tm < 500; tm += 5 {
+			a := tr.Position(i, tm)
+			b := tr.Position(i, tm+dt)
+			speed := a.Dist(b) / dt
+			if speed > vmax*1.01 {
+				t.Fatalf("node %d speed %v exceeds vmax %v", i, speed, vmax)
+			}
+		}
+	}
+}
+
+func TestRWPNoVelocityDecay(t *testing.T) {
+	// Average network speed over a long horizon must remain near the
+	// analytic steady state, not decay towards zero. With speeds uniform
+	// in [vmin, vmax] (and no pause), the long-run mean speed is the
+	// harmonic-weighted value (vmax-vmin)/ln(vmax/vmin).
+	vmin, vmax := 1.0, 19.0
+	m := NewRandomWaypoint(area(), vmin, vmax, 0, xrand.New(11))
+	tr := NewTracker(30, m)
+	const dt = 1.0
+	late := 0.0
+	n := 0
+	for i := 0; i < 30; i++ {
+		for tm := 5000.0; tm < 6000; tm += 50 {
+			a := tr.Position(i, tm)
+			b := tr.Position(i, tm+dt)
+			late += a.Dist(b) / dt
+			n++
+		}
+	}
+	meanLate := late / float64(n)
+	if meanLate < vmin {
+		t.Errorf("late mean speed %v decayed below vmin %v", meanLate, vmin)
+	}
+}
+
+func TestRWPDeterministic(t *testing.T) {
+	mk := func() geom.Point {
+		m := NewRandomWaypoint(area(), 1, 5, 1, xrand.New(99))
+		tr := NewTracker(3, m)
+		return tr.Position(2, 777.7)
+	}
+	if mk() != mk() {
+		t.Error("RWP not deterministic for a fixed seed")
+	}
+}
+
+func TestRandomDirectionStaysInArea(t *testing.T) {
+	m := NewRandomDirection(area(), 1, 10, 1, xrand.New(5))
+	tr := NewTracker(10, m)
+	for i := 0; i < 10; i++ {
+		for tm := 0.0; tm < 1000; tm += 13.7 {
+			p := tr.Position(i, tm)
+			if !area().Contains(p) {
+				t.Fatalf("random-direction node %d left the area at %v: %v", i, tm, p)
+			}
+		}
+	}
+}
+
+func TestRandomDirectionRequiresPositiveVmin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Vmin = 0 must panic")
+		}
+	}()
+	NewRandomDirection(area(), 0, 5, 0, xrand.New(1))
+}
+
+func TestLegPosition(t *testing.T) {
+	l := Leg{From: geom.Point{X: 0, Y: 0}, To: geom.Point{X: 100, Y: 0}, Speed: 10, Start: 5}
+	if got := l.Position(5); got != l.From {
+		t.Errorf("at start: %v", got)
+	}
+	if got := l.Position(10); got != (geom.Point{X: 50, Y: 0}) {
+		t.Errorf("mid-leg: %v", got)
+	}
+	if got := l.Position(15); got != l.To {
+		t.Errorf("at arrival: %v", got)
+	}
+	if got := l.Position(100); got != l.To {
+		t.Errorf("after arrival: %v", got)
+	}
+	if got := l.Position(0); got != l.From {
+		t.Errorf("before start: %v", got)
+	}
+}
+
+func TestLegEnd(t *testing.T) {
+	l := Leg{From: geom.Point{}, To: geom.Point{X: 30}, Speed: 10, Start: 0, Pause: 2}
+	if l.End() != 5 {
+		t.Errorf("End = %v, want 5 (3 s travel + 2 s pause)", l.End())
+	}
+	still := Leg{From: geom.Point{X: 1}, To: geom.Point{X: 1}, Speed: 0}
+	if still.End() < 1e300 {
+		t.Errorf("stationary leg should never end, End = %v", still.End())
+	}
+}
+
+func TestBorderHit(t *testing.T) {
+	r := geom.Square(100)
+	p := geom.Point{X: 50, Y: 50}
+	hit, ok := borderHit(r, p, geom.Vec{DX: 1, DY: 0})
+	if !ok || hit != (geom.Point{X: 100, Y: 50}) {
+		t.Errorf("east ray hit %v ok=%v", hit, ok)
+	}
+	hit, ok = borderHit(r, p, geom.Vec{DX: 0, DY: -1})
+	if !ok || hit != (geom.Point{X: 50, Y: 0}) {
+		t.Errorf("south ray hit %v ok=%v", hit, ok)
+	}
+	if _, ok := borderHit(r, geom.Point{X: 200, Y: 50}, geom.Vec{DX: 1}); ok {
+		t.Error("ray from outside should fail")
+	}
+}
+
+func TestBorderHitAlwaysOnBorderQuick(t *testing.T) {
+	r := geom.Square(100)
+	f := func(px, py, ang float64) bool {
+		p := geom.Point{X: 50 + 40*clamp01(px), Y: 50 + 40*clamp01(py)}
+		dir := geom.Vec{DX: cos(ang), DY: sin(ang)}
+		hit, ok := borderHit(r, p, dir)
+		if !ok {
+			return true
+		}
+		const tol = 1e-6
+		near := func(v, b float64) bool { return v > b-tol && v < b+tol }
+		onBorder := near(hit.X, 0) || near(hit.X, 100) || near(hit.Y, 0) || near(hit.Y, 100)
+		return r.Contains(hit) && onBorder
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v != v {
+		return 0
+	}
+	for v > 1 || v < -1 {
+		v /= 2
+	}
+	return v
+}

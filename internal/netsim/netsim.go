@@ -1,0 +1,190 @@
+// Package netsim wires the simulation substrate together: it owns the
+// nodes, their protocol instances and energy meters, the shared medium,
+// the mobility tracker and the metrics collector, and it defines the
+// Protocol interface every multicast routing protocol implements.
+package netsim
+
+import (
+	"repro/internal/energy"
+	"repro/internal/medium"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Protocol is one node's instance of a multicast routing protocol.
+// Implementations receive every frame the medium delivers to their node
+// and drive their own timers via the node's simulator.
+type Protocol interface {
+	// Start binds the protocol to its node and arms initial timers.
+	Start(n *Node)
+	// Receive handles a successfully received frame. The reception energy
+	// has already been charged as consumed; protocols that drop the frame
+	// must call n.DiscardRx(info) so the energy is re-bucketed as
+	// overhearing cost.
+	Receive(pkt *packet.Packet, info medium.RxInfo)
+	// Originate injects one application data packet at this node (called
+	// by the traffic generator on the multicast source only).
+	Originate()
+}
+
+// TreeStater is implemented by tree-based protocols that can report their
+// current parent pointer; the availability sampler uses it.
+type TreeStater interface {
+	// TreeParent returns the node's current parent and whether it has one.
+	// The root returns (own id, true).
+	TreeParent() (packet.NodeID, bool)
+}
+
+// Node is one mobile host.
+type Node struct {
+	ID     packet.NodeID
+	Net    *Network
+	Proto  Protocol
+	Meter  *energy.Meter
+	Member bool // multicast receiver
+	Source bool // multicast source
+}
+
+// Deliver implements medium.Receiver.
+func (n *Node) Deliver(pkt *packet.Packet, info medium.RxInfo) {
+	n.Proto.Receive(pkt, info)
+}
+
+// Broadcast transmits pkt from this node with the given power-controlled
+// range.
+func (n *Node) Broadcast(pkt *packet.Packet, txRange float64) {
+	n.Net.Medium.Broadcast(n.ID, pkt, txRange)
+}
+
+// DiscardRx reclassifies a reception's energy as overhearing waste. Call
+// exactly once for frames the protocol drops.
+func (n *Node) DiscardRx(info medium.RxInfo) { n.Meter.Reclassify(info.RxJ) }
+
+// Sim returns the simulation kernel.
+func (n *Node) Sim() *sim.Simulator { return n.Net.Sim }
+
+// Now returns the current simulated time.
+func (n *Node) Now() float64 { return n.Net.Sim.Now() }
+
+// ConsumeData records the application-level delivery of a data packet at
+// this (member) node.
+func (n *Node) ConsumeData(pkt *packet.Packet, now float64) {
+	n.Net.Collector.DataDelivered(n.ID, pkt.Src, pkt.Seq, pkt.Born, now)
+}
+
+// Network aggregates one simulation run's components.
+type Network struct {
+	Sim       *sim.Simulator
+	Medium    *medium.Medium
+	Tracker   *mobility.Tracker
+	Collector *metrics.Collector
+	Nodes     []*Node
+	Meters    []*energy.Meter
+	Source    packet.NodeID
+	Members   []packet.NodeID // receivers; excludes the source
+	memberSet []bool
+}
+
+// Config parameterizes network construction.
+type Config struct {
+	N       int
+	Source  packet.NodeID
+	Members []packet.NodeID
+	Medium  medium.Config
+	// Battery, in joules per node; <= 0 means unlimited.
+	Battery float64
+	// PayloadBytes is the application payload per data packet.
+	PayloadBytes int
+}
+
+// New builds a network of cfg.N nodes over the given tracker. Protocol
+// instances are attached afterwards with SetProtocol, then Start launches
+// them.
+func New(s *sim.Simulator, tracker *mobility.Tracker, cfg Config) *Network {
+	net := &Network{
+		Sim:       s,
+		Tracker:   tracker,
+		Collector: metrics.NewCollector(cfg.PayloadBytes),
+		Nodes:     make([]*Node, cfg.N),
+		Meters:    make([]*energy.Meter, cfg.N),
+		Source:    cfg.Source,
+		Members:   cfg.Members,
+		memberSet: make([]bool, cfg.N),
+	}
+	net.Medium = medium.New(s, cfg.Medium, tracker, cfg.N)
+	net.Medium.OnTransmit = func(pkt *packet.Packet) {
+		if pkt.Kind.Control() {
+			net.Collector.ControlTx(pkt.Bytes)
+		} else {
+			net.Collector.DataTx(pkt.Bytes)
+		}
+	}
+	for _, m := range cfg.Members {
+		net.memberSet[m] = true
+	}
+	for i := 0; i < cfg.N; i++ {
+		id := packet.NodeID(i)
+		meter := energy.NewMeter(cfg.Battery)
+		net.Meters[i] = meter
+		net.Nodes[i] = &Node{
+			ID:     id,
+			Net:    net,
+			Meter:  meter,
+			Member: net.memberSet[i],
+			Source: id == cfg.Source,
+		}
+		net.Medium.Attach(id, net.Nodes[i], meter)
+	}
+	return net
+}
+
+// IsMember reports whether id is a multicast receiver.
+func (net *Network) IsMember(id packet.NodeID) bool { return net.memberSet[id] }
+
+// SetMember changes id's group membership at runtime (dynamic join/leave).
+// The protocols observe the flag on their next beacon round — the pruning
+// machinery then grows or sheds the branch. The source cannot be a member.
+func (net *Network) SetMember(id packet.NodeID, member bool) {
+	if id == net.Source || net.memberSet[id] == member {
+		return
+	}
+	net.memberSet[id] = member
+	net.Nodes[id].Member = member
+	if member {
+		net.Members = append(net.Members, id)
+		return
+	}
+	for i, m := range net.Members {
+		if m == id {
+			net.Members = append(net.Members[:i], net.Members[i+1:]...)
+			return
+		}
+	}
+}
+
+// Kill exhausts node id's battery immediately: fault injection for
+// self-stabilization tests. The node's radio goes permanently silent and
+// its neighbours detect the disappearance through beacon timeouts.
+func (net *Network) Kill(id packet.NodeID) { net.Meters[id].Kill() }
+
+// SetProtocol attaches a protocol instance to node id.
+func (net *Network) SetProtocol(id packet.NodeID, p Protocol) {
+	net.Nodes[id].Proto = p
+}
+
+// Start launches every node's protocol.
+func (net *Network) Start() {
+	for _, n := range net.Nodes {
+		if n.Proto == nil {
+			panic("netsim: node without protocol")
+		}
+		n.Proto.Start(n)
+	}
+}
+
+// Summarize reduces the run to its metrics summary.
+func (net *Network) Summarize() metrics.Summary {
+	return net.Collector.Summarize(net.Meters)
+}

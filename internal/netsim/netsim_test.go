@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/medium"
+	"repro/internal/mobility"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// echoProto consumes data and discards everything else.
+type echoProto struct {
+	node     *Node
+	received int
+}
+
+func (e *echoProto) Start(n *Node) { e.node = n }
+func (e *echoProto) Receive(p *packet.Packet, info medium.RxInfo) {
+	if p.Kind == packet.KindData {
+		e.received++
+		if e.node.Member {
+			e.node.ConsumeData(p, info.At)
+		}
+		return
+	}
+	e.node.DiscardRx(info)
+}
+func (e *echoProto) Originate() {
+	pkt := packet.NewData(e.node.ID, 1, e.node.Now())
+	e.node.Broadcast(pkt, 200)
+}
+
+func rig(t *testing.T) (*sim.Simulator, *Network, []*echoProto) {
+	t.Helper()
+	s := sim.New(1)
+	pts := []geom.Point{{X: 0}, {X: 100}, {X: 150}}
+	tracker := mobility.NewTracker(3, mobility.Static{Points: pts})
+	mcfg := medium.DefaultConfig()
+	mcfg.LossProb = 0
+	net := New(s, tracker, Config{
+		N: 3, Source: 0, Members: []packet.NodeID{1},
+		Medium: mcfg, PayloadBytes: 512,
+	})
+	protos := make([]*echoProto, 3)
+	for i := range protos {
+		protos[i] = &echoProto{}
+		net.SetProtocol(packet.NodeID(i), protos[i])
+	}
+	net.Start()
+	return s, net, protos
+}
+
+func TestMembership(t *testing.T) {
+	_, net, _ := rig(t)
+	if !net.IsMember(1) || net.IsMember(2) || net.IsMember(0) {
+		t.Error("membership flags wrong")
+	}
+	if !net.Nodes[1].Member || net.Nodes[2].Member {
+		t.Error("node Member fields wrong")
+	}
+	if !net.Nodes[0].Source {
+		t.Error("source flag missing")
+	}
+}
+
+func TestBroadcastReachesProtocols(t *testing.T) {
+	s, net, protos := rig(t)
+	net.Collector.DataSent(1)
+	net.Nodes[0].Proto.Originate()
+	s.Run(1)
+	if protos[1].received != 1 || protos[2].received != 1 {
+		t.Errorf("receptions: %d, %d", protos[1].received, protos[2].received)
+	}
+	sum := net.Summarize()
+	if sum.Delivered != 1 {
+		t.Errorf("member deliveries = %d", sum.Delivered)
+	}
+}
+
+func TestDiscardReclassification(t *testing.T) {
+	s, net, _ := rig(t)
+	// Send a beacon-kind frame: echoProto discards it.
+	pkt := &packet.Packet{Kind: packet.KindBeacon, From: 0, Bytes: 80}
+	net.Nodes[0].Broadcast(pkt, 200)
+	s.Run(1)
+	for _, i := range []int{1, 2} {
+		m := net.Meters[i]
+		if m.DiscardJ == 0 || m.RxJ != 0 {
+			t.Errorf("node %d energy not reclassified: rx=%v discard=%v", i, m.RxJ, m.DiscardJ)
+		}
+	}
+}
+
+func TestUnsetProtocolPanics(t *testing.T) {
+	s := sim.New(1)
+	tracker := mobility.NewTracker(1, mobility.Static{Points: []geom.Point{{}}})
+	net := New(s, tracker, Config{N: 1, Source: 0, Medium: medium.DefaultConfig(), PayloadBytes: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Start without protocols should panic")
+		}
+	}()
+	net.Start()
+}
+
+func TestControlAccounting(t *testing.T) {
+	s, net, _ := rig(t)
+	pkt := &packet.Packet{Kind: packet.KindBeacon, From: 0, Bytes: 80}
+	net.Nodes[0].Broadcast(pkt, 200)
+	s.Run(1)
+	if net.Collector.ControlBytes != 80 {
+		t.Errorf("ControlBytes = %d", net.Collector.ControlBytes)
+	}
+}

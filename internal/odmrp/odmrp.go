@@ -1,0 +1,272 @@
+// Package odmrp implements the On-Demand Multicast Routing Protocol
+// (Gerla, Lee & Chiang, WCNC'99): a mesh-based protocol in which the
+// source periodically floods Join Queries, receivers answer with Join
+// Replies that walk the reverse path, and every node named as a next hop
+// joins the Forwarding Group. Data is flooded across the forwarding group,
+// whose redundancy buys ODMRP the highest delivery ratio — and the highest
+// energy and control overhead — in the paper's comparison.
+//
+// ODMRP is energy-oblivious: all transmissions are at full power.
+package odmrp
+
+import (
+	"repro/internal/medium"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes an ODMRP instance.
+type Config struct {
+	// RefreshInterval is the Join Query flood period (3 s in the original
+	// paper and in common ns-2 configurations).
+	RefreshInterval float64
+	// FGTimeout is the forwarding-group membership lifetime; typically a
+	// small multiple of the refresh interval.
+	FGTimeout float64
+	// RouteTTL bounds the age of a reverse-path entry used to send a
+	// Join Reply.
+	RouteTTL float64
+	// ReplyDelayMax spreads Join Replies after a Join Query arrives.
+	ReplyDelayMax float64
+	// ForwardJitterMax decorrelates data re-broadcasts.
+	ForwardJitterMax float64
+}
+
+// DefaultConfig returns the conventional ODMRP timer values.
+func DefaultConfig() Config {
+	return Config{
+		RefreshInterval: 3,
+		FGTimeout:       3 * 2.2,
+		RouteTTL:        6,
+		ReplyDelayMax:   50e-3,
+		// Near-immediate rebroadcast, as in the original protocol: the
+		// forwarding group re-floods data with no deliberate jitter,
+		// which is what makes large forwarding groups storm-collide.
+		ForwardJitterMax: 0.8e-3,
+	}
+}
+
+// jqPayload is the Join Query flood content.
+type jqPayload struct {
+	Hops int
+}
+
+// jrPayload is a Join Reply naming the next hop toward the source.
+type jrPayload struct {
+	Source  packet.NodeID
+	NextHop packet.NodeID
+}
+
+const (
+	jqBytes = packet.MACHeaderBytes + packet.IPHeaderBytes + 20
+	jrBytes = packet.MACHeaderBytes + packet.IPHeaderBytes + 28
+)
+
+// Protocol is one node's ODMRP instance. It implements netsim.Protocol.
+type Protocol struct {
+	cfg  Config
+	node *netsim.Node
+	rng  *xrand.RNG
+
+	// Reverse path toward the source, refreshed by Join Queries.
+	upstream packet.NodeID
+	upHops   int
+	upAt     float64
+	haveUp   bool
+
+	// Forwarding-group membership deadline (0 = not a member).
+	fgUntil float64
+	// lastCascade rate-limits reply propagation (one per refresh round).
+	lastCascade float64
+
+	seenData map[uint64]struct{}
+	seenCtl  map[uint64]struct{}
+	seq      uint32
+	jqSeq    uint32
+
+	ticker *sim.Ticker
+}
+
+// New returns an ODMRP instance.
+func New(cfg Config) *Protocol {
+	return &Protocol{
+		cfg:      cfg,
+		seenData: make(map[uint64]struct{}),
+		seenCtl:  make(map[uint64]struct{}),
+	}
+}
+
+// Start implements netsim.Protocol.
+func (p *Protocol) Start(n *netsim.Node) {
+	p.node = n
+	p.rng = n.Sim().RNG().Split("odmrp").SplitIndex(int(n.ID))
+	p.lastCascade = -1e9 // allow the first cascade immediately
+	if n.Source {
+		first := p.rng.Range(0.05, 0.4)
+		n.Sim().Schedule(first, func() {
+			p.sendJoinQuery()
+			p.ticker = n.Sim().Every(p.cfg.RefreshInterval, 0.1, p.sendJoinQuery)
+		})
+	}
+}
+
+func (p *Protocol) maxRange() float64 { return p.node.Net.Medium.Model().MaxRange }
+
+// sendJoinQuery floods one refresh round from the source.
+func (p *Protocol) sendJoinQuery() {
+	p.jqSeq++
+	pkt := &packet.Packet{
+		Kind:    packet.KindJoinQuery,
+		From:    p.node.ID,
+		To:      packet.Broadcast,
+		Src:     p.node.ID,
+		Seq:     p.jqSeq,
+		Bytes:   jqBytes,
+		Payload: &jqPayload{},
+	}
+	p.node.Broadcast(pkt, p.maxRange())
+}
+
+// Receive implements netsim.Protocol.
+func (p *Protocol) Receive(pkt *packet.Packet, info medium.RxInfo) {
+	switch pkt.Kind {
+	case packet.KindJoinQuery:
+		p.handleJoinQuery(pkt, info)
+	case packet.KindJoinReply:
+		p.handleJoinReply(pkt, info)
+	case packet.KindData:
+		p.handleData(pkt, info)
+	default:
+		p.node.DiscardRx(info)
+	}
+}
+
+func (p *Protocol) handleJoinQuery(pkt *packet.Packet, info medium.RxInfo) {
+	if p.node.Source {
+		p.node.DiscardRx(info)
+		return
+	}
+	jq := pkt.Payload.(*jqPayload)
+	key := ctlKey(pkt.Src, pkt.Seq, pkt.Kind)
+	if _, dup := p.seenCtl[key]; dup {
+		p.node.DiscardRx(info)
+		return
+	}
+	p.seenCtl[key] = struct{}{}
+
+	// Record the reverse path (first copy ≈ shortest) and re-flood.
+	p.upstream = info.From
+	p.upHops = jq.Hops + 1
+	p.upAt = info.At
+	p.haveUp = true
+
+	fwd := pkt.Clone()
+	fwd.From = p.node.ID
+	fwd.Hops++
+	fwd.Payload = &jqPayload{Hops: jq.Hops + 1}
+	delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
+	p.node.Sim().Schedule(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
+
+	// Members answer each refresh with a Join Reply after a short spread.
+	if p.node.Member {
+		reply := p.rng.Range(1e-3, p.cfg.ReplyDelayMax)
+		p.node.Sim().Schedule(reply, func() { p.sendJoinReply(pkt.Src) })
+	}
+}
+
+// sendJoinReply emits a reply naming this node's current upstream as next
+// hop toward source.
+func (p *Protocol) sendJoinReply(source packet.NodeID) {
+	if !p.haveUp || p.node.Now()-p.upAt > p.cfg.RouteTTL {
+		return
+	}
+	pkt := &packet.Packet{
+		Kind:    packet.KindJoinReply,
+		From:    p.node.ID,
+		To:      p.upstream,
+		Src:     p.node.ID,
+		Seq:     p.nextSeq(),
+		Bytes:   jrBytes,
+		Payload: &jrPayload{Source: source, NextHop: p.upstream},
+	}
+	p.node.Broadcast(pkt, p.maxRange())
+}
+
+func (p *Protocol) nextSeq() uint32 { p.seq++; return p.seq }
+
+// handleJoinReply makes the named next hop a forwarding-group member and
+// cascades the reply toward the source.
+func (p *Protocol) handleJoinReply(pkt *packet.Packet, info medium.RxInfo) {
+	jr := pkt.Payload.(*jrPayload)
+	if jr.NextHop != p.node.ID {
+		p.node.DiscardRx(info)
+		return
+	}
+	if p.node.Source {
+		return // reply reached the source: the mesh path is complete
+	}
+	now := p.node.Now()
+	p.fgUntil = now + p.cfg.FGTimeout
+	// Cascade toward the source, at most once per half refresh interval so
+	// replies from many downstream members coalesce into one per round.
+	if now-p.lastCascade > p.cfg.RefreshInterval/2 {
+		p.lastCascade = now
+		p.sendJoinReply(jr.Source)
+	}
+}
+
+// isForwarder reports live forwarding-group membership.
+func (p *Protocol) isForwarder() bool { return p.node.Now() < p.fgUntil }
+
+func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
+	if p.node.Source {
+		p.node.DiscardRx(info)
+		return
+	}
+	key := dataKey(pkt.Src, pkt.Seq)
+	if _, dup := p.seenData[key]; dup {
+		p.node.DiscardRx(info)
+		return
+	}
+	p.seenData[key] = struct{}{}
+	consumed := false
+	if p.node.Member {
+		p.node.ConsumeData(pkt, info.At)
+		consumed = true
+	}
+	if p.isForwarder() {
+		consumed = true
+		fwd := pkt.Clone()
+		fwd.From = p.node.ID
+		fwd.Hops++
+		delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
+		p.node.Sim().Schedule(delay, func() {
+			if p.isForwarder() {
+				p.node.Broadcast(fwd, p.maxRange())
+			}
+		})
+	}
+	if !consumed {
+		p.node.DiscardRx(info)
+	}
+}
+
+// Originate implements netsim.Protocol (source only).
+func (p *Protocol) Originate() {
+	p.seq++
+	pkt := packet.NewData(p.node.ID, p.seq, p.node.Now())
+	p.node.Broadcast(pkt, p.maxRange())
+}
+
+// Forwarder exposes forwarding-group membership for tests.
+func (p *Protocol) Forwarder() bool { return p.isForwarder() }
+
+func dataKey(src packet.NodeID, seq uint32) uint64 {
+	return uint64(uint32(src))<<32 | uint64(seq)
+}
+
+func ctlKey(src packet.NodeID, seq uint32, kind packet.Kind) uint64 {
+	return uint64(uint32(src))<<40 | uint64(seq)<<8 | uint64(kind)
+}

@@ -1,0 +1,130 @@
+package odmrp
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/medium"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func rig(t *testing.T, pts []geom.Point, members []int) (*sim.Simulator, *netsim.Network, []*Protocol) {
+	t.Helper()
+	s := sim.New(3)
+	tracker := mobility.NewTracker(len(pts), mobility.Static{Points: pts})
+	mcfg := medium.DefaultConfig()
+	mcfg.LossProb = 0
+	mem := make([]packet.NodeID, len(members))
+	for i, m := range members {
+		mem[i] = packet.NodeID(m)
+	}
+	net := netsim.New(s, tracker, netsim.Config{
+		N: len(pts), Source: 0, Members: mem,
+		Medium: mcfg, PayloadBytes: packet.DataPayload,
+	})
+	protos := make([]*Protocol, len(pts))
+	for i := range pts {
+		protos[i] = New(DefaultConfig())
+		net.SetProtocol(packet.NodeID(i), protos[i])
+	}
+	net.Start()
+	return s, net, protos
+}
+
+func chain() []geom.Point {
+	return []geom.Point{{X: 0}, {X: 200}, {X: 400}, {X: 600}}
+}
+
+func TestJoinQueryEstablishesReversePaths(t *testing.T) {
+	s, _, protos := rig(t, chain(), []int{3})
+	s.Run(4) // one refresh round
+	for i := 1; i < 4; i++ {
+		if !protos[i].haveUp {
+			t.Errorf("node %d has no reverse path after the Join Query flood", i)
+		}
+	}
+	if protos[1].upstream != 0 || protos[2].upstream != 1 {
+		t.Errorf("reverse path wrong: up(1)=%v up(2)=%v", protos[1].upstream, protos[2].upstream)
+	}
+}
+
+func TestForwardingGroupForms(t *testing.T) {
+	s, _, protos := rig(t, chain(), []int{3})
+	s.Run(5)
+	// Nodes 1 and 2 are on the member→source reverse path: both must be
+	// forwarding-group members.
+	if !protos[1].Forwarder() || !protos[2].Forwarder() {
+		t.Error("reverse-path nodes not in the forwarding group")
+	}
+	// The member itself is not necessarily FG.
+	if protos[3].Forwarder() {
+		t.Log("member ended up in FG (harmless, but unexpected on a chain)")
+	}
+}
+
+func TestDataDeliveredOverMesh(t *testing.T) {
+	s, net, _ := rig(t, chain(), []int{3})
+	s.Run(5)
+	for i := 0; i < 30; i++ {
+		net.Collector.DataSent(1)
+		net.Nodes[0].Proto.Originate()
+		s.Run(s.Now() + 0.0625)
+	}
+	s.Run(s.Now() + 1)
+	if sum := net.Summarize(); sum.PDR < 0.9 {
+		t.Errorf("mesh PDR = %v", sum.PDR)
+	}
+}
+
+func TestForwardingGroupExpires(t *testing.T) {
+	s, _, protos := rig(t, chain(), []int{3})
+	s.Run(5)
+	if !protos[1].Forwarder() {
+		t.Fatal("precondition: node 1 in FG")
+	}
+	// Silence the source: no more Join Queries → FG times out.
+	protos[0].ticker.Stop()
+	s.Run(s.Now() + DefaultConfig().FGTimeout + 1)
+	if protos[1].Forwarder() {
+		t.Error("forwarding-group membership did not expire")
+	}
+}
+
+func TestRefreshKeepsFGAlive(t *testing.T) {
+	s, _, protos := rig(t, chain(), []int{3})
+	s.Run(30) // many refresh rounds
+	if !protos[1].Forwarder() || !protos[2].Forwarder() {
+		t.Error("FG membership lapsed despite periodic refreshes")
+	}
+}
+
+func TestControlOverheadGrowsWithMembers(t *testing.T) {
+	// More members → more Join Replies per refresh → more control bytes.
+	wide := []geom.Point{{X: 0}, {X: 200}, {X: 400}, {X: 400, Y: 150}, {X: 400, Y: -150}, {X: 600}}
+	run := func(members []int) int64 {
+		s, net, _ := rig(t, wide, members)
+		s.Run(30)
+		return net.Collector.ControlBytes
+	}
+	few := run([]int{5})
+	many := run([]int{2, 3, 4, 5})
+	if many <= few {
+		t.Errorf("control bytes did not grow with membership: %d vs %d", many, few)
+	}
+}
+
+func TestMemberConsumesWithoutFG(t *testing.T) {
+	// Two nodes: source and adjacent member; no forwarding needed.
+	pts := []geom.Point{{X: 0}, {X: 100}}
+	s, net, _ := rig(t, pts, []int{1})
+	s.Run(4)
+	net.Collector.DataSent(1)
+	net.Nodes[0].Proto.Originate()
+	s.Run(s.Now() + 0.5)
+	if sum := net.Summarize(); sum.Delivered != 1 {
+		t.Errorf("adjacent member deliveries = %d", sum.Delivered)
+	}
+}

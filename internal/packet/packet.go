@@ -1,0 +1,110 @@
+// Package packet defines the on-air packet taxonomy shared by every
+// protocol in the simulator, together with the byte sizes used for control
+// overhead accounting and airtime computation.
+//
+// Packets are plain Go structs passed by pointer through the medium; there
+// is no wire serialization, but every packet reports a Size in bytes that
+// matches what a real encoding would occupy, because the paper's Figure 13
+// (control bytes per data byte delivered) depends on it.
+package packet
+
+import "fmt"
+
+// NodeID identifies a node. IDs are dense small integers assigned by the
+// network at construction.
+type NodeID int32
+
+// Broadcast is the pseudo-address meaning "all nodes in range".
+const Broadcast NodeID = -1
+
+// String implements fmt.Stringer.
+func (id NodeID) String() string {
+	if id == Broadcast {
+		return "*"
+	}
+	return fmt.Sprintf("n%d", int32(id))
+}
+
+// Kind discriminates packet payload types.
+type Kind uint8
+
+// Packet kinds. Data is the only non-control kind; everything else counts
+// toward control overhead.
+const (
+	KindData Kind = iota
+	KindBeacon
+	KindRREQ       // MAODV route/join request
+	KindRREP       // MAODV route/join reply
+	KindMACT       // MAODV multicast activation
+	KindGroupHello // MAODV group-leader hello flood
+	KindJoinQuery  // ODMRP source-initiated flood
+	KindJoinReply  // ODMRP receiver reply establishing forwarding group
+	KindHello      // generic neighbour hello (MAODV link sensing)
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"DATA", "BEACON", "RREQ", "RREP", "MACT", "GRPH", "JOIN-Q", "JOIN-R", "HELLO",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Control reports whether the kind counts as control traffic.
+func (k Kind) Control() bool { return k != KindData }
+
+// Header byte costs, loosely modelled on 802.11 + IP + UDP framing as ns-2
+// charges them. Only relative magnitudes matter for the reproduced figures.
+const (
+	MACHeaderBytes = 34  // 802.11 data frame header + FCS
+	IPHeaderBytes  = 20  // IPv4
+	DataPayload    = 512 // CBR payload used throughout the paper
+)
+
+// Packet is one on-air frame. From/To are link-layer addresses; Src is the
+// originator of the payload (e.g. the multicast source for data packets).
+type Packet struct {
+	Kind Kind
+	From NodeID // transmitter of this frame
+	To   NodeID // link-layer destination, Broadcast for beacons/floods
+	Src  NodeID // originator (multicast source, RREQ issuer, …)
+	Seq  uint32 // originator sequence number, for dedup
+	TTL  uint8  // remaining hops for flooded packets
+	// Bytes is the total frame size on air, headers included.
+	Bytes int
+	// Born is the simulated time the payload was first transmitted by its
+	// originator; used for end-to-end delay accounting of data packets.
+	Born float64
+	// Hops counts link-layer hops traversed so far.
+	Hops int
+	// Payload carries protocol-specific state (e.g. beacon contents).
+	// Handlers type-assert on Kind.
+	Payload any
+}
+
+// Clone returns a shallow copy suitable for re-forwarding with mutated
+// From/TTL/Hops. The Payload pointer is shared; protocols that forward
+// payloads treat them as immutable.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}
+
+// NewData builds a multicast data frame originated by src with the given
+// sequence number and born timestamp.
+func NewData(src NodeID, seq uint32, born float64) *Packet {
+	return &Packet{
+		Kind:  KindData,
+		From:  src,
+		To:    Broadcast,
+		Src:   src,
+		Seq:   seq,
+		Bytes: DataPayload + IPHeaderBytes + MACHeaderBytes,
+		Born:  born,
+	}
+}

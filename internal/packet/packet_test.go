@@ -1,0 +1,68 @@
+package packet
+
+import "testing"
+
+func TestKindControl(t *testing.T) {
+	if KindData.Control() {
+		t.Error("data must not count as control")
+	}
+	for _, k := range []Kind{KindBeacon, KindRREQ, KindRREP, KindMACT,
+		KindGroupHello, KindJoinQuery, KindJoinReply, KindHello} {
+		if !k.Control() {
+			t.Errorf("%v must count as control", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindData:       "DATA",
+		KindBeacon:     "BEACON",
+		KindGroupHello: "GRPH",
+		KindJoinQuery:  "JOIN-Q",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if Broadcast.String() != "*" {
+		t.Errorf("Broadcast = %q", Broadcast.String())
+	}
+	if NodeID(7).String() != "n7" {
+		t.Errorf("n7 = %q", NodeID(7).String())
+	}
+}
+
+func TestNewData(t *testing.T) {
+	p := NewData(3, 42, 1.5)
+	if p.Kind != KindData || p.Src != 3 || p.Seq != 42 || p.Born != 1.5 {
+		t.Errorf("NewData fields: %+v", p)
+	}
+	if p.To != Broadcast {
+		t.Error("data frames are link-layer broadcast")
+	}
+	want := DataPayload + IPHeaderBytes + MACHeaderBytes
+	if p.Bytes != want {
+		t.Errorf("Bytes = %d, want %d", p.Bytes, want)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := NewData(1, 2, 3)
+	q := p.Clone()
+	q.From = 9
+	q.Hops = 5
+	if p.From == 9 || p.Hops == 5 {
+		t.Error("Clone shares mutable header fields with the original")
+	}
+	if q.Src != p.Src || q.Seq != p.Seq {
+		t.Error("Clone lost identity fields")
+	}
+}

@@ -1,0 +1,18 @@
+package scenario
+
+import "testing"
+
+// TestEnergySplitDiagnostic logs the tx/rx/discard energy decomposition
+// per protocol — the quantity SS-SPST-E's metric is designed to shrink is
+// the discard bucket.
+func TestEnergySplitDiagnostic(t *testing.T) {
+	for _, proto := range []ProtocolKind{SSSPST, SSSPSTT, SSSPSTF, SSSPSTE} {
+		cfg := Default()
+		cfg.Protocol = proto
+		cfg.Duration = 120
+		cfg.VMax = 2
+		s := Run(cfg).Summary
+		t.Logf("%-10s total=%6.1fJ tx=%6.1fJ rx=%6.1fJ discard=%6.1fJ PDR=%.3f e/pkt=%.2fmJ",
+			proto, s.TotalEnergyJ, s.TxJ, s.RxJ, s.DiscardJ, s.PDR, s.EnergyPerDeliveredJ*1e3)
+	}
+}

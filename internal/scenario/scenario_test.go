@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"testing"
+)
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	cfg := Default()
+	if cfg.N != 50 || cfg.AreaSide != 750 || cfg.GroupSize != 20 {
+		t.Errorf("topology defaults: %+v", cfg)
+	}
+	if cfg.RateBps != 64e3 || cfg.PayloadBytes != 512 {
+		t.Errorf("traffic defaults: %+v", cfg)
+	}
+	if cfg.BeaconInterval != 2 || cfg.Duration != 1800 {
+		t.Errorf("timer defaults: %+v", cfg)
+	}
+	if cfg.VMin <= 0 {
+		t.Error("paper requires non-zero minimum speed")
+	}
+}
+
+func TestProtocolKindString(t *testing.T) {
+	if SSSPSTE.String() != "SS-SPST-E" || ODMRP.String() != "ODMRP" {
+		t.Error("protocol names wrong")
+	}
+}
+
+func TestSelfStabilizing(t *testing.T) {
+	for _, k := range []ProtocolKind{SSSPST, SSSPSTT, SSSPSTF, SSSPSTE} {
+		if !k.SelfStabilizing() {
+			t.Errorf("%v should be self-stabilizing", k)
+		}
+	}
+	for _, k := range []ProtocolKind{MAODV, ODMRP, Flood} {
+		if k.SelfStabilizing() {
+			t.Errorf("%v should not be self-stabilizing", k)
+		}
+	}
+}
+
+func TestVariantMapping(t *testing.T) {
+	if SSSPST.Variant().String() != "SS-SPST" || SSSPSTE.Variant().String() != "SS-SPST-E" {
+		t.Error("variant mapping wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Variant() on MAODV should panic")
+		}
+	}()
+	MAODV.Variant()
+}
+
+func TestSweepMatchesSequential(t *testing.T) {
+	mk := func(v float64) Config {
+		cfg := Default()
+		cfg.Duration = 40
+		cfg.VMax = v
+		return cfg
+	}
+	cfgs := []Config{mk(1), mk(5), mk(10)}
+	seq := make([]Result, len(cfgs))
+	for i, c := range cfgs {
+		seq[i] = Run(c)
+	}
+	par := SweepN(cfgs, 4)
+	for i := range cfgs {
+		if seq[i].Summary != par[i].Summary {
+			t.Errorf("point %d: parallel result differs from sequential", i)
+		}
+	}
+}
+
+func TestRunSeedsAverages(t *testing.T) {
+	cfg := Default()
+	cfg.Duration = 40
+	s2 := RunSeeds(cfg, 2)
+	if s2.Sent == 0 {
+		t.Error("no traffic in averaged runs")
+	}
+	s1 := RunSeeds(cfg, 1)
+	one := Run(cfg).Summary
+	if s1.PDR != one.PDR {
+		t.Error("single-seed RunSeeds differs from Run")
+	}
+	_ = s2
+}
+
+func TestStaticMobilityScenario(t *testing.T) {
+	cfg := Default()
+	cfg.Mobility = Static
+	cfg.Duration = 60
+	cfg.Protocol = SSSPST
+	s := Run(cfg).Summary
+	// A static connected-ish topology should deliver very well once
+	// stabilized and show near-zero late unavailability.
+	if s.PDR < 0.5 {
+		t.Errorf("static PDR = %v", s.PDR)
+	}
+}
+
+func TestRandomDirectionScenario(t *testing.T) {
+	cfg := Default()
+	cfg.Mobility = RandomDirection
+	cfg.Duration = 60
+	cfg.Protocol = SSSPSTE
+	s := Run(cfg).Summary
+	if s.PDR <= 0.1 {
+		t.Errorf("random-direction PDR = %v", s.PDR)
+	}
+}
+
+func TestBatteryDepletion(t *testing.T) {
+	cfg := Default()
+	cfg.Duration = 120
+	cfg.Battery = 2 // tiny: several nodes must die
+	s := Run(cfg).Summary
+	if s.DeadNodes == 0 {
+		t.Error("no node died on a 2 J battery in 120 s")
+	}
+}
+
+func TestGroupSizeBounds(t *testing.T) {
+	cfg := Default()
+	cfg.GroupSize = cfg.N - 1 // everyone but the source
+	cfg.Duration = 30
+	s := Run(cfg).Summary
+	if s.Expected == 0 {
+		t.Error("full-group scenario produced no expectations")
+	}
+}

@@ -1,0 +1,52 @@
+package scenario
+
+import "testing"
+
+// TestSmokeAllProtocols runs every protocol briefly and checks basic
+// sanity: some packets delivered, energy accounted, no panics.
+func TestSmokeAllProtocols(t *testing.T) {
+	for _, proto := range []ProtocolKind{SSSPST, SSSPSTT, SSSPSTF, SSSPSTE, SSMST, MAODV, ODMRP, Flood} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := Default()
+			cfg.Protocol = proto
+			cfg.Duration = 120
+			cfg.VMax = 2
+			res := Run(cfg)
+			s := res.Summary
+			t.Logf("%s: %v medium=%+v", proto, s, res.Medium)
+			if s.Sent == 0 {
+				t.Fatal("no packets sent")
+			}
+			if s.PDR <= 0.05 {
+				t.Errorf("PDR suspiciously low: %v", s.PDR)
+			}
+			if s.PDR > 1 {
+				t.Errorf("PDR above 1: %v", s.PDR)
+			}
+			if s.TotalEnergyJ <= 0 {
+				t.Error("no energy accounted")
+			}
+			if s.AvgDelayS <= 0 || s.AvgDelayS > 1 {
+				t.Errorf("implausible delay %v", s.AvgDelayS)
+			}
+		})
+	}
+}
+
+// TestDeterminism verifies the bit-identical reproducibility contract.
+func TestDeterminism(t *testing.T) {
+	cfg := Default()
+	cfg.Duration = 60
+	a := Run(cfg).Summary
+	b := Run(cfg).Summary
+	if a != b {
+		t.Fatalf("same seed produced different summaries:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 99
+	c := Run(cfg).Summary
+	if a == c {
+		t.Error("different seeds produced identical summaries (suspicious)")
+	}
+}

@@ -1,0 +1,162 @@
+// Package sim implements the single-threaded deterministic discrete-event
+// simulation kernel.
+//
+// One Simulator owns a virtual clock and an event queue. All model code
+// (mobility, medium, protocols, traffic) runs inside event callbacks on the
+// simulator's goroutine; simulations are therefore deterministic for a
+// fixed seed. Parallelism is obtained by running many independent
+// Simulators concurrently (see internal/scenario), never by sharing one.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/xrand"
+)
+
+// Time is a point in simulated time, in seconds since the start of the run.
+type Time = float64
+
+// Simulator is a discrete-event scheduler with a virtual clock.
+type Simulator struct {
+	now     Time
+	queue   *eventq.Queue
+	rng     *xrand.RNG
+	stopped bool
+	// processed counts fired events, exposed for tests and benchmarks.
+	processed uint64
+	// tickers counts Every calls so each ticker gets an independent
+	// jitter stream (splitting on a fixed label alone would hand every
+	// ticker the same sequence).
+	tickers int
+}
+
+// New creates a simulator whose random streams derive from seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{queue: eventq.New(), rng: xrand.New(seed)}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// RNG returns the simulator's root random stream. Subsystems should Split
+// it once at setup rather than drawing from it directly during the run.
+func (s *Simulator) RNG() *xrand.RNG { return s.rng }
+
+// Processed returns the number of events fired so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Timer is a handle to a scheduled callback; it can be cancelled.
+type Timer struct {
+	ev *eventq.Event
+	q  *eventq.Queue
+}
+
+// Cancel stops the timer if it has not fired. Safe on nil and fired timers.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.q.Cancel(t.ev)
+	}
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && !t.ev.Cancelled() }
+
+// Schedule runs fn after delay seconds of simulated time. A negative delay
+// panics: the simulator cannot rewind.
+func (s *Simulator) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	return &Timer{ev: s.queue.Push(s.now+delay, fn), q: s.queue}
+}
+
+// At runs fn at absolute simulated time t, which must not be in the past.
+func (s *Simulator) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: At(%g) is before now=%g", t, s.now))
+	}
+	return &Timer{ev: s.queue.Push(t, fn), q: s.queue}
+}
+
+// Every schedules fn at period intervals starting after the first period
+// elapses, until the simulation ends or the returned ticker is cancelled.
+// An optional jitter fraction j (0 ≤ j < 1) draws each interval uniformly
+// from [period·(1−j), period·(1+j)] to avoid phase-locked timers.
+func (s *Simulator) Every(period Time, jitter float64, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	s.tickers++
+	t := &Ticker{sim: s, period: period, jitter: jitter, fn: fn,
+		rng: s.rng.Split("sim.ticker").SplitIndex(s.tickers)}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly schedules a callback; see Simulator.Every.
+type Ticker struct {
+	sim     *Simulator
+	period  Time
+	jitter  float64
+	fn      func()
+	timer   *Timer
+	rng     *xrand.RNG
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	d := t.period
+	if t.jitter > 0 {
+		d = t.period * (1 + t.jitter*(2*t.rng.Float64()-1))
+	}
+	t.timer = t.sim.Schedule(d, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels all future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.timer.Cancel()
+}
+
+// Run executes events in order until the queue drains or the clock reaches
+// until. It returns the time at which execution stopped.
+func (s *Simulator) Run(until Time) Time {
+	s.stopped = false
+	for !s.stopped {
+		tNext, ok := s.queue.PeekTime()
+		if !ok || tNext > until {
+			break
+		}
+		e := s.queue.Pop()
+		if e == nil {
+			break
+		}
+		if e.At < s.now {
+			panic(fmt.Sprintf("sim: event at %g before now %g", e.At, s.now))
+		}
+		s.now = e.At
+		s.processed++
+		e.Fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.now
+}
+
+// Stop aborts Run after the current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Pending returns the number of events still queued (including cancelled
+// but not yet collected entries).
+func (s *Simulator) Pending() int { return s.queue.Len() }

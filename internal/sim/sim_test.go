@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(3, func() { got = append(got, 3) })
+	s.Schedule(1, func() { got = append(got, 1) })
+	s.Schedule(2, func() { got = append(got, 2) })
+	s.Run(10)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("order %v", got)
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now = %v after Run(10)", s.Now())
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New(1)
+	var at []float64
+	s.Schedule(1.5, func() {
+		at = append(at, s.Now())
+		s.Schedule(2.5, func() { at = append(at, s.Now()) })
+	})
+	s.Run(100)
+	if len(at) != 2 || at[0] != 1.5 || at[1] != 4.0 {
+		t.Errorf("timestamps %v", at)
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(5, func() { fired = true })
+	s.Run(3)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v", s.Now())
+	}
+	s.Run(10)
+	if !fired {
+		t.Error("event did not fire on resumed run")
+	}
+}
+
+func TestAt(t *testing.T) {
+	s := New(1)
+	var when float64 = -1
+	s.At(4.25, func() { when = s.Now() })
+	s.Run(10)
+	if when != 4.25 {
+		t.Errorf("At fired at %v", when)
+	}
+}
+
+func TestAtPastPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past should panic")
+			}
+		}()
+		s.At(1, func() {})
+	})
+	s.Run(10)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	New(1).Schedule(-1, func() {})
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.Schedule(1, func() { fired = true })
+	if !tm.Active() {
+		t.Error("timer should be active before firing")
+	}
+	tm.Cancel()
+	if tm.Active() {
+		t.Error("timer active after cancel")
+	}
+	s.Run(10)
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	var nilTimer *Timer
+	nilTimer.Cancel() // must not panic
+}
+
+func TestEvery(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.Every(1, 0, func() { count++ })
+	s.Run(10.5)
+	if count != 10 {
+		t.Errorf("Every(1) fired %d times in 10.5s", count)
+	}
+}
+
+func TestEveryJitterBounds(t *testing.T) {
+	s := New(1)
+	var times []float64
+	s.Every(2, 0.25, func() { times = append(times, s.Now()) })
+	s.Run(100)
+	prev := 0.0
+	for _, tm := range times {
+		gap := tm - prev
+		if gap < 2*0.75-1e-9 || gap > 2*1.25+1e-9 {
+			t.Fatalf("jittered interval %v outside [1.5, 2.5]", gap)
+		}
+		prev = tm
+	}
+	if len(times) < 35 {
+		t.Errorf("only %d firings in 100s", len(times))
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tk *Ticker
+	tk = s.Every(1, 0, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	s.Run(10)
+	if count != 3 {
+		t.Errorf("ticker fired %d times after Stop at 3", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.Schedule(1, func() { count++; s.Stop() })
+	s.Schedule(2, func() { count++ })
+	s.Run(10)
+	if count != 1 {
+		t.Errorf("Stop did not halt the loop: count=%d", count)
+	}
+}
+
+func TestEveryNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) should panic")
+		}
+	}()
+	New(1).Every(0, 0, func() {})
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.Schedule(float64(i), func() {})
+	}
+	s.Run(10)
+	if s.Processed() != 5 {
+		t.Errorf("Processed = %d", s.Processed())
+	}
+}
+
+func TestDeterministicEventInterleaving(t *testing.T) {
+	run := func() []int {
+		s := New(42)
+		var got []int
+		for i := 0; i < 100; i++ {
+			i := i
+			s.Schedule(float64(i%7), func() { got = append(got, i) })
+		}
+		s.Run(100)
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleaving differs at %d", i)
+		}
+	}
+}
+
+func BenchmarkEventLoop(b *testing.B) {
+	s := New(1)
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			s.Schedule(1, fn)
+		}
+	}
+	s.Schedule(1, fn)
+	s.Run(float64(b.N + 2))
+}

@@ -1,0 +1,239 @@
+// Package topology provides connectivity-graph snapshots and the graph
+// oracles (BFS levels, Dijkstra, spanning-tree validation) used by property
+// tests and by the availability sampler. Protocols never use these oracles;
+// they see only beacons. Tests use them to check that distributed protocol
+// state agrees with ground truth.
+package topology
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Graph is an undirected connectivity snapshot: node i and j are adjacent
+// when their distance is at most Range.
+type Graph struct {
+	Pos   []geom.Point
+	Range float64
+	adj   [][]int
+}
+
+// NewGraph builds the snapshot for the given positions and radio range.
+func NewGraph(pos []geom.Point, radioRange float64) *Graph {
+	g := &Graph{Pos: pos, Range: radioRange, adj: make([][]int, len(pos))}
+	r2 := radioRange * radioRange
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			if pos[i].Dist2(pos[j]) <= r2 {
+				g.adj[i] = append(g.adj[i], j)
+				g.adj[j] = append(g.adj[j], i)
+			}
+		}
+	}
+	return g
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return len(g.Pos) }
+
+// Neighbors returns the adjacency list of node i (shared slice; callers
+// must not mutate).
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// Adjacent reports whether i and j are within range.
+func (g *Graph) Adjacent(i, j int) bool {
+	return g.Pos[i].Dist2(g.Pos[j]) <= g.Range*g.Range
+}
+
+// Dist returns the Euclidean distance between nodes i and j.
+func (g *Graph) Dist(i, j int) float64 { return g.Pos[i].Dist(g.Pos[j]) }
+
+// Connected reports whether the whole graph is a single component.
+func (g *Graph) Connected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	return len(g.Component(0)) == g.N()
+}
+
+// Component returns the set of nodes reachable from start (including it).
+func (g *Graph) Component(start int) []int {
+	seen := make([]bool, g.N())
+	queue := []int{start}
+	seen[start] = true
+	var out []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		out = append(out, v)
+		for _, u := range g.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return out
+}
+
+// BFSLevels returns each node's hop distance from root; unreachable nodes
+// get -1.
+func (g *Graph) BFSLevels(root int) []int {
+	lvl := make([]int, g.N())
+	for i := range lvl {
+		lvl[i] = -1
+	}
+	lvl[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if lvl[u] == -1 {
+				lvl[u] = lvl[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return lvl
+}
+
+// Diameter returns the maximum finite BFS eccentricity over all sources.
+// Exponential-free O(N·E); fine at simulator scales.
+func (g *Graph) Diameter() int {
+	d := 0
+	for i := 0; i < g.N(); i++ {
+		for _, l := range g.BFSLevels(i) {
+			if l > d {
+				d = l
+			}
+		}
+	}
+	return d
+}
+
+// Dijkstra returns the minimum cost from root to every node under the
+// provided edge weight function, and the predecessor array. Unreachable
+// nodes get +Inf cost and predecessor -1.
+func (g *Graph) Dijkstra(root int, weight func(i, j int) float64) (dist []float64, prev []int) {
+	n := g.N()
+	dist = make([]float64, n)
+	prev = make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[root] = 0
+	for {
+		// Linear-scan extract-min: n ≤ a few hundred in all uses.
+		v, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				v, best = i, dist[i]
+			}
+		}
+		if v == -1 {
+			return dist, prev
+		}
+		done[v] = true
+		for _, u := range g.adj[v] {
+			if w := best + weight(v, u); w < dist[u] {
+				dist[u] = w
+				prev[u] = v
+			}
+		}
+	}
+}
+
+// Tree is a rooted tree over node indices, expressed as a parent array
+// (parent[root] == -1, parent[i] == -2 for detached nodes).
+type Tree struct {
+	Root   int
+	Parent []int
+}
+
+// Detached marks a node with no parent that is not the root.
+const Detached = -2
+
+// Valid reports whether the parent array forms a single tree rooted at
+// Root spanning every non-detached node: no cycles, every chain ends at
+// Root within n hops.
+func (t Tree) Valid() bool {
+	n := len(t.Parent)
+	if t.Root < 0 || t.Root >= n || t.Parent[t.Root] != -1 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if t.Parent[i] == Detached || i == t.Root {
+			continue
+		}
+		v, hops := i, 0
+		for v != t.Root {
+			v = t.Parent[v]
+			hops++
+			if v < 0 || v >= n || hops > n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Spans reports whether every node in `nodes` is attached (reaches Root).
+func (t Tree) Spans(nodes []int) bool {
+	if !t.Valid() {
+		return false
+	}
+	for _, i := range nodes {
+		if i != t.Root && t.Parent[i] == Detached {
+			return false
+		}
+	}
+	return true
+}
+
+// Depths returns each attached node's hop count to the root; detached
+// nodes get -1.
+func (t Tree) Depths() []int {
+	n := len(t.Parent)
+	d := make([]int, n)
+	for i := range d {
+		d[i] = -1
+	}
+	d[t.Root] = 0
+	var walk func(i int) int
+	walk = func(i int) int {
+		if d[i] >= 0 {
+			return d[i]
+		}
+		p := t.Parent[i]
+		if p < 0 {
+			return -1
+		}
+		pd := walk(p)
+		if pd < 0 {
+			return -1
+		}
+		d[i] = pd + 1
+		return d[i]
+	}
+	for i := 0; i < n; i++ {
+		if t.Parent[i] != Detached {
+			walk(i)
+		}
+	}
+	return d
+}
+
+// Children inverts the parent array.
+func (t Tree) Children() [][]int {
+	ch := make([][]int, len(t.Parent))
+	for i, p := range t.Parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], i)
+		}
+	}
+	return ch
+}

@@ -1,0 +1,229 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// line returns n nodes spaced `gap` apart on the x-axis.
+func line(n int, gap float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * gap}
+	}
+	return pts
+}
+
+func TestAdjacency(t *testing.T) {
+	g := NewGraph(line(3, 100), 150)
+	if !g.Adjacent(0, 1) || !g.Adjacent(1, 2) {
+		t.Error("neighbours at 100 m should be adjacent at range 150")
+	}
+	if g.Adjacent(0, 2) {
+		t.Error("nodes 200 m apart adjacent at range 150")
+	}
+	if len(g.Neighbors(1)) != 2 {
+		t.Errorf("middle node has %d neighbours", len(g.Neighbors(1)))
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !NewGraph(line(5, 100), 150).Connected() {
+		t.Error("chain should be connected")
+	}
+	pts := append(line(3, 100), geom.Point{X: 10000})
+	if NewGraph(pts, 150).Connected() {
+		t.Error("distant node should disconnect the graph")
+	}
+}
+
+func TestComponent(t *testing.T) {
+	pts := append(line(3, 100), geom.Point{X: 10000}, geom.Point{X: 10100})
+	g := NewGraph(pts, 150)
+	if got := len(g.Component(0)); got != 3 {
+		t.Errorf("component of 0 has %d nodes", got)
+	}
+	if got := len(g.Component(3)); got != 2 {
+		t.Errorf("component of 3 has %d nodes", got)
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	g := NewGraph(line(5, 100), 150)
+	lvl := g.BFSLevels(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if lvl[i] != want {
+			t.Errorf("level[%d] = %d, want %d", i, lvl[i], want)
+		}
+	}
+	pts := append(line(3, 100), geom.Point{X: 10000})
+	lvl = NewGraph(pts, 150).BFSLevels(0)
+	if lvl[3] != -1 {
+		t.Error("unreachable node should get level -1")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := NewGraph(line(5, 100), 150).Diameter(); d != 4 {
+		t.Errorf("chain diameter = %d, want 4", d)
+	}
+	if d := NewGraph(line(3, 100), 500).Diameter(); d != 1 {
+		t.Errorf("clique diameter = %d, want 1", d)
+	}
+}
+
+func TestDijkstraUnitWeightsMatchBFS(t *testing.T) {
+	r := xrand.New(5)
+	for trial := 0; trial < 20; trial++ {
+		pts := make([]geom.Point, 25)
+		for i := range pts {
+			pts[i] = geom.Point{X: r.Range(0, 500), Y: r.Range(0, 500)}
+		}
+		g := NewGraph(pts, 200)
+		dist, _ := g.Dijkstra(0, func(i, j int) float64 { return 1 })
+		lvl := g.BFSLevels(0)
+		for i := range pts {
+			if lvl[i] == -1 {
+				if !isInf(dist[i]) {
+					t.Fatalf("node %d unreachable by BFS but Dijkstra found %v", i, dist[i])
+				}
+				continue
+			}
+			if int(dist[i]) != lvl[i] {
+				t.Fatalf("node %d: Dijkstra %v vs BFS %d", i, dist[i], lvl[i])
+			}
+		}
+	}
+}
+
+func TestDijkstraPredecessors(t *testing.T) {
+	g := NewGraph(line(4, 100), 150)
+	dist, prev := g.Dijkstra(0, g.Dist)
+	if dist[3] != 300 {
+		t.Errorf("dist[3] = %v", dist[3])
+	}
+	// Walk predecessors back to the root.
+	for v, hops := 3, 0; v != 0; hops++ {
+		v = prev[v]
+		if v < 0 || hops > 4 {
+			t.Fatal("predecessor chain broken")
+		}
+	}
+}
+
+func isInf(f float64) bool { return f > 1e308 }
+
+func TestTreeValid(t *testing.T) {
+	tr := Tree{Root: 0, Parent: []int{-1, 0, 0, 1}}
+	if !tr.Valid() {
+		t.Error("valid tree rejected")
+	}
+	loop := Tree{Root: 0, Parent: []int{-1, 2, 1, 0}}
+	if loop.Valid() {
+		t.Error("tree with 1<->2 loop accepted")
+	}
+	badRoot := Tree{Root: 0, Parent: []int{0, 0}}
+	if badRoot.Valid() {
+		t.Error("root with a parent accepted")
+	}
+	detached := Tree{Root: 0, Parent: []int{-1, Detached, 0}}
+	if !detached.Valid() {
+		t.Error("detached nodes should not invalidate the tree")
+	}
+}
+
+func TestTreeSpans(t *testing.T) {
+	tr := Tree{Root: 0, Parent: []int{-1, 0, Detached}}
+	if tr.Spans([]int{0, 1, 2}) {
+		t.Error("Spans should fail with node 2 detached")
+	}
+	if !tr.Spans([]int{0, 1}) {
+		t.Error("Spans over attached subset failed")
+	}
+}
+
+func TestTreeDepths(t *testing.T) {
+	tr := Tree{Root: 0, Parent: []int{-1, 0, 1, 1, Detached}}
+	d := tr.Depths()
+	for i, want := range []int{0, 1, 2, 2, -1} {
+		if d[i] != want {
+			t.Errorf("depth[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestTreeChildren(t *testing.T) {
+	tr := Tree{Root: 0, Parent: []int{-1, 0, 0, 1}}
+	ch := tr.Children()
+	if len(ch[0]) != 2 || len(ch[1]) != 1 || len(ch[3]) != 0 {
+		t.Errorf("children %v", ch)
+	}
+}
+
+// TestGraphSymmetryQuick: adjacency must be symmetric and self-free for
+// arbitrary point sets.
+func TestGraphSymmetryQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 5 + r.Intn(20)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: r.Range(0, 400), Y: r.Range(0, 400)}
+		}
+		g := NewGraph(pts, 150)
+		for i := 0; i < n; i++ {
+			for _, j := range g.Neighbors(i) {
+				if j == i {
+					return false
+				}
+				found := false
+				for _, k := range g.Neighbors(j) {
+					if k == i {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBFSTreeIsValidTreeQuick: the BFS predecessor structure always forms
+// a valid spanning tree of the root's component.
+func TestBFSTreeIsValidTreeQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 5 + r.Intn(25)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: r.Range(0, 500), Y: r.Range(0, 500)}
+		}
+		g := NewGraph(pts, 180)
+		_, prev := g.Dijkstra(0, func(i, j int) float64 { return 1 })
+		parent := make([]int, n)
+		for i := range parent {
+			switch {
+			case i == 0:
+				parent[i] = -1
+			case prev[i] == -1:
+				parent[i] = Detached
+			default:
+				parent[i] = prev[i]
+			}
+		}
+		return Tree{Root: 0, Parent: parent}.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

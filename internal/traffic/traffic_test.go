@@ -1,0 +1,106 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/medium"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// countingProto records Originate calls.
+type countingProto struct {
+	n     int
+	times []float64
+	node  *netsim.Node
+}
+
+func (c *countingProto) Start(n *netsim.Node)                         { c.node = n }
+func (c *countingProto) Receive(p *packet.Packet, info medium.RxInfo) {}
+func (c *countingProto) Originate()                                   { c.n++; c.times = append(c.times, c.node.Now()) }
+
+func TestCBRInterval(t *testing.T) {
+	c := DefaultCBR()
+	// 512 bytes at 64 kb/s → 64 ms.
+	if math.Abs(c.Interval()-0.064) > 1e-12 {
+		t.Errorf("Interval = %v", c.Interval())
+	}
+}
+
+func rig(t *testing.T) (*sim.Simulator, *netsim.Network, *countingProto) {
+	t.Helper()
+	s := sim.New(1)
+	pts := []geom.Point{{X: 0}, {X: 100}}
+	tracker := mobility.NewTracker(2, mobility.Static{Points: pts})
+	net := netsim.New(s, tracker, netsim.Config{
+		N: 2, Source: 0, Members: []packet.NodeID{1},
+		Medium: medium.DefaultConfig(), PayloadBytes: 512,
+	})
+	cp := &countingProto{}
+	net.SetProtocol(0, cp)
+	net.SetProtocol(1, &countingProto{})
+	net.Start()
+	return s, net, cp
+}
+
+func TestCBRRate(t *testing.T) {
+	s, net, cp := rig(t)
+	DefaultCBR().Attach(net.Nodes[0])
+	s.Run(6.4) // exactly 100 intervals
+	if cp.n < 99 || cp.n > 101 {
+		t.Errorf("originated %d packets in 6.4 s, want ~100", cp.n)
+	}
+	if net.Collector.Sent != cp.n {
+		t.Errorf("collector sent %d != originations %d", net.Collector.Sent, cp.n)
+	}
+	// Expected deliveries = sends × group size (1 member).
+	if net.Collector.Expected != cp.n {
+		t.Errorf("expected %d", net.Collector.Expected)
+	}
+}
+
+func TestCBRStop(t *testing.T) {
+	s, net, cp := rig(t)
+	c := DefaultCBR()
+	c.Stop = 1.0
+	c.Attach(net.Nodes[0])
+	s.Run(10)
+	want := int(1.0/c.Interval()) + 1
+	if cp.n < want-1 || cp.n > want+1 {
+		t.Errorf("originated %d packets with Stop=1s, want ~%d", cp.n, want)
+	}
+}
+
+func TestCBRStart(t *testing.T) {
+	s, net, cp := rig(t)
+	c := DefaultCBR()
+	c.Start = 2.0
+	c.Attach(net.Nodes[0])
+	s.Run(1.9)
+	if cp.n != 0 {
+		t.Errorf("originated before Start: %d", cp.n)
+	}
+	s.Run(3)
+	if cp.n == 0 {
+		t.Error("never originated after Start")
+	}
+	if len(cp.times) > 0 && cp.times[0] != 2.0 {
+		t.Errorf("first packet at %v, want 2.0", cp.times[0])
+	}
+}
+
+func TestCBRSpacing(t *testing.T) {
+	s, net, cp := rig(t)
+	DefaultCBR().Attach(net.Nodes[0])
+	s.Run(2)
+	for i := 1; i < len(cp.times); i++ {
+		gap := cp.times[i] - cp.times[i-1]
+		if math.Abs(gap-0.064) > 1e-9 {
+			t.Fatalf("inter-packet gap %v, want 64 ms", gap)
+		}
+	}
+}

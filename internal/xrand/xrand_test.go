@@ -1,0 +1,198 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws across seeds", same)
+	}
+}
+
+func TestKnownSequenceStability(t *testing.T) {
+	// Pin the SplitMix64 output so accidental algorithm changes (which
+	// would silently invalidate every recorded experiment) fail loudly.
+	r := New(0)
+	want := []uint64{0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("draw %d = %#x, want %#x (SplitMix64 reference)", i, got, w)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn(10) value %d drawn %d/10000 times", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Range(-3,7) = %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(9)
+	sum := 0.0
+	n := 50000
+	for i := 0; i < n; i++ {
+		v := r.Exp(2.5)
+		if v < 0 {
+			t.Fatalf("Exp negative: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2.5) > 0.1 {
+		t.Errorf("Exp(2.5) mean = %v", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(13)
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.3) {
+			trues++
+		}
+	}
+	if trues < 2700 || trues > 3300 {
+		t.Errorf("Bool(0.3): %d/10000 true", trues)
+	}
+	if New(1).Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for n := 1; n <= 20; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(99)
+	a := root.Split("mobility")
+	b := root.Split("traffic")
+	// Streams must differ from each other...
+	if a.Uint64() == b.Uint64() {
+		t.Error("split streams with different labels collide")
+	}
+	// ...and splitting must not advance the parent.
+	before := *root
+	root.Split("x")
+	if *root != before {
+		t.Error("Split advanced the parent's state")
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := New(5).Split("medium").Uint64()
+	b := New(5).Split("medium").Uint64()
+	if a != b {
+		t.Error("same label split differs across identical parents")
+	}
+}
+
+func TestSplitIndexIndependence(t *testing.T) {
+	root := New(7)
+	seen := map[uint64]int{}
+	for i := 0; i < 100; i++ {
+		v := root.SplitIndex(i).Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("SplitIndex(%d) and SplitIndex(%d) collide", i, j)
+		}
+		seen[v] = i
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(21)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 28 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
