@@ -88,6 +88,28 @@ func BenchmarkRunSSSPSTE(b *testing.B) {
 	benchScenario(b, func(c *scenario.Config) { c.Protocol = scenario.SSSPSTE })
 }
 
+// BenchmarkRunSSSPSTE200 is the scaling variant: the same run at 200
+// nodes, where the medium's per-transmission cost dominates. Compare
+// against BenchmarkRunSSSPSTE200Brute to see the spatial index's effect.
+func BenchmarkRunSSSPSTE200(b *testing.B) {
+	benchScenario(b, func(c *scenario.Config) {
+		c.Protocol = scenario.SSSPSTE
+		c.N = 200
+	})
+}
+
+// BenchmarkRunSSSPSTE200Brute runs the identical scenario over the
+// retained brute-force medium (GridConfig.Disable) — the ablation
+// documenting what the spatial index buys. Results are bit-identical to
+// BenchmarkRunSSSPSTE200 (TestGridEquivalence); only the time differs.
+func BenchmarkRunSSSPSTE200Brute(b *testing.B) {
+	benchScenario(b, func(c *scenario.Config) {
+		c.Protocol = scenario.SSSPSTE
+		c.N = 200
+		c.Medium.Grid.Disable = true
+	})
+}
+
 // BenchmarkRunMAODV times one 120 s MAODV run.
 func BenchmarkRunMAODV(b *testing.B) {
 	benchScenario(b, func(c *scenario.Config) { c.Protocol = scenario.MAODV })
@@ -210,11 +232,32 @@ func BenchmarkSweepParallelism(b *testing.B) {
 // BenchmarkSimulatorEventRate measures raw event throughput of a full
 // 50-node SS-SPST-E stack, in simulated seconds per wall second.
 func BenchmarkSimulatorEventRate(b *testing.B) {
+	benchEventRate(b, nil)
+}
+
+// BenchmarkSimulatorEventRate200 is the 200-node scaling variant.
+func BenchmarkSimulatorEventRate200(b *testing.B) {
+	benchEventRate(b, func(c *scenario.Config) { c.N = 200 })
+}
+
+// BenchmarkSimulatorEventRate200Brute is the 200-node variant on the
+// brute-force medium, for the grid-vs-scan ablation.
+func BenchmarkSimulatorEventRate200Brute(b *testing.B) {
+	benchEventRate(b, func(c *scenario.Config) {
+		c.N = 200
+		c.Medium.Grid.Disable = true
+	})
+}
+
+func benchEventRate(b *testing.B, mutate func(*scenario.Config)) {
 	b.ReportAllocs()
 	var once sync.Once
 	for i := 0; i < b.N; i++ {
 		cfg := scenario.Default()
 		cfg.Duration = 60
+		if mutate != nil {
+			mutate(&cfg)
+		}
 		res := scenario.Run(cfg)
 		once.Do(func() {
 			b.Logf("60 simulated seconds: %d transmissions, %d deliveries",

@@ -1,0 +1,130 @@
+// Command benchsnap runs the repository's headline performance benchmarks
+// (the BenchmarkRun* scenario suite and the simulator event-rate probes,
+// mirroring bench_test.go) and writes the results to BENCH_<date>.json so
+// the performance trajectory accumulates across PRs.
+//
+//	go run ./cmd/benchsnap            # full measurements into ./BENCH_<date>.json
+//	go run ./cmd/benchsnap -quick     # CI-friendly short runs
+//	go run ./cmd/benchsnap -out perf/ # choose the output directory
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// entry is one benchmark measurement.
+type entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SimSeconds  float64 `json:"sim_seconds"` // simulated horizon per op
+}
+
+// snapshot is the file layout of BENCH_<date>.json.
+type snapshot struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	Quick      bool    `json:"quick"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// bench describes one scenario measurement: the config mutator mirrors the
+// corresponding function in bench_test.go.
+type bench struct {
+	name     string
+	duration float64
+	mutate   func(*scenario.Config)
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter simulated horizons (CI)")
+	outDir := flag.String("out", ".", "directory for BENCH_<date>.json")
+	flag.Parse()
+
+	dur := 120.0
+	if *quick {
+		dur = 30
+	}
+	rateDur := dur / 2
+
+	benches := []bench{
+		{"RunSSSPST", dur, func(c *scenario.Config) { c.Protocol = scenario.SSSPST }},
+		{"RunSSSPSTE", dur, func(c *scenario.Config) { c.Protocol = scenario.SSSPSTE }},
+		{"RunMAODV", dur, func(c *scenario.Config) { c.Protocol = scenario.MAODV }},
+		{"RunODMRP", dur, func(c *scenario.Config) { c.Protocol = scenario.ODMRP }},
+		{"RunSSSPSTE200", dur, func(c *scenario.Config) { c.Protocol = scenario.SSSPSTE; c.N = 200 }},
+		{"RunSSSPSTE200Brute", dur, func(c *scenario.Config) {
+			c.Protocol = scenario.SSSPSTE
+			c.N = 200
+			c.Medium.Grid.Disable = true
+		}},
+		{"SimulatorEventRate", rateDur, nil},
+		{"SimulatorEventRate200", rateDur, func(c *scenario.Config) { c.N = 200 }},
+		{"SimulatorEventRate200Brute", rateDur, func(c *scenario.Config) {
+			c.N = 200
+			c.Medium.Grid.Disable = true
+		}},
+	}
+
+	snap := snapshot{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     *quick,
+	}
+
+	for _, bm := range benches {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := scenario.Default()
+				cfg.Duration = bm.duration
+				cfg.VMax = 5
+				cfg.Seed = uint64(i) + 1
+				if bm.mutate != nil {
+					bm.mutate(&cfg)
+				}
+				scenario.Run(cfg)
+			}
+		})
+		e := entry{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			SimSeconds:  bm.duration,
+		}
+		snap.Benchmarks = append(snap.Benchmarks, e)
+		fmt.Printf("%-28s %12d ns/op %10d B/op %9d allocs/op\n",
+			bm.name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+
+	path := filepath.Join(*outDir, "BENCH_"+snap.Date+".json")
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}

@@ -128,6 +128,12 @@ func (c Config) Normalize(n int) Config {
 
 // Neighbor is one row of a node's neighbour table, refreshed by beacons.
 type Neighbor struct {
+	// used marks the row live; the table stores rows by value (indexed
+	// by node id) and reuses slots instead of allocating per neighbour.
+	used bool
+	// lix is the row's position in the live-id list (swap-removed on
+	// expiry).
+	lix        int32
 	ID         packet.NodeID
 	Last       float64 // time of last beacon
 	Dist       float64 // measured link distance at last beacon
@@ -187,7 +193,21 @@ type Protocol struct {
 	switchStreak  int
 	lastSwitch    float64
 
-	nbrs map[packet.NodeID]*Neighbor
+	// nbrs is the neighbour table, indexed by node id (the id space is
+	// the network size, so a dense value slice beats a map: no hashing on
+	// the per-beacon update path and deterministic iteration order).
+	// nbrIDs lists the live rows so every scan is O(degree), not O(N) —
+	// the difference between a node's neighbourhood and the whole
+	// network once scenarios grow past a few hundred nodes.
+	nbrs   []Neighbor
+	nbrIDs []packet.NodeID
+	// childCache memoizes deriveChildren between neighbour-table
+	// mutations: forwarding consults the child set on every data frame,
+	// while the table only changes on beacons and expiry. The cached
+	// aggregate is order-independent, so memoization cannot change
+	// behaviour.
+	childCache   childState
+	childCacheOK bool
 	// seenApp dedupes application-level deliveries (members consume any
 	// copy they hear — promiscuous multicast reception); seenFwd dedupes
 	// tree forwarding (only copies from the parent propagate).
@@ -216,7 +236,7 @@ func New(cfg Config, n int) *Protocol {
 	cfgN = cfgN.Normalize(n)
 	return &Protocol{
 		cfg:     cfgN,
-		nbrs:    make(map[packet.NodeID]*Neighbor),
+		nbrs:    make([]Neighbor, n),
 		seenApp: make(map[uint64]struct{}),
 		seenFwd: make(map[uint64]struct{}),
 	}
@@ -262,10 +282,17 @@ func (p *Protocol) round() {
 // the protocol's fault detection (node moved away or died).
 func (p *Protocol) expire() {
 	now := p.node.Now()
-	for id, e := range p.nbrs {
-		if now-e.Last > p.cfg.NeighborTTL {
-			delete(p.nbrs, id)
+	for i := 0; i < len(p.nbrIDs); {
+		e := &p.nbrs[p.nbrIDs[i]]
+		if now-e.Last <= p.cfg.NeighborTTL {
+			i++
+			continue
 		}
+		if e.Parent == p.node.ID && e.Downstream {
+			p.childCacheOK = false
+		}
+		p.dropNbr(e)
+		// The swap-removed tail entry now sits at i; revisit it.
 	}
 }
 
@@ -279,10 +306,14 @@ type childState struct {
 }
 
 // deriveChildren scans the neighbour table for nodes claiming this node
-// as parent.
+// as parent. The scan is memoized until the table next changes.
 func (p *Protocol) deriveChildren() childState {
+	if p.childCacheOK {
+		return p.childCache
+	}
 	var cs childState
-	for _, e := range p.nbrs {
+	for _, id := range p.nbrIDs {
+		e := &p.nbrs[id]
 		if e.Parent != p.node.ID || !e.Downstream {
 			continue
 		}
@@ -296,14 +327,16 @@ func (p *Protocol) deriveChildren() childState {
 			cs.maxDist2 = e.Dist
 		}
 	}
+	p.childCache = cs
+	p.childCacheOK = true
 	return cs
 }
 
 // ownNbrDists returns this node's sorted neighbour distance vector.
 func (p *Protocol) ownNbrDists() []float64 {
-	ds := make([]float64, 0, len(p.nbrs))
-	for _, e := range p.nbrs {
-		ds = append(ds, e.Dist)
+	ds := make([]float64, 0, len(p.nbrIDs))
+	for _, id := range p.nbrIDs {
+		ds = append(ds, p.nbrs[id].Dist)
 	}
 	sort.Float64s(ds)
 	return ds
@@ -343,7 +376,8 @@ func (p *Protocol) stabilize() {
 	bestDelta := math.Inf(1)
 	curCand := math.Inf(1)
 	curDelta := math.Inf(1)
-	for _, e := range p.nbrs {
+	for _, id := range p.nbrIDs {
+		e := &p.nbrs[id]
 		// N1: only neighbours strictly below the hop cap are eligible —
 		// the count-to-infinity guard (paper Lemma 3).
 		if e.Hop+1 >= p.cfg.MaxHops {
@@ -458,7 +492,7 @@ func (p *Protocol) stabilize() {
 			}
 		}
 		if keep {
-			best = p.nbrs[p.parent]
+			best = p.nbr(p.parent)
 			bestCand = curCand
 		}
 	}
@@ -558,10 +592,28 @@ func (p *Protocol) Receive(pkt *packet.Packet, info medium.RxInfo) {
 
 func (p *Protocol) handleBeacon(pkt *packet.Packet, info medium.RxInfo) {
 	bp := pkt.Payload.(*BeaconPayload)
-	e, ok := p.nbrs[pkt.From]
+	if int(pkt.From) >= len(p.nbrs) {
+		// Mixed-protocol tests can deliver frames from ids beyond the
+		// configured network size; grow to fit.
+		grown := make([]Neighbor, int(pkt.From)+1)
+		copy(grown, p.nbrs)
+		p.nbrs = grown
+	}
+	e := &p.nbrs[pkt.From]
+	ok := e.used
 	if !ok {
-		e = &Neighbor{ID: pkt.From}
-		p.nbrs[pkt.From] = e
+		e.used = true
+		e.ID = pkt.From
+		e.lix = int32(len(p.nbrIDs))
+		p.nbrIDs = append(p.nbrIDs, pkt.From)
+	}
+	// Only beacons that touch a child relationship (the sender was or
+	// becomes a downstream child of this node) can change the child
+	// aggregate; the overwhelming majority of beacons are from
+	// non-children and leave the cache valid.
+	if (ok && e.Parent == p.node.ID && e.Downstream) ||
+		(bp.Parent == p.node.ID && bp.Downstream) {
+		p.childCacheOK = false
 	}
 	e.Last = info.At
 	e.Dist = info.Dist
@@ -632,7 +684,7 @@ func (p *Protocol) forward(pkt *packet.Packet) {
 	fwd.From = p.node.ID
 	fwd.Hops++
 	delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
-	p.node.Sim().Schedule(delay, func() {
+	p.node.Sim().After(delay, func() {
 		// Recompute at fire time: children may have expired meanwhile.
 		if r2 := p.forwardRange(); r2 > 0 {
 			p.node.Broadcast(fwd, r2)
@@ -685,7 +737,25 @@ func (p *Protocol) HopCount() int { return p.hop }
 func (p *Protocol) Downstream() bool { return p.downstream }
 
 // NeighborCount returns the current neighbour-table size.
-func (p *Protocol) NeighborCount() int { return len(p.nbrs) }
+func (p *Protocol) NeighborCount() int { return len(p.nbrIDs) }
+
+// dropNbr removes e from the table and the live-id list (swap-remove).
+func (p *Protocol) dropNbr(e *Neighbor) {
+	last := len(p.nbrIDs) - 1
+	moved := p.nbrIDs[last]
+	p.nbrIDs[e.lix] = moved
+	p.nbrs[moved].lix = e.lix
+	p.nbrIDs = p.nbrIDs[:last]
+	*e = Neighbor{}
+}
+
+// nbr returns the table entry for id, nil when absent or out of range.
+func (p *Protocol) nbr(id packet.NodeID) *Neighbor {
+	if int(id) >= len(p.nbrs) || int(id) < 0 || !p.nbrs[id].used {
+		return nil
+	}
+	return &p.nbrs[id]
+}
 
 func dataKey(src packet.NodeID, seq uint32) uint64 {
 	return uint64(uint32(src))<<32 | uint64(seq)

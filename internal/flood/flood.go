@@ -53,7 +53,7 @@ func (p *Protocol) Receive(pkt *packet.Packet, info medium.RxInfo) {
 	fwd.From = p.node.ID
 	fwd.Hops++
 	max := p.node.Net.Medium.Model().MaxRange
-	p.node.Sim().Schedule(p.rng.Range(0, p.JitterMax), func() {
+	p.node.Sim().After(p.rng.Range(0, p.JitterMax), func() {
 		p.node.Broadcast(fwd, max)
 	})
 }

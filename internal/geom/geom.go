@@ -95,3 +95,19 @@ func (r Rect) Clamp(p Point) Point {
 // Diagonal returns the length of the rectangle's diagonal, an upper bound
 // on any distance between two points inside r.
 func (r Rect) Diagonal() float64 { return r.Min.Dist(r.Max) }
+
+// BoundingBox returns the axis-aligned bounding box of pts (a unit square
+// for an empty slice, so downstream grids stay well-formed).
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Square(1)
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}

@@ -258,7 +258,7 @@ func (p *Protocol) handleGRPH(pkt *packet.Packet, info medium.RxInfo) {
 	fwd.Hops++
 	fwd.Payload = &grphPayload{Seq: gp.Seq, Hops: gp.Hops + 1}
 	delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
-	p.node.Sim().Schedule(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
+	p.node.Sim().After(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
 }
 
 // handleJoin grafts a branch: the addressed next-hop becomes a tree router
@@ -320,7 +320,7 @@ func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
 			fwd.From = p.node.ID
 			fwd.Hops++
 			delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
-			p.node.Sim().Schedule(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
+			p.node.Sim().After(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
 			consumed = true
 		}
 	}

@@ -10,6 +10,14 @@
 // whether or not it wanted the frame, and concurrent overlapping
 // transmissions corrupt each other — while replacing 802.11's exact timing
 // with a simpler slot-free CSMA.
+//
+// Coverage and interference queries run against a uniform spatial grid
+// (internal/spatial) refreshed on a timed epoch, with query radii expanded
+// by the worst-case node drift since the epoch and an exact distance
+// filter applied to the candidates. The results are bit-identical to the
+// brute-force O(N) scan (retained behind GridConfig.Disable and asserted
+// by the scenario-level equivalence tests) while touching only the O(k)
+// nodes near the transmitter. DESIGN.md §7 documents the argument.
 package medium
 
 import (
@@ -20,6 +28,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/spatial"
 	"repro/internal/xrand"
 )
 
@@ -37,6 +46,33 @@ type RxInfo struct {
 	TxRange float64 // transmitter's power-controlled range
 	RxJ     float64 // energy charged for this reception (already on the meter as Rx)
 	At      float64 // delivery time
+}
+
+// GridConfig parameterizes the spatial neighbor index. The zero value
+// enables the index in a conservative mode (snapshot refreshed whenever
+// the queried instant changes) that is correct for any mobility model;
+// callers that know the deployment area and a speed bound (scenario does)
+// fill Area/VMax so the snapshot is instead refreshed on a timed epoch and
+// queries pay only a small slack.
+type GridConfig struct {
+	// Disable falls back to the O(N) brute-force scans. Kept as the
+	// reference implementation for the equivalence tests.
+	Disable bool
+	// Area is the deployment region used to size the cells. A zero Rect
+	// derives bounds from the node positions at first use.
+	Area geom.Rect
+	// VMax bounds every node's speed (m/s). With VMax > 0 the index is
+	// refreshed every SlackFrac·cell/VMax simulated seconds and queries
+	// expand by VMax·(now−epoch); with VMax == 0 (unknown) the index is
+	// rebuilt whenever the queried instant changes.
+	VMax float64
+	// Static declares positions immutable: the index is built once.
+	Static bool
+	// CellSize is the grid cell side in metres; 0 → Energy.MaxRange.
+	CellSize float64
+	// SlackFrac is the fraction of a cell the population may drift before
+	// a refresh; 0 → 0.25.
+	SlackFrac float64
 }
 
 // Config holds the channel parameters.
@@ -66,6 +102,8 @@ type Config struct {
 	TxQueueCap int
 	// Energy is the radio energy model.
 	Energy energy.Model
+	// Grid configures the spatial neighbor index.
+	Grid GridConfig
 }
 
 // DefaultConfig returns the channel parameters used by the paper
@@ -114,6 +152,24 @@ type Medium struct {
 	stats      Stats
 	posBuf     []geom.Point
 	queues     []txQueue
+
+	// Spatial index state (nil grid until first transmission).
+	gridOn    bool
+	grid      *spatial.Grid
+	gridDelta float64 // refresh period; <0 never, 0 on every new instant
+	gridVMax  float64 // slack speed bound (0 in static/conservative modes)
+	// activeTx is the frame node i currently has on air (nil if idle);
+	// the radio serializes frames, so there is at most one.
+	activeTx []*transmission
+	// inflight collects the pending receptions addressed to node i for
+	// every active transmission (grid mode only; cleared at retire).
+	inflight [][]*reception
+	// txCells registers every active transmission in the grid cells its
+	// interference disk overlaps; cell geometry is fixed, so entries stay
+	// valid across snapshot refreshes (grid mode only).
+	txCells  [][]*transmission
+	candBuf  []int32
+	coverBuf []int32
 }
 
 // queued is one frame waiting for the radio.
@@ -123,43 +179,88 @@ type queued struct {
 }
 
 // txQueue serializes one node's transmissions: real radios send one frame
-// at a time through a finite interface queue.
+// at a time through a finite interface queue. frames[head:] is the
+// backlog; popping advances head so a drain is O(1) instead of sliding the
+// whole backlog down on every dequeue.
 type txQueue struct {
 	frames []queued
+	head   int
 	busy   bool
+}
+
+// backlog returns the number of queued frames.
+func (q *txQueue) backlog() int { return len(q.frames) - q.head }
+
+// pop removes and returns the head frame. The slot is zeroed so the queue
+// does not pin packet memory; storage is recycled when the queue drains
+// and compacted when the dead prefix outgrows the live backlog, keeping
+// memory O(backlog) even for a source that never goes idle.
+func (q *txQueue) pop() queued {
+	f := q.frames[q.head]
+	q.frames[q.head] = queued{}
+	q.head++
+	switch {
+	case q.head == len(q.frames):
+		q.frames = q.frames[:0]
+		q.head = 0
+	case q.head >= 64 && q.head*2 >= len(q.frames):
+		n := copy(q.frames, q.frames[q.head:])
+		tail := q.frames[n:]
+		for i := range tail {
+			tail[i] = queued{}
+		}
+		q.frames = q.frames[:n]
+		q.head = 0
+	}
+	return f
 }
 
 // transmission is one frame in flight.
 type transmission struct {
 	from       packet.NodeID
+	pkt        *packet.Packet
+	m          *Medium
 	origin     geom.Point
 	rng        float64 // communication range
 	intRng     float64 // interference range
 	start      float64
 	end        float64
-	receptions []*reception
+	receptions []reception
 }
 
 // reception is one pending delivery of a transmission at a specific node.
+// It implements sim.Action (via the tx back-pointer), so scheduling a
+// delivery allocates nothing: the reception slice is the event payload.
 type reception struct {
+	tx        *transmission
 	to        packet.NodeID
 	corrupted bool
+	dist      float64 // transmitter→receiver distance at transmission start
 }
+
+// Fire implements sim.Action: resolve the reception at its delivery time.
+func (rc *reception) Fire() { rc.tx.m.deliver(rc.tx, rc) }
 
 // New creates a medium over n nodes. Receivers and meters are attached
 // afterwards with Attach, allowing the network to construct nodes that
 // reference the medium.
 func New(s *sim.Simulator, cfg Config, tracker *mobility.Tracker, n int) *Medium {
-	return &Medium{
-		sim:     s,
-		cfg:     cfg,
-		tracker: tracker,
-		nodes:   make([]Receiver, n),
-		meters:  make([]*energy.Meter, n),
-		rng:     s.RNG().Split("medium"),
-		posBuf:  make([]geom.Point, n),
-		queues:  make([]txQueue, n),
+	m := &Medium{
+		sim:      s,
+		cfg:      cfg,
+		tracker:  tracker,
+		nodes:    make([]Receiver, n),
+		meters:   make([]*energy.Meter, n),
+		rng:      s.RNG().Split("medium"),
+		posBuf:   make([]geom.Point, n),
+		queues:   make([]txQueue, n),
+		activeTx: make([]*transmission, n),
+		gridOn:   !cfg.Grid.Disable,
 	}
+	if m.gridOn {
+		m.inflight = make([][]*reception, n)
+	}
+	return m
 }
 
 // Attach registers node id's receiver and energy meter.
@@ -186,8 +287,8 @@ func (m *Medium) AirTime(bytes int) float64 {
 // txRange is clamped to the model's maximum.
 func (m *Medium) Broadcast(from packet.NodeID, pkt *packet.Packet, txRange float64) {
 	q := &m.queues[from]
-	if q.busy || len(q.frames) > 0 {
-		if m.cfg.TxQueueCap > 0 && len(q.frames) >= m.cfg.TxQueueCap {
+	if q.busy || q.backlog() > 0 {
+		if m.cfg.TxQueueCap > 0 && q.backlog() >= m.cfg.TxQueueCap {
 			m.stats.QueueDrops++
 			return
 		}
@@ -201,14 +302,69 @@ func (m *Medium) Broadcast(from packet.NodeID, pkt *packet.Packet, txRange float
 // txDone releases node `from`'s radio and starts the next queued frame.
 func (m *Medium) txDone(from packet.NodeID) {
 	q := &m.queues[from]
-	if len(q.frames) == 0 {
+	if q.backlog() == 0 {
 		q.busy = false
 		return
 	}
-	next := q.frames[0]
-	copy(q.frames, q.frames[1:])
-	q.frames = q.frames[:len(q.frames)-1]
+	next := q.pop()
 	m.send(from, next.pkt, next.txRange, 0)
+}
+
+// ensureIndex builds the grid on first use and refreshes the position
+// snapshot according to the epoch policy. Refreshing only advances node
+// legs, and the mobility models key their random streams by (node, leg
+// history) — advancement is order- and time-of-query independent — so a
+// refresh cannot perturb the run relative to the brute-force path.
+func (m *Medium) ensureIndex(now float64) {
+	if m.grid == nil {
+		g := m.cfg.Grid
+		cell := g.CellSize
+		if cell <= 0 {
+			cell = m.cfg.Energy.MaxRange
+		}
+		slack := g.SlackFrac
+		if slack <= 0 {
+			slack = 0.25
+		}
+		area := g.Area
+		if area == (geom.Rect{}) {
+			area = geom.BoundingBox(m.tracker.PositionsAt(now))
+		}
+		m.grid = spatial.NewGrid(area, cell, len(m.nodes))
+		m.txCells = make([][]*transmission, m.grid.NumCells())
+		switch {
+		case g.Static:
+			m.gridDelta = -1
+		case g.VMax > 0:
+			m.gridVMax = g.VMax
+			m.gridDelta = slack * m.grid.CellSize() / g.VMax
+		default:
+			m.gridDelta = 0
+		}
+		m.grid.Rebuild(now, m.tracker.PositionsAt(now))
+		return
+	}
+	switch {
+	case m.gridDelta < 0:
+		// Static: never refresh.
+	case m.gridDelta == 0:
+		if now != m.grid.Epoch() {
+			m.grid.Rebuild(now, m.tracker.PositionsAt(now))
+		}
+	default:
+		if now-m.grid.Epoch() >= m.gridDelta {
+			m.grid.Rebuild(now, m.tracker.PositionsAt(now))
+		}
+	}
+}
+
+// slack returns the query-radius expansion covering all node movement
+// since the snapshot epoch.
+func (m *Medium) slack(now float64) float64 {
+	if m.gridVMax <= 0 {
+		return 0
+	}
+	return m.gridVMax * (now - m.grid.Epoch())
 }
 
 func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, attempt int) {
@@ -224,6 +380,9 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 	if txRange <= 0 {
 		txRange = 1 // degenerate, still audible at point blank
 	}
+	if m.gridOn {
+		m.ensureIndex(now)
+	}
 	pos := m.tracker.Position(int(from), now)
 
 	if m.cfg.CSMA && m.busyAt(pos, now) {
@@ -234,13 +393,15 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 		}
 		m.stats.Backoffs++
 		delay := m.rng.Range(0, m.cfg.BackoffMax) * float64(attempt+1)
-		m.sim.Schedule(delay, func() { m.send(from, pkt, txRange, attempt+1) })
+		m.sim.After(delay, func() { m.send(from, pkt, txRange, attempt+1) })
 		return
 	}
 
 	dur := m.AirTime(pkt.Bytes)
 	tx := &transmission{
 		from:   from,
+		pkt:    pkt,
+		m:      m,
 		origin: pos,
 		rng:    txRange,
 		intRng: txRange * m.cfg.InterferenceFactor,
@@ -262,10 +423,43 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 
 	// The new transmission corrupts any in-flight reception whose receiver
 	// it interferes with, and is itself corrupted at receivers covered by
-	// other ongoing transmissions.
+	// other ongoing transmissions. Then the covered set is computed and
+	// deliveries scheduled, in ascending node order either way (schedule
+	// order at equal timestamps is part of the determinism contract).
+	if m.gridOn {
+		// One query serves both passes: the interference disk contains
+		// the communication disk whenever InterferenceFactor ≥ 1.
+		qr := tx.intRng
+		if tx.rng > qr {
+			qr = tx.rng
+		}
+		m.candBuf = m.grid.AppendInDisk(m.candBuf[:0], pos, qr+m.slack(now))
+		m.corruptInflightGrid(tx, pos, now)
+		m.coverGrid(tx, pos, now)
+	} else {
+		m.corruptInflightBrute(tx, pos, now)
+		m.coverBrute(tx, pos)
+	}
+	m.attachReceptions(tx, pos, now, dur)
+
+	m.active = append(m.active, tx)
+	m.activeTx[from] = tx
+	if m.gridOn {
+		m.txCellsInsert(tx)
+	}
+	m.sim.After(dur, func() {
+		m.retire(tx)
+		m.txDone(from)
+	})
+}
+
+// corruptInflightBrute marks every pending reception within tx's
+// interference radius corrupted, scanning all active transmissions.
+func (m *Medium) corruptInflightBrute(tx *transmission, pos geom.Point, now float64) {
 	m.tracker.Positions(now, m.posBuf)
 	for _, other := range m.active {
-		for _, rc := range other.receptions {
+		for i := range other.receptions {
+			rc := &other.receptions[i]
 			if rc.corrupted {
 				continue
 			}
@@ -275,76 +469,159 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 			}
 		}
 	}
+}
 
-	rng2 := txRange * txRange
-	for id := range m.nodes {
-		nid := packet.NodeID(id)
-		if nid == from || m.nodes[id] == nil {
+// corruptInflightGrid is the O(k) equivalent: only nodes whose current
+// position can lie within the interference radius (candBuf, filled by
+// send) are candidates, and only those holding pending receptions are
+// visited.
+func (m *Medium) corruptInflightGrid(tx *transmission, pos geom.Point, now float64) {
+	int2 := tx.intRng * tx.intRng
+	for _, id32 := range m.candBuf {
+		id := int(id32)
+		if len(m.inflight[id]) == 0 {
 			continue
 		}
-		d2 := m.posBuf[id].Dist2(pos)
-		if d2 > rng2 {
+		if m.tracker.Position(id, now).Dist2(pos) > int2 {
 			continue
 		}
-		rc := &reception{to: nid}
-		// Corrupted if any other active transmission interferes here.
-		for _, other := range m.active {
-			if m.posBuf[id].Dist2(other.origin) <= other.intRng*other.intRng {
-				rc.corrupted = true
-				m.stats.Collisions++
-				break
+		for _, rc := range m.inflight[id] {
+			if rc.corrupted {
+				continue
 			}
+			rc.corrupted = true
+			m.stats.Collisions++
+		}
+	}
+}
+
+// coverBrute fills coverBuf with the ids covered by tx, scanning all nodes.
+func (m *Medium) coverBrute(tx *transmission, pos geom.Point) {
+	rng2 := tx.rng * tx.rng
+	m.coverBuf = m.coverBuf[:0]
+	for id := range m.nodes {
+		if packet.NodeID(id) == tx.from || m.nodes[id] == nil {
+			continue
+		}
+		if m.posBuf[id].Dist2(pos) <= rng2 {
+			m.coverBuf = append(m.coverBuf, int32(id))
+		}
+	}
+}
+
+// coverGrid fills coverBuf with the ids covered by tx, filtering the
+// shared candidate set from send's single grid query.
+func (m *Medium) coverGrid(tx *transmission, pos geom.Point, now float64) {
+	rng2 := tx.rng * tx.rng
+	m.coverBuf = m.coverBuf[:0]
+	for _, id32 := range m.candBuf {
+		id := int(id32)
+		if packet.NodeID(id) == tx.from || m.nodes[id] == nil {
+			continue
+		}
+		if m.tracker.Position(id, now).Dist2(pos) <= rng2 {
+			m.coverBuf = append(m.coverBuf, id32)
+		}
+	}
+}
+
+// attachReceptions materializes tx's receptions for the covered ids in
+// coverBuf, resolves their collision/half-duplex fate, and schedules the
+// deliveries. Receptions live in one slice sized up front so each frame
+// costs a single allocation and the pointers handed to the inflight
+// registry stay stable.
+func (m *Medium) attachReceptions(tx *transmission, pos geom.Point, now, dur float64) {
+	if len(m.coverBuf) == 0 {
+		return
+	}
+	tx.receptions = make([]reception, len(m.coverBuf))
+	for i, id32 := range m.coverBuf {
+		id := int(id32)
+		rc := &tx.receptions[i]
+		rc.tx = tx
+		rc.to = packet.NodeID(id32)
+		var p geom.Point
+		if m.gridOn {
+			p = m.tracker.Position(id, now)
+		} else {
+			p = m.posBuf[id]
+		}
+		// Corrupted if any other active transmission interferes here.
+		if m.interferedAt(p) {
+			rc.corrupted = true
+			m.stats.Collisions++
 		}
 		// Half-duplex: a node mid-transmission cannot receive.
-		if !rc.corrupted && m.transmitting(nid, now) {
+		if !rc.corrupted && m.transmitting(rc.to, now) {
 			rc.corrupted = true
 			m.stats.HalfDuplex++
 		}
-		tx.receptions = append(tx.receptions, rc)
+		if m.gridOn {
+			m.inflight[id] = append(m.inflight[id], rc)
+		}
 
-		dist := math.Sqrt(d2)
-		delay := dur + dist*m.cfg.PropDelayPerM
-		m.scheduleDelivery(tx, rc, pkt, dist, delay)
+		rc.dist = math.Sqrt(p.Dist2(pos))
+		m.sim.AfterAction(dur+rc.dist*m.cfg.PropDelayPerM, rc)
 	}
-
-	m.active = append(m.active, tx)
-	m.sim.Schedule(dur, func() {
-		m.retire(tx)
-		m.txDone(from)
-	})
 }
 
-func (m *Medium) scheduleDelivery(tx *transmission, rc *reception, pkt *packet.Packet, dist, delay float64) {
-	m.sim.Schedule(delay, func() {
-		meter := m.meters[rc.to]
-		if meter.Dead() {
-			return // depleted battery: the radio is off
+// interferedAt reports whether any active transmission's interference disk
+// covers the point p.
+func (m *Medium) interferedAt(p geom.Point) bool {
+	if m.gridOn {
+		for _, other := range m.txCells[m.grid.CellIndex(p)] {
+			if p.Dist2(other.origin) <= other.intRng*other.intRng {
+				return true
+			}
 		}
-		rxJ := m.cfg.Energy.RxEnergy(pkt.Bytes, tx.rng)
-		if rc.corrupted {
-			// The radio still burned energy on the corrupted frame.
-			meter.SpendDiscard(rxJ)
-			return
+		return false
+	}
+	for _, other := range m.active {
+		if p.Dist2(other.origin) <= other.intRng*other.intRng {
+			return true
 		}
-		if m.cfg.LossProb > 0 && m.rng.Bool(m.cfg.LossProb) {
-			m.stats.Fading++
-			meter.SpendDiscard(rxJ)
-			return
-		}
-		meter.SpendRx(rxJ)
-		m.stats.Deliveries++
-		m.nodes[rc.to].Deliver(pkt, RxInfo{
-			From:    tx.from,
-			Dist:    dist,
-			TxRange: tx.rng,
-			RxJ:     rxJ,
-			At:      m.sim.Now(),
-		})
+	}
+	return false
+}
+
+// deliver resolves one reception at its delivery instant.
+func (m *Medium) deliver(tx *transmission, rc *reception) {
+	meter := m.meters[rc.to]
+	if meter.Dead() {
+		return // depleted battery: the radio is off
+	}
+	rxJ := m.cfg.Energy.RxEnergy(tx.pkt.Bytes, tx.rng)
+	if rc.corrupted {
+		// The radio still burned energy on the corrupted frame.
+		meter.SpendDiscard(rxJ)
+		return
+	}
+	if m.cfg.LossProb > 0 && m.rng.Bool(m.cfg.LossProb) {
+		m.stats.Fading++
+		meter.SpendDiscard(rxJ)
+		return
+	}
+	meter.SpendRx(rxJ)
+	m.stats.Deliveries++
+	m.nodes[rc.to].Deliver(tx.pkt, RxInfo{
+		From:    tx.from,
+		Dist:    rc.dist,
+		TxRange: tx.rng,
+		RxJ:     rxJ,
+		At:      m.sim.Now(),
 	})
 }
 
 // busyAt reports whether any ongoing transmission is audible at pos.
 func (m *Medium) busyAt(pos geom.Point, now float64) bool {
+	if m.gridOn {
+		for _, tx := range m.txCells[m.grid.CellIndex(pos)] {
+			if now < tx.end && pos.Dist2(tx.origin) <= tx.intRng*tx.intRng {
+				return true
+			}
+		}
+		return false
+	}
 	for _, tx := range m.active {
 		if now < tx.end && pos.Dist2(tx.origin) <= tx.intRng*tx.intRng {
 			return true
@@ -354,21 +631,73 @@ func (m *Medium) busyAt(pos geom.Point, now float64) bool {
 }
 
 // transmitting reports whether node id has a frame on air at time now.
+// The radio serializes frames, so a single per-node slot replaces the
+// scan over all active transmissions.
 func (m *Medium) transmitting(id packet.NodeID, now float64) bool {
-	for _, tx := range m.active {
-		if tx.from == id && now < tx.end {
-			return true
-		}
-	}
-	return false
+	tx := m.activeTx[id]
+	return tx != nil && now < tx.end
 }
 
-// retire removes a finished transmission from the active set.
+// txCellsInsert registers tx in every cell its interference disk's
+// bounding box overlaps. Origins never move, so no slack is needed and
+// membership stays exact for the transmission's whole life.
+func (m *Medium) txCellsInsert(tx *transmission) {
+	ix0, iy0, ix1, iy1 := m.grid.CellRange(tx.origin, tx.intRng)
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			c := m.grid.Cell(ix, iy)
+			m.txCells[c] = append(m.txCells[c], tx)
+		}
+	}
+}
+
+// txCellsRemove is the inverse of txCellsInsert.
+func (m *Medium) txCellsRemove(tx *transmission) {
+	ix0, iy0, ix1, iy1 := m.grid.CellRange(tx.origin, tx.intRng)
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			c := m.grid.Cell(ix, iy)
+			lst := m.txCells[c]
+			for i, t := range lst {
+				if t == tx {
+					last := len(lst) - 1
+					lst[i] = lst[last]
+					lst[last] = nil
+					m.txCells[c] = lst[:last]
+					break
+				}
+			}
+		}
+	}
+}
+
+// retire removes a finished transmission from the active set and every
+// auxiliary index.
 func (m *Medium) retire(tx *transmission) {
+	if m.activeTx[tx.from] == tx {
+		m.activeTx[tx.from] = nil
+	}
+	if m.gridOn {
+		m.txCellsRemove(tx)
+		for i := range tx.receptions {
+			rc := &tx.receptions[i]
+			lst := m.inflight[rc.to]
+			for j, p := range lst {
+				if p == rc {
+					last := len(lst) - 1
+					lst[j] = lst[last]
+					lst[last] = nil
+					m.inflight[rc.to] = lst[:last]
+					break
+				}
+			}
+		}
+	}
 	for i, t := range m.active {
 		if t == tx {
 			last := len(m.active) - 1
 			m.active[i] = m.active[last]
+			m.active[last] = nil
 			m.active = m.active[:last]
 			return
 		}

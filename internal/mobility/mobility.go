@@ -10,6 +10,8 @@
 package mobility
 
 import (
+	"math"
+
 	"repro/internal/geom"
 	"repro/internal/xrand"
 )
@@ -69,16 +71,43 @@ const inf = 1e308
 
 // Tracker owns the movement state of every node and answers position
 // queries at arbitrary (non-decreasing per node) times.
+//
+// Position queries are memoized per (node, time): the discrete-event
+// simulator asks for the same node's position at the same event time many
+// times per transmission (coverage, interference and half-duplex checks),
+// and the memo turns all but the first into a comparison and a copy.
+// Memoization is a pure cache — it never changes the returned positions.
 type Tracker struct {
 	model Model
 	legs  []Leg
+	// legLen caches each current leg's From→To distance: Leg.End and
+	// Leg.Position both need it, and recomputing the hypotenuse on every
+	// query dominates the position math.
+	legLen []float64
+	// Per-node memo of the last query. memoT starts as NaN, which never
+	// compares equal, so the zero state is "empty".
+	memoT []float64
+	memoP []geom.Point
+	// Whole-population snapshot cache backing PositionsAt.
+	allT  float64
+	allP  []geom.Point
+	allOK bool
 }
 
 // NewTracker initializes n nodes under the given model.
 func NewTracker(n int, m Model) *Tracker {
-	t := &Tracker{model: m, legs: make([]Leg, n)}
+	t := &Tracker{
+		model:  m,
+		legs:   make([]Leg, n),
+		legLen: make([]float64, n),
+		memoT:  make([]float64, n),
+		memoP:  make([]geom.Point, n),
+		allP:   make([]geom.Point, n),
+	}
 	for i := range t.legs {
 		t.legs[i] = m.Init(i)
+		t.legLen[i] = t.legs[i].From.Dist(t.legs[i].To)
+		t.memoT[i] = math.NaN()
 	}
 	return t
 }
@@ -89,11 +118,46 @@ func (t *Tracker) N() int { return len(t.legs) }
 // Position returns node i's position at time `now`, advancing its legs as
 // needed. Queries may go backwards in time only within the current leg.
 func (t *Tracker) Position(i int, now float64) geom.Point {
-	leg := &t.legs[i]
-	for leg.End() <= now {
-		*leg = t.model.Next(i, *leg, leg.End())
+	if t.memoT[i] == now {
+		return t.memoP[i]
 	}
-	return leg.Position(now)
+	leg := &t.legs[i]
+	d := t.legLen[i]
+	for {
+		end := legEnd(leg, d)
+		if end > now {
+			break
+		}
+		*leg = t.model.Next(i, *leg, end)
+		d = leg.From.Dist(leg.To)
+		t.legLen[i] = d
+	}
+	p := legPosition(leg, d, now)
+	t.memoT[i] = now
+	t.memoP[i] = p
+	return p
+}
+
+// legEnd is Leg.End with the From→To distance precomputed; the arithmetic
+// is identical, so positions match the uncached methods bit for bit.
+func legEnd(l *Leg, d float64) float64 {
+	if l.Speed <= 0 {
+		return inf
+	}
+	return l.Start + d/l.Speed + l.Pause
+}
+
+// legPosition is Leg.Position with the distance precomputed.
+func legPosition(l *Leg, d float64, t float64) geom.Point {
+	if l.Speed <= 0 || t <= l.Start {
+		return l.From
+	}
+	arrive := l.Start + d/l.Speed
+	if t >= arrive {
+		return l.To
+	}
+	frac := (t - l.Start) * l.Speed / d
+	return l.From.Lerp(l.To, frac)
 }
 
 // Positions fills dst (len >= N) with every node's position at time now.
@@ -101,6 +165,20 @@ func (t *Tracker) Positions(now float64, dst []geom.Point) {
 	for i := range t.legs {
 		dst[i] = t.Position(i, now)
 	}
+}
+
+// PositionsAt returns every node's position at time now as a slice owned
+// by the tracker: valid until the next PositionsAt call, and cached so
+// repeated calls at the same instant (the spatial index refreshing, then
+// the medium sampling) cost nothing. Callers must not retain or mutate it.
+func (t *Tracker) PositionsAt(now float64) []geom.Point {
+	if t.allOK && t.allT == now {
+		return t.allP
+	}
+	t.Positions(now, t.allP)
+	t.allT = now
+	t.allOK = true
+	return t.allP
 }
 
 // Static places nodes at fixed points forever. Useful for the paper's

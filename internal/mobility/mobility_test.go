@@ -218,3 +218,42 @@ func clamp01(v float64) float64 {
 	}
 	return v
 }
+
+// TestPositionMemoPure checks that the per-(node, time) memo never changes
+// what Position returns: two trackers over the same model, one queried
+// with repeats (hitting the memo) and one queried once per instant, must
+// agree at every sampled time.
+func TestPositionMemoPure(t *testing.T) {
+	mk := func() *Tracker {
+		return NewTracker(8, NewRandomWaypoint(area(), 1, 15, 1, xrand.New(42).Split("m")))
+	}
+	memoed, fresh := mk(), mk()
+	for _, tm := range []float64{0, 0.5, 3, 3, 3, 17.25, 17.25, 120, 1e4} {
+		for i := 0; i < 8; i++ {
+			a := memoed.Position(i, tm)
+			b := memoed.Position(i, tm) // memo hit
+			c := fresh.Position(i, tm)
+			if a != b || a != c {
+				t.Fatalf("node %d t=%v: memoed %v / repeat %v / fresh %v", i, tm, a, b, c)
+			}
+		}
+	}
+}
+
+// TestPositionsAtCached checks the whole-population snapshot is stable and
+// identical to per-node queries.
+func TestPositionsAtCached(t *testing.T) {
+	tr := NewTracker(5, NewRandomWaypoint(area(), 1, 10, 0, xrand.New(9).Split("m")))
+	for _, tm := range []float64{0, 2.5, 2.5, 40} {
+		snap := tr.PositionsAt(tm)
+		again := tr.PositionsAt(tm)
+		if &snap[0] != &again[0] {
+			t.Fatal("PositionsAt did not reuse its cache at an identical instant")
+		}
+		for i := range snap {
+			if snap[i] != tr.Position(i, tm) {
+				t.Fatalf("snapshot disagrees with Position at node %d t=%v", i, tm)
+			}
+		}
+	}
+}

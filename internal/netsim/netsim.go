@@ -6,6 +6,7 @@ package netsim
 
 import (
 	"repro/internal/energy"
+	"repro/internal/geom"
 	"repro/internal/medium"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
@@ -97,6 +98,15 @@ type Config struct {
 	Battery float64
 	// PayloadBytes is the application payload per data packet.
 	PayloadBytes int
+	// Area is the deployment region; plumbed into the medium's spatial
+	// index when the caller has not configured it explicitly.
+	Area geom.Rect
+	// VMax bounds node speed for the index's epoch/slack sizing; see
+	// medium.GridConfig.VMax. Ignored when StaticNodes is set.
+	VMax float64
+	// StaticNodes declares that no node ever moves, letting the index
+	// snapshot positions exactly once.
+	StaticNodes bool
 }
 
 // New builds a network of cfg.N nodes over the given tracker. Protocol
@@ -113,7 +123,19 @@ func New(s *sim.Simulator, tracker *mobility.Tracker, cfg Config) *Network {
 		Members:   cfg.Members,
 		memberSet: make([]bool, cfg.N),
 	}
-	net.Medium = medium.New(s, cfg.Medium, tracker, cfg.N)
+	mcfg := cfg.Medium
+	if !mcfg.Grid.Disable {
+		if mcfg.Grid.Area == (geom.Rect{}) {
+			mcfg.Grid.Area = cfg.Area
+		}
+		if mcfg.Grid.VMax == 0 {
+			mcfg.Grid.VMax = cfg.VMax
+		}
+		if cfg.StaticNodes {
+			mcfg.Grid.Static = true
+		}
+	}
+	net.Medium = medium.New(s, mcfg, tracker, cfg.N)
 	net.Medium.OnTransmit = func(pkt *packet.Packet) {
 		if pkt.Kind.Control() {
 			net.Collector.ControlTx(pkt.Bytes)

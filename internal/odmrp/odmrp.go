@@ -167,12 +167,12 @@ func (p *Protocol) handleJoinQuery(pkt *packet.Packet, info medium.RxInfo) {
 	fwd.Hops++
 	fwd.Payload = &jqPayload{Hops: jq.Hops + 1}
 	delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
-	p.node.Sim().Schedule(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
+	p.node.Sim().After(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
 
 	// Members answer each refresh with a Join Reply after a short spread.
 	if p.node.Member {
 		reply := p.rng.Range(1e-3, p.cfg.ReplyDelayMax)
-		p.node.Sim().Schedule(reply, func() { p.sendJoinReply(pkt.Src) })
+		p.node.Sim().After(reply, func() { p.sendJoinReply(pkt.Src) })
 	}
 }
 

@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGridEquivalence runs fixed-seed scenarios through the grid-backed
+// medium and the retained brute-force path and asserts identical channel
+// counters and run summaries. Determinism for a fixed seed is a documented
+// invariant of the sim kernel; the spatial index must be invisible to it —
+// bit-identical results, not approximately equal ones (see DESIGN.md §7).
+func TestGridEquivalence(t *testing.T) {
+	protocols := []ProtocolKind{
+		SSSPST, SSSPSTT, SSSPSTF, SSSPSTE, SSMST, MAODV, ODMRP, Flood,
+	}
+	seeds := []uint64{1, 77}
+	for _, p := range protocols {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", p, seed), func(t *testing.T) {
+				t.Parallel()
+				cfg := Default()
+				cfg.Protocol = p
+				cfg.Seed = seed
+				cfg.Duration = 25
+				cfg.VMax = 8 // brisk mobility: several epochs per run
+
+				grid := Run(cfg)
+
+				brute := cfg
+				brute.Medium.Grid.Disable = true
+				ref := Run(brute)
+
+				if grid.Medium != ref.Medium {
+					t.Errorf("medium stats diverge:\n grid  %+v\n brute %+v", grid.Medium, ref.Medium)
+				}
+				if grid.Summary != ref.Summary {
+					t.Errorf("summaries diverge:\n grid  %+v\n brute %+v", grid.Summary, ref.Summary)
+				}
+			})
+		}
+	}
+}
+
+// TestGridEquivalenceStatic covers the build-once static-index mode and
+// the membership-churn path, which exercises dynamic join/leave pruning.
+func TestGridEquivalenceStatic(t *testing.T) {
+	cfg := Default()
+	cfg.Mobility = Static
+	cfg.Protocol = SSSPSTE
+	cfg.Duration = 25
+	cfg.MemberChurnInterval = 5
+
+	grid := Run(cfg)
+	brute := cfg
+	brute.Medium.Grid.Disable = true
+	ref := Run(brute)
+
+	if grid.Medium != ref.Medium {
+		t.Errorf("medium stats diverge:\n grid  %+v\n brute %+v", grid.Medium, ref.Medium)
+	}
+	if grid.Summary != ref.Summary {
+		t.Errorf("summaries diverge:\n grid  %+v\n brute %+v", grid.Summary, ref.Summary)
+	}
+}

@@ -212,6 +212,10 @@ func Run(cfg Config) Result {
 		members = append(members, packet.NodeID(idx+1))
 	}
 
+	vmax := cfg.VMax
+	if cfg.Mobility == Static {
+		vmax = 0
+	}
 	net := netsim.New(s, tracker, netsim.Config{
 		N:            cfg.N,
 		Source:       src,
@@ -219,6 +223,9 @@ func Run(cfg Config) Result {
 		Medium:       cfg.Medium,
 		Battery:      cfg.Battery,
 		PayloadBytes: cfg.PayloadBytes,
+		Area:         area,
+		VMax:         vmax,
+		StaticNodes:  cfg.Mobility == Static,
 	})
 
 	attachProtocols(net, cfg)

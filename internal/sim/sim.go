@@ -72,6 +72,29 @@ func (s *Simulator) Schedule(delay Time, fn func()) *Timer {
 	return &Timer{ev: s.queue.Push(s.now+delay, fn), q: s.queue}
 }
 
+// After is Schedule without the cancellation handle. Hot paths that never
+// cancel (the medium schedules millions of deliveries per run) use it: the
+// Timer allocation disappears and the underlying event is recycled after
+// it fires.
+func (s *Simulator) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	s.queue.PushPooled(s.now+delay, fn)
+}
+
+// Action aliases the event queue's pre-allocated callback interface.
+type Action = eventq.Action
+
+// AfterAction is After for a pre-allocated Action: zero allocations per
+// scheduled event when the Action lives in a caller-owned structure.
+func (s *Simulator) AfterAction(delay Time, act Action) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	s.queue.PushAction(s.now+delay, act)
+}
+
 // At runs fn at absolute simulated time t, which must not be in the past.
 func (s *Simulator) At(t Time, fn func()) *Timer {
 	if t < s.now {
@@ -146,7 +169,13 @@ func (s *Simulator) Run(until Time) Time {
 		}
 		s.now = e.At
 		s.processed++
-		e.Fn()
+		fn, act := e.Fn, e.Act
+		s.queue.Release(e) // recycle pooled events before fn can push new ones
+		if fn != nil {
+			fn()
+		} else {
+			act.Fire()
+		}
 	}
 	if s.now < until {
 		s.now = until

@@ -1,0 +1,201 @@
+// Package spatial implements the uniform-grid point index that turns the
+// medium's O(N) coverage and interference scans into O(k) cell lookups.
+//
+// The grid buckets node positions into square cells of side ≈ the radio's
+// maximum range. It holds a *snapshot* of positions taken at a refresh
+// epoch; between refreshes nodes keep moving, so a disk query must expand
+// its radius by the maximum distance any node can have travelled since the
+// epoch (VMax·(now−epoch), supplied by the caller as part of the query
+// radius). Candidates returned under that expanded radius are a guaranteed
+// superset of the nodes currently inside the true radius; callers apply an
+// exact distance filter against fresh positions, which makes grid-backed
+// queries bit-identical to a brute-force scan. DESIGN.md §7 gives the full
+// correctness argument.
+//
+// Cell geometry (bounds, cell size, column/row counts) is fixed at
+// construction and never changes across refreshes, so cell indices may be
+// cached by callers (the medium keeps per-cell registries of active
+// transmissions keyed by this geometry). Out-of-bounds points are clamped
+// onto the border cells; because clamping is monotone, the superset
+// guarantee holds even for points outside the configured bounds.
+package spatial
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/geom"
+)
+
+// Grid is a uniform spatial hash over a fixed rectangle. It is not safe
+// for concurrent use; like the rest of the simulator it lives on a single
+// goroutine.
+type Grid struct {
+	min     geom.Point
+	cell    float64
+	invCell float64
+	cols    int
+	rows    int
+
+	// Epoch snapshot.
+	cells [][]int32    // node ids bucketed by cell
+	pos   []geom.Point // positions at the epoch
+	epoch float64
+	built bool
+	// mark is a scratch bitmap used to emit query results in ascending
+	// id order without sorting (always zero between queries).
+	mark []uint64
+}
+
+// maxCellsFactor bounds the cell count relative to the node count so a
+// tiny cell size over a huge area cannot allocate an absurd grid: beyond
+// ~4 cells per node the extra resolution buys nothing.
+const maxCellsFactor = 4
+
+// NewGrid builds an index over n nodes inside bounds with the requested
+// cell side. A degenerate bounds or cell size collapses to a single cell
+// (the index then degrades gracefully to a filtered linear scan).
+func NewGrid(bounds geom.Rect, cell float64, n int) *Grid {
+	w, h := bounds.Width(), bounds.Height()
+	if cell <= 0 || w <= 0 || h <= 0 {
+		side := math.Max(w, h)
+		if cell <= 0 || cell > side || side <= 0 {
+			cell = math.Max(side, 1)
+		}
+	}
+	// Cap the total cell count; enlarge cells to fit if necessary.
+	maxCells := maxCellsFactor*n + 64
+	for {
+		cols := gridDim(w, cell)
+		rows := gridDim(h, cell)
+		if cols*rows <= maxCells {
+			g := &Grid{
+				min:     bounds.Min,
+				cell:    cell,
+				invCell: 1 / cell,
+				cols:    cols,
+				rows:    rows,
+				pos:     make([]geom.Point, n),
+				mark:    make([]uint64, (n+63)/64),
+			}
+			g.cells = make([][]int32, cols*rows)
+			return g
+		}
+		cell *= 2
+	}
+}
+
+// gridDim returns the cell count along one axis of extent w.
+func gridDim(w, cell float64) int {
+	d := int(math.Ceil(w / cell))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// CellSize returns the side length of one cell.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+// NumCells returns the total number of cells (fixed for the grid's life).
+func (g *Grid) NumCells() int { return g.cols * g.rows }
+
+// Built reports whether Rebuild has been called at least once.
+func (g *Grid) Built() bool { return g.built }
+
+// Epoch returns the time of the last Rebuild.
+func (g *Grid) Epoch() float64 { return g.epoch }
+
+// Rebuild snapshots positions (len must equal the grid's node count) as
+// the new epoch. Buckets are reused across rebuilds; no allocation happens
+// in steady state.
+func (g *Grid) Rebuild(now float64, positions []geom.Point) {
+	copy(g.pos, positions)
+	for i := range g.cells {
+		g.cells[i] = g.cells[i][:0]
+	}
+	for i, p := range g.pos {
+		c := g.CellIndex(p)
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+	g.epoch = now
+	g.built = true
+}
+
+// cellXY returns p's clamped cell coordinates.
+func (g *Grid) cellXY(p geom.Point) (ix, iy int) {
+	ix = int((p.X - g.min.X) * g.invCell)
+	if ix < 0 {
+		ix = 0
+	} else if ix >= g.cols {
+		ix = g.cols - 1
+	}
+	iy = int((p.Y - g.min.Y) * g.invCell)
+	if iy < 0 {
+		iy = 0
+	} else if iy >= g.rows {
+		iy = g.rows - 1
+	}
+	return ix, iy
+}
+
+// CellIndex returns the flat cell index of the cell containing p (clamped
+// onto the border for out-of-bounds points).
+func (g *Grid) CellIndex(p geom.Point) int {
+	ix, iy := g.cellXY(p)
+	return iy*g.cols + ix
+}
+
+// CellRange returns the clamped inclusive cell-coordinate range covered by
+// the axis-aligned bounding box of the disk (center, r).
+func (g *Grid) CellRange(center geom.Point, r float64) (ix0, iy0, ix1, iy1 int) {
+	ix0, iy0 = g.cellXY(geom.Point{X: center.X - r, Y: center.Y - r})
+	ix1, iy1 = g.cellXY(geom.Point{X: center.X + r, Y: center.Y + r})
+	return ix0, iy0, ix1, iy1
+}
+
+// Cell returns the flat index of cell (ix, iy).
+func (g *Grid) Cell(ix, iy int) int { return iy*g.cols + ix }
+
+// AppendInDisk appends to dst the ids of every node whose *epoch* position
+// lies within r of center, sorted ascending, and returns the extended
+// slice. Callers expand r by the worst-case drift since the epoch and then
+// filter the candidates against fresh positions; the result is then
+// exactly the set a brute-force scan over current positions would find.
+//
+// Ascending order matters: the medium schedules deliveries in candidate
+// order, and event order at equal timestamps is part of the determinism
+// contract. Matches are staged in a bitmap and emitted word by word, which
+// yields sorted output in O(n/64 + k) instead of a comparison sort.
+func (g *Grid) AppendInDisk(dst []int32, center geom.Point, r float64) []int32 {
+	r2 := r * r
+	ix0, iy0, ix1, iy1 := g.CellRange(center, r)
+	lo, hi := len(g.mark), -1
+	for iy := iy0; iy <= iy1; iy++ {
+		row := iy * g.cols
+		for ix := ix0; ix <= ix1; ix++ {
+			for _, id := range g.cells[row+ix] {
+				if g.pos[id].Dist2(center) <= r2 {
+					w := int(id) >> 6
+					g.mark[w] |= 1 << (uint(id) & 63)
+					if w < lo {
+						lo = w
+					}
+					if w > hi {
+						hi = w
+					}
+				}
+			}
+		}
+	}
+	for w := lo; w <= hi; w++ {
+		word := g.mark[w]
+		g.mark[w] = 0
+		base := int32(w << 6)
+		for word != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return dst
+}

@@ -1,0 +1,148 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// bruteInDisk is the reference: ids of points within r of center, ascending.
+func bruteInDisk(pts []geom.Point, center geom.Point, r float64) []int32 {
+	var out []int32
+	for i, p := range pts {
+		if p.Dist2(center) <= r*r {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func randPoints(rng *xrand.RNG, n int, area geom.Rect) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: rng.Range(area.Min.X, area.Max.X),
+			Y: rng.Range(area.Min.Y, area.Max.Y),
+		}
+	}
+	return pts
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDiskQueryMatchesBruteForce checks exactness on static snapshots over
+// many random configurations, including radii larger than the area and
+// centers outside the bounds.
+func TestDiskQueryMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(7)
+	area := geom.Square(750)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(120)
+		pts := randPoints(rng, n, area)
+		g := NewGrid(area, 125, n)
+		g.Rebuild(0, pts)
+		for q := 0; q < 20; q++ {
+			center := geom.Point{X: rng.Range(-200, 950), Y: rng.Range(-200, 950)}
+			r := rng.Range(0, 900)
+			got := g.AppendInDisk(nil, center, r)
+			want := bruteInDisk(pts, center, r)
+			if !equalIDs(got, want) {
+				t.Fatalf("trial %d query %d: got %v want %v (center %v r %g)",
+					trial, q, got, want, center, r)
+			}
+		}
+	}
+}
+
+// TestOutOfBoundsPointsClamped checks the superset guarantee for nodes far
+// outside the configured bounds: clamping is monotone, so border cells
+// catch them.
+func TestOutOfBoundsPointsClamped(t *testing.T) {
+	area := geom.Square(100)
+	pts := []geom.Point{{X: -500, Y: -500}, {X: 50, Y: 50}, {X: 900, Y: 50}}
+	g := NewGrid(area, 25, len(pts))
+	g.Rebuild(0, pts)
+	got := g.AppendInDisk(nil, geom.Point{X: -450, Y: -450}, 100)
+	if !equalIDs(got, []int32{0}) {
+		t.Fatalf("far-out-of-bounds node missed: got %v", got)
+	}
+	got = g.AppendInDisk(nil, geom.Point{X: 860, Y: 60}, 50)
+	if !equalIDs(got, []int32{2}) {
+		t.Fatalf("right-of-bounds node missed: got %v", got)
+	}
+}
+
+// TestSlackExpansionCoversDrift simulates the epoch contract: nodes move
+// after the snapshot, and a query expanded by the worst-case drift plus an
+// exact filter over fresh positions must equal brute force over fresh
+// positions.
+func TestSlackExpansionCoversDrift(t *testing.T) {
+	rng := xrand.New(11)
+	area := geom.Square(750)
+	const vmax, dt = 20.0, 6.0 // 120 m of drift
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(100)
+		old := randPoints(rng, n, area)
+		g := NewGrid(area, 250, n)
+		g.Rebuild(0, old)
+		// Every node drifts by at most vmax*dt in a random direction.
+		cur := make([]geom.Point, n)
+		for i, p := range old {
+			d := rng.Range(0, vmax*dt)
+			ang := rng.Range(0, 6.283185307179586)
+			cur[i] = geom.Point{X: p.X + d*math.Cos(ang), Y: p.Y + d*math.Sin(ang)}
+		}
+		center := cur[rng.Intn(n)]
+		r := rng.Range(10, 400)
+		cand := g.AppendInDisk(nil, center, r+vmax*dt)
+		var got []int32
+		for _, id := range cand {
+			if cur[id].Dist2(center) <= r*r {
+				got = append(got, id)
+			}
+		}
+		if want := bruteInDisk(cur, center, r); !equalIDs(got, want) {
+			t.Fatalf("trial %d: slack-expanded query missed nodes: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+// TestCellGeometryFixedAcrossRebuilds checks that rebuilding never changes
+// cell indices — the medium caches per-cell transmission registries across
+// epochs.
+func TestCellGeometryFixedAcrossRebuilds(t *testing.T) {
+	rng := xrand.New(3)
+	area := geom.Square(500)
+	g := NewGrid(area, 100, 10)
+	p := geom.Point{X: 321, Y: 77}
+	before := g.CellIndex(p)
+	for i := 0; i < 5; i++ {
+		g.Rebuild(float64(i), randPoints(rng, 10, area))
+		if g.CellIndex(p) != before {
+			t.Fatal("cell geometry changed across rebuilds")
+		}
+	}
+	if g.CellSize() != 100 || g.NumCells() != 25 {
+		t.Fatalf("geometry: cell %g cells %d", g.CellSize(), g.NumCells())
+	}
+}
+
+// TestCellCountCapped checks the guard against absurd cell counts.
+func TestCellCountCapped(t *testing.T) {
+	g := NewGrid(geom.Square(1e6), 1, 10)
+	if g.NumCells() > maxCellsFactor*10+64 {
+		t.Fatalf("cell count %d exceeds cap", g.NumCells())
+	}
+}

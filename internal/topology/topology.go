@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/spatial"
 )
 
 // Graph is an undirected connectivity snapshot: node i and j are adjacent
@@ -19,9 +20,20 @@ type Graph struct {
 	adj   [][]int
 }
 
+// gridMinNodes is the population below which the O(N²) scan beats the
+// index's setup cost.
+const gridMinNodes = 24
+
 // NewGraph builds the snapshot for the given positions and radio range.
+// Adjacency comes from a uniform spatial grid (O(N·k) instead of O(N²));
+// the output — including the ascending order of every adjacency list — is
+// identical to the pairwise scan, which small inputs still use.
 func NewGraph(pos []geom.Point, radioRange float64) *Graph {
 	g := &Graph{Pos: pos, Range: radioRange, adj: make([][]int, len(pos))}
+	if len(pos) >= gridMinNodes && radioRange > 0 {
+		g.buildGridAdj()
+		return g
+	}
 	r2 := radioRange * radioRange
 	for i := range pos {
 		for j := i + 1; j < len(pos); j++ {
@@ -32,6 +44,24 @@ func NewGraph(pos []geom.Point, radioRange float64) *Graph {
 		}
 	}
 	return g
+}
+
+// buildGridAdj fills adj from a one-shot spatial index over Pos. Positions
+// are a static snapshot, so candidate sets are exact (no drift slack) and
+// only the j > i half of each disk is materialized, mirroring the scan.
+func (g *Graph) buildGridAdj() {
+	grid := spatial.NewGrid(geom.BoundingBox(g.Pos), g.Range, len(g.Pos))
+	grid.Rebuild(0, g.Pos)
+	var buf []int32
+	for i := range g.Pos {
+		buf = grid.AppendInDisk(buf[:0], g.Pos[i], g.Range)
+		for _, j32 := range buf {
+			if j := int(j32); j > i {
+				g.adj[i] = append(g.adj[i], j)
+				g.adj[j] = append(g.adj[j], i)
+			}
+		}
+	}
 }
 
 // N returns the node count.

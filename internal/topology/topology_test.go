@@ -227,3 +227,41 @@ func TestBFSTreeIsValidTreeQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGridAdjacencyMatchesPairwiseScan checks that the grid-built
+// adjacency is identical — content and order — to the O(N²) scan, at
+// populations on both sides of the gridMinNodes cutover.
+func TestGridAdjacencyMatchesPairwiseScan(t *testing.T) {
+	rng := xrand.New(5)
+	for trial := 0; trial < 40; trial++ {
+		n := gridMinNodes + rng.Intn(150)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Range(0, 750), Y: rng.Range(0, 750)}
+		}
+		radioRange := rng.Range(50, 300)
+
+		got := NewGraph(pts, radioRange) // n >= gridMinNodes → grid path
+		want := &Graph{Pos: pts, Range: radioRange, adj: make([][]int, n)}
+		r2 := radioRange * radioRange
+		for i := range pts {
+			for j := i + 1; j < n; j++ {
+				if pts[i].Dist2(pts[j]) <= r2 {
+					want.adj[i] = append(want.adj[i], j)
+					want.adj[j] = append(want.adj[j], i)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			a, b := got.Neighbors(i), want.adj[i]
+			if len(a) != len(b) {
+				t.Fatalf("trial %d node %d: %d neighbors, want %d", trial, i, len(a), len(b))
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("trial %d node %d: adjacency %v, want %v", trial, i, a, b)
+				}
+			}
+		}
+	}
+}

@@ -40,7 +40,7 @@ func (c CBR) Attach(n *netsim.Node) {
 		}
 		n.Net.Collector.DataSent(len(n.Net.Members))
 		n.Proto.Originate()
-		n.Sim().Schedule(interval, fire)
+		n.Sim().After(interval, fire)
 	}
 	n.Sim().At(c.Start, fire)
 }
