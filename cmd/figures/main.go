@@ -1,12 +1,16 @@
 // Command figures regenerates the paper's evaluation figures (7–16) and
-// prints each as an aligned text table.
+// prints each as an aligned text table, plus the repository's extension
+// table 17: the cross-mobility comparison (random waypoint vs
+// Gauss-Markov vs RPGM vs Manhattan at the paper's baseline).
 //
 // Usage:
 //
-//	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,14]
+//	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,17]
+//	        [-mobility gauss-markov,rpgm,manhattan,rwp]
 //
 // With -quick the sweep uses short runs (the same setting the test suite
 // uses); curve shapes are stable well before the paper's 1800 s horizon.
+// -mobility selects the models compared in table 17.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -25,6 +30,7 @@ func main() {
 	duration := flag.Float64("duration", 0, "simulated seconds per run (overrides -quick)")
 	seeds := flag.Int("seeds", 0, "seeds averaged per point (overrides -quick)")
 	figs := flag.String("fig", "", "comma-separated figure numbers (default: all)")
+	mob := flag.String("mobility", "", "comma-separated mobility models for the cross-mobility table 17 (default: rwp,gauss-markov,rpgm,manhattan)")
 	flag.Parse()
 
 	opts := experiments.Full()
@@ -38,13 +44,28 @@ func main() {
 		opts.Seeds = *seeds
 	}
 
+	var kinds []scenario.MobilityKind
+	if *mob != "" {
+		for _, name := range strings.Split(*mob, ",") {
+			k, err := scenario.ParseMobility(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			kinds = append(kinds, k)
+		}
+	}
+
 	gens := map[int]func(experiments.Options) experiments.Table{
 		7: experiments.Figure7, 8: experiments.Figure8, 9: experiments.Figure9,
 		10: experiments.Figure10, 11: experiments.Figure11, 12: experiments.Figure12,
 		13: experiments.Figure13, 14: experiments.Figure14, 15: experiments.Figure15,
 		16: experiments.Figure16,
+		17: func(o experiments.Options) experiments.Table {
+			return experiments.CrossMobility(o, kinds)
+		},
 	}
-	order := []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	order := []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}
 
 	want := order
 	if *figs != "" {
@@ -52,7 +73,7 @@ func main() {
 		for _, s := range strings.Split(*figs, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || gens[n] == nil {
-				fmt.Fprintf(os.Stderr, "unknown figure %q (valid: 7-16)\n", s)
+				fmt.Fprintf(os.Stderr, "unknown figure %q (valid: 7-17)\n", s)
 				os.Exit(2)
 			}
 			want = append(want, n)

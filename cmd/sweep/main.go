@@ -1,10 +1,13 @@
 // Command sweep runs an arbitrary parameter grid and emits one CSV row
-// per (protocol, velocity, group size, seed) combination — the raw
-// material for custom plots beyond the paper's figures.
+// per (mobility, protocol, velocity, group size, beacon) point with each
+// headline metric as mean ± CI95 across seeds — the raw material for
+// custom plots beyond the paper's figures. With -raw it emits one row per
+// seed instead.
 //
 // Usage:
 //
 //	sweep -protos ss-spst,ss-spst-e -vmax 1,5,10,20 -groups 10,30 \
+//	      -mobility rwp,gauss-markov,rpgm,manhattan \
 //	      -seeds 3 -duration 300 > results.csv
 package main
 
@@ -16,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/scenario"
 )
 
@@ -30,34 +34,60 @@ var protoByName = map[string]scenario.ProtocolKind{
 	"flood":     scenario.Flood,
 }
 
+// point is one grid cell; its seeds vary only the RNG.
+type point struct {
+	mobility scenario.MobilityKind
+	proto    scenario.ProtocolKind
+	vmax     float64
+	group    int
+	beacon   float64
+}
+
 func main() {
 	protos := flag.String("protos", "ss-spst,ss-spst-e", "comma-separated protocols")
 	vmaxs := flag.String("vmax", "1,5,10,20", "comma-separated max speeds (m/s)")
 	groups := flag.String("groups", "20", "comma-separated group sizes")
 	beacons := flag.String("beacons", "2", "comma-separated beacon intervals (s)")
+	mobilities := flag.String("mobility", "rwp", "comma-separated mobility models (rwp, random-direction, gauss-markov, rpgm, manhattan, static)")
 	seeds := flag.Int("seeds", 2, "seeds per point")
 	duration := flag.Float64("duration", 180, "simulated seconds per run")
+	raw := flag.Bool("raw", false, "emit one row per seed instead of mean ± CI95 per point")
 	flag.Parse()
 
-	var cfgs []scenario.Config
-	for _, pName := range splitList(*protos) {
-		kind, ok := protoByName[pName]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown protocol %q\n", pName)
+	var kinds []scenario.MobilityKind
+	for _, name := range splitList(*mobilities) {
+		k, err := scenario.ParseMobility(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		for _, v := range parseFloats(*vmaxs) {
-			for _, g := range parseInts(*groups) {
-				for _, b := range parseFloats(*beacons) {
-					for s := 0; s < *seeds; s++ {
-						cfg := scenario.Default()
-						cfg.Protocol = kind
-						cfg.VMax = v
-						cfg.GroupSize = g
-						cfg.BeaconInterval = b
-						cfg.Duration = *duration
-						cfg.Seed = 1 + uint64(s)*1000003
-						cfgs = append(cfgs, cfg)
+		kinds = append(kinds, k)
+	}
+
+	var cfgs []scenario.Config
+	var points []point
+	for _, m := range kinds {
+		for _, pName := range splitList(*protos) {
+			kind, ok := protoByName[pName]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown protocol %q\n", pName)
+				os.Exit(2)
+			}
+			for _, v := range parseFloats(*vmaxs) {
+				for _, g := range parseInts(*groups) {
+					for _, b := range parseFloats(*beacons) {
+						points = append(points, point{m, kind, v, g, b})
+						for s := 0; s < *seeds; s++ {
+							cfg := scenario.Default()
+							cfg.Mobility = m
+							cfg.Protocol = kind
+							cfg.VMax = v
+							cfg.GroupSize = g
+							cfg.BeaconInterval = b
+							cfg.Duration = *duration
+							cfg.Seed = 1 + uint64(s)*1000003
+							cfgs = append(cfgs, cfg)
+						}
 					}
 				}
 			}
@@ -68,8 +98,17 @@ func main() {
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
+	if *raw {
+		writeRaw(w, results)
+		return
+	}
+	writeAggregated(w, points, results, *seeds)
+}
+
+// writeRaw emits the legacy one-row-per-seed format.
+func writeRaw(w *csv.Writer, results []scenario.Result) {
 	w.Write([]string{
-		"protocol", "vmax", "group", "beacon", "seed",
+		"mobility", "protocol", "vmax", "group", "beacon", "seed",
 		"pdr", "energy_per_pkt_mJ", "delay_ms", "ctrl_per_data_byte",
 		"unavailability", "total_energy_J", "tx_J", "rx_J", "discard_J",
 	})
@@ -77,12 +116,47 @@ func main() {
 		s := r.Summary
 		c := r.Config
 		w.Write([]string{
-			c.Protocol.String(),
+			c.Mobility.String(), c.Protocol.String(),
 			ftoa(c.VMax), strconv.Itoa(c.GroupSize), ftoa(c.BeaconInterval),
 			strconv.FormatUint(c.Seed, 10),
 			ftoa(s.PDR), ftoa(s.EnergyPerDeliveredJ * 1e3), ftoa(s.AvgDelayS * 1e3),
 			ftoa(s.CtrlPerDataByte), ftoa(s.Unavailability),
 			ftoa(s.TotalEnergyJ), ftoa(s.TxJ), ftoa(s.RxJ), ftoa(s.DiscardJ),
+		})
+	}
+}
+
+// writeAggregated reduces each point's seeds to mean ± CI95 columns. The
+// mean is the pooled (denominator-weighted) metrics.Mean; the CI is the
+// Student-t 95% half-width of the per-seed values.
+func writeAggregated(w *csv.Writer, points []point, results []scenario.Result, seeds int) {
+	w.Write([]string{
+		"mobility", "protocol", "vmax", "group", "beacon", "seeds",
+		"pdr", "pdr_ci95",
+		"energy_per_pkt_mJ", "energy_per_pkt_ci95",
+		"delay_ms", "delay_ci95",
+		"ctrl_per_data_byte", "ctrl_ci95",
+		"unavailability", "unavailability_ci95",
+		"total_energy_J", "total_energy_ci95",
+	})
+	for i, p := range points {
+		var agg metrics.Aggregate
+		var sums []metrics.Summary
+		for s := 0; s < seeds; s++ {
+			sum := results[i*seeds+s].Summary
+			sums = append(sums, sum)
+			agg.AddSummary(sum)
+		}
+		pooled := metrics.Mean(sums)
+		w.Write([]string{
+			p.mobility.String(), p.proto.String(),
+			ftoa(p.vmax), strconv.Itoa(p.group), ftoa(p.beacon), strconv.Itoa(seeds),
+			ftoa(pooled.PDR), ftoa(agg.PDR.CI95()),
+			ftoa(pooled.EnergyPerDeliveredJ * 1e3), ftoa(agg.EnergyPerPkt.CI95() * 1e3),
+			ftoa(pooled.AvgDelayS * 1e3), ftoa(agg.DelayS.CI95() * 1e3),
+			ftoa(pooled.CtrlPerDataByte), ftoa(agg.CtrlPerByte.CI95()),
+			ftoa(pooled.Unavailability), ftoa(agg.Unavailability.CI95()),
+			ftoa(pooled.TotalEnergyJ), ftoa(agg.TotalEnergyJ.CI95()),
 		})
 	}
 }

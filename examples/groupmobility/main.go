@@ -1,0 +1,68 @@
+// Groupmobility is the worked example for the mobility-model suite: it
+// runs the paper's baseline multicast scenario (SS-SPST-E, 50 nodes, 20
+// receivers, 64 kb/s CBR) under four movement models and prints the
+// headline metrics side by side.
+//
+// The interesting contrast is *how* the receivers move relative to each
+// other, not just how fast. Under RPGM (reference-point group mobility)
+// members orbit a shared roaming centroid, so a repaired branch tends to
+// fix several receivers at once; under random waypoint or Gauss-Markov
+// they drift independently and every member is its own repair problem;
+// Manhattan constrains everyone to a street grid, making links long-lived
+// along a street and brittle across blocks.
+//
+//	go run ./examples/groupmobility
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+func main() {
+	models := []scenario.MobilityKind{
+		scenario.RandomWaypoint, scenario.GaussMarkov, scenario.RPGM, scenario.Manhattan,
+	}
+	const seeds = 3
+
+	fmt.Println("Mobility-model suite under the paper baseline (SS-SPST-E)")
+	fmt.Println("(50 nodes, 20 receivers, 5 m/s max, 64 kb/s CBR, 240 s runs, 3 seeds)")
+	fmt.Println()
+	fmt.Printf("%-16s%10s%14s%12s%12s\n", "model", "PDR", "energy/pkt", "delay", "unavail")
+
+	var cfgs []scenario.Config
+	for _, m := range models {
+		for s := 0; s < seeds; s++ {
+			cfg := scenario.Default()
+			cfg.Mobility = m
+			cfg.VMax = 5
+			cfg.Duration = 240
+			cfg.Seed = 1 + uint64(s)*1000003
+			// RPGM: four roaming groups of ~12 nodes, 125 m disks.
+			cfg.GroupCount = 4
+			cfg.GroupRadius = 125
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := scenario.Sweep(cfgs)
+
+	for mi, m := range models {
+		var sums []metrics.Summary
+		for s := 0; s < seeds; s++ {
+			sums = append(sums, results[mi*seeds+s].Summary)
+		}
+		sum := metrics.Mean(sums)
+		fmt.Printf("%-16s%10.3f%12.1fmJ%10.0fms%12.3f\n",
+			m, sum.PDR, sum.EnergyPerDeliveredJ*1e3, sum.AvgDelayS*1e3, sum.Unavailability)
+	}
+
+	fmt.Println()
+	fmt.Println("Expected shape: RPGM's coherent receiver motion is the friendliest")
+	fmt.Println("to tree maintenance (fewest distinct link breaks per unit time);")
+	fmt.Println("Gauss-Markov sits near random waypoint but without waypoint turn")
+	fmt.Println("artifacts; Manhattan's street grid concentrates nodes on shared")
+	fmt.Println("lines — stable while a branch follows a street, harsh when it")
+	fmt.Println("must span blocks.")
+}

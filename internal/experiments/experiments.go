@@ -18,10 +18,13 @@ import (
 	"repro/internal/scenario"
 )
 
-// Point is one (x, y) sample of a curve.
+// Point is one (x, y) sample of a curve. CI, when non-zero, is the
+// half-width of the 95% confidence interval on y across the seeds that
+// were averaged into it.
 type Point struct {
-	X float64
-	Y float64
+	X  float64
+	Y  float64
+	CI float64
 }
 
 // Table is one reproduced figure: named series over a common x-axis.
@@ -32,6 +35,29 @@ type Table struct {
 	Series map[string][]Point
 	// Order fixes the series printing order (paper legend order).
 	Order []string
+	// XTicks, when set, labels a categorical x-axis: XTicks[i] names the
+	// point with X == i (the cross-mobility table uses model names).
+	XTicks []string
+}
+
+// picker extracts one plotted metric from a summary; ok reports whether
+// the run actually observed it (its denominator is non-zero), so CI
+// samples never ingest the zero placeholder of a run that has no such
+// observation.
+type picker func(metrics.Summary) (v float64, ok bool)
+
+// reduce pools the per-seed summaries of one sweep point into its
+// plotted value (via the bias-corrected metrics.Mean) and the CI95
+// half-width of the picked metric over the seeds that observed it.
+func reduce(ss []metrics.Summary, pick picker) (y, ci float64) {
+	var sample metrics.Sample
+	for _, s := range ss {
+		if v, ok := pick(s); ok {
+			sample.Add(v)
+		}
+	}
+	y, _ = pick(metrics.Mean(ss))
+	return y, sample.CI95()
 }
 
 // Options trims experiment cost. The paper runs 1800 s simulations; tests
@@ -75,7 +101,7 @@ var allFour = []scenario.ProtocolKind{
 
 // sweepVelocity runs the given protocols over the velocity axis and maps
 // each run summary through pick.
-func sweepVelocity(o Options, protos []scenario.ProtocolKind, pick func(metrics.Summary) float64) Table {
+func sweepVelocity(o Options, protos []scenario.ProtocolKind, pick picker) Table {
 	tbl := Table{XLabel: "max velocity (m/s)", Series: map[string][]Point{}}
 	var cfgs []scenario.Config
 	var keys []struct {
@@ -111,8 +137,8 @@ func sweepVelocity(o Options, protos []scenario.ProtocolKind, pick func(metrics.
 	}
 	for name, byV := range acc {
 		for _, v := range velocities {
-			m := metrics.Mean(byV[v])
-			tbl.Series[name] = append(tbl.Series[name], Point{X: v, Y: pick(m)})
+			y, ci := reduce(byV[v], pick)
+			tbl.Series[name] = append(tbl.Series[name], Point{X: v, Y: y, CI: ci})
 		}
 		sortPoints(tbl.Series[name])
 	}
@@ -120,7 +146,7 @@ func sweepVelocity(o Options, protos []scenario.ProtocolKind, pick func(metrics.
 }
 
 // sweepGroup runs the given protocols over the group-size axis.
-func sweepGroup(o Options, protos []scenario.ProtocolKind, vmax float64, pick func(metrics.Summary) float64) Table {
+func sweepGroup(o Options, protos []scenario.ProtocolKind, vmax float64, pick picker) Table {
 	tbl := Table{XLabel: "multicast group size", Series: map[string][]Point{}}
 	var cfgs []scenario.Config
 	var keys []struct {
@@ -159,8 +185,8 @@ func sweepGroup(o Options, protos []scenario.ProtocolKind, vmax float64, pick fu
 	}
 	for name, byG := range acc {
 		for _, g := range groupSizes {
-			m := metrics.Mean(byG[g])
-			tbl.Series[name] = append(tbl.Series[name], Point{X: float64(g), Y: pick(m)})
+			y, ci := reduce(byG[g], pick)
+			tbl.Series[name] = append(tbl.Series[name], Point{X: float64(g), Y: y, CI: ci})
 		}
 		sortPoints(tbl.Series[name])
 	}
@@ -169,7 +195,7 @@ func sweepGroup(o Options, protos []scenario.ProtocolKind, vmax float64, pick fu
 
 // sweepBeacon runs SS-SPST and SS-SPST-E over the beacon-interval axis at
 // 5 m/s, the Figure 10–11 setup.
-func sweepBeacon(o Options, pick func(metrics.Summary) float64) Table {
+func sweepBeacon(o Options, pick picker) Table {
 	tbl := Table{XLabel: "beacon interval (s)", Series: map[string][]Point{}}
 	protos := []scenario.ProtocolKind{scenario.SSSPSTE, scenario.SSSPST}
 	var cfgs []scenario.Config
@@ -207,19 +233,19 @@ func sweepBeacon(o Options, pick func(metrics.Summary) float64) Table {
 	}
 	for name, byB := range acc {
 		for _, b := range beaconIntervals {
-			m := metrics.Mean(byB[b])
-			tbl.Series[name] = append(tbl.Series[name], Point{X: b, Y: pick(m)})
+			y, ci := reduce(byB[b], pick)
+			tbl.Series[name] = append(tbl.Series[name], Point{X: b, Y: y, CI: ci})
 		}
 		sortPoints(tbl.Series[name])
 	}
 	return tbl
 }
 
-func pdr(s metrics.Summary) float64      { return s.PDR }
-func unavail(s metrics.Summary) float64  { return s.Unavailability }
-func energyMJ(s metrics.Summary) float64 { return s.EnergyPerDeliveredJ * 1e3 }
-func delayMS(s metrics.Summary) float64  { return s.AvgDelayS * 1e3 }
-func ctrl(s metrics.Summary) float64     { return s.CtrlPerDataByte }
+func pdr(s metrics.Summary) (float64, bool)      { return s.PDR, s.Expected > 0 }
+func unavail(s metrics.Summary) (float64, bool)  { return s.Unavailability, s.UnavailSamples > 0 }
+func energyMJ(s metrics.Summary) (float64, bool) { return s.EnergyPerDeliveredJ * 1e3, s.Delivered > 0 }
+func delayMS(s metrics.Summary) (float64, bool)  { return s.AvgDelayS * 1e3, s.Delivered > 0 }
+func ctrl(s metrics.Summary) (float64, bool)     { return s.CtrlPerDataByte, s.UniquePayloadBytes > 0 }
 
 // Figure7 reproduces "Packet Delivery Ratio vs. Velocity" for the SS-SPST
 // metric family.
@@ -310,6 +336,64 @@ func ExtensionMST(o Options) Table {
 	return t
 }
 
+// DefaultMobilityKinds is the cross-mobility comparison's model set: the
+// paper's own random waypoint plus the three models this repository adds.
+func DefaultMobilityKinds() []scenario.MobilityKind {
+	return []scenario.MobilityKind{
+		scenario.RandomWaypoint, scenario.GaussMarkov, scenario.RPGM, scenario.Manhattan,
+	}
+}
+
+// CrossMobility is the extension table beyond the paper: the baseline
+// scenario (SS-SPST-E, 50 nodes, 20 receivers, 5 m/s) re-run under each
+// mobility model, reporting the headline metrics side by side. Group
+// mobility (RPGM) keeps receivers spatially coherent and is expected to
+// be the friendliest to tree maintenance; Manhattan's street constraint
+// the harshest.
+func CrossMobility(o Options, kinds []scenario.MobilityKind) Table {
+	if len(kinds) == 0 {
+		kinds = DefaultMobilityKinds()
+	}
+	tbl := Table{
+		Title:  "Extension: cross-mobility comparison (SS-SPST-E, paper baseline)",
+		XLabel: "mobility model",
+		YLabel: "metric value",
+		Series: map[string][]Point{},
+		Order:  []string{"PDR", "energy/pkt (mJ)", "unavailability", "delay (ms)"},
+	}
+	var cfgs []scenario.Config
+	var keys []int // index into kinds
+	for ki, k := range kinds {
+		tbl.XTicks = append(tbl.XTicks, k.String())
+		for s := 0; s < o.Seeds; s++ {
+			cfg := scenario.Default()
+			o.apply(&cfg)
+			cfg.Protocol = scenario.SSSPSTE
+			cfg.Mobility = k
+			cfg.VMax = 5
+			cfg.Seed = o.BaseSeed + uint64(s)*1000003
+			cfgs = append(cfgs, cfg)
+			keys = append(keys, ki)
+		}
+	}
+	results := scenario.Sweep(cfgs)
+	byKind := make([][]metrics.Summary, len(kinds))
+	for i, r := range results {
+		byKind[keys[i]] = append(byKind[keys[i]], r.Summary)
+	}
+	picks := map[string]picker{
+		"PDR": pdr, "energy/pkt (mJ)": energyMJ, "unavailability": unavail, "delay (ms)": delayMS,
+	}
+	for name, pick := range picks {
+		for ki := range kinds {
+			y, ci := reduce(byKind[ki], pick)
+			tbl.Series[name] = append(tbl.Series[name], Point{X: float64(ki), Y: y, CI: ci})
+		}
+		sortPoints(tbl.Series[name])
+	}
+	return tbl
+}
+
 // All returns every figure in paper order.
 func All(o Options) []Table {
 	return []Table{
@@ -318,27 +402,45 @@ func All(o Options) []Table {
 	}
 }
 
-// Format renders the table as aligned text, one row per x value.
+// Format renders the table as aligned text, one row per x value. Points
+// carrying a confidence interval render as "mean ±ci"; categorical
+// tables (XTicks set) label rows by tick name instead of the numeric x.
 func (t Table) Format() string {
 	var b strings.Builder
+	names := t.seriesNames()
+	colw := 12
+	for _, n := range names {
+		for _, pt := range t.Series[n] {
+			if pt.CI > 0 {
+				colw = 22
+			}
+		}
+	}
 	fmt.Fprintf(&b, "%s\n", t.Title)
 	fmt.Fprintf(&b, "%-24s", t.XLabel)
-	names := t.seriesNames()
 	for _, n := range names {
-		fmt.Fprintf(&b, "%12s", n)
+		fmt.Fprintf(&b, "%*s", colw, n)
 	}
 	b.WriteByte('\n')
 	if len(names) == 0 {
 		return b.String()
 	}
 	for i, pt := range t.Series[names[0]] {
-		fmt.Fprintf(&b, "%-24.3g", pt.X)
+		if i < len(t.XTicks) {
+			fmt.Fprintf(&b, "%-24s", t.XTicks[i])
+		} else {
+			fmt.Fprintf(&b, "%-24.3g", pt.X)
+		}
 		for _, n := range names {
+			cell := "-"
 			if i < len(t.Series[n]) {
-				fmt.Fprintf(&b, "%12.4g", t.Series[n][i].Y)
-			} else {
-				fmt.Fprintf(&b, "%12s", "-")
+				p := t.Series[n][i]
+				cell = fmt.Sprintf("%.4g", p.Y)
+				if p.CI > 0 {
+					cell += fmt.Sprintf(" ±%.2g", p.CI)
+				}
 			}
+			fmt.Fprintf(&b, "%*s", colw, cell)
 		}
 		b.WriteByte('\n')
 	}

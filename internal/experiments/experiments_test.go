@@ -55,6 +55,53 @@ func TestFigureStructure(t *testing.T) {
 	}
 }
 
+// TestCrossMobilityStructure: one point per mobility model, the headline
+// metric series, labelled ticks, and CIs populated once there are two or
+// more seeds.
+func TestCrossMobilityStructure(t *testing.T) {
+	o := tiny()
+	o.Seeds = 2
+	tbl := CrossMobility(o, nil)
+	if len(tbl.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(tbl.Series))
+	}
+	kinds := DefaultMobilityKinds()
+	if len(tbl.XTicks) != len(kinds) {
+		t.Fatalf("ticks = %v, want one per model", tbl.XTicks)
+	}
+	for name, pts := range tbl.Series {
+		if len(pts) != len(kinds) {
+			t.Errorf("series %q: %d points, want %d", name, len(pts), len(kinds))
+		}
+	}
+	anyCI := false
+	for _, pts := range tbl.Series {
+		for _, p := range pts {
+			if p.CI > 0 {
+				anyCI = true
+			}
+		}
+	}
+	if !anyCI {
+		t.Error("no point carries a CI95 with 2 seeds")
+	}
+	out := tbl.Format()
+	for _, k := range kinds {
+		if !strings.Contains(out, k.String()) {
+			t.Errorf("formatted table missing model %v:\n%s", k, out)
+		}
+	}
+	if !strings.Contains(out, "±") {
+		t.Errorf("formatted table missing CI marker:\n%s", out)
+	}
+	pdrPts := tbl.Series["PDR"]
+	for _, p := range pdrPts {
+		if p.Y < 0 || p.Y > 1 {
+			t.Errorf("PDR out of range: %+v", p)
+		}
+	}
+}
+
 func TestExtensionMSTStructure(t *testing.T) {
 	tbl := ExtensionMST(tiny())
 	if len(tbl.Series) != 3 {

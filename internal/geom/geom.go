@@ -92,6 +92,11 @@ func (r Rect) Clamp(p Point) Point {
 	}
 }
 
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}
+}
+
 // Diagonal returns the length of the rectangle's diagonal, an upper bound
 // on any distance between two points inside r.
 func (r Rect) Diagonal() float64 { return r.Min.Dist(r.Max) }

@@ -114,20 +114,76 @@ func TestEmptySummary(t *testing.T) {
 }
 
 func TestMean(t *testing.T) {
-	a := Summary{PDR: 0.8, EnergyPerDeliveredJ: 2, Sent: 10, Delivered: 8}
-	b := Summary{PDR: 0.6, EnergyPerDeliveredJ: 4, Sent: 10, Delivered: 6}
+	a := Summary{
+		PDR: 0.8, EnergyPerDeliveredJ: 2, TotalEnergyJ: 16,
+		AvgDelayS: 0.010, DelaySumS: 0.080,
+		Sent: 10, Expected: 10, Delivered: 8,
+	}
+	b := Summary{
+		PDR: 0.6, EnergyPerDeliveredJ: 4, TotalEnergyJ: 24,
+		AvgDelayS: 0.020, DelaySumS: 0.120,
+		Sent: 10, Expected: 10, Delivered: 6,
+	}
 	m := Mean([]Summary{a, b})
+	// Pooled PDR: 14 delivered over 20 expected.
 	if math.Abs(m.PDR-0.7) > 1e-12 {
 		t.Errorf("mean PDR = %v", m.PDR)
 	}
-	if math.Abs(m.EnergyPerDeliveredJ-3) > 1e-12 {
+	// Pooled energy per delivery: (16+24) J over 14 deliveries, i.e. the
+	// per-run ratios weighted by their delivery counts.
+	if math.Abs(m.EnergyPerDeliveredJ-40.0/14) > 1e-12 {
 		t.Errorf("mean energy = %v", m.EnergyPerDeliveredJ)
+	}
+	// Pooled delay: 0.200 s of delay over 14 deliveries.
+	if math.Abs(m.AvgDelayS-0.200/14) > 1e-12 {
+		t.Errorf("mean delay = %v", m.AvgDelayS)
+	}
+	// Energies stay per-run means.
+	if math.Abs(m.TotalEnergyJ-20) > 1e-12 {
+		t.Errorf("mean total energy = %v", m.TotalEnergyJ)
 	}
 	if m.Sent != 20 || m.Delivered != 14 {
 		t.Errorf("counters should sum: %+v", m)
 	}
 	if empty := Mean(nil); empty != (Summary{}) {
 		t.Errorf("Mean(nil) = %+v", empty)
+	}
+}
+
+// TestMeanZeroDeliveryRun is the regression test for the dead-run bias: a
+// run that delivered nothing (EnergyPerDeliveredJ = 0, AvgDelayS = 0 by
+// construction) must not drag the aggregate ratios down. Its energy still
+// counts — so it worsens the pooled energy per delivery — and its zero
+// delay carries zero weight.
+func TestMeanZeroDeliveryRun(t *testing.T) {
+	alive := Summary{
+		PDR: 0.8, EnergyPerDeliveredJ: 2, TotalEnergyJ: 16,
+		AvgDelayS: 0.010, DelaySumS: 0.080,
+		Sent: 10, Expected: 10, Delivered: 8,
+		UnavailSamples: 100, UnavailBroken: 10, Unavailability: 0.1,
+	}
+	dead := Summary{
+		// Delivered nothing: ratio fields are zero, but the run burned
+		// energy and was broken at every availability probe.
+		TotalEnergyJ: 16,
+		Sent:         10, Expected: 10, Delivered: 0,
+		UnavailSamples: 100, UnavailBroken: 100, Unavailability: 1,
+	}
+	m := Mean([]Summary{alive, dead})
+	if math.Abs(m.PDR-0.4) > 1e-12 {
+		t.Errorf("pooled PDR = %v, want 0.4", m.PDR)
+	}
+	// The unweighted mean would report (2+0)/2 = 1 J/pkt — the dead run
+	// "improving" the metric. Pooled: 32 J for 8 deliveries = 4 J/pkt.
+	if math.Abs(m.EnergyPerDeliveredJ-4) > 1e-12 {
+		t.Errorf("pooled energy/pkt = %v, want 4", m.EnergyPerDeliveredJ)
+	}
+	// Unweighted delay would halve to 0.005; pooled keeps 0.010.
+	if math.Abs(m.AvgDelayS-0.010) > 1e-12 {
+		t.Errorf("pooled delay = %v, want 0.010", m.AvgDelayS)
+	}
+	if math.Abs(m.Unavailability-0.55) > 1e-12 {
+		t.Errorf("pooled unavailability = %v, want 0.55", m.Unavailability)
 	}
 }
 

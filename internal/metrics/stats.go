@@ -108,13 +108,25 @@ type Aggregate struct {
 	TotalEnergyJ   Sample
 }
 
-// AddSummary folds one run into the aggregate.
+// AddSummary folds one run into the aggregate. Each ratio joins its
+// sample only when the run has that ratio's denominator: a run that
+// delivered nothing has no energy-per-delivery or delay observation, and
+// folding its zero placeholder in would both re-center the mean and
+// inflate the CI with a value that never happened.
 func (a *Aggregate) AddSummary(s Summary) {
-	a.PDR.Add(s.PDR)
-	a.EnergyPerPkt.Add(s.EnergyPerDeliveredJ)
-	a.DelayS.Add(s.AvgDelayS)
-	a.CtrlPerByte.Add(s.CtrlPerDataByte)
-	a.Unavailability.Add(s.Unavailability)
+	if s.Expected > 0 {
+		a.PDR.Add(s.PDR)
+	}
+	if s.Delivered > 0 {
+		a.EnergyPerPkt.Add(s.EnergyPerDeliveredJ)
+		a.DelayS.Add(s.AvgDelayS)
+	}
+	if s.UniquePayloadBytes > 0 {
+		a.CtrlPerByte.Add(s.CtrlPerDataByte)
+	}
+	if s.UnavailSamples > 0 {
+		a.Unavailability.Add(s.Unavailability)
+	}
 	a.TotalEnergyJ.Add(s.TotalEnergyJ)
 }
 

@@ -104,12 +104,30 @@ func TestVarNonNegativeQuick(t *testing.T) {
 
 func TestAggregate(t *testing.T) {
 	var a Aggregate
-	a.AddSummary(Summary{PDR: 0.8, EnergyPerDeliveredJ: 2})
-	a.AddSummary(Summary{PDR: 0.6, EnergyPerDeliveredJ: 4})
+	a.AddSummary(Summary{PDR: 0.8, EnergyPerDeliveredJ: 2, Expected: 10, Delivered: 8})
+	a.AddSummary(Summary{PDR: 0.6, EnergyPerDeliveredJ: 4, Expected: 10, Delivered: 6})
 	if math.Abs(a.PDR.Mean()-0.7) > 1e-12 {
 		t.Errorf("aggregate PDR mean = %v", a.PDR.Mean())
 	}
 	if a.String() == "" {
 		t.Error("empty String")
+	}
+}
+
+// TestAggregateSkipsUndefinedRatios: a zero-delivery run must not push
+// its placeholder zeros into the energy/delay samples (they would drag
+// the sample mean away from the pooled mean and blow up the CI).
+func TestAggregateSkipsUndefinedRatios(t *testing.T) {
+	var a Aggregate
+	a.AddSummary(Summary{PDR: 0.8, EnergyPerDeliveredJ: 2, AvgDelayS: 0.01, Expected: 10, Delivered: 8, TotalEnergyJ: 16})
+	a.AddSummary(Summary{Expected: 10, Delivered: 0, TotalEnergyJ: 16}) // dead run
+	if a.EnergyPerPkt.N() != 1 || a.DelayS.N() != 1 {
+		t.Errorf("dead run entered ratio samples: energy N=%d delay N=%d", a.EnergyPerPkt.N(), a.DelayS.N())
+	}
+	if a.PDR.N() != 2 {
+		t.Errorf("dead run's real PDR=0 must still count: N=%d", a.PDR.N())
+	}
+	if a.TotalEnergyJ.N() != 2 {
+		t.Errorf("energy totals always count: N=%d", a.TotalEnergyJ.N())
 	}
 }

@@ -10,7 +10,10 @@ func cos(x float64) float64 { return math.Cos(x) }
 func sin(x float64) float64 { return math.Sin(x) }
 
 // borderHit returns the point at which a ray from p in direction dir first
-// exits rect. ok is false when dir is (numerically) zero or p is outside.
+// exits rect. ok is false when dir is (numerically) zero, p is outside, or
+// the ray exits immediately (p already sits on the border heading out) —
+// the latter guard keeps callers from building zero-length legs, which
+// would give the lazy tracker a leg that ends the instant it starts.
 func borderHit(r geom.Rect, p geom.Point, dir geom.Vec) (geom.Point, bool) {
 	if !r.Contains(p) {
 		return geom.Point{}, false
@@ -27,7 +30,7 @@ func borderHit(r geom.Rect, p geom.Point, dir geom.Vec) (geom.Point, bool) {
 	} else if dir.DY < -1e-12 {
 		best = math.Min(best, (r.Min.Y-p.Y)/dir.DY)
 	}
-	if math.IsInf(best, 1) || best < 0 {
+	if math.IsInf(best, 1) || best < 1e-9 {
 		return geom.Point{}, false
 	}
 	return r.Clamp(p.Add(dir.Scale(best))), true

@@ -1,0 +1,150 @@
+package mobility
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// GaussMarkov is the temporally correlated mobility model of Liang and
+// Haas: speed and heading evolve as first-order autoregressive processes,
+//
+//	s' = α·s + (1-α)·s̄ + √(1-α²)·σs·w
+//	θ' = α·θ + (1-α)·θ̄ + √(1-α²)·σθ·w
+//
+// so consecutive legs are smooth (no sharp waypoint turns) and, unlike
+// random waypoint with Vmin = 0, the long-run mean speed is pinned at s̄
+// — there is no velocity-decay artifact to fix.
+//
+// The continuous process is discretized into fixed-duration legs of Step
+// seconds. A leg's state is fully recoverable from its geometry (speed
+// from Leg.Speed, heading from the From→To direction), so the model needs
+// no per-node mutable state and slots into the lazy Model/Leg interface:
+// Next derives its randomness from a stream salted by the current leg,
+// exactly like RandomWaypoint.
+//
+// Near the area border the mean heading θ̄ is steered towards the interior
+// (the standard edge treatment), and destinations are clamped to the
+// area, so positions never leave it.
+type GaussMarkov struct {
+	Area  geom.Rect
+	Alpha float64 // memory ∈ [0,1); 0 = memoryless, →1 = straight lines
+	Step  float64 // leg duration, seconds
+
+	MeanSpeed float64 // s̄, m/s
+	SpeedStd  float64 // σs, m/s
+	MaxSpeed  float64 // hard cap (spatial-index slack bound)
+	minSpeed  float64 // hard floor > 0: keeps legs non-degenerate
+
+	rng *xrand.RNG
+}
+
+// headingStd is σθ in radians; the classic parameterization.
+const gmHeadingStd = math.Pi / 4
+
+// NewGaussMarkov builds the model. Speed is pinned to
+// [minSpeed, maxSpeed] with mean (minSpeed+maxSpeed)/2 and std
+// (maxSpeed-minSpeed)/4, so the model is sweepable on the same VMin/VMax
+// axis as the waypoint models. It panics on minSpeed <= 0 (degenerate
+// legs), maxSpeed < minSpeed, alpha outside [0,1), or step <= 0.
+func NewGaussMarkov(area geom.Rect, minSpeed, maxSpeed, alpha, step float64, rng *xrand.RNG) *GaussMarkov {
+	if minSpeed <= 0 {
+		panic("mobility: GaussMarkov requires MinSpeed > 0")
+	}
+	if maxSpeed < minSpeed {
+		panic("mobility: MaxSpeed < MinSpeed")
+	}
+	if alpha < 0 || alpha >= 1 {
+		panic("mobility: GaussMarkov alpha must be in [0,1)")
+	}
+	if step <= 0 {
+		panic("mobility: GaussMarkov step must be > 0")
+	}
+	return &GaussMarkov{
+		Area:      area,
+		Alpha:     alpha,
+		Step:      step,
+		MeanSpeed: (minSpeed + maxSpeed) / 2,
+		SpeedStd:  (maxSpeed - minSpeed) / 4,
+		MaxSpeed:  maxSpeed,
+		minSpeed:  minSpeed,
+		rng:       rng,
+	}
+}
+
+// Init implements Model: a uniform position, uniform heading and a speed
+// drawn around the mean.
+func (m *GaussMarkov) Init(i int) Leg {
+	r := m.rng.SplitIndex(i)
+	from := geom.Point{
+		X: r.Range(m.Area.Min.X, m.Area.Max.X),
+		Y: r.Range(m.Area.Min.Y, m.Area.Max.Y),
+	}
+	theta := r.Range(0, 2*math.Pi)
+	speed := m.clampSpeed(m.MeanSpeed + m.SpeedStd*r.Norm())
+	return m.leg(from, speed, theta, 0)
+}
+
+// Next implements Model: one autoregressive update of (speed, heading).
+func (m *GaussMarkov) Next(i int, cur Leg, now float64) Leg {
+	r := m.rng.SplitIndex(i).Split(legKey(cur))
+	speed := cur.Speed
+	theta := math.Atan2(cur.To.Y-cur.From.Y, cur.To.X-cur.From.X)
+	noise := math.Sqrt(1 - m.Alpha*m.Alpha)
+	speed = m.clampSpeed(m.Alpha*speed + (1-m.Alpha)*m.MeanSpeed + noise*m.SpeedStd*r.Norm())
+	// Blend headings along the shortest angular arc: atan2 hands back
+	// values in (-π, π], and mixing e.g. θ = -3.0 with θ̄ = +π raw would
+	// steer through the long way round instead of the 0.28 rad between
+	// them.
+	mean := m.meanHeading(cur.To, theta)
+	for mean-theta > math.Pi {
+		mean -= 2 * math.Pi
+	}
+	for mean-theta < -math.Pi {
+		mean += 2 * math.Pi
+	}
+	theta = m.Alpha*theta + (1-m.Alpha)*mean + noise*gmHeadingStd*r.Norm()
+	return m.leg(cur.To, speed, theta, now)
+}
+
+// clampSpeed pins a sampled speed into the legal band.
+func (m *GaussMarkov) clampSpeed(s float64) float64 {
+	return math.Min(math.Max(s, m.minSpeed), m.MaxSpeed)
+}
+
+// meanHeading is θ̄ at position p: the current heading in the interior,
+// steered towards the area center within a margin of the border so nodes
+// drift back inside instead of sliding along the walls.
+func (m *GaussMarkov) meanHeading(p geom.Point, theta float64) float64 {
+	margin := math.Min(m.Area.Width(), m.Area.Height()) * 0.1
+	dx, dy := 0.0, 0.0
+	if p.X < m.Area.Min.X+margin {
+		dx = 1
+	} else if p.X > m.Area.Max.X-margin {
+		dx = -1
+	}
+	if p.Y < m.Area.Min.Y+margin {
+		dy = 1
+	} else if p.Y > m.Area.Max.Y-margin {
+		dy = -1
+	}
+	if dx == 0 && dy == 0 {
+		return theta
+	}
+	return math.Atan2(dy, dx)
+}
+
+// leg builds the Step-long leg from `from` along heading theta, clamped to
+// the area. A clamp that collapses the leg (from exactly in a corner,
+// heading out) is re-aimed at the area center so legs are never
+// degenerate and the tracker always advances.
+func (m *GaussMarkov) leg(from geom.Point, speed, theta, start float64) Leg {
+	d := speed * m.Step
+	to := m.Area.Clamp(geom.Point{X: from.X + d*math.Cos(theta), Y: from.Y + d*math.Sin(theta)})
+	if from.Dist(to) < 1e-9 {
+		u := m.Area.Center().Sub(from).Unit()
+		to = m.Area.Clamp(from.Add(u.Scale(d)))
+	}
+	return Leg{From: from, To: to, Speed: speed, Start: start}
+}

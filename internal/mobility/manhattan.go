@@ -1,0 +1,143 @@
+package mobility
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// Manhattan is the street-grid mobility model of the ETSI/UMTS evaluation
+// framework: nodes move only along the lines of a regular grid of
+// "streets" with the given spacing, and at each intersection continue
+// straight with probability 1/2 or turn left/right with probability 1/4
+// each (invalid choices at the area border are re-distributed over the
+// valid ones). Motion is constrained and locally correlated — two nodes
+// on the same street stay mutually reachable far longer than under
+// random waypoint — which stresses multicast trees very differently from
+// the isotropic models.
+//
+// Every leg runs from one intersection to an adjacent one, so the whole
+// walk is exact integer index arithmetic: headings are recovered from leg
+// geometry without floating-point drift, legs always have length Spacing
+// > 0, and the lazy Model/Leg interface needs no per-node state.
+type Manhattan struct {
+	Area     geom.Rect
+	MinSpeed float64
+	MaxSpeed float64
+	Pause    float64 // dwell at each intersection
+	Spacing  float64 // street spacing, metres
+	nx, ny   int     // intersections per axis (indices 0..nx-1, 0..ny-1)
+	rng      *xrand.RNG
+}
+
+// NewManhattan builds the model. It panics on minSpeed <= 0,
+// maxSpeed < minSpeed, or a spacing that does not fit at least a 2×2
+// intersection grid into the area (there would be no streets to turn
+// onto).
+func NewManhattan(area geom.Rect, minSpeed, maxSpeed, pause, spacing float64, rng *xrand.RNG) *Manhattan {
+	if minSpeed <= 0 {
+		panic("mobility: Manhattan requires MinSpeed > 0")
+	}
+	if maxSpeed < minSpeed {
+		panic("mobility: MaxSpeed < MinSpeed")
+	}
+	if spacing <= 0 {
+		panic("mobility: Manhattan requires Spacing > 0")
+	}
+	nx := int(math.Floor(area.Width()/spacing)) + 1
+	ny := int(math.Floor(area.Height()/spacing)) + 1
+	if nx < 2 || ny < 2 {
+		panic("mobility: Manhattan spacing too large for the area (need a 2x2 grid)")
+	}
+	return &Manhattan{
+		Area: area, MinSpeed: minSpeed, MaxSpeed: maxSpeed,
+		Pause: pause, Spacing: spacing, nx: nx, ny: ny, rng: rng,
+	}
+}
+
+// point returns the intersection at grid indices (kx, ky). Computing it
+// as min + k·spacing every time makes equal indices yield bit-equal
+// coordinates, which legKey and heading recovery rely on.
+func (m *Manhattan) point(kx, ky int) geom.Point {
+	return geom.Point{
+		X: m.Area.Min.X + float64(kx)*m.Spacing,
+		Y: m.Area.Min.Y + float64(ky)*m.Spacing,
+	}
+}
+
+// index recovers the grid indices of an intersection point.
+func (m *Manhattan) index(p geom.Point) (int, int) {
+	return int(math.Round((p.X - m.Area.Min.X) / m.Spacing)),
+		int(math.Round((p.Y - m.Area.Min.Y) / m.Spacing))
+}
+
+func (m *Manhattan) valid(kx, ky int) bool {
+	return kx >= 0 && kx < m.nx && ky >= 0 && ky < m.ny
+}
+
+// Init implements Model: a uniform intersection and a uniform valid
+// heading out of it.
+func (m *Manhattan) Init(i int) Leg {
+	r := m.rng.SplitIndex(i)
+	kx, ky := r.Intn(m.nx), r.Intn(m.ny)
+	dirs := [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	var opts [][2]int
+	for _, d := range dirs {
+		if m.valid(kx+d[0], ky+d[1]) {
+			opts = append(opts, d)
+		}
+	}
+	d := opts[r.Intn(len(opts))]
+	return Leg{
+		From:  m.point(kx, ky),
+		To:    m.point(kx+d[0], ky+d[1]),
+		Speed: r.Range(m.MinSpeed, m.MaxSpeed),
+		Start: 0,
+		Pause: m.Pause,
+	}
+}
+
+// Next implements Model: the turn decision at the intersection cur.To.
+func (m *Manhattan) Next(i int, cur Leg, now float64) Leg {
+	r := m.rng.SplitIndex(i).Split(legKey(cur))
+	fx, fy := m.index(cur.From)
+	kx, ky := m.index(cur.To)
+	dx, dy := kx-fx, ky-fy
+	// Straight, left (90° CCW), right (90° CW) — the Manhattan turn set.
+	straight := [2]int{dx, dy}
+	left := [2]int{-dy, dx}
+	right := [2]int{dy, -dx}
+	choice := straight
+	u := r.Float64()
+	switch {
+	case u < 0.5:
+		// straight
+	case u < 0.75:
+		choice = left
+	default:
+		choice = right
+	}
+	if !m.valid(kx+choice[0], ky+choice[1]) {
+		// Redistribute over the remaining valid options; on a >= 2x2 grid
+		// at least one of straight/left/right is always valid (a node can
+		// only arrive at a corner along an edge street).
+		var opts [][2]int
+		for _, d := range [][2]int{straight, left, right} {
+			if m.valid(kx+d[0], ky+d[1]) {
+				opts = append(opts, d)
+			}
+		}
+		if len(opts) == 0 {
+			opts = [][2]int{{-dx, -dy}} // dead end: reverse (unreachable on a legal grid)
+		}
+		choice = opts[r.Intn(len(opts))]
+	}
+	return Leg{
+		From:  cur.To,
+		To:    m.point(kx+choice[0], ky+choice[1]),
+		Speed: r.Range(m.MinSpeed, m.MaxSpeed),
+		Start: now,
+		Pause: m.Pause,
+	}
+}

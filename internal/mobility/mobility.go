@@ -1,7 +1,9 @@
 // Package mobility implements the node movement models used by the
 // simulator: random waypoint (with the non-zero minimum speed fix of
-// Yoon/Liu/Noble that the paper explicitly adopts), random direction, and
-// a static model for worked examples and unit tests.
+// Yoon/Liu/Noble that the paper explicitly adopts), random direction,
+// Gauss-Markov (temporally correlated velocity), reference-point group
+// mobility (RPGM), the Manhattan street grid, and a static model for
+// worked examples and unit tests.
 //
 // Models are evaluated lazily: a node stores its current movement leg
 // (origin, destination, speed, start time) and Position(t) interpolates.
@@ -307,9 +309,12 @@ func (m *RandomDirection) Next(i int, cur Leg, now float64) Leg {
 
 // leg travels from `from` along a random heading to the border.
 func (m *RandomDirection) leg(r *xrand.RNG, from geom.Point, start float64) Leg {
-	// Sample headings until one makes measurable progress to a border
-	// (always true unless the node sits exactly on a corner heading out).
-	for {
+	// Sample headings until one makes measurable progress to a border.
+	// A node on the border (or exactly in a corner) rejects the outward
+	// and tangential-outward half of the headings, so a handful of draws
+	// almost surely suffices; the bounded retry plus the head-for-center
+	// fallback makes the "almost" unconditional.
+	for tries := 0; tries < 64; tries++ {
 		ang := r.Range(0, 2*3.141592653589793)
 		dir := geom.Vec{DX: cos(ang), DY: sin(ang)}
 		to, ok := borderHit(m.Area, from, dir)
@@ -317,6 +322,7 @@ func (m *RandomDirection) leg(r *xrand.RNG, from geom.Point, start float64) Leg 
 			return Leg{From: from, To: to, Speed: r.Range(m.MinSpeed, m.MaxSpeed), Start: start, Pause: m.Pause}
 		}
 	}
+	return Leg{From: from, To: m.Area.Center(), Speed: r.Range(m.MinSpeed, m.MaxSpeed), Start: start, Pause: m.Pause}
 }
 
 // legKey builds a stable string key from a leg's geometry for RNG stream

@@ -1,0 +1,244 @@
+package mobility
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// mkModels builds one instance of every new model over the standard area,
+// keyed by name, from a fresh seed.
+func mkModels(seed uint64) map[string]Model {
+	a := area()
+	return map[string]Model{
+		"gauss-markov": NewGaussMarkov(a, 1, 10, 0.75, 1, xrand.New(seed).Split("m")),
+		"rpgm":         NewRPGM(a, 1, 10, 4, 100, xrand.New(seed).Split("m")),
+		"manhattan":    NewManhattan(a, 1, 10, 0.5, 150, xrand.New(seed).Split("m")),
+	}
+}
+
+// TestNewModelsStayInArea is the area-containment property test: no
+// sampled position may ever leave the deployment rectangle.
+func TestNewModelsStayInArea(t *testing.T) {
+	for name, m := range mkModels(42) {
+		t.Run(name, func(t *testing.T) {
+			tr := NewTracker(16, m)
+			for i := 0; i < 16; i++ {
+				for tm := 0.0; tm < 1500; tm += 11.7 {
+					p := tr.Position(i, tm)
+					if !area().Contains(p) {
+						t.Fatalf("node %d left the area at t=%v: %v", i, tm, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNewModelsDeterministic: two trackers over identically seeded models
+// agree at every sampled (node, time).
+func TestNewModelsDeterministic(t *testing.T) {
+	for _, name := range []string{"gauss-markov", "rpgm", "manhattan"} {
+		t.Run(name, func(t *testing.T) {
+			a := NewTracker(8, mkModels(7)[name])
+			b := NewTracker(8, mkModels(7)[name])
+			for tm := 0.0; tm < 600; tm += 13.9 {
+				for i := 0; i < 8; i++ {
+					if pa, pb := a.Position(i, tm), b.Position(i, tm); pa != pb {
+						t.Fatalf("node %d diverged at t=%v: %v vs %v", i, tm, pa, pb)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNewModelsQueryOrderIndependent: positions must not depend on the
+// interleaving of queries across nodes (RPGM's shared reference paths are
+// extended lazily; the trajectory must be the same whoever triggers the
+// extension).
+func TestNewModelsQueryOrderIndependent(t *testing.T) {
+	for _, name := range []string{"gauss-markov", "rpgm", "manhattan"} {
+		t.Run(name, func(t *testing.T) {
+			// Tracker a: node 7 races far ahead before anyone else moves.
+			a := NewTracker(8, mkModels(3)[name])
+			a.Position(7, 500)
+			// Tracker b: everyone advances in lockstep.
+			b := NewTracker(8, mkModels(3)[name])
+			for tm := 0.0; tm <= 500; tm += 25 {
+				for i := 0; i < 8; i++ {
+					b.Position(i, tm)
+				}
+			}
+			for i := 0; i < 8; i++ {
+				if pa, pb := a.Position(i, 500), b.Position(i, 500); pa != pb {
+					t.Fatalf("node %d query-order dependent at t=500: %v vs %v", i, pa, pb)
+				}
+			}
+		})
+	}
+}
+
+// TestNewModelsMove: every model actually moves its nodes.
+func TestNewModelsMove(t *testing.T) {
+	for name, m := range mkModels(11) {
+		t.Run(name, func(t *testing.T) {
+			tr := NewTracker(6, m)
+			moved := 0
+			for i := 0; i < 6; i++ {
+				if tr.Position(i, 0).Dist(tr.Position(i, 120)) > 1 {
+					moved++
+				}
+			}
+			if moved == 0 {
+				t.Fatal("no node moved in 120 s")
+			}
+		})
+	}
+}
+
+// TestNewModelsSpeedBound: no model may exceed its configured maximum
+// speed — the spatial index sizes its drift slack from VMax, so this is a
+// correctness invariant, not a style point.
+func TestNewModelsSpeedBound(t *testing.T) {
+	const vmax = 10.0
+	for name, m := range mkModels(5) {
+		t.Run(name, func(t *testing.T) {
+			tr := NewTracker(8, m)
+			const dt = 0.05
+			for i := 0; i < 8; i++ {
+				for tm := 0.0; tm < 300; tm += 7 {
+					a := tr.Position(i, tm)
+					b := tr.Position(i, tm+dt)
+					if speed := a.Dist(b) / dt; speed > vmax*1.01 {
+						t.Fatalf("node %d speed %v exceeds vmax %v at t=%v", i, speed, vmax, tm)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGaussMarkovCorrelation: with high alpha, headings change slowly —
+// the displacement over consecutive short windows should mostly point the
+// same way, unlike random waypoint right after a waypoint turn. A crude
+// but robust check: the mean dot product of consecutive unit
+// displacements is strongly positive.
+func TestGaussMarkovCorrelation(t *testing.T) {
+	m := NewGaussMarkov(area(), 1, 10, 0.9, 1, xrand.New(2).Split("m"))
+	tr := NewTracker(10, m)
+	dot, n := 0.0, 0
+	for i := 0; i < 10; i++ {
+		prev := geom.Vec{}
+		for tm := 0.0; tm < 200; tm += 2 {
+			d := tr.Position(i, tm+2).Sub(tr.Position(i, tm)).Unit()
+			if prev != (geom.Vec{}) {
+				dot += d.DX*prev.DX + d.DY*prev.DY
+				n++
+			}
+			prev = d
+		}
+	}
+	if mean := dot / float64(n); mean < 0.3 {
+		t.Errorf("mean heading correlation %v; want strongly positive for alpha=0.9", mean)
+	}
+}
+
+// TestRPGMCohesion: group members stay near their shared reference point,
+// so the max pairwise spread inside a group is bounded by the disk
+// diameter (plus chase lag), and far below the area diagonal.
+func TestRPGMCohesion(t *testing.T) {
+	const radius = 100.0
+	m := NewRPGM(area(), 1, 10, 4, radius, xrand.New(9).Split("m"))
+	tr := NewTracker(16, m) // groups of 4: {0,4,8,12}, {1,5,9,13}, ...
+	for tm := 50.0; tm < 500; tm += 50 {
+		for g := 0; g < 4; g++ {
+			for a := g; a < 16; a += 4 {
+				for b := a + 4; b < 16; b += 4 {
+					d := tr.Position(a, tm).Dist(tr.Position(b, tm))
+					if d > 4*radius {
+						t.Fatalf("group %d members %d,%d spread %v at t=%v", g, a, b, d, tm)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestManhattanOnStreets: every sampled position lies on a grid line (x
+// or y within tolerance of a multiple of the spacing).
+func TestManhattanOnStreets(t *testing.T) {
+	const spacing = 150.0
+	m := NewManhattan(area(), 1, 10, 0, spacing, xrand.New(4).Split("m"))
+	tr := NewTracker(10, m)
+	onLine := func(v float64) bool {
+		k := v / spacing
+		return k-float64(int(k+0.5)) < 1e-6 && k-float64(int(k+0.5)) > -1e-6
+	}
+	for i := 0; i < 10; i++ {
+		for tm := 0.0; tm < 400; tm += 3.3 {
+			p := tr.Position(i, tm)
+			if !onLine(p.X) && !onLine(p.Y) {
+				t.Fatalf("node %d off-street at t=%v: %v", i, tm, p)
+			}
+		}
+	}
+}
+
+// TestManhattanRejectsOversizedSpacing: a spacing wider than the area
+// cannot form a street grid.
+func TestManhattanRejectsOversizedSpacing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("spacing > area side must panic")
+		}
+	}()
+	NewManhattan(area(), 1, 10, 0, 10_000, xrand.New(1))
+}
+
+// TestBorderHitDegenerate: a node exactly on the boundary heading
+// tangentially outward (corner) or straight out must not produce a
+// zero-length hit.
+func TestBorderHitDegenerate(t *testing.T) {
+	r := geom.Square(100)
+	cases := []struct {
+		p   geom.Point
+		dir geom.Vec
+	}{
+		{geom.Point{X: 100, Y: 50}, geom.Vec{DX: 1, DY: 0}},   // on east wall, heading out
+		{geom.Point{X: 100, Y: 100}, geom.Vec{DX: 0, DY: 1}},  // corner, tangential out
+		{geom.Point{X: 100, Y: 100}, geom.Vec{DX: 1, DY: 1}},  // corner, diagonal out
+		{geom.Point{X: 0, Y: 0}, geom.Vec{DX: -1, DY: 0}},     // origin corner, heading out
+		{geom.Point{X: 50, Y: 100}, geom.Vec{DX: 0, DY: 0.5}}, // north wall, heading out
+	}
+	for _, c := range cases {
+		if hit, ok := borderHit(r, c.p, c.dir); ok && hit.Dist(c.p) < 1e-9 {
+			t.Errorf("borderHit(%v, %v) returned a zero-length hit %v", c.p, c.dir, hit)
+		}
+	}
+	// Tangential along the wall (not outward) is a legitimate non-zero leg.
+	if hit, ok := borderHit(r, geom.Point{X: 100, Y: 50}, geom.Vec{DX: 0, DY: 1}); !ok || hit != (geom.Point{X: 100, Y: 100}) {
+		t.Errorf("along-wall ray: hit=%v ok=%v", hit, ok)
+	}
+}
+
+// TestRandomDirectionFromBorder: a walk started exactly in a corner still
+// produces finite, in-area, non-degenerate legs.
+func TestRandomDirectionFromBorder(t *testing.T) {
+	m := NewRandomDirection(area(), 1, 10, 0, xrand.New(6))
+	for _, from := range []geom.Point{
+		{X: 0, Y: 0}, {X: 750, Y: 750}, {X: 750, Y: 0}, {X: 0, Y: 375},
+	} {
+		leg := m.leg(xrand.New(8), from, 0)
+		if d := leg.From.Dist(leg.To); d <= 1e-9 {
+			t.Errorf("degenerate leg from %v: length %v", from, d)
+		}
+		if !area().Contains(leg.To) {
+			t.Errorf("leg from %v exits the area: %v", from, leg.To)
+		}
+		if leg.End() <= leg.Start {
+			t.Errorf("leg from %v does not advance time: start=%v end=%v", from, leg.Start, leg.End())
+		}
+	}
+}

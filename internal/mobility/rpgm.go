@@ -1,0 +1,183 @@
+package mobility
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// RPGM is reference-point group mobility (Hong, Gerla, Pei, Chiang): nodes
+// are partitioned into groups, each group's reference point roams the
+// area on a random-waypoint path, and every member orbits its group's
+// reference point within GroupRadius. Members of one group move together
+// — the canonical stressor for multicast tree maintenance, since a whole
+// subtree's worth of receivers drifts coherently instead of scattering.
+//
+// Lazy-leg realization: each group's reference path is an append-only
+// sequence of waypoint legs generated on demand from the group's own RNG
+// stream; member leg k re-targets "reference position at arrival time
+// plus a fresh offset inside the group disk" and picks a speed that
+// chases it, capped at MaxSpeed. The reference sequence is extended
+// strictly in order and consumes its stream deterministically, so the
+// whole model remains a pure function of the root seed regardless of the
+// order in which node positions are queried.
+type RPGM struct {
+	Area     geom.Rect
+	MinSpeed float64
+	MaxSpeed float64
+	// Groups is the number of groups; node i belongs to group i % Groups.
+	Groups int
+	// Radius bounds a member's offset from its reference point.
+	Radius float64
+	// Retarget is the member re-aim interval, seconds.
+	Retarget float64
+
+	rng  *xrand.RNG
+	refs []*refPath
+}
+
+// NewRPGM builds the model. Reference points travel at up to 70% of
+// maxSpeed so members (capped at maxSpeed) can both keep up and wander
+// within the disk. Panics on minSpeed <= 0, maxSpeed < minSpeed,
+// groups < 1, or radius <= 0.
+func NewRPGM(area geom.Rect, minSpeed, maxSpeed float64, groups int, radius float64, rng *xrand.RNG) *RPGM {
+	if minSpeed <= 0 {
+		panic("mobility: RPGM requires MinSpeed > 0")
+	}
+	if maxSpeed < minSpeed {
+		panic("mobility: MaxSpeed < MinSpeed")
+	}
+	if groups < 1 {
+		panic("mobility: RPGM requires at least one group")
+	}
+	if radius <= 0 {
+		panic("mobility: RPGM requires Radius > 0")
+	}
+	m := &RPGM{
+		Area:     area,
+		MinSpeed: minSpeed,
+		MaxSpeed: maxSpeed,
+		Groups:   groups,
+		Radius:   radius,
+		Retarget: math.Max(1, 2*radius/maxSpeed),
+		rng:      rng,
+	}
+	refVMax := math.Max(minSpeed, 0.7*maxSpeed)
+	for g := 0; g < groups; g++ {
+		m.refs = append(m.refs, newRefPath(m.refArea(), minSpeed, refVMax, rng.Split("rpgm-ref").SplitIndex(g)))
+	}
+	return m
+}
+
+// refArea is the reference points' roaming rectangle: the deployment area
+// inset by the group radius (when it fits), so member offsets rarely need
+// clamping at the walls.
+func (m *RPGM) refArea() geom.Rect {
+	inset := m.Radius
+	if 2*inset >= m.Area.Width() || 2*inset >= m.Area.Height() {
+		inset = math.Min(m.Area.Width(), m.Area.Height()) / 4
+	}
+	return geom.Rect{
+		Min: geom.Point{X: m.Area.Min.X + inset, Y: m.Area.Min.Y + inset},
+		Max: geom.Point{X: m.Area.Max.X - inset, Y: m.Area.Max.Y - inset},
+	}
+}
+
+// group returns node i's group index.
+func (m *RPGM) group(i int) int { return i % m.Groups }
+
+// offset draws a uniform point in the group disk.
+func (m *RPGM) offset(r *xrand.RNG) geom.Vec {
+	rad := m.Radius * math.Sqrt(r.Float64())
+	ang := r.Range(0, 2*math.Pi)
+	return geom.Vec{DX: rad * math.Cos(ang), DY: rad * math.Sin(ang)}
+}
+
+// Init implements Model: start at the group's t=0 reference position plus
+// an offset, already chasing the next target.
+func (m *RPGM) Init(i int) Leg {
+	r := m.rng.SplitIndex(i)
+	ref := m.refs[m.group(i)]
+	from := m.Area.Clamp(ref.at(0).Add(m.offset(r)))
+	return m.leg(r, i, from, 0)
+}
+
+// Next implements Model.
+func (m *RPGM) Next(i int, cur Leg, now float64) Leg {
+	r := m.rng.SplitIndex(i).Split(legKey(cur))
+	return m.leg(r, i, cur.To, now)
+}
+
+// leg aims at the reference position one retarget interval ahead plus a
+// fresh disk offset, at a speed that would arrive on time (capped to the
+// model's speed band).
+func (m *RPGM) leg(r *xrand.RNG, i int, from geom.Point, start float64) Leg {
+	ref := m.refs[m.group(i)]
+	target := m.Area.Clamp(ref.at(start + m.Retarget).Add(m.offset(r)))
+	dist := from.Dist(target)
+	if dist < 1e-9 {
+		// Degenerate aim (offset cancelled the drift): dwell briefly
+		// instead of emitting a zero-length moving leg. Speed > 0 with
+		// Pause > 0 gives the leg a finite End, so the tracker advances.
+		return Leg{From: from, To: from, Speed: m.MinSpeed, Start: start, Pause: 0.5}
+	}
+	speed := math.Min(math.Max(dist/m.Retarget, m.MinSpeed), m.MaxSpeed)
+	return Leg{From: from, To: target, Speed: speed, Start: start}
+}
+
+// refPath is one group's reference-point trajectory: random-waypoint legs
+// generated append-only from a private stream and queried at arbitrary
+// times via binary search.
+type refPath struct {
+	area geom.Rect
+	vmin float64
+	vmax float64
+	rng  *xrand.RNG
+	legs []Leg
+	ends []float64 // ends[k] = legs[k].End(), strictly increasing
+}
+
+func newRefPath(area geom.Rect, vmin, vmax float64, rng *xrand.RNG) *refPath {
+	p := &refPath{area: area, vmin: vmin, vmax: vmax, rng: rng}
+	from := p.randPoint()
+	p.push(p.mkLeg(from, 0))
+	return p
+}
+
+func (p *refPath) randPoint() geom.Point {
+	return geom.Point{
+		X: p.rng.Range(p.area.Min.X, p.area.Max.X),
+		Y: p.rng.Range(p.area.Min.Y, p.area.Max.Y),
+	}
+}
+
+// mkLeg draws the next waypoint leg from `from` starting at `start`.
+// Destinations repeat-draw until they are a measurable distance away so
+// every leg has positive duration and the path always advances.
+func (p *refPath) mkLeg(from geom.Point, start float64) Leg {
+	to := p.randPoint()
+	for from.Dist(to) < 1e-6 {
+		to = p.randPoint()
+	}
+	return Leg{From: from, To: to, Speed: p.rng.Range(p.vmin, p.vmax), Start: start}
+}
+
+func (p *refPath) push(l Leg) {
+	p.legs = append(p.legs, l)
+	p.ends = append(p.ends, l.End())
+}
+
+// at returns the reference position at time t, extending the path as
+// needed. Extension order is strictly chronological, so the stream draws
+// — and therefore the whole trajectory — do not depend on who asks first.
+func (p *refPath) at(t float64) geom.Point {
+	for p.ends[len(p.ends)-1] <= t {
+		last := p.legs[len(p.legs)-1]
+		p.push(p.mkLeg(last.To, last.End()))
+	}
+	// The loop above guarantees ends[last] > t, so k is always in range.
+	k := sort.SearchFloat64s(p.ends, t)
+	return p.legs[k].Position(t)
+}

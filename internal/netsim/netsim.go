@@ -86,6 +86,12 @@ type Network struct {
 	Source    packet.NodeID
 	Members   []packet.NodeID // receivers; excludes the source
 	memberSet []bool
+	// joinTime[i] is the instant node i last became a member (0 for the
+	// initial membership). The availability sampler baselines a member's
+	// outage clock here: a node that joined mid-run has had no chance to
+	// receive anything before its join, so silence predating it is not an
+	// outage.
+	joinTime []float64
 }
 
 // Config parameterizes network construction.
@@ -122,6 +128,7 @@ func New(s *sim.Simulator, tracker *mobility.Tracker, cfg Config) *Network {
 		Source:    cfg.Source,
 		Members:   cfg.Members,
 		memberSet: make([]bool, cfg.N),
+		joinTime:  make([]float64, cfg.N),
 	}
 	mcfg := cfg.Medium
 	if !mcfg.Grid.Disable {
@@ -165,6 +172,10 @@ func New(s *sim.Simulator, tracker *mobility.Tracker, cfg Config) *Network {
 // IsMember reports whether id is a multicast receiver.
 func (net *Network) IsMember(id packet.NodeID) bool { return net.memberSet[id] }
 
+// JoinedAt returns the time node id last joined the group (0 for initial
+// members and for nodes that never joined).
+func (net *Network) JoinedAt(id packet.NodeID) float64 { return net.joinTime[id] }
+
 // SetMember changes id's group membership at runtime (dynamic join/leave).
 // The protocols observe the flag on their next beacon round — the pruning
 // machinery then grows or sheds the branch. The source cannot be a member.
@@ -175,6 +186,7 @@ func (net *Network) SetMember(id packet.NodeID, member bool) {
 	net.memberSet[id] = member
 	net.Nodes[id].Member = member
 	if member {
+		net.joinTime[id] = net.Sim.Now()
 		net.Members = append(net.Members, id)
 		return
 	}

@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/medium"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// newModelKinds is the PR's mobility-suite addition.
+var newModelKinds = []MobilityKind{GaussMarkov, RPGM, Manhattan}
+
+// TestNewMobilityRepeatability is the hard determinism invariant at the
+// scenario level: a run is a pure function of its Config, so two runs of
+// an identical config must produce identical summaries — for every new
+// model.
+func TestNewMobilityRepeatability(t *testing.T) {
+	for _, k := range newModelKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			cfg := Default()
+			cfg.Mobility = k
+			cfg.N = 25
+			cfg.GroupSize = 8
+			cfg.Duration = 30
+			cfg.VMax = 8
+			a := Run(cfg)
+			b := Run(cfg)
+			if a.Summary != b.Summary {
+				t.Errorf("same config, different summaries:\n  %+v\n  %+v", a.Summary, b.Summary)
+			}
+		})
+	}
+}
+
+// TestNewMobilityRuns: every new model produces a live network (traffic
+// flows, some of it arrives) under the baseline scenario.
+func TestNewMobilityRuns(t *testing.T) {
+	for _, k := range newModelKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			cfg := Default()
+			cfg.Mobility = k
+			cfg.N = 30
+			cfg.GroupSize = 10
+			cfg.Duration = 40
+			s := Run(cfg).Summary
+			if s.Sent == 0 || s.Expected == 0 {
+				t.Fatal("no traffic generated")
+			}
+			if s.Delivered == 0 {
+				t.Errorf("nothing delivered under %v: %v", k, s)
+			}
+		})
+	}
+}
+
+// TestGaussMarkovMemorylessEndpoint: GMAlpha = 0 is the meaningful
+// memoryless end of the correlation axis, not "unset" — the 0.75 default
+// lives in Default(), so an explicit 0 must run as written.
+func TestGaussMarkovMemorylessEndpoint(t *testing.T) {
+	cfg := Default()
+	cfg.Mobility = GaussMarkov
+	cfg.GMAlpha = 0
+	cfg.N = 20
+	cfg.GroupSize = 5
+	cfg.Duration = 15
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("alpha=0 rejected: %v", err)
+	}
+	if s := Run(cfg).Summary; s.Sent == 0 {
+		t.Error("no traffic under memoryless Gauss-Markov")
+	}
+}
+
+// TestGroupSizeClamp is the regression test for the out-of-range panic:
+// GroupSize > N-1 used to crash Run at perm[:cfg.GroupSize]; it must now
+// clamp to "everyone but the source".
+func TestGroupSizeClamp(t *testing.T) {
+	cfg := Default()
+	cfg.N = 10
+	cfg.GroupSize = 25 // > N-1; used to panic
+	cfg.Duration = 10
+	s := Run(cfg).Summary
+	if s.Sent == 0 {
+		t.Fatal("no traffic")
+	}
+	if s.Expected != s.Sent*(cfg.N-1) {
+		t.Errorf("clamped group: expected=%d sent=%d, want group size %d", s.Expected, s.Sent, cfg.N-1)
+	}
+}
+
+// TestValidate covers the clear-error path for configs Run cannot clamp
+// into shape.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"too few nodes", func(c *Config) { c.N = 1 }, "at least 2 nodes"},
+		{"no area", func(c *Config) { c.AreaSide = 0 }, "AreaSide"},
+		{"empty group", func(c *Config) { c.GroupSize = 0 }, "GroupSize"},
+		{"zero vmin", func(c *Config) { c.VMin = 0 }, "VMin"},
+		{"vmax below vmin", func(c *Config) { c.VMax = 0.5 }, "VMax"},
+		{"no duration", func(c *Config) { c.Duration = 0 }, "Duration"},
+		{"bad alpha", func(c *Config) { c.Mobility = GaussMarkov; c.GMAlpha = 1.2 }, "GMAlpha"},
+		{"negative gm step", func(c *Config) { c.Mobility = GaussMarkov; c.GMStep = -1 }, "GMStep"},
+		{"negative groups", func(c *Config) { c.Mobility = RPGM; c.GroupCount = -3 }, "GroupCount"},
+		{"negative radius", func(c *Config) { c.Mobility = RPGM; c.GroupRadius = -5 }, "GroupRadius"},
+		{"oversized spacing", func(c *Config) { c.Mobility = Manhattan; c.StreetSpacing = 2000 }, "StreetSpacing"},
+	}
+	for _, tc := range cases {
+		cfg := Default()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	// Static scenarios have no speeds to validate.
+	cfg := Default()
+	cfg.Mobility = Static
+	cfg.VMin, cfg.VMax = 0, 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("static config rejected: %v", err)
+	}
+}
+
+// TestParseMobility exercises the registry names and aliases.
+func TestParseMobility(t *testing.T) {
+	for name, want := range map[string]MobilityKind{
+		"rwp": RandomWaypoint, "random-waypoint": RandomWaypoint,
+		"GAUSS-MARKOV": GaussMarkov, "gm": GaussMarkov,
+		"rpgm": RPGM, "manhattan": Manhattan, "grid": Manhattan,
+		"static": Static, "random-direction": RandomDirection,
+	} {
+		got, err := ParseMobility(name)
+		if err != nil || got != want {
+			t.Errorf("ParseMobility(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseMobility("levy-flight"); err == nil {
+		t.Error("unknown model must error")
+	}
+	for _, k := range AllMobility() {
+		if got, err := ParseMobility(k.String()); err != nil || got != k {
+			t.Errorf("round-trip %v failed: %v, %v", k, got, err)
+		}
+	}
+}
+
+// TestAvailabilityJoinBaseline is the regression test for the churn
+// sampler bias: a member that joins mid-run has no LastDelivery record,
+// and the sampler used to count it broken from its very first window.
+// With the join-time baseline, the silence before the join does not
+// count, and the first post-join window only counts once a full interval
+// has elapsed.
+func TestAvailabilityJoinBaseline(t *testing.T) {
+	s := sim.New(1)
+	tracker := mobility.NewTracker(3, mobility.Static{Points: []geom.Point{{}, {X: 1}, {X: 2}}})
+	net := netsim.New(s, tracker, netsim.Config{
+		N: 3, Source: 0, Members: []packet.NodeID{1},
+		Medium: medium.DefaultConfig(), PayloadBytes: 512,
+		Area: geom.Square(10), StaticNodes: true,
+	})
+	attachAvailabilitySampler(net, 1)
+	s.At(5.5, func() { net.SetMember(2, true) })
+	s.Run(10)
+
+	// Member 1 (initial, never served): sampled at t=1..10; broken once
+	// now-0 > 1, i.e. at t=2..10 → 9 broken of 10.
+	// Member 2 (joins at 5.5, never served): sampled at t=6..10; broken
+	// once now-5.5 > 1, i.e. at t=7..10 → 4 broken of 5. The pre-fix
+	// sampler would count t=6 broken too ("no record yet").
+	sum := net.Summarize()
+	if sum.UnavailSamples != 15 {
+		t.Fatalf("UnavailSamples = %d, want 15", sum.UnavailSamples)
+	}
+	if sum.UnavailBroken != 13 {
+		t.Errorf("UnavailBroken = %d, want 13 (join-time baseline)", sum.UnavailBroken)
+	}
+}
+
+// TestMobilityKindString pins the registry names used by cmd flags.
+func TestMobilityKindString(t *testing.T) {
+	if GaussMarkov.String() != "gauss-markov" || RPGM.String() != "rpgm" ||
+		Manhattan.String() != "manhattan" || RandomWaypoint.String() != "rwp" {
+		t.Error("mobility names wrong")
+	}
+}

@@ -10,6 +10,7 @@ package scenario
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -81,7 +82,56 @@ const (
 	RandomWaypoint MobilityKind = iota
 	RandomDirection
 	Static
+	GaussMarkov
+	RPGM
+	Manhattan
 )
+
+var mobilityNames = [...]string{
+	"rwp", "random-direction", "static", "gauss-markov", "rpgm", "manhattan",
+}
+
+// AllMobility lists every registered mobility model in declaration order.
+func AllMobility() []MobilityKind {
+	return []MobilityKind{RandomWaypoint, RandomDirection, Static, GaussMarkov, RPGM, Manhattan}
+}
+
+// String implements fmt.Stringer with the registry (flag) names.
+func (k MobilityKind) String() string {
+	if 0 <= int(k) && int(k) < len(mobilityNames) {
+		return mobilityNames[k]
+	}
+	return fmt.Sprintf("Mobility(%d)", int(k))
+}
+
+// mobilityAliases maps every accepted spelling to its kind; the canonical
+// names from mobilityNames are merged in by init.
+var mobilityAliases = map[string]MobilityKind{
+	"random-waypoint": RandomWaypoint,
+	"waypoint":        RandomWaypoint,
+	"rdir":            RandomDirection,
+	"gm":              GaussMarkov,
+	"gauss":           GaussMarkov,
+	"group":           RPGM,
+	"grid":            Manhattan,
+}
+
+func init() {
+	for i, n := range mobilityNames {
+		mobilityAliases[n] = MobilityKind(i)
+	}
+}
+
+// ParseMobility resolves a model name (canonical or alias, case
+// insensitive) to its kind.
+func ParseMobility(name string) (MobilityKind, error) {
+	k, ok := mobilityAliases[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return 0, fmt.Errorf("scenario: unknown mobility model %q (valid: %s)",
+			name, strings.Join(mobilityNames[:], ", "))
+	}
+	return k, nil
+}
 
 // Config is one complete scenario. The zero value is not runnable; start
 // from Default.
@@ -99,6 +149,22 @@ type Config struct {
 	VMax      float64
 	Pause     float64
 	Positions []geom.Point // used by Static; nil → uniform random
+
+	// Per-model mobility parameters; zero values select the documented
+	// defaults so hand-built configs keep working — except GMAlpha, where
+	// 0 is itself meaningful (memoryless Gauss-Markov) and the 0.75
+	// default is set by Default() instead.
+	//
+	// GMAlpha is the Gauss-Markov memory α ∈ [0,1); GMStep its
+	// discretization step in seconds (0 → 1).
+	GMAlpha float64
+	GMStep  float64
+	// GroupCount and GroupRadius parameterize RPGM (0 → 4 groups, radius
+	// AreaSide/6).
+	GroupCount  int
+	GroupRadius float64
+	// StreetSpacing is the Manhattan grid pitch in metres (0 → AreaSide/5).
+	StreetSpacing float64
 
 	// Multicast group: the source plus GroupSize receivers.
 	GroupSize int
@@ -151,6 +217,7 @@ func Default() Config {
 		VMax:           5,
 		Pause:          2,
 		GroupSize:      20,
+		GMAlpha:        0.75,
 		RateBps:        64e3,
 		PayloadBytes:   512,
 		BeaconInterval: 2,
@@ -176,18 +243,86 @@ type Result struct {
 	Medium  medium.Stats
 }
 
-// Run executes one scenario to completion.
-func Run(cfg Config) Result {
-	s := sim.New(cfg.Seed)
-	root := xrand.New(cfg.Seed)
+// Validate reports the first nonsensical setting in cfg, or nil. Run
+// calls it and panics on a broken config with the validation message —
+// far clearer than the index-out-of-range it would otherwise hit deep in
+// group selection. GroupSize larger than N-1 is not an error: Run clamps
+// it to "everyone but the source" (the paper's own densest setting).
+func (cfg Config) Validate() error {
+	if cfg.N < 2 {
+		return fmt.Errorf("scenario: need at least 2 nodes (a source and a receiver), got N=%d", cfg.N)
+	}
+	if cfg.AreaSide <= 0 {
+		return fmt.Errorf("scenario: AreaSide must be positive, got %v", cfg.AreaSide)
+	}
+	if cfg.GroupSize < 1 {
+		return fmt.Errorf("scenario: GroupSize must be at least 1, got %d", cfg.GroupSize)
+	}
+	if cfg.Mobility != Static {
+		if cfg.VMin <= 0 {
+			return fmt.Errorf("scenario: VMin must be > 0 (Yoon/Liu/Noble fix), got %v", cfg.VMin)
+		}
+		if cfg.VMax < cfg.VMin {
+			return fmt.Errorf("scenario: VMax %v < VMin %v", cfg.VMax, cfg.VMin)
+		}
+	}
+	// Per-model parameters (zero always means "use the default").
+	switch cfg.Mobility {
+	case GaussMarkov:
+		if cfg.GMAlpha < 0 || cfg.GMAlpha >= 1 {
+			return fmt.Errorf("scenario: GMAlpha must be in [0,1), got %v", cfg.GMAlpha)
+		}
+		if cfg.GMStep < 0 {
+			return fmt.Errorf("scenario: GMStep must be >= 0, got %v", cfg.GMStep)
+		}
+	case RPGM:
+		if cfg.GroupCount < 0 {
+			return fmt.Errorf("scenario: GroupCount must be >= 0, got %d", cfg.GroupCount)
+		}
+		if cfg.GroupRadius < 0 {
+			return fmt.Errorf("scenario: GroupRadius must be >= 0, got %v", cfg.GroupRadius)
+		}
+	case Manhattan:
+		if cfg.StreetSpacing < 0 || cfg.StreetSpacing > cfg.AreaSide {
+			return fmt.Errorf("scenario: StreetSpacing must be in (0, AreaSide] (need a 2x2 street grid), got %v", cfg.StreetSpacing)
+		}
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("scenario: Duration must be positive, got %v", cfg.Duration)
+	}
+	return nil
+}
 
-	area := geom.Square(cfg.AreaSide)
-	var model mobility.Model
+// buildMobility constructs cfg's movement model, filling in the
+// documented per-model parameter defaults.
+func buildMobility(cfg Config, area geom.Rect, root *xrand.RNG) mobility.Model {
 	switch cfg.Mobility {
 	case RandomWaypoint:
-		model = mobility.NewRandomWaypoint(area, cfg.VMin, cfg.VMax, cfg.Pause, root.Split("mobility"))
+		return mobility.NewRandomWaypoint(area, cfg.VMin, cfg.VMax, cfg.Pause, root.Split("mobility"))
 	case RandomDirection:
-		model = mobility.NewRandomDirection(area, cfg.VMin, cfg.VMax, cfg.Pause, root.Split("mobility"))
+		return mobility.NewRandomDirection(area, cfg.VMin, cfg.VMax, cfg.Pause, root.Split("mobility"))
+	case GaussMarkov:
+		step := cfg.GMStep
+		if step == 0 {
+			step = 1
+		}
+		return mobility.NewGaussMarkov(area, cfg.VMin, cfg.VMax, cfg.GMAlpha, step, root.Split("mobility"))
+	case RPGM:
+		groups := cfg.GroupCount
+		if groups == 0 {
+			groups = 4
+		}
+		radius := cfg.GroupRadius
+		if radius == 0 {
+			radius = cfg.AreaSide / 6
+		}
+		return mobility.NewRPGM(area, cfg.VMin, cfg.VMax, groups, radius, root.Split("mobility"))
+	case Manhattan:
+		spacing := cfg.StreetSpacing
+		if spacing == 0 {
+			spacing = cfg.AreaSide / 5
+		}
+		return mobility.NewManhattan(area, cfg.VMin, cfg.VMax, cfg.Pause, spacing, root.Split("mobility"))
 	case Static:
 		pts := cfg.Positions
 		if pts == nil {
@@ -197,10 +332,28 @@ func Run(cfg Config) Result {
 				pts[i] = geom.Point{X: r.Range(0, cfg.AreaSide), Y: r.Range(0, cfg.AreaSide)}
 			}
 		}
-		model = mobility.Static{Points: pts}
+		return mobility.Static{Points: pts}
 	default:
 		panic("scenario: unknown mobility model")
 	}
+}
+
+// Run executes one scenario to completion.
+func Run(cfg Config) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	// Clamp, don't fail: a sweep asking for more receivers than exist
+	// means "everyone but the source".
+	if cfg.GroupSize > cfg.N-1 {
+		cfg.GroupSize = cfg.N - 1
+	}
+
+	s := sim.New(cfg.Seed)
+	root := xrand.New(cfg.Seed)
+
+	area := geom.Square(cfg.AreaSide)
+	model := buildMobility(cfg, area, root)
 	tracker := mobility.NewTracker(cfg.N, model)
 
 	// Group selection: source is node 0; receivers drawn uniformly from
@@ -286,9 +439,16 @@ func attachAvailabilitySampler(net *netsim.Network, interval float64) {
 	net.Sim.Every(interval, 0, func() {
 		now := net.Sim.Now()
 		for _, m := range net.Members {
-			last, ever := net.Collector.LastDelivery(m)
-			broken := !ever || now-last > interval
-			net.Collector.ServiceSample(broken)
+			// Baseline the outage clock at the member's join time: a node
+			// that joined mid-window has a LastDelivery predating its
+			// membership (or none at all), and counting that silence as an
+			// outage would charge the protocol for time the member was not
+			// even in the group.
+			base := net.JoinedAt(m)
+			if last, ever := net.Collector.LastDelivery(m); ever && last > base {
+				base = last
+			}
+			net.Collector.ServiceSample(now-base > interval)
 		}
 	})
 }

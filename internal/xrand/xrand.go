@@ -89,6 +89,19 @@ func (r *RNG) Exp(mean float64) float64 {
 	return -mean * math.Log(u)
 }
 
+// Norm returns a standard-normal (mean 0, stddev 1) float64 via the
+// Box–Muller transform. The number of uniforms consumed depends only on
+// the stream's own values, never on external state, so replays stay
+// bit-identical.
+func (r *RNG) Norm() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64() // log(0) guard
+	}
+	v := r.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
 // Bool returns true with probability p.
 func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
 

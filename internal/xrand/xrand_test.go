@@ -196,3 +196,31 @@ func TestShuffleKeepsElements(t *testing.T) {
 		t.Errorf("shuffle lost elements: %v", xs)
 	}
 }
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormDeterministic(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 100; i++ {
+		if a.Norm() != b.Norm() {
+			t.Fatal("Norm not deterministic for a fixed seed")
+		}
+	}
+}
