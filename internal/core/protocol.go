@@ -210,10 +210,24 @@ type Protocol struct {
 	childCacheOK bool
 	// seenApp dedupes application-level deliveries (members consume any
 	// copy they hear — promiscuous multicast reception); seenFwd dedupes
-	// tree forwarding (only copies from the parent propagate).
-	seenApp map[uint64]struct{}
-	seenFwd map[uint64]struct{}
+	// tree forwarding (only copies from the parent propagate). SeqSets:
+	// both are probed on every data reception, the hottest map lookups
+	// in a run before they became bitsets.
+	seenApp packet.SeqSet
+	seenFwd packet.SeqSet
 	seq     uint32
+
+	// Frame pools. Beacon and data frames opt into packet.Owner
+	// recycling: the medium hands a frame back once it has fully left
+	// the air (transmission retired, last reception fired), after which
+	// no receiver references it — handleBeacon copies the payload slices
+	// it keeps. Forward actions are recycled as soon as they fire. The
+	// pools survive Reset, so reused instances transmit without
+	// allocating.
+	bcnFree   []*beaconFrame
+	datFree   []*dataFrame
+	fwdFree   []*fwdAction
+	ndScratch []float64
 
 	ticker *sim.Ticker
 
@@ -229,17 +243,47 @@ type Protocol struct {
 // New creates a protocol instance with the given (possibly zero-default)
 // config; n is the network size used for Normalize.
 func New(cfg Config, n int) *Protocol {
+	p := &Protocol{}
+	p.Reset(cfg, n)
+	return p
+}
+
+// Reset re-initializes the instance in place for a new run over an n-node
+// network, exactly as New would, while keeping grown storage: neighbour
+// rows (with their per-row slice capacity), the dedup maps' buckets and
+// the frame pools all survive, so a reused instance reaches transmit
+// steady state without allocating. The caller re-attaches it with Start.
+func (p *Protocol) Reset(cfg Config, n int) {
 	cfgN := cfg
 	if cfgN.Hysteresis == 0 {
 		cfgN.Hysteresis = -1 // zero value means "variant default"
 	}
-	cfgN = cfgN.Normalize(n)
-	return &Protocol{
-		cfg:     cfgN,
-		nbrs:    make([]Neighbor, n),
-		seenApp: make(map[uint64]struct{}),
-		seenFwd: make(map[uint64]struct{}),
+	p.cfg = cfgN.Normalize(n)
+	p.metric = Metric{}
+	p.node = nil
+	p.rng = nil
+	p.cost, p.hop = 0, 0
+	p.parent, p.hasParent, p.downstream = 0, false, false
+	p.curRange, p.curRange2 = 0, 0
+	p.rootPath = p.rootPath[:0]
+	p.prevParent, p.graceUntil = 0, 0
+	p.cooldownUntil, p.switchStreak, p.lastSwitch = 0, 0, 0
+	if cap(p.nbrs) < n {
+		p.nbrs = make([]Neighbor, n)
+	} else {
+		p.nbrs = p.nbrs[:n]
+		for i := range p.nbrs {
+			p.nbrs[i] = Neighbor{}
+		}
 	}
+	p.nbrIDs = p.nbrIDs[:0]
+	p.childCache, p.childCacheOK = childState{}, false
+	p.seenApp.Reset()
+	p.seenFwd.Reset()
+	p.seq = 0
+	p.ticker = nil
+	p.ParentChanges = 0
+	p.TraceSwitch = nil
 }
 
 // Config returns the normalized configuration in force.
@@ -332,14 +376,14 @@ func (p *Protocol) deriveChildren() childState {
 	return cs
 }
 
-// ownNbrDists returns this node's sorted neighbour distance vector.
-func (p *Protocol) ownNbrDists() []float64 {
-	ds := make([]float64, 0, len(p.nbrIDs))
+// appendNbrDists appends this node's sorted neighbour distance vector to
+// dst (usually a reused buffer) and returns the extended slice.
+func (p *Protocol) appendNbrDists(dst []float64) []float64 {
 	for _, id := range p.nbrIDs {
-		ds = append(ds, p.nbrs[id].Dist)
+		dst = append(dst, p.nbrs[id].Dist)
 	}
-	sort.Float64s(ds)
-	return ds
+	sort.Float64s(dst)
+	return dst
 }
 
 // detach resets to the disconnected state (cost CMax, hop capped).
@@ -362,7 +406,8 @@ func (p *Protocol) stabilize() {
 	p.downstream = p.node.Member || p.node.Source || cs.any
 
 	if p.node.Source {
-		p.cost = p.metric.NodeCost(p.curRange, cs.count, p.ownNbrDists())
+		p.ndScratch = p.appendNbrDists(p.ndScratch[:0])
+		p.cost = p.metric.NodeCost(p.curRange, cs.count, p.ndScratch)
 		p.hop = 0
 		p.parent = p.node.ID
 		p.hasParent = true
@@ -529,22 +574,52 @@ func (p *Protocol) stabilize() {
 	p.rootPath = append(append(p.rootPath[:0], best.RootPath...), p.node.ID)
 }
 
+// beaconFrame bundles one beacon's packet and payload in a single pooled
+// allocation. It implements packet.Owner: the medium frees it once the
+// frame has fully left the air, after which the struct is safe to
+// overwrite — receivers keep only the payload's NbrDists/RootPath slices,
+// which are allocated fresh per beacon exactly so that neighbour rows can
+// alias them independently of the frame's life.
+type beaconFrame struct {
+	p   *Protocol
+	pkt packet.Packet
+	bp  BeaconPayload
+}
+
+// FreePacket implements packet.Owner.
+func (f *beaconFrame) FreePacket(*packet.Packet) {
+	f.p.bcnFree = append(f.p.bcnFree, f)
+}
+
+// takeBeaconFrame returns a recycled beacon frame, or a fresh one.
+func (p *Protocol) takeBeaconFrame() *beaconFrame {
+	if n := len(p.bcnFree); n > 0 {
+		f := p.bcnFree[n-1]
+		p.bcnFree[n-1] = nil
+		p.bcnFree = p.bcnFree[:n-1]
+		return f
+	}
+	return &beaconFrame{p: p}
+}
+
 // sendBeacon broadcasts this node's state at full power (beacons double as
 // neighbour discovery, so they must reach everything in radio range).
 func (p *Protocol) sendBeacon() {
+	f := p.takeBeaconFrame()
 	var nbrD []float64
 	if p.cfg.Variant.NeedsNeighborDists() {
-		nbrD = p.ownNbrDists()
+		nbrD = p.appendNbrDists(make([]float64, 0, len(p.nbrIDs)))
 	}
 	// Copy the root path: the payload outlives this round (frames are
-	// in flight while the local slice keeps mutating). Under the paper's
-	// hop-cap guard beacons carry no path (and are cheaper).
+	// in flight while the local slice keeps mutating) and receiving rows
+	// alias it beyond that. Under the paper's hop-cap guard beacons
+	// carry no path (and are cheaper).
 	var path []packet.NodeID
 	if p.cfg.LoopGuard == LoopGuardPathVector {
 		path = make([]packet.NodeID, len(p.rootPath))
 		copy(path, p.rootPath)
 	}
-	payload := &BeaconPayload{
+	f.bp = BeaconPayload{
 		Cost:       p.cost,
 		Hop:        p.hop,
 		Parent:     p.parentOrBroadcast(),
@@ -557,15 +632,16 @@ func (p *Protocol) sendBeacon() {
 		NbrDists:   nbrD,
 		RootPath:   path,
 	}
-	pkt := &packet.Packet{
+	f.pkt = packet.Packet{
 		Kind:    packet.KindBeacon,
 		From:    p.node.ID,
 		To:      packet.Broadcast,
 		Src:     p.node.ID,
 		Bytes:   beaconBytes(len(nbrD), len(path)),
-		Payload: payload,
+		Payload: &f.bp,
+		Owner:   f,
 	}
-	p.node.Broadcast(pkt, p.metric.Model.MaxRange)
+	p.node.Broadcast(&f.pkt, p.metric.Model.MaxRange)
 }
 
 func (p *Protocol) parentOrBroadcast() packet.NodeID {
@@ -626,6 +702,10 @@ func (p *Protocol) handleBeacon(pkt *packet.Packet, info medium.RxInfo) {
 	e.Range = bp.Range
 	e.Range2 = bp.Range2
 	e.Children = bp.Children
+	// Aliasing is safe: the slices are allocated fresh for every beacon
+	// (they are the only per-beacon allocations left) precisely so rows
+	// can share them; only the pooled packet+payload struct is recycled,
+	// and the row never references that.
 	e.NbrDists = bp.NbrDists
 	e.RootPath = bp.RootPath
 }
@@ -635,15 +715,13 @@ func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
 		p.node.DiscardRx(info) // echo of our own stream via a child
 		return
 	}
-	key := dataKey(pkt.Src, pkt.Seq)
 	consumed := false
 
 	// Members consume the first copy they hear, whoever transmitted it —
 	// promiscuous multicast reception, as a real group-subscribed radio
 	// behaves.
 	if p.node.Member {
-		if _, dup := p.seenApp[key]; !dup {
-			p.seenApp[key] = struct{}{}
+		if !p.seenApp.TestAndSet(pkt.Src, pkt.Seq) {
 			p.node.ConsumeData(pkt, info.At)
 			consumed = true
 		}
@@ -657,8 +735,7 @@ func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
 		fromTree = true
 	}
 	if fromTree {
-		if _, dup := p.seenFwd[key]; !dup {
-			p.seenFwd[key] = struct{}{}
+		if !p.seenFwd.TestAndSet(pkt.Src, pkt.Seq) {
 			p.forward(pkt)
 			consumed = true
 		}
@@ -671,6 +748,66 @@ func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
 	}
 }
 
+// dataFrame is a pooled data packet — an origination or a forwarded copy.
+// It implements packet.Owner; the medium frees it once the frame has
+// fully left the air, and no receiver retains data packets (members
+// consume fields, forwarders copy into their own frames).
+type dataFrame struct {
+	p   *Protocol
+	pkt packet.Packet
+}
+
+// FreePacket implements packet.Owner.
+func (f *dataFrame) FreePacket(*packet.Packet) {
+	f.p.datFree = append(f.p.datFree, f)
+}
+
+// takeDataFrame returns a recycled data frame, or a fresh one.
+func (p *Protocol) takeDataFrame() *dataFrame {
+	if n := len(p.datFree); n > 0 {
+		f := p.datFree[n-1]
+		p.datFree[n-1] = nil
+		p.datFree = p.datFree[:n-1]
+		return f
+	}
+	return &dataFrame{p: p}
+}
+
+// fwdAction is a pooled forward-jitter callback; it recycles itself when
+// it fires.
+type fwdAction struct {
+	p   *Protocol
+	pkt *packet.Packet
+}
+
+// Fire implements sim.Action: re-check the child set at fire time
+// (children may have expired during the jitter) and transmit.
+func (a *fwdAction) Fire() {
+	p, pkt := a.p, a.pkt
+	a.p, a.pkt = nil, nil
+	p.fwdFree = append(p.fwdFree, a)
+	if r2 := p.forwardRange(); r2 > 0 {
+		p.node.Broadcast(pkt, r2)
+		return
+	}
+	// Never transmitted: the medium will not free the frame, so recycle
+	// it directly.
+	if o := pkt.Owner; o != nil {
+		o.FreePacket(pkt)
+	}
+}
+
+// takeFwdAction returns a recycled forward action, or a fresh one.
+func (p *Protocol) takeFwdAction() *fwdAction {
+	if n := len(p.fwdFree); n > 0 {
+		a := p.fwdFree[n-1]
+		p.fwdFree[n-1] = nil
+		p.fwdFree = p.fwdFree[:n-1]
+		return a
+	}
+	return &fwdAction{}
+}
+
 // forward re-broadcasts a data packet to this node's downstream children
 // (power-controlled to the costliest of them), after a small jitter that
 // decorrelates sibling transmissions. Pruned subtrees (no downstream
@@ -680,16 +817,15 @@ func (p *Protocol) forward(pkt *packet.Packet) {
 	if r <= 0 {
 		return
 	}
-	fwd := pkt.Clone()
-	fwd.From = p.node.ID
-	fwd.Hops++
+	f := p.takeDataFrame()
+	f.pkt = *pkt
+	f.pkt.Owner = f
+	f.pkt.From = p.node.ID
+	f.pkt.Hops++
+	a := p.takeFwdAction()
+	a.p, a.pkt = p, &f.pkt
 	delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
-	p.node.Sim().After(delay, func() {
-		// Recompute at fire time: children may have expired meanwhile.
-		if r2 := p.forwardRange(); r2 > 0 {
-			p.node.Broadcast(fwd, r2)
-		}
-	})
+	p.node.Sim().AfterAction(delay, a)
 }
 
 // forwardRange returns the power-controlled transmission range needed to
@@ -711,12 +847,14 @@ func (p *Protocol) forwardRange() float64 {
 // data packet into the tree.
 func (p *Protocol) Originate() {
 	p.seq++
-	pkt := packet.NewData(p.node.ID, p.seq, p.node.Now())
 	r := p.forwardRange()
 	if r <= 0 {
 		return // no downstream children yet: service unavailable
 	}
-	p.node.Broadcast(pkt, r)
+	f := p.takeDataFrame()
+	f.pkt = packet.MakeData(p.node.ID, p.seq, p.node.Now())
+	f.pkt.Owner = f
+	p.node.Broadcast(&f.pkt, r)
 }
 
 // TreeParent implements netsim.TreeStater.

@@ -53,7 +53,7 @@ func TotalTreeEnergy(protos []*Protocol) float64 {
 	total := 0.0
 	for _, p := range protos {
 		cs := p.deriveChildren()
-		total += p.metric.NodeCost(cs.maxDist, cs.count, p.ownNbrDists())
+		total += p.metric.NodeCost(cs.maxDist, cs.count, p.appendNbrDists(nil))
 	}
 	return total
 }

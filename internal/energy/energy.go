@@ -69,7 +69,17 @@ func (m Model) TxEnergy(bytes int, d float64) float64 {
 		return math.Inf(1)
 	}
 	bits := float64(bytes) * 8
-	return bits * (m.EelecJPerBit + m.EampJPerBitM2*math.Pow(d, m.PathLossExp))
+	// The free-space exponent is the default and TxEnergy sits on the
+	// per-transmission and per-join-evaluation hot paths; d·d produces
+	// the same bits as math.Pow(d, 2) (Pow computes integer exponents by
+	// squaring) without its call and classification overhead.
+	var attn float64
+	if m.PathLossExp == 2 {
+		attn = d * d
+	} else {
+		attn = math.Pow(d, m.PathLossExp)
+	}
+	return bits * (m.EelecJPerBit + m.EampJPerBitM2*attn)
 }
 
 // RxEnergy returns the energy in joules for a node to receive `bytes`
@@ -108,11 +118,18 @@ type Meter struct {
 // reserve <= 0 means unlimited.
 func NewMeter(reserve float64) *Meter {
 	m := &Meter{}
+	m.Reset(reserve)
+	return m
+}
+
+// Reset returns the meter to its initial state with the given reserve
+// (<= 0 unlimited), for reuse across runs.
+func (m *Meter) Reset(reserve float64) {
+	*m = Meter{}
 	if reserve > 0 {
 		m.Battery = reserve
 		m.limited = true
 	}
-	return m
 }
 
 // Total returns all energy spent, in joules.

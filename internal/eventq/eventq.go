@@ -3,7 +3,17 @@
 //
 // Events are ordered by (time, sequence number): ties in simulated time are
 // broken by insertion order, which keeps runs deterministic regardless of
-// heap internals.
+// queue internals.
+//
+// Internally the queue is two 4-ary min-heaps merged at the pop: one for
+// near-term events and one for far-term ones. The simulator's workload is
+// sharply bimodal — frame deliveries, forward jitters and CSMA backoffs
+// fire within milliseconds, while beacon tickers and samplers sit seconds
+// out — and routing the long-lived majority into its own heap keeps the
+// hot heap a fraction of the total pending set, so the million-plus
+// delivery pushes and pops of a run touch two or three levels instead of
+// five. The pop compares the two roots' (time, seq) keys exactly, so the
+// split is unobservable in the event order.
 package eventq
 
 // Action is a pre-allocated callback: hot paths whose event payload
@@ -18,33 +28,47 @@ type Event struct {
 	Fn     func()  // callback; nil after cancellation
 	Act    Action  // alternative no-closure callback (PushAction)
 	seq    uint64  // tie-breaker: insertion order
-	idx    int     // heap index, -1 when not queued
+	idx    int     // index in its heap, -1 when not queued
+	far    bool    // which heap holds it
 	pooled bool    // recycled via Release; no outside handle exists
 }
 
 // Cancelled reports whether the event was cancelled or already fired.
 func (e *Event) Cancelled() bool { return e.Fn == nil && e.Act == nil }
 
-// Queue is a 4-ary min-heap of events: the simulator pushes and pops
-// millions of events per run, and the wider fan-out halves the heap depth
-// (and with it the pointer swaps) compared to a binary heap. It is not
-// safe for concurrent use; the simulator owns it from a single goroutine.
-type Queue struct {
-	heap []*Event
-	// keys mirrors heap with each event's (At, seq) ordering key: the
-	// heap's many comparisons then read one contiguous array instead of
-	// chasing Event pointers.
-	keys []key
-	seq  uint64
-	// free recycles events scheduled through PushPooled, which callers
-	// cannot hold handles to; the simulator returns them after firing.
-	free []*Event
-}
-
-// key is an event's heap ordering key.
+// key is an event's ordering key.
 type key struct {
 	at  float64
 	seq uint64
+}
+
+// less is the queue's total order: (time, seq).
+func (a key) less(b key) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// farHorizon is the near/far routing threshold in simulated seconds,
+// measured from the last popped event's time: anything scheduled further
+// out than this (beacon tickers, availability samplers, membership churn)
+// goes to the far heap. The exact value only moves work between the two
+// heaps; correctness never depends on it.
+const farHorizon = 0.5
+
+// Queue is the event queue. It is not safe for concurrent use; the
+// simulator owns it from a single goroutine.
+type Queue struct {
+	near heapCore
+	far  heapCore
+	seq  uint64
+	// watermark is the time of the last popped event: the near/far
+	// routing reference (monotone within a run).
+	watermark float64
+	// free recycles events scheduled through PushPooled, which callers
+	// cannot hold handles to; the simulator returns them after firing.
+	free []*Event
 }
 
 // New returns an empty queue.
@@ -52,24 +76,28 @@ func New() *Queue { return &Queue{} }
 
 // Len returns the number of pending events (including cancelled ones that
 // have not yet been popped).
-func (q *Queue) Len() int { return len(q.heap) }
+func (q *Queue) Len() int { return len(q.near.heap) + len(q.far.heap) }
 
 // Push schedules fn at time at and returns a handle that can be passed to
 // Cancel.
 func (q *Queue) Push(at float64, fn func()) *Event {
-	e := &Event{At: at, Fn: fn, seq: q.seq}
+	e := &Event{At: at, Fn: fn}
 	q.push(e)
 	return e
 }
 
-// push links e into the heap.
+// push assigns e its sequence number and links it into a heap.
 func (q *Queue) push(e *Event) {
 	e.seq = q.seq
 	q.seq++
-	q.heap = append(q.heap, e)
-	q.keys = append(q.keys, key{at: e.At, seq: e.seq})
-	e.idx = len(q.heap) - 1
-	q.up(e.idx)
+	k := key{at: e.At, seq: e.seq}
+	if e.At > q.watermark+farHorizon {
+		e.far = true
+		q.far.push(e, k)
+	} else {
+		e.far = false
+		q.near.push(e, k)
+	}
 }
 
 // PushPooled schedules fn like Push but hands out no handle: the event
@@ -89,6 +117,30 @@ func (q *Queue) PushAction(at float64, act Action) {
 	e := q.takeFree()
 	e.At, e.Act, e.pooled = at, act, true
 	q.push(e)
+}
+
+// PushOwned schedules a caller-owned event with a pre-allocated Action,
+// reusing the event's storage: re-arming paths (the simulator's tickers)
+// keep one Event alive for their whole life and re-push it after each
+// firing instead of allocating. The event must not be pending (it has
+// fired, been cancelled, or never been pushed). It can be cancelled like
+// any handle-bearing event and is never recycled into the freelist.
+func (q *Queue) PushOwned(e *Event, at float64, act Action) {
+	e.At, e.Fn, e.Act, e.pooled = at, nil, act, false
+	q.push(e)
+}
+
+// Reset empties the queue for reuse by a new run. Pooled events return to
+// the freelist and the heaps' backing arrays keep their capacity, so a
+// reused queue schedules in steady state without allocating; the sequence
+// counter restarts so event ordering is identical to a fresh queue's.
+// Handle-bearing events still pending are dropped — their Timers read as
+// cancelled afterwards.
+func (q *Queue) Reset() {
+	q.near.reset(q)
+	q.far.reset(q)
+	q.seq = 0
+	q.watermark = 0
 }
 
 // takeFree returns a recycled event, or a fresh one.
@@ -114,112 +166,169 @@ func (q *Queue) Release(e *Event) {
 
 // Cancel removes the event from consideration. It is safe to cancel an
 // event that has already fired or been cancelled; the call is a no-op then.
-// Cancelled events are dropped lazily when they reach the top of the heap.
 func (q *Queue) Cancel(e *Event) {
 	if e == nil || e.Cancelled() {
 		return
 	}
 	e.Fn, e.Act = nil, nil
-	if e.idx >= 0 && e.idx < len(q.heap) && q.heap[e.idx] == e {
-		q.remove(e.idx)
+	h := &q.near
+	if e.far {
+		h = &q.far
+	}
+	if e.idx >= 0 && e.idx < len(h.heap) && h.heap[e.idx] == e {
+		h.removeAt(e.idx)
 		e.idx = -1
 	}
 }
 
+// minHeap returns the heap whose root is the globally earliest event, or
+// nil when both heaps are empty.
+func (q *Queue) minHeap() *heapCore {
+	if len(q.near.heap) == 0 {
+		if len(q.far.heap) == 0 {
+			return nil
+		}
+		return &q.far
+	}
+	if len(q.far.heap) == 0 || q.near.keys[0].less(q.far.keys[0]) {
+		return &q.near
+	}
+	return &q.far
+}
+
 // Pop removes and returns the earliest non-cancelled event, or nil if the
-// queue is empty.
+// queue is empty. Cancelled events are dropped lazily as they surface.
 func (q *Queue) Pop() *Event {
-	for len(q.heap) > 0 {
-		e := q.heap[0]
-		q.remove(0)
+	for {
+		h := q.minHeap()
+		if h == nil {
+			return nil
+		}
+		e := h.heap[0]
+		h.removeAt(0)
 		e.idx = -1
+		q.watermark = e.At
 		if !e.Cancelled() {
 			return e
 		}
 	}
-	return nil
 }
 
 // PeekTime returns the time of the earliest pending event. ok is false when
 // the queue holds no live events.
 func (q *Queue) PeekTime() (t float64, ok bool) {
-	for len(q.heap) > 0 {
-		if q.heap[0].Cancelled() { // lazily drop cancelled head
-			q.remove(0)
-			continue
-		}
-		return q.keys[0].at, true
+	q.near.dropCancelledHead()
+	q.far.dropCancelledHead()
+	h := q.minHeap()
+	if h == nil {
+		return 0, false
 	}
-	return 0, false
+	return h.keys[0].at, true
 }
 
-func (q *Queue) less(i, j int) bool {
-	a, b := q.keys[i], q.keys[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
+// heapCore is one 4-ary min-heap over (time, seq) keys. keys mirrors heap
+// with each event's ordering key: the heap's many comparisons read one
+// contiguous array instead of chasing Event pointers. The 4-way fan-out
+// halves the depth (and with it the moves) compared to a binary heap, and
+// sifting uses hole insertion — the displaced element is held in
+// registers while children/parents shift — instead of pairwise swaps.
+type heapCore struct {
+	heap []*Event
+	keys []key
 }
 
-func (q *Queue) swap(i, j int) {
-	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
-	q.keys[i], q.keys[j] = q.keys[j], q.keys[i]
-	q.heap[i].idx = i
-	q.heap[j].idx = j
+func (h *heapCore) push(e *Event, k key) {
+	h.heap = append(h.heap, e)
+	h.keys = append(h.keys, k)
+	e.idx = len(h.heap) - 1
+	h.up(e.idx)
 }
 
-// arity is the heap fan-out. 4 keeps the tree half as deep as a binary
-// heap; the extra comparisons per level are cheaper than the swaps and
-// cache misses they avoid at simulator event rates.
+// arity is the heap fan-out.
 const arity = 4
 
-func (q *Queue) up(i int) {
+func (h *heapCore) up(i int) {
+	e, k := h.heap[i], h.keys[i]
 	for i > 0 {
 		parent := (i - 1) / arity
-		if !q.less(i, parent) {
+		pk := h.keys[parent]
+		if !k.less(pk) {
 			break
 		}
-		q.swap(i, parent)
+		h.heap[i], h.keys[i] = h.heap[parent], pk
+		h.heap[i].idx = i
 		i = parent
 	}
+	h.heap[i], h.keys[i] = e, k
+	e.idx = i
 }
 
-func (q *Queue) down(i int) {
-	n := len(q.heap)
+func (h *heapCore) down(i int) {
+	n := len(h.heap)
+	e, k := h.heap[i], h.keys[i]
 	for {
 		first := arity*i + 1
 		if first >= n {
-			return
+			break
 		}
-		smallest := i
 		last := first + arity
 		if last > n {
 			last = n
 		}
-		for c := first; c < last; c++ {
-			if q.less(c, smallest) {
-				smallest = c
+		mc, mk := first, h.keys[first]
+		for c := first + 1; c < last; c++ {
+			if ck := h.keys[c]; ck.less(mk) {
+				mc, mk = c, ck
 			}
 		}
-		if smallest == i {
-			return
+		if !mk.less(k) {
+			break
 		}
-		q.swap(i, smallest)
-		i = smallest
+		h.heap[i], h.keys[i] = h.heap[mc], mk
+		h.heap[i].idx = i
+		i = mc
+	}
+	h.heap[i], h.keys[i] = e, k
+	e.idx = i
+}
+
+// removeAt unlinks the element at index i, refilling the hole with the
+// last element. The removed event's idx is left for the caller to clear.
+func (h *heapCore) removeAt(i int) {
+	n := len(h.heap) - 1
+	moved := i != n
+	if moved {
+		h.heap[i], h.keys[i] = h.heap[n], h.keys[n]
+		h.heap[i].idx = i
+	}
+	h.heap[n] = nil
+	h.heap = h.heap[:n]
+	h.keys = h.keys[:n]
+	if moved {
+		h.down(i)
+		h.up(i)
 	}
 }
 
-func (q *Queue) remove(i int) {
-	n := len(q.heap) - 1
-	if i != n {
-		q.swap(i, n)
+// dropCancelledHead discards lazily-cancelled events sitting at the root.
+func (h *heapCore) dropCancelledHead() {
+	for len(h.heap) > 0 && h.heap[0].Cancelled() {
+		e := h.heap[0]
+		h.removeAt(0)
+		e.idx = -1
 	}
-	q.heap[n].idx = -1
-	q.heap[n] = nil
-	q.heap = q.heap[:n]
-	q.keys = q.keys[:n]
-	if i < n {
-		q.down(i)
-		q.up(i)
+}
+
+// reset empties the heap, recycling pooled events into q's freelist.
+func (h *heapCore) reset(q *Queue) {
+	for i, e := range h.heap {
+		h.heap[i] = nil
+		e.idx = -1
+		e.Fn, e.Act = nil, nil
+		if e.pooled {
+			q.free = append(q.free, e)
+		}
 	}
+	h.heap = h.heap[:0]
+	h.keys = h.keys[:0]
 }

@@ -172,3 +172,91 @@ func BenchmarkPushPop(b *testing.B) {
 		}
 	}
 }
+
+func noop() {}
+
+// TestReset checks the arena contract: after Reset the queue is empty and
+// orders a new run exactly like a fresh queue, pooled events left pending
+// are recycled through the freelist (no allocation on the next pushes),
+// and handles from before the reset are stale-but-safe (cancelled, no-op
+// to Cancel).
+func TestReset(t *testing.T) {
+	q := New()
+
+	// A mix of pooled and handle-bearing events, some fired, some left.
+	var fired []string
+	q.PushPooled(1, func() { fired = append(fired, "a") })
+	h1 := q.Push(2, func() { fired = append(fired, "b") })
+	q.PushPooled(3, func() { fired = append(fired, "c") })
+	h2 := q.Push(4, func() { fired = append(fired, "d") })
+	e := q.Pop() // fires "a"; its pooled slot returns via Release
+	if e == nil || e.At != 1 {
+		t.Fatalf("pop before reset: %+v", e)
+	}
+	q.Release(e)
+
+	q.Reset()
+
+	if q.Len() != 0 {
+		t.Fatalf("len after reset: %d", q.Len())
+	}
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime reports a live event after reset")
+	}
+	if !h1.Cancelled() || !h2.Cancelled() {
+		t.Fatal("pre-reset handles not cancelled")
+	}
+	q.Cancel(h1) // must be a no-op, not a heap corruption
+	q.Cancel(h2)
+
+	// The recycled pool must serve the next run's pooled pushes: pushing
+	// as many pooled events as were ever live allocates no new Events.
+	if got := testing.AllocsPerRun(100, func() {
+		q.PushPooled(5, noop)
+		e := q.Pop()
+		q.Release(e)
+	}); got != 0 {
+		t.Fatalf("pooled push after reset allocates %v per run", got)
+	}
+
+	// Ordering restarts exactly like a fresh queue: same times pushed in
+	// the same order pop in the same order (seq ties included).
+	ref := New()
+	times := []float64{3, 1, 3, 2, 1}
+	type rec struct{ at float64 }
+	for _, at := range times {
+		q.PushPooled(at, func() {})
+		ref.PushPooled(at, func() {})
+	}
+	for {
+		a, b := q.Pop(), ref.Pop()
+		if (a == nil) != (b == nil) {
+			t.Fatal("reset queue and fresh queue drain differently")
+		}
+		if a == nil {
+			break
+		}
+		if a.At != b.At {
+			t.Fatalf("order diverges: %g vs %g", a.At, b.At)
+		}
+		q.Release(a)
+		ref.Release(b)
+	}
+}
+
+// TestResetRecyclesPendingPooled checks that pooled events still sitting
+// in the heap at Reset time (a run that ended with work queued) return to
+// the freelist rather than leaking.
+func TestResetRecyclesPendingPooled(t *testing.T) {
+	q := New()
+	for i := 0; i < 64; i++ {
+		q.PushPooled(float64(i), func() {})
+	}
+	q.Reset()
+	if got := testing.AllocsPerRun(64, func() {
+		q.PushPooled(1, noop)
+		q.Release(q.Pop())
+	}); got != 0 {
+		t.Fatalf("pending pooled events were not recycled: %v allocs per run", got)
+	}
+}

@@ -153,8 +153,11 @@ type Medium struct {
 	posBuf     []geom.Point
 	queues     []txQueue
 
-	// Spatial index state (nil grid until first transmission).
+	// Spatial index state (configured lazily at the first transmission;
+	// gridReady marks it configured for the current run, while the grid
+	// itself survives Reset so its bucket storage is reused).
 	gridOn    bool
+	gridReady bool
 	grid      *spatial.Grid
 	gridDelta float64 // refresh period; <0 never, 0 on every new instant
 	gridVMax  float64 // slack speed bound (0 in static/conservative modes)
@@ -164,12 +167,24 @@ type Medium struct {
 	// inflight collects the pending receptions addressed to node i for
 	// every active transmission (grid mode only; cleared at retire).
 	inflight [][]*reception
-	// txCells registers every active transmission in the grid cells its
-	// interference disk overlaps; cell geometry is fixed, so entries stay
-	// valid across snapshot refreshes (grid mode only).
+	// txCells registers every active transmission in the coarse cells its
+	// interference disk overlaps (txCellShift-coarsened index geometry:
+	// interference disks span several index cells, so a coarser registry
+	// cuts insert/remove traffic ~txCellGran² while a lookup still scans
+	// only the few active transmissions near the point). Cell geometry is
+	// fixed, so entries stay valid across snapshot refreshes (grid mode
+	// only).
 	txCells  [][]*transmission
+	txCols   int
+	txRows   int
 	candBuf  []int32
 	coverBuf []int32
+
+	// Freelists: transmissions (with their grown reception slices) and
+	// CSMA backoff retries are recycled, so the per-frame hot path
+	// allocates nothing in steady state. Both survive Reset.
+	txFree      []*transmission
+	backoffFree []*backoffRetry
 }
 
 // queued is one frame waiting for the radio.
@@ -215,7 +230,11 @@ func (q *txQueue) pop() queued {
 	return f
 }
 
-// transmission is one frame in flight.
+// transmission is one frame in flight. Transmissions are pooled: a slot
+// returns to the freelist once it is both retired (off the air) and
+// drained (its last scheduled reception has fired), tracked by done and
+// pending. The receptions slice keeps its capacity across reuses, so a
+// warm medium attaches receptions without allocating.
 type transmission struct {
 	from       packet.NodeID
 	pkt        *packet.Packet
@@ -226,6 +245,35 @@ type transmission struct {
 	start      float64
 	end        float64
 	receptions []reception
+	pending    int  // receptions scheduled but not yet fired
+	done       bool // retired from the active set
+}
+
+// Fire implements sim.Action: the end-of-air event. The transmission
+// leaves the channel and the sender's next queued frame starts.
+func (tx *transmission) Fire() {
+	m, from := tx.m, tx.from
+	m.retire(tx)
+	m.txDone(from)
+}
+
+// backoffRetry is a pooled CSMA deferral: it re-enters send with the
+// attempt counter advanced, without a closure allocation per backoff.
+type backoffRetry struct {
+	m       *Medium
+	pkt     *packet.Packet
+	from    packet.NodeID
+	txRange float64
+	attempt int
+}
+
+// Fire implements sim.Action. The retry is recycled before re-entering
+// send, so a follow-up backoff can reuse the same slot.
+func (b *backoffRetry) Fire() {
+	m, from, pkt, txRange, attempt := b.m, b.from, b.pkt, b.txRange, b.attempt
+	b.pkt = nil
+	m.backoffFree = append(m.backoffFree, b)
+	m.send(from, pkt, txRange, attempt)
 }
 
 // reception is one pending delivery of a transmission at a specific node.
@@ -238,29 +286,105 @@ type reception struct {
 	dist      float64 // transmitter→receiver distance at transmission start
 }
 
-// Fire implements sim.Action: resolve the reception at its delivery time.
-func (rc *reception) Fire() { rc.tx.m.deliver(rc.tx, rc) }
+// Fire implements sim.Action: resolve the reception at its delivery time,
+// then release the transmission if this was its last pending reception.
+func (rc *reception) Fire() {
+	tx := rc.tx
+	tx.m.deliver(tx, rc)
+	tx.pending--
+	if tx.pending == 0 && tx.done {
+		tx.m.releaseTx(tx)
+	}
+}
 
 // New creates a medium over n nodes. Receivers and meters are attached
 // afterwards with Attach, allowing the network to construct nodes that
 // reference the medium.
 func New(s *sim.Simulator, cfg Config, tracker *mobility.Tracker, n int) *Medium {
-	m := &Medium{
-		sim:      s,
-		cfg:      cfg,
-		tracker:  tracker,
-		nodes:    make([]Receiver, n),
-		meters:   make([]*energy.Meter, n),
-		rng:      s.RNG().Split("medium"),
-		posBuf:   make([]geom.Point, n),
-		queues:   make([]txQueue, n),
-		activeTx: make([]*transmission, n),
-		gridOn:   !cfg.Grid.Disable,
-	}
-	if m.gridOn {
-		m.inflight = make([][]*reception, n)
-	}
+	m := &Medium{}
+	m.Reset(s, cfg, tracker, n)
 	return m
+}
+
+// resized returns s with length n and every element zeroed, reusing the
+// backing array when its capacity allows.
+func resized[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// Reset re-initializes the medium in place for a new run over n nodes.
+// Behaviour is identical to a freshly constructed medium, but every grown
+// buffer survives: interface queues, reception registries, per-cell
+// transmission registries, the spatial grid (when the deployment geometry
+// is unchanged) and the transmission/backoff freelists, so replications
+// run with a small fixed allocation cost instead of rebuilding the world.
+func (m *Medium) Reset(s *sim.Simulator, cfg Config, tracker *mobility.Tracker, n int) {
+	m.sim, m.cfg, m.tracker = s, cfg, tracker
+	m.rng = s.RNG().Split("medium")
+	m.OnTransmit = nil
+	m.stats = Stats{}
+	m.nodes = resized(m.nodes, n)
+	m.meters = resized(m.meters, n)
+	m.posBuf = resized(m.posBuf, n)
+	m.activeTx = resized(m.activeTx, n)
+	for i := range m.active {
+		m.active[i] = nil
+	}
+	m.active = m.active[:0]
+	// Interface queues and reception registries: drop contents (zeroing
+	// frame slots so no packet stays pinned), keep capacity.
+	if cap(m.queues) < n {
+		m.queues = make([]txQueue, n)
+	} else {
+		m.queues = m.queues[:n]
+		for i := range m.queues {
+			q := &m.queues[i]
+			for j := range q.frames {
+				q.frames[j] = queued{}
+			}
+			q.frames = q.frames[:0]
+			q.head = 0
+			q.busy = false
+		}
+	}
+	m.gridOn = !cfg.Grid.Disable
+	m.gridReady = false
+	m.gridDelta = 0
+	m.gridVMax = 0
+	if m.gridOn {
+		if cap(m.inflight) < n {
+			m.inflight = make([][]*reception, n)
+		} else {
+			m.inflight = m.inflight[:n]
+			for i := range m.inflight {
+				lst := m.inflight[i]
+				for j := range lst {
+					lst[j] = nil
+				}
+				m.inflight[i] = lst[:0]
+			}
+		}
+	} else {
+		m.inflight = nil
+	}
+	if m.grid != nil {
+		m.grid.Clear()
+	}
+	for i := range m.txCells {
+		lst := m.txCells[i]
+		for j := range lst {
+			lst[j] = nil
+		}
+		m.txCells[i] = lst[:0]
+	}
 }
 
 // Attach registers node id's receiver and energy meter.
@@ -290,6 +414,7 @@ func (m *Medium) Broadcast(from packet.NodeID, pkt *packet.Packet, txRange float
 	if q.busy || q.backlog() > 0 {
 		if m.cfg.TxQueueCap > 0 && q.backlog() >= m.cfg.TxQueueCap {
 			m.stats.QueueDrops++
+			freeDropped(pkt)
 			return
 		}
 		q.frames = append(q.frames, queued{pkt, txRange})
@@ -310,28 +435,48 @@ func (m *Medium) txDone(from packet.NodeID) {
 	m.send(from, next.pkt, next.txRange, 0)
 }
 
-// ensureIndex builds the grid on first use and refreshes the position
-// snapshot according to the epoch policy. Refreshing only advances node
-// legs, and the mobility models key their random streams by (node, leg
-// history) — advancement is order- and time-of-query independent — so a
-// refresh cannot perturb the run relative to the brute-force path.
+// Index tuning defaults. Cells at half the maximum radio range resolve
+// power-controlled (short-range) transmissions into small candidate sets
+// while full-power beacon queries still touch only a handful of cells;
+// the small slack fraction keeps query expansion tiny, which incremental
+// refreshing makes affordable (each refresh is O(moved), so refreshing
+// 5× as often costs almost nothing).
+const (
+	defaultCellFrac  = 0.5
+	defaultSlackFrac = 0.05
+)
+
+// ensureIndex configures the grid at the run's first transmission and
+// refreshes the position snapshot according to the epoch policy. A
+// refresh rebuckets only nodes that changed cell (Grid.Refresh) and only
+// advances node legs, and the mobility models key their random streams by
+// (node, leg history) — advancement is order- and time-of-query
+// independent — so a refresh cannot perturb the run relative to the
+// brute-force path.
 func (m *Medium) ensureIndex(now float64) {
-	if m.grid == nil {
+	if !m.gridReady {
 		g := m.cfg.Grid
 		cell := g.CellSize
 		if cell <= 0 {
-			cell = m.cfg.Energy.MaxRange
+			cell = m.cfg.Energy.MaxRange * defaultCellFrac
 		}
 		slack := g.SlackFrac
 		if slack <= 0 {
-			slack = 0.25
+			slack = defaultSlackFrac
 		}
 		area := g.Area
 		if area == (geom.Rect{}) {
 			area = geom.BoundingBox(m.tracker.PositionsAt(now))
 		}
-		m.grid = spatial.NewGrid(area, cell, len(m.nodes))
-		m.txCells = make([][]*transmission, m.grid.NumCells())
+		// Reuse the previous run's grid (and its bucket storage) when the
+		// deployment geometry is unchanged.
+		if m.grid == nil || !m.grid.Matches(area, cell, len(m.nodes)) {
+			m.grid = spatial.NewGrid(area, cell, len(m.nodes))
+			cols, rows := m.grid.Dims()
+			m.txCols = (cols + txCellGran - 1) >> txCellShift
+			m.txRows = (rows + txCellGran - 1) >> txCellShift
+			m.txCells = make([][]*transmission, m.txCols*m.txRows)
+		}
 		switch {
 		case g.Static:
 			m.gridDelta = -1
@@ -342,6 +487,7 @@ func (m *Medium) ensureIndex(now float64) {
 			m.gridDelta = 0
 		}
 		m.grid.Rebuild(now, m.tracker.PositionsAt(now))
+		m.gridReady = true
 		return
 	}
 	switch {
@@ -349,11 +495,11 @@ func (m *Medium) ensureIndex(now float64) {
 		// Static: never refresh.
 	case m.gridDelta == 0:
 		if now != m.grid.Epoch() {
-			m.grid.Rebuild(now, m.tracker.PositionsAt(now))
+			m.grid.Refresh(now, m.tracker.PositionsAt(now))
 		}
 	default:
 		if now-m.grid.Epoch() >= m.gridDelta {
-			m.grid.Rebuild(now, m.tracker.PositionsAt(now))
+			m.grid.Refresh(now, m.tracker.PositionsAt(now))
 		}
 	}
 }
@@ -371,6 +517,7 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 	now := m.sim.Now()
 	if m.meters[from].Dead() {
 		// Depleted battery: the radio is off. Drain the queue silently.
+		freeDropped(pkt)
 		m.txDone(from)
 		return
 	}
@@ -388,26 +535,28 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 	if m.cfg.CSMA && m.busyAt(pos, now) {
 		if attempt >= m.cfg.MaxBackoffs {
 			m.stats.CSMADrops++
+			freeDropped(pkt)
 			m.txDone(from)
 			return
 		}
 		m.stats.Backoffs++
 		delay := m.rng.Range(0, m.cfg.BackoffMax) * float64(attempt+1)
-		m.sim.After(delay, func() { m.send(from, pkt, txRange, attempt+1) })
+		b := m.takeBackoff()
+		b.m, b.from, b.pkt, b.txRange, b.attempt = m, from, pkt, txRange, attempt+1
+		m.sim.AfterAction(delay, b)
 		return
 	}
 
 	dur := m.AirTime(pkt.Bytes)
-	tx := &transmission{
-		from:   from,
-		pkt:    pkt,
-		m:      m,
-		origin: pos,
-		rng:    txRange,
-		intRng: txRange * m.cfg.InterferenceFactor,
-		start:  now,
-		end:    now + dur,
-	}
+	tx := m.takeTx()
+	tx.m = m
+	tx.from = from
+	tx.pkt = pkt
+	tx.origin = pos
+	tx.rng = txRange
+	tx.intRng = txRange * m.cfg.InterferenceFactor
+	tx.start = now
+	tx.end = now + dur
 
 	// Charge the sender.
 	m.meters[from].SpendTx(m.cfg.Energy.TxEnergy(pkt.Bytes, txRange))
@@ -428,14 +577,16 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 	// order at equal timestamps is part of the determinism contract).
 	if m.gridOn {
 		// One query serves both passes: the interference disk contains
-		// the communication disk whenever InterferenceFactor ≥ 1.
-		qr := tx.intRng
-		if tx.rng > qr {
-			qr = tx.rng
+		// the communication disk whenever InterferenceFactor ≥ 1. With
+		// nothing else on the air there are no pending receptions to
+		// corrupt, so the query shrinks to the communication disk — the
+		// interference annulus only ever feeds the corrupt pass.
+		qr := tx.rng
+		if len(m.active) > 0 && tx.intRng > qr {
+			qr = tx.intRng
 		}
 		m.candBuf = m.grid.AppendInDisk(m.candBuf[:0], pos, qr+m.slack(now))
-		m.corruptInflightGrid(tx, pos, now)
-		m.coverGrid(tx, pos, now)
+		m.corruptAndCoverGrid(tx, pos, now)
 	} else {
 		m.corruptInflightBrute(tx, pos, now)
 		m.coverBrute(tx, pos)
@@ -447,10 +598,54 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 	if m.gridOn {
 		m.txCellsInsert(tx)
 	}
-	m.sim.After(dur, func() {
-		m.retire(tx)
-		m.txDone(from)
-	})
+	m.sim.AfterAction(dur, tx)
+}
+
+// freeDropped returns a never-transmitted frame to its owner's pool: no
+// receiver has seen a dropped frame, so it is immediately reusable.
+// Keeps congested scenarios (CSMA drops, full interface queues, dead
+// radios) from quietly reintroducing per-frame allocation.
+func freeDropped(pkt *packet.Packet) {
+	if o := pkt.Owner; o != nil {
+		o.FreePacket(pkt)
+	}
+}
+
+// takeTx returns a recycled transmission, or a fresh one.
+func (m *Medium) takeTx() *transmission {
+	if n := len(m.txFree); n > 0 {
+		tx := m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		return tx
+	}
+	return &transmission{}
+}
+
+// releaseTx recycles a retired-and-drained transmission, returning the
+// frame to its owner's pool when it has one. The packet pointer is
+// dropped so the pool pins no frames; the receptions slice keeps its
+// capacity for the next use.
+func (m *Medium) releaseTx(tx *transmission) {
+	if o := tx.pkt.Owner; o != nil {
+		o.FreePacket(tx.pkt)
+	}
+	tx.pkt = nil
+	tx.receptions = tx.receptions[:0]
+	tx.pending = 0
+	tx.done = false
+	m.txFree = append(m.txFree, tx)
+}
+
+// takeBackoff returns a recycled backoff retry, or a fresh one.
+func (m *Medium) takeBackoff() *backoffRetry {
+	if n := len(m.backoffFree); n > 0 {
+		b := m.backoffFree[n-1]
+		m.backoffFree[n-1] = nil
+		m.backoffFree = m.backoffFree[:n-1]
+		return b
+	}
+	return &backoffRetry{}
 }
 
 // corruptInflightBrute marks every pending reception within tx's
@@ -471,26 +666,35 @@ func (m *Medium) corruptInflightBrute(tx *transmission, pos geom.Point, now floa
 	}
 }
 
-// corruptInflightGrid is the O(k) equivalent: only nodes whose current
-// position can lie within the interference radius (candBuf, filled by
-// send) are candidates, and only those holding pending receptions are
-// visited.
-func (m *Medium) corruptInflightGrid(tx *transmission, pos geom.Point, now float64) {
+// corruptAndCoverGrid is the O(k) equivalent of corruptInflightBrute +
+// coverBrute in a single candidate pass: each candidate's fresh position
+// is computed once and used for both the interference check against its
+// pending receptions and the coverage test filling coverBuf. The merged
+// iteration visits candidates in ascending id order, so the covered set,
+// the corrupted receptions and the collision count are exactly those of
+// the two-pass brute scans.
+func (m *Medium) corruptAndCoverGrid(tx *transmission, pos geom.Point, now float64) {
 	int2 := tx.intRng * tx.intRng
+	rng2 := tx.rng * tx.rng
+	// With nothing else on the air no reception can be pending, so the
+	// per-candidate inflight lookup is skipped wholesale.
+	checkInflight := len(m.active) > 0
+	m.coverBuf = m.coverBuf[:0]
 	for _, id32 := range m.candBuf {
 		id := int(id32)
-		if len(m.inflight[id]) == 0 {
-			continue
-		}
-		if m.tracker.Position(id, now).Dist2(pos) > int2 {
-			continue
-		}
-		for _, rc := range m.inflight[id] {
-			if rc.corrupted {
-				continue
+		p := m.tracker.Position(id, now)
+		d2 := p.Dist2(pos)
+		if checkInflight && d2 <= int2 && len(m.inflight[id]) > 0 {
+			for _, rc := range m.inflight[id] {
+				if rc.corrupted {
+					continue
+				}
+				rc.corrupted = true
+				m.stats.Collisions++
 			}
-			rc.corrupted = true
-			m.stats.Collisions++
+		}
+		if d2 <= rng2 && packet.NodeID(id) != tx.from && m.nodes[id] != nil {
+			m.coverBuf = append(m.coverBuf, id32)
 		}
 	}
 }
@@ -509,37 +713,26 @@ func (m *Medium) coverBrute(tx *transmission, pos geom.Point) {
 	}
 }
 
-// coverGrid fills coverBuf with the ids covered by tx, filtering the
-// shared candidate set from send's single grid query.
-func (m *Medium) coverGrid(tx *transmission, pos geom.Point, now float64) {
-	rng2 := tx.rng * tx.rng
-	m.coverBuf = m.coverBuf[:0]
-	for _, id32 := range m.candBuf {
-		id := int(id32)
-		if packet.NodeID(id) == tx.from || m.nodes[id] == nil {
-			continue
-		}
-		if m.tracker.Position(id, now).Dist2(pos) <= rng2 {
-			m.coverBuf = append(m.coverBuf, id32)
-		}
-	}
-}
-
 // attachReceptions materializes tx's receptions for the covered ids in
 // coverBuf, resolves their collision/half-duplex fate, and schedules the
-// deliveries. Receptions live in one slice sized up front so each frame
-// costs a single allocation and the pointers handed to the inflight
-// registry stay stable.
+// deliveries. Receptions live in one slice sized up front (reusing the
+// pooled transmission's capacity, so a warm medium allocates nothing) and
+// the pointers handed to the inflight registry stay stable.
 func (m *Medium) attachReceptions(tx *transmission, pos geom.Point, now, dur float64) {
 	if len(m.coverBuf) == 0 {
 		return
 	}
-	tx.receptions = make([]reception, len(m.coverBuf))
+	if cap(tx.receptions) < len(m.coverBuf) {
+		tx.receptions = make([]reception, len(m.coverBuf))
+	} else {
+		tx.receptions = tx.receptions[:len(m.coverBuf)]
+	}
+	tx.pending = len(tx.receptions)
 	for i, id32 := range m.coverBuf {
 		id := int(id32)
 		rc := &tx.receptions[i]
-		rc.tx = tx
-		rc.to = packet.NodeID(id32)
+		// Whole-struct assignment: recycled slots carry stale fields.
+		*rc = reception{tx: tx, to: packet.NodeID(id32)}
 		var p geom.Point
 		if m.gridOn {
 			p = m.tracker.Position(id, now)
@@ -569,7 +762,7 @@ func (m *Medium) attachReceptions(tx *transmission, pos geom.Point, now, dur flo
 // covers the point p.
 func (m *Medium) interferedAt(p geom.Point) bool {
 	if m.gridOn {
-		for _, other := range m.txCells[m.grid.CellIndex(p)] {
+		for _, other := range m.txCells[m.txCellAt(p)] {
 			if p.Dist2(other.origin) <= other.intRng*other.intRng {
 				return true
 			}
@@ -615,7 +808,7 @@ func (m *Medium) deliver(tx *transmission, rc *reception) {
 // busyAt reports whether any ongoing transmission is audible at pos.
 func (m *Medium) busyAt(pos geom.Point, now float64) bool {
 	if m.gridOn {
-		for _, tx := range m.txCells[m.grid.CellIndex(pos)] {
+		for _, tx := range m.txCells[m.txCellAt(pos)] {
 			if now < tx.end && pos.Dist2(tx.origin) <= tx.intRng*tx.intRng {
 				return true
 			}
@@ -638,32 +831,53 @@ func (m *Medium) transmitting(id packet.NodeID, now float64) bool {
 	return tx != nil && now < tx.end
 }
 
-// txCellsInsert registers tx in every cell its interference disk's
-// bounding box overlaps. Origins never move, so no slack is needed and
-// membership stays exact for the transmission's whole life.
+// Coarsening of the transmission registry relative to the index cells:
+// one registry cell covers a txCellGran × txCellGran block.
+const (
+	txCellShift = 2
+	txCellGran  = 1 << txCellShift
+)
+
+// txCellAt returns the registry cell containing p.
+func (m *Medium) txCellAt(p geom.Point) int {
+	ix, iy := m.grid.CellXY(p)
+	return (iy>>txCellShift)*m.txCols + (ix >> txCellShift)
+}
+
+// txCellRange returns the registry-cell range covered by the disk's
+// bounding box (derived from the index geometry, so it clamps the same
+// way queries do).
+func (m *Medium) txCellRange(center geom.Point, r float64) (ix0, iy0, ix1, iy1 int) {
+	ix0, iy0, ix1, iy1 = m.grid.CellRange(center, r)
+	return ix0 >> txCellShift, iy0 >> txCellShift, ix1 >> txCellShift, iy1 >> txCellShift
+}
+
+// txCellsInsert registers tx in every registry cell its interference
+// disk's bounding box overlaps. Origins never move, so no slack is needed
+// and membership stays exact for the transmission's whole life.
 func (m *Medium) txCellsInsert(tx *transmission) {
-	ix0, iy0, ix1, iy1 := m.grid.CellRange(tx.origin, tx.intRng)
+	ix0, iy0, ix1, iy1 := m.txCellRange(tx.origin, tx.intRng)
 	for iy := iy0; iy <= iy1; iy++ {
+		row := iy * m.txCols
 		for ix := ix0; ix <= ix1; ix++ {
-			c := m.grid.Cell(ix, iy)
-			m.txCells[c] = append(m.txCells[c], tx)
+			m.txCells[row+ix] = append(m.txCells[row+ix], tx)
 		}
 	}
 }
 
 // txCellsRemove is the inverse of txCellsInsert.
 func (m *Medium) txCellsRemove(tx *transmission) {
-	ix0, iy0, ix1, iy1 := m.grid.CellRange(tx.origin, tx.intRng)
+	ix0, iy0, ix1, iy1 := m.txCellRange(tx.origin, tx.intRng)
 	for iy := iy0; iy <= iy1; iy++ {
+		row := iy * m.txCols
 		for ix := ix0; ix <= ix1; ix++ {
-			c := m.grid.Cell(ix, iy)
-			lst := m.txCells[c]
+			lst := m.txCells[row+ix]
 			for i, t := range lst {
 				if t == tx {
 					last := len(lst) - 1
 					lst[i] = lst[last]
 					lst[last] = nil
-					m.txCells[c] = lst[:last]
+					m.txCells[row+ix] = lst[:last]
 					break
 				}
 			}
@@ -699,7 +913,11 @@ func (m *Medium) retire(tx *transmission) {
 			m.active[i] = m.active[last]
 			m.active[last] = nil
 			m.active = m.active[:last]
-			return
+			break
 		}
+	}
+	tx.done = true
+	if tx.pending == 0 {
+		m.releaseTx(tx)
 	}
 }

@@ -98,20 +98,36 @@ type Tracker struct {
 
 // NewTracker initializes n nodes under the given model.
 func NewTracker(n int, m Model) *Tracker {
-	t := &Tracker{
-		model:  m,
-		legs:   make([]Leg, n),
-		legLen: make([]float64, n),
-		memoT:  make([]float64, n),
-		memoP:  make([]geom.Point, n),
-		allP:   make([]geom.Point, n),
+	t := &Tracker{}
+	t.Reset(n, m)
+	return t
+}
+
+// Reset re-initializes the tracker for n nodes under a new model, reusing
+// its slices when their capacity allows. A reset tracker is
+// indistinguishable from a fresh one.
+func (t *Tracker) Reset(n int, m Model) {
+	t.model = m
+	if cap(t.legs) < n {
+		t.legs = make([]Leg, n)
+		t.legLen = make([]float64, n)
+		t.memoT = make([]float64, n)
+		t.memoP = make([]geom.Point, n)
+		t.allP = make([]geom.Point, n)
+	} else {
+		t.legs = t.legs[:n]
+		t.legLen = t.legLen[:n]
+		t.memoT = t.memoT[:n]
+		t.memoP = t.memoP[:n]
+		t.allP = t.allP[:n]
 	}
 	for i := range t.legs {
 		t.legs[i] = m.Init(i)
 		t.legLen[i] = t.legs[i].From.Dist(t.legs[i].To)
 		t.memoT[i] = math.NaN()
+		t.memoP[i] = geom.Point{}
 	}
-	return t
+	t.allT, t.allOK = 0, false
 }
 
 // N returns the number of tracked nodes.

@@ -119,16 +119,25 @@ type Config struct {
 // instances are attached afterwards with SetProtocol, then Start launches
 // them.
 func New(s *sim.Simulator, tracker *mobility.Tracker, cfg Config) *Network {
-	net := &Network{
-		Sim:       s,
-		Tracker:   tracker,
-		Collector: metrics.NewCollector(cfg.PayloadBytes),
-		Nodes:     make([]*Node, cfg.N),
-		Meters:    make([]*energy.Meter, cfg.N),
-		Source:    cfg.Source,
-		Members:   cfg.Members,
-		memberSet: make([]bool, cfg.N),
-		joinTime:  make([]float64, cfg.N),
+	net := &Network{}
+	net.Reset(s, tracker, cfg)
+	return net
+}
+
+// Reset re-initializes the network in place for a new run, exactly as New
+// would, while reusing its components: node and meter structs, the
+// metrics collector (and its map buckets) and the medium (with its
+// queues, registries and freelists) all survive, so a run arena pays a
+// small fixed setup cost per replication instead of rebuilding the world.
+func (net *Network) Reset(s *sim.Simulator, tracker *mobility.Tracker, cfg Config) {
+	n := cfg.N
+	net.Sim, net.Tracker = s, tracker
+	net.Source = cfg.Source
+	net.Members = cfg.Members
+	if net.Collector == nil {
+		net.Collector = metrics.NewCollector(cfg.PayloadBytes)
+	} else {
+		net.Collector.Reset(cfg.PayloadBytes)
 	}
 	mcfg := cfg.Medium
 	if !mcfg.Grid.Disable {
@@ -142,7 +151,11 @@ func New(s *sim.Simulator, tracker *mobility.Tracker, cfg Config) *Network {
 			mcfg.Grid.Static = true
 		}
 	}
-	net.Medium = medium.New(s, mcfg, tracker, cfg.N)
+	if net.Medium == nil {
+		net.Medium = medium.New(s, mcfg, tracker, n)
+	} else {
+		net.Medium.Reset(s, mcfg, tracker, n)
+	}
 	net.Medium.OnTransmit = func(pkt *packet.Packet) {
 		if pkt.Kind.Control() {
 			net.Collector.ControlTx(pkt.Bytes)
@@ -150,23 +163,47 @@ func New(s *sim.Simulator, tracker *mobility.Tracker, cfg Config) *Network {
 			net.Collector.DataTx(pkt.Bytes)
 		}
 	}
+	// Membership and join-time state.
+	if cap(net.memberSet) < n {
+		net.memberSet = make([]bool, n)
+		net.joinTime = make([]float64, n)
+	} else {
+		net.memberSet = net.memberSet[:n]
+		net.joinTime = net.joinTime[:n]
+		for i := range net.memberSet {
+			net.memberSet[i] = false
+			net.joinTime[i] = 0
+		}
+	}
 	for _, m := range cfg.Members {
 		net.memberSet[m] = true
 	}
-	for i := 0; i < cfg.N; i++ {
+	// Nodes and meters: reuse the structs, reassign every field.
+	for len(net.Nodes) < n {
+		net.Nodes = append(net.Nodes, nil)
+		net.Meters = append(net.Meters, nil)
+	}
+	net.Nodes = net.Nodes[:n]
+	net.Meters = net.Meters[:n]
+	for i := 0; i < n; i++ {
 		id := packet.NodeID(i)
-		meter := energy.NewMeter(cfg.Battery)
-		net.Meters[i] = meter
-		net.Nodes[i] = &Node{
+		if net.Meters[i] == nil {
+			net.Meters[i] = energy.NewMeter(cfg.Battery)
+		} else {
+			net.Meters[i].Reset(cfg.Battery)
+		}
+		if net.Nodes[i] == nil {
+			net.Nodes[i] = &Node{}
+		}
+		*net.Nodes[i] = Node{
 			ID:     id,
 			Net:    net,
-			Meter:  meter,
+			Meter:  net.Meters[i],
 			Member: net.memberSet[i],
 			Source: id == cfg.Source,
 		}
-		net.Medium.Attach(id, net.Nodes[i], meter)
+		net.Medium.Attach(id, net.Nodes[i], net.Meters[i])
 	}
-	return net
 }
 
 // IsMember reports whether id is a multicast receiver.

@@ -85,20 +85,92 @@ type Packet struct {
 	// Payload carries protocol-specific state (e.g. beacon contents).
 	// Handlers type-assert on Kind.
 	Payload any
+	// Owner, when non-nil, recycles the packet: the medium calls
+	// Owner.FreePacket exactly once, after the frame's transmission has
+	// left the air and its last scheduled reception has fired. Past that
+	// point no component may retain the packet or anything reachable from
+	// its payload — receivers copy what they keep. Protocols that opt in
+	// pool their frames; everyone else leaves Owner nil and lets the
+	// garbage collector take the frame.
+	Owner Owner
+}
+
+// Owner recycles finished packets; see Packet.Owner.
+type Owner interface {
+	// FreePacket returns p to its owner's pool. Called exactly once per
+	// transmitted frame, on the simulator goroutine.
+	FreePacket(p *Packet)
 }
 
 // Clone returns a shallow copy suitable for re-forwarding with mutated
 // From/TTL/Hops. The Payload pointer is shared; protocols that forward
-// payloads treat them as immutable.
+// payloads treat them as immutable. The copy is not owned by the
+// original's pool: recycling the original must not tear storage out from
+// under the in-flight copy, so Owner does not propagate.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.Owner = nil
 	return &q
 }
 
-// NewData builds a multicast data frame originated by src with the given
-// sequence number and born timestamp.
-func NewData(src NodeID, seq uint32, born float64) *Packet {
-	return &Packet{
+// SeqSet is a set of (src, seq) packet identities, tuned for the
+// simulator's dominant shape: one multicast source numbering its packets
+// densely from zero, probed on every data reception (application dedup,
+// forwarding dedup, delivery accounting). The first source seen gets a
+// growable bitset indexed by seq; any other source (mixed-protocol
+// tests, future multi-source traffic) falls back to a map. The zero
+// value is an empty set ready to use.
+type SeqSet struct {
+	src    NodeID
+	hasSrc bool
+	bits   []uint64
+	rest   map[uint64]struct{}
+}
+
+// TestAndSet inserts (src, seq) and reports whether it was already
+// present.
+func (s *SeqSet) TestAndSet(src NodeID, seq uint32) bool {
+	if !s.hasSrc {
+		s.src, s.hasSrc = src, true
+	}
+	if src == s.src {
+		w, b := int(seq>>6), uint64(1)<<(seq&63)
+		for w >= len(s.bits) {
+			s.bits = append(s.bits, 0)
+		}
+		if s.bits[w]&b != 0 {
+			return true
+		}
+		s.bits[w] |= b
+		return false
+	}
+	if s.rest == nil {
+		s.rest = make(map[uint64]struct{})
+	}
+	k := uint64(uint32(src))<<32 | uint64(seq)
+	if _, dup := s.rest[k]; dup {
+		return true
+	}
+	s.rest[k] = struct{}{}
+	return false
+}
+
+// Reset empties the set, keeping the bitset's backing array and the
+// fallback map's buckets for reuse.
+func (s *SeqSet) Reset() {
+	s.hasSrc = false
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+	s.bits = s.bits[:0]
+	clear(s.rest)
+}
+
+// MakeData builds a multicast data frame, by value, originated by src
+// with the given sequence number and born timestamp. Pooling callers
+// assign it into recycled storage; NewData heap-allocates it.
+func MakeData(src NodeID, seq uint32, born float64) Packet {
+	return Packet{
 		Kind:  KindData,
 		From:  src,
 		To:    Broadcast,
@@ -107,4 +179,11 @@ func NewData(src NodeID, seq uint32, born float64) *Packet {
 		Bytes: DataPayload + IPHeaderBytes + MACHeaderBytes,
 		Born:  born,
 	}
+}
+
+// NewData builds a multicast data frame originated by src with the given
+// sequence number and born timestamp.
+func NewData(src NodeID, seq uint32, born float64) *Packet {
+	p := MakeData(src, seq, born)
+	return &p
 }

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestArenaReuseEquivalence drives one RunContext through a mixed
+// sequence of scenarios — every protocol × every mobility model × two
+// seeds — and asserts each run's summary and channel counters are
+// bit-identical to a fresh-context run of the same config. Arena reuse
+// (event-queue freelist, medium registries and frame pools, neighbour
+// tables, dedup-map buckets, position memos) must be invisible to the
+// simulation; this is the reuse analogue of TestGridEquivalence.
+//
+// The runs execute back to back on the same context on purpose: run k
+// inherits whatever state run k-1 left behind, so any incomplete Reset —
+// a stale map entry, a surviving queued event, a dirty neighbour row —
+// shows up as a divergence here.
+func TestArenaReuseEquivalence(t *testing.T) {
+	protocols := []ProtocolKind{
+		SSSPST, SSSPSTT, SSSPSTF, SSSPSTE, SSMST, MAODV, ODMRP, Flood,
+	}
+	seeds := []uint64{1, 77}
+
+	rc := NewRunContext()
+	for _, mob := range []MobilityKind{RandomWaypoint, GaussMarkov, RPGM, Manhattan} {
+		for _, p := range protocols {
+			for _, seed := range seeds {
+				name := fmt.Sprintf("%s/%s/seed%d", mob, p, seed)
+				cfg := Default()
+				cfg.Protocol = p
+				cfg.Mobility = mob
+				cfg.Seed = seed
+				cfg.Duration = 12
+				cfg.VMax = 8
+
+				reused := rc.Run(cfg)
+				fresh := Run(cfg)
+
+				if reused.Summary != fresh.Summary {
+					t.Errorf("%s: summaries diverge:\n reused %+v\n fresh  %+v",
+						name, reused.Summary, fresh.Summary)
+				}
+				if reused.Medium != fresh.Medium {
+					t.Errorf("%s: medium stats diverge:\n reused %+v\n fresh  %+v",
+						name, reused.Medium, fresh.Medium)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaReuseAcrossShapes re-runs one context across configs that
+// change the world's shape — node count, area (hence grid geometry),
+// group size, churn — so every buffer-resizing path in the Reset chain is
+// exercised, not just the same-shape replication fast path.
+func TestArenaReuseAcrossShapes(t *testing.T) {
+	shapes := []func(*Config){
+		func(c *Config) { c.N = 50; c.AreaSide = 750 },
+		func(c *Config) { c.N = 80; c.AreaSide = 900; c.GroupSize = 40 },
+		func(c *Config) { c.N = 20; c.AreaSide = 400; c.GroupSize = 30 }, // clamped group
+		func(c *Config) { c.N = 50; c.AreaSide = 750; c.MemberChurnInterval = 3 },
+		func(c *Config) { c.N = 50; c.AreaSide = 750; c.Protocol = ODMRP },
+		func(c *Config) { c.N = 60; c.AreaSide = 750; c.Mobility = Static },
+	}
+	rc := NewRunContext()
+	for i, shape := range shapes {
+		cfg := Default()
+		cfg.Duration = 10
+		cfg.Seed = uint64(31 + i)
+		shape(&cfg)
+
+		reused := rc.Run(cfg)
+		fresh := Run(cfg)
+
+		if reused.Summary != fresh.Summary {
+			t.Errorf("shape %d: summaries diverge:\n reused %+v\n fresh  %+v",
+				i, reused.Summary, fresh.Summary)
+		}
+		if reused.Medium != fresh.Medium {
+			t.Errorf("shape %d: medium stats diverge:\n reused %+v\n fresh  %+v",
+				i, reused.Medium, fresh.Medium)
+		}
+	}
+}

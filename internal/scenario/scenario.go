@@ -338,8 +338,36 @@ func buildMobility(cfg Config, area geom.Rect, root *xrand.RNG) mobility.Model {
 	}
 }
 
-// Run executes one scenario to completion.
-func Run(cfg Config) Result {
+// RunContext is a reusable run arena — one per sweep worker. Its Run
+// resets the simulator, mobility tracker, network and SS-SPST protocol
+// instances in place instead of reallocating them, so replication k+1
+// inherits replication k's grown storage: event-queue backing arrays and
+// freelist, medium queues/registries/frame pools, neighbour tables,
+// dedup-map buckets and position memos. Steady-state allocation across a
+// sweep collapses to a small fixed per-run setup cost, taking the
+// garbage collector off the sweep critical path.
+//
+// A RunContext is single-goroutine and its results are bit-identical to
+// fresh-context runs (TestArenaReuseEquivalence).
+type RunContext struct {
+	sim     *sim.Simulator
+	tracker *mobility.Tracker
+	net     *netsim.Network
+	// ssPool holds one reusable SS-SPST instance per node id; other
+	// protocol families allocate per run (their instances are small).
+	ssPool []*core.Protocol
+}
+
+// NewRunContext returns an empty arena; the first Run populates it.
+func NewRunContext() *RunContext { return &RunContext{} }
+
+// Run executes one scenario to completion in a fresh arena. Callers
+// running many scenarios on one goroutine should hold a RunContext and
+// use its Run instead.
+func Run(cfg Config) Result { return NewRunContext().Run(cfg) }
+
+// Run executes one scenario to completion, reusing the arena.
+func (rc *RunContext) Run(cfg Config) Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
@@ -349,12 +377,22 @@ func Run(cfg Config) Result {
 		cfg.GroupSize = cfg.N - 1
 	}
 
-	s := sim.New(cfg.Seed)
+	if rc.sim == nil {
+		rc.sim = sim.New(cfg.Seed)
+	} else {
+		rc.sim.Reset(cfg.Seed)
+	}
+	s := rc.sim
 	root := xrand.New(cfg.Seed)
 
 	area := geom.Square(cfg.AreaSide)
 	model := buildMobility(cfg, area, root)
-	tracker := mobility.NewTracker(cfg.N, model)
+	if rc.tracker == nil {
+		rc.tracker = mobility.NewTracker(cfg.N, model)
+	} else {
+		rc.tracker.Reset(cfg.N, model)
+	}
+	tracker := rc.tracker
 
 	// Group selection: source is node 0; receivers drawn uniformly from
 	// the rest.
@@ -369,7 +407,7 @@ func Run(cfg Config) Result {
 	if cfg.Mobility == Static {
 		vmax = 0
 	}
-	net := netsim.New(s, tracker, netsim.Config{
+	ncfg := netsim.Config{
 		N:            cfg.N,
 		Source:       src,
 		Members:      members,
@@ -379,9 +417,15 @@ func Run(cfg Config) Result {
 		Area:         area,
 		VMax:         vmax,
 		StaticNodes:  cfg.Mobility == Static,
-	})
+	}
+	if rc.net == nil {
+		rc.net = netsim.New(s, tracker, ncfg)
+	} else {
+		rc.net.Reset(s, tracker, ncfg)
+	}
+	net := rc.net
 
-	attachProtocols(net, cfg)
+	rc.attachProtocols(net, cfg)
 	net.Start()
 
 	traffic.CBR{
@@ -406,8 +450,15 @@ func Run(cfg Config) Result {
 	return Result{Config: cfg, Summary: net.Summarize(), Medium: net.Medium.Stats()}
 }
 
-// attachProtocols instantiates cfg.Protocol on every node.
-func attachProtocols(net *netsim.Network, cfg Config) {
+// attachProtocols instantiates cfg.Protocol on every node, reusing the
+// arena's SS-SPST instances (reset in place) when the scenario runs the
+// SS family.
+func (rc *RunContext) attachProtocols(net *netsim.Network, cfg Config) {
+	if cfg.Protocol.SelfStabilizing() {
+		for len(rc.ssPool) < cfg.N {
+			rc.ssPool = append(rc.ssPool, nil)
+		}
+	}
 	for i := 0; i < cfg.N; i++ {
 		id := packet.NodeID(i)
 		switch cfg.Protocol {
@@ -415,7 +466,14 @@ func attachProtocols(net *netsim.Network, cfg Config) {
 			ccfg := cfg.SSCore
 			ccfg.Variant = cfg.Protocol.Variant()
 			ccfg.BeaconInterval = cfg.BeaconInterval
-			net.SetProtocol(id, core.New(ccfg, cfg.N))
+			if p := rc.ssPool[i]; p != nil {
+				p.Reset(ccfg, cfg.N)
+				net.SetProtocol(id, p)
+			} else {
+				p = core.New(ccfg, cfg.N)
+				rc.ssPool[i] = p
+				net.SetProtocol(id, p)
+			}
 		case MAODV:
 			net.SetProtocol(id, maodv.New(maodv.DefaultConfig()))
 		case ODMRP:
@@ -456,12 +514,16 @@ func attachAvailabilitySampler(net *netsim.Network, interval float64) {
 // attachMembershipChurn swaps one member for one non-member every
 // interval, keeping the group size constant while rotating membership.
 func attachMembershipChurn(net *netsim.Network, interval float64, r *xrand.RNG) {
+	// The non-member scratch is hoisted out of the tick: churn fires
+	// hundreds of times per run and the candidate set is bounded by N,
+	// so one buffer serves every tick without reallocating.
+	var outs []packet.NodeID
 	net.Sim.Every(interval, 0.2, func() {
 		if len(net.Members) == 0 {
 			return
 		}
 		// Collect non-members (excluding the source).
-		var outs []packet.NodeID
+		outs = outs[:0]
 		for _, n := range net.Nodes {
 			if !n.Member && !n.Source {
 				outs = append(outs, n.ID)
@@ -483,7 +545,10 @@ func Sweep(cfgs []Config) []Result {
 	return SweepN(cfgs, runtime.GOMAXPROCS(0))
 }
 
-// SweepN is Sweep with an explicit worker count.
+// SweepN is Sweep with an explicit worker count. Each worker owns one
+// RunContext, so consecutive replications on a worker reuse the same
+// arena instead of rebuilding (and garbage-collecting) the simulation
+// world per run.
 func SweepN(cfgs []Config, workers int) []Result {
 	if workers < 1 {
 		workers = 1
@@ -495,8 +560,9 @@ func SweepN(cfgs []Config, workers int) []Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rc := NewRunContext()
 			for i := range jobs {
-				results[i] = Run(cfgs[i])
+				results[i] = rc.Run(cfgs[i])
 			}
 		}()
 	}

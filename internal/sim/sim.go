@@ -37,6 +37,21 @@ func New(seed uint64) *Simulator {
 	return &Simulator{queue: eventq.New(), rng: xrand.New(seed)}
 }
 
+// Reset rewinds the simulator for a new run seeded by seed: the clock and
+// counters restart and the event queue empties, but the queue's backing
+// arrays and recycled event pool survive — a reused simulator runs its
+// next simulation with the same results as a fresh one while scheduling
+// in steady state without allocating. Timers and Tickers from the
+// previous run are dropped (they read as cancelled).
+func (s *Simulator) Reset(seed uint64) {
+	s.now = 0
+	s.stopped = false
+	s.processed = 0
+	s.tickers = 0
+	s.rng = xrand.New(seed)
+	s.queue.Reset()
+}
+
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
 
@@ -118,13 +133,15 @@ func (s *Simulator) Every(period Time, jitter float64, fn func()) *Ticker {
 	return t
 }
 
-// Ticker repeatedly schedules a callback; see Simulator.Every.
+// Ticker repeatedly schedules a callback; see Simulator.Every. It owns a
+// single reusable event and implements eventq.Action, so the re-arming
+// after every firing allocates nothing.
 type Ticker struct {
 	sim     *Simulator
 	period  Time
 	jitter  float64
 	fn      func()
-	timer   *Timer
+	ev      eventq.Event
 	rng     *xrand.RNG
 	stopped bool
 }
@@ -134,21 +151,24 @@ func (t *Ticker) arm() {
 	if t.jitter > 0 {
 		d = t.period * (1 + t.jitter*(2*t.rng.Float64()-1))
 	}
-	t.timer = t.sim.Schedule(d, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.sim.queue.PushOwned(&t.ev, t.sim.now+d, t)
+}
+
+// Fire implements eventq.Action: run the callback, then re-arm.
+func (t *Ticker) Fire() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
 }
 
 // Stop cancels all future firings.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	t.timer.Cancel()
+	t.sim.queue.Cancel(&t.ev)
 }
 
 // Run executes events in order until the queue drains or the clock reaches

@@ -37,11 +37,21 @@ type Grid struct {
 	cols    int
 	rows    int
 
-	// Epoch snapshot.
+	// Epoch snapshot. Buckets are maintained incrementally across
+	// refreshes (Refresh rebuckets only nodes whose cell changed), so
+	// their internal order is arbitrary; queries emit results through the
+	// sorted bitmap below, which makes bucket order unobservable.
 	cells [][]int32    // node ids bucketed by cell
 	pos   []geom.Point // positions at the epoch
-	epoch float64
-	built bool
+	// nodeCell and nodeSlot track each node's current bucket and its
+	// position inside it, making an incremental move O(1).
+	nodeCell []int32
+	nodeSlot []int32
+	epoch    float64
+	built    bool
+	// Construction inputs, recorded for Matches.
+	reqBounds geom.Rect
+	reqCell   float64
 	// mark is a scratch bitmap used to emit query results in ascending
 	// id order without sorting (always zero between queries).
 	mark []uint64
@@ -56,6 +66,7 @@ const maxCellsFactor = 4
 // cell side. A degenerate bounds or cell size collapses to a single cell
 // (the index then degrades gracefully to a filtered linear scan).
 func NewGrid(bounds geom.Rect, cell float64, n int) *Grid {
+	reqBounds, reqCell := bounds, cell
 	w, h := bounds.Width(), bounds.Height()
 	if cell <= 0 || w <= 0 || h <= 0 {
 		side := math.Max(w, h)
@@ -70,13 +81,18 @@ func NewGrid(bounds geom.Rect, cell float64, n int) *Grid {
 		rows := gridDim(h, cell)
 		if cols*rows <= maxCells {
 			g := &Grid{
-				min:     bounds.Min,
-				cell:    cell,
-				invCell: 1 / cell,
-				cols:    cols,
-				rows:    rows,
-				pos:     make([]geom.Point, n),
-				mark:    make([]uint64, (n+63)/64),
+				min:      bounds.Min,
+				cell:     cell,
+				invCell:  1 / cell,
+				cols:     cols,
+				rows:     rows,
+				pos:      make([]geom.Point, n),
+				nodeCell: make([]int32, n),
+				nodeSlot: make([]int32, n),
+				mark:     make([]uint64, (n+63)/64),
+
+				reqBounds: reqBounds,
+				reqCell:   reqCell,
 			}
 			g.cells = make([][]int32, cols*rows)
 			return g
@@ -107,8 +123,8 @@ func (g *Grid) Built() bool { return g.built }
 func (g *Grid) Epoch() float64 { return g.epoch }
 
 // Rebuild snapshots positions (len must equal the grid's node count) as
-// the new epoch. Buckets are reused across rebuilds; no allocation happens
-// in steady state.
+// the new epoch, rebucketing every node. Buckets are reused across
+// rebuilds; no allocation happens in steady state.
 func (g *Grid) Rebuild(now float64, positions []geom.Point) {
 	copy(g.pos, positions)
 	for i := range g.cells {
@@ -116,10 +132,70 @@ func (g *Grid) Rebuild(now float64, positions []geom.Point) {
 	}
 	for i, p := range g.pos {
 		c := g.CellIndex(p)
+		g.nodeCell[i] = int32(c)
+		g.nodeSlot[i] = int32(len(g.cells[c]))
 		g.cells[c] = append(g.cells[c], int32(i))
 	}
 	g.epoch = now
 	g.built = true
+}
+
+// Refresh advances the snapshot to the given positions, rebucketing only
+// the nodes whose cell changed. Between consecutive epochs a node drifts
+// at most a fraction of a cell (the caller's SlackFrac policy), so almost
+// every node stays put and the refresh costs a position copy plus
+// O(moved) bucket updates instead of a full rebucketing. The resulting
+// snapshot is exactly what Rebuild would produce up to bucket order,
+// which AppendInDisk's sorted emission makes unobservable.
+func (g *Grid) Refresh(now float64, positions []geom.Point) {
+	if !g.built {
+		g.Rebuild(now, positions)
+		return
+	}
+	for i, p := range positions {
+		g.pos[i] = p
+		c := int32(g.CellIndex(p))
+		if c == g.nodeCell[i] {
+			continue
+		}
+		g.moveNode(int32(i), c)
+	}
+	g.epoch = now
+}
+
+// moveNode rebuckets node id into cell c: O(1) swap-remove from the old
+// bucket via the slot index, append to the new one.
+func (g *Grid) moveNode(id, c int32) {
+	old, slot := g.nodeCell[id], g.nodeSlot[id]
+	bucket := g.cells[old]
+	last := int32(len(bucket) - 1)
+	if slot != last {
+		moved := bucket[last]
+		bucket[slot] = moved
+		g.nodeSlot[moved] = slot
+	}
+	g.cells[old] = bucket[:last]
+	g.nodeCell[id] = c
+	g.nodeSlot[id] = int32(len(g.cells[c]))
+	g.cells[c] = append(g.cells[c], id)
+}
+
+// Matches reports whether the grid was constructed from exactly these
+// NewGrid inputs. The cell geometry is a deterministic function of them,
+// so a match lets a run arena reuse the grid (and its grown bucket
+// storage) across replications of the same deployment.
+func (g *Grid) Matches(bounds geom.Rect, cell float64, n int) bool {
+	return g.reqBounds == bounds && g.reqCell == cell && len(g.pos) == n
+}
+
+// Clear forgets the snapshot (built reports false afterwards) while
+// keeping all storage, including grown buckets, for the next run.
+func (g *Grid) Clear() {
+	for i := range g.cells {
+		g.cells[i] = g.cells[i][:0]
+	}
+	g.epoch = 0
+	g.built = false
 }
 
 // cellXY returns p's clamped cell coordinates.
@@ -146,6 +222,13 @@ func (g *Grid) CellIndex(p geom.Point) int {
 	return iy*g.cols + ix
 }
 
+// CellXY returns p's clamped cell coordinates (callers overlaying coarser
+// registries on the same geometry derive their indices from these).
+func (g *Grid) CellXY(p geom.Point) (ix, iy int) { return g.cellXY(p) }
+
+// Dims returns the grid's column and row counts.
+func (g *Grid) Dims() (cols, rows int) { return g.cols, g.rows }
+
 // CellRange returns the clamped inclusive cell-coordinate range covered by
 // the axis-aligned bounding box of the disk (center, r).
 func (g *Grid) CellRange(center geom.Point, r float64) (ix0, iy0, ix1, iy1 int) {
@@ -170,6 +253,19 @@ func (g *Grid) Cell(ix, iy int) int { return iy*g.cols + ix }
 func (g *Grid) AppendInDisk(dst []int32, center geom.Point, r float64) []int32 {
 	r2 := r * r
 	ix0, iy0, ix1, iy1 := g.CellRange(center, r)
+	// Broad queries (full-power broadcasts in small deployments) visit
+	// most cells anyway; once the query box covers at least half the
+	// grid, a direct scan of the epoch positions wins — it is already in
+	// ascending id order and skips the bucket walk and bitmap staging —
+	// so the index never costs more than the brute scan it replaced.
+	if (ix1-ix0+1)*(iy1-iy0+1)*2 >= g.cols*g.rows {
+		for id, p := range g.pos {
+			if p.Dist2(center) <= r2 {
+				dst = append(dst, int32(id))
+			}
+		}
+		return dst
+	}
 	lo, hi := len(g.mark), -1
 	for iy := iy0; iy <= iy1; iy++ {
 		row := iy * g.cols

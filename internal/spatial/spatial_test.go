@@ -139,6 +139,78 @@ func TestCellGeometryFixedAcrossRebuilds(t *testing.T) {
 	}
 }
 
+// TestRefreshMatchesRebuild drives one grid with incremental Refresh and a
+// reference grid with full Rebuild through the same random walk and checks
+// every disk query agrees: incremental bucket maintenance must be
+// indistinguishable from rebucketing everything.
+func TestRefreshMatchesRebuild(t *testing.T) {
+	rng := xrand.New(19)
+	area := geom.Square(750)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(120)
+		pts := randPoints(rng, n, area)
+		inc := NewGrid(area, 93, n)
+		ref := NewGrid(area, 93, n)
+		inc.Refresh(0, pts) // unbuilt: must fall back to Rebuild
+		ref.Rebuild(0, pts)
+		for step := 1; step <= 20; step++ {
+			// Random drift, including the occasional teleport so nodes
+			// cross many cells (and leave the bounds) in one refresh.
+			for i := range pts {
+				if rng.Bool(0.05) {
+					pts[i] = geom.Point{X: rng.Range(-300, 1050), Y: rng.Range(-300, 1050)}
+					continue
+				}
+				pts[i].X += rng.Range(-40, 40)
+				pts[i].Y += rng.Range(-40, 40)
+			}
+			inc.Refresh(float64(step), pts)
+			ref.Rebuild(float64(step), pts)
+			if inc.Epoch() != ref.Epoch() {
+				t.Fatalf("epoch mismatch: %g vs %g", inc.Epoch(), ref.Epoch())
+			}
+			for q := 0; q < 10; q++ {
+				center := geom.Point{X: rng.Range(-200, 950), Y: rng.Range(-200, 950)}
+				r := rng.Range(0, 600)
+				got := inc.AppendInDisk(nil, center, r)
+				want := ref.AppendInDisk(nil, center, r)
+				if !equalIDs(got, want) {
+					t.Fatalf("trial %d step %d: incremental %v vs rebuild %v", trial, step, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestClearKeepsGeometry checks that a cleared grid reports unbuilt but
+// reuses its geometry and storage for the next run.
+func TestClearKeepsGeometry(t *testing.T) {
+	rng := xrand.New(5)
+	area := geom.Square(400)
+	g := NewGrid(area, 80, 30)
+	g.Rebuild(0, randPoints(rng, 30, area))
+	if !g.Built() {
+		t.Fatal("not built after Rebuild")
+	}
+	g.Clear()
+	if g.Built() {
+		t.Fatal("built after Clear")
+	}
+	if !g.Matches(area, 80, 30) {
+		t.Fatal("Matches false for own construction inputs")
+	}
+	if g.Matches(area, 81, 30) || g.Matches(area, 80, 31) || g.Matches(geom.Square(401), 80, 30) {
+		t.Fatal("Matches true for foreign construction inputs")
+	}
+	pts := randPoints(rng, 30, area)
+	g.Refresh(3, pts)
+	got := g.AppendInDisk(nil, pts[0], 120)
+	want := bruteInDisk(pts, pts[0], 120)
+	if !equalIDs(got, want) {
+		t.Fatalf("after Clear+Refresh: got %v want %v", got, want)
+	}
+}
+
 // TestCellCountCapped checks the guard against absurd cell counts.
 func TestCellCountCapped(t *testing.T) {
 	g := NewGrid(geom.Square(1e6), 1, 10)
