@@ -242,6 +242,53 @@ func BenchmarkAblationNoBeaconJitter(b *testing.B) {
 // §6): the minimax companion protocol next to SS-SPST and SS-SPST-E.
 func BenchmarkExtensionMST(b *testing.B) { benchFigure(b, experiments.ExtensionMST) }
 
+// figurePointConfigs is one full figure point: all 8 protocols × 4 seeds
+// at the paper baseline (5 m/s, 20 receivers), the unit of work the
+// sweep engine schedules when regenerating a figure. The 8 protocol runs
+// at each seed share one recorded mobility trace. The workload
+// definition lives in scenario so cmd/benchsnap's FigureSweep entries
+// measure exactly this benchmark.
+func figurePointConfigs(mob scenario.MobilityKind) []scenario.Config {
+	return scenario.FigurePointConfigs(mob, 1, 60)
+}
+
+// BenchmarkFigureSweep measures sweep-engine throughput on one figure
+// point at workers=1: trace sharing and arena persistence isolated from
+// parallelism. The engine persists across iterations, exactly as the
+// global scheduler holds its pool across figures.
+func BenchmarkFigureSweep(b *testing.B) {
+	e := scenario.NewEngine(1)
+	defer e.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Sweep(figurePointConfigs(scenario.RandomWaypoint))
+	}
+	hits, misses := e.TraceStats()
+	b.Logf("trace cache: %d hits, %d misses", hits, misses)
+}
+
+// BenchmarkFigureSweepGM is the trace-heavy variant: Gauss-Markov legs
+// are the expensive ones (one autoregressive step per node per second),
+// so this point shows the recording/replay split most clearly.
+func BenchmarkFigureSweepGM(b *testing.B) {
+	e := scenario.NewEngine(1)
+	defer e.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Sweep(figurePointConfigs(scenario.GaussMarkov))
+	}
+}
+
+// BenchmarkFigureSweepParallel runs the same point on a machine-wide
+// engine; the speedup over BenchmarkFigureSweep is the parallel-scaling
+// factor (meaningless when GOMAXPROCS=1 — benchsnap warns).
+func BenchmarkFigureSweepParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scenario.Sweep(figurePointConfigs(scenario.RandomWaypoint))
+	}
+}
+
 // BenchmarkSweepParallelism measures the sweep runner's scaling: the same
 // 8-point sweep with 1 worker vs GOMAXPROCS workers.
 func BenchmarkSweepParallelism(b *testing.B) {

@@ -40,6 +40,10 @@ type entry struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	SimSeconds  float64 `json:"sim_seconds"` // simulated horizon per op
+	// TraceHitRate is the mobility-trace cache's replay fraction for the
+	// FigureSweep benchmarks (28 replays per 32-run point → 0.875 at
+	// perfect sharing); zero for single-run benchmarks.
+	TraceHitRate float64 `json:"trace_hit_rate,omitempty"`
 }
 
 // snapshot is the file layout of BENCH_<date>.json.
@@ -53,10 +57,15 @@ type snapshot struct {
 	// available to the run: NumCPU alone says nothing about a
 	// GOMAXPROCS-limited container, which is what made earlier
 	// snapshots' sweep benchmarks uninterpretable.
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	SweepWorkers int     `json:"sweep_workers"`
-	Quick        bool    `json:"quick"`
-	Benchmarks   []entry `json:"benchmarks"`
+	GOMAXPROCS   int  `json:"gomaxprocs"`
+	SweepWorkers int  `json:"sweep_workers"`
+	Quick        bool `json:"quick"`
+	// EngineWorkers is the sweep engine width the FigureSweep benchmarks
+	// ran at (1: trace sharing and arena persistence isolated from
+	// parallelism); each FigureSweep entry records its own trace-cache
+	// hit rate.
+	EngineWorkers int     `json:"engine_workers"`
+	Benchmarks    []entry `json:"benchmarks"`
 }
 
 // bench describes one scenario measurement: the config mutator mirrors the
@@ -165,6 +174,26 @@ func main() {
 			bm.name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
 
+	// Figure-sweep benchmarks: one full figure point (8 protocols × 4
+	// seeds) through a persistent workers=1 engine — the steady state of
+	// the global experiment scheduler with parallelism factored out.
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(os.Stderr, "benchsnap: warning: GOMAXPROCS=1 — engine parallel speedup is unmeasurable on this host; FigureSweep numbers still isolate trace sharing and arena reuse")
+	}
+	snap.EngineWorkers = 1
+	for _, fb := range []struct {
+		name string
+		mob  scenario.MobilityKind
+	}{
+		{"FigureSweep", scenario.RandomWaypoint},
+		{"FigureSweepGM", scenario.GaussMarkov},
+	} {
+		e := measureFigureSweep(fb.name, fb.mob, dur/2, iters)
+		snap.Benchmarks = append(snap.Benchmarks, e)
+		fmt.Printf("%-28s %12d ns/op %10d B/op %9d allocs/op  (trace hit rate %.3f)\n",
+			fb.name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.TraceHitRate)
+	}
+
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -239,6 +268,43 @@ func measure(bm bench, iters int) entry {
 		AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(iters),
 		BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters),
 		SimSeconds:  bm.duration,
+	}
+}
+
+// measureFigureSweep times whole figure points on a persistent workers=1
+// engine: a warmup point grows the arenas, then each iteration sweeps a
+// fresh point (new base seed → new traces) and the minimum wall time is
+// reported, exactly like measure. sim_seconds is the point's total
+// simulated extent so -compare normalizes against per-run benchmarks.
+func measureFigureSweep(name string, mob scenario.MobilityKind, dur float64, iters int) entry {
+	eng := scenario.NewEngine(1)
+	defer eng.Close()
+	eng.Sweep(scenario.FigurePointConfigs(mob, 1, dur))
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	best := int64(0)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		eng.Sweep(scenario.FigurePointConfigs(mob, uint64(i)+2, dur))
+		if d := time.Since(start).Nanoseconds(); best == 0 || d < best {
+			best = d
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	hits, misses := eng.TraceStats()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	return entry{
+		Name:         name,
+		Iterations:   iters,
+		NsPerOp:      best,
+		AllocsPerOp:  int64(ms1.Mallocs-ms0.Mallocs) / int64(iters),
+		BytesPerOp:   int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters),
+		SimSeconds:   dur * 32,
+		TraceHitRate: hitRate,
 	}
 }
 

@@ -6,11 +6,18 @@
 // Usage:
 //
 //	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,17]
-//	        [-mobility gauss-markov,rpgm,manhattan,rwp]
+//	        [-mobility gauss-markov,rpgm,manhattan,rwp] [-workers N]
+//
+// All requested figures are flattened into ONE globally scheduled batch
+// on the shared sweep engine: the longest runs start first across figure
+// boundaries, worker arenas stay hot for the whole session, and the runs
+// sharing a (mobility, seed) point replay one recorded movement trace.
+// Progress streams to stderr as runs land.
 //
 // With -quick the sweep uses short runs (the same setting the test suite
 // uses); curve shapes are stable well before the paper's 1800 s horizon.
-// -mobility selects the models compared in table 17.
+// -mobility selects the models compared in table 17; -workers bounds the
+// engine (default: GOMAXPROCS).
 package main
 
 import (
@@ -31,7 +38,12 @@ func main() {
 	seeds := flag.Int("seeds", 0, "seeds averaged per point (overrides -quick)")
 	figs := flag.String("fig", "", "comma-separated figure numbers (default: all)")
 	mob := flag.String("mobility", "", "comma-separated mobility models for the cross-mobility table 17 (default: rwp,gauss-markov,rpgm,manhattan)")
+	workers := flag.Int("workers", 0, "sweep engine width (default: GOMAXPROCS)")
 	flag.Parse()
+
+	if *workers > 0 {
+		scenario.ConfigureDefaultEngine(*workers)
+	}
 
 	opts := experiments.Full()
 	if *quick {
@@ -56,23 +68,12 @@ func main() {
 		}
 	}
 
-	gens := map[int]func(experiments.Options) experiments.Table{
-		7: experiments.Figure7, 8: experiments.Figure8, 9: experiments.Figure9,
-		10: experiments.Figure10, 11: experiments.Figure11, 12: experiments.Figure12,
-		13: experiments.Figure13, 14: experiments.Figure14, 15: experiments.Figure15,
-		16: experiments.Figure16,
-		17: func(o experiments.Options) experiments.Table {
-			return experiments.CrossMobility(o, kinds)
-		},
-	}
-	order := []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}
-
-	want := order
+	want := experiments.AllFigures()
 	if *figs != "" {
 		want = nil
 		for _, s := range strings.Split(*figs, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || gens[n] == nil {
+			if err != nil || n < 7 || n > 17 {
 				fmt.Fprintf(os.Stderr, "unknown figure %q (valid: 7-17)\n", s)
 				os.Exit(2)
 			}
@@ -80,10 +81,29 @@ func main() {
 		}
 	}
 
-	for _, n := range want {
-		start := time.Now()
-		tbl := gens[n](opts)
-		fmt.Println(tbl.Format())
-		fmt.Printf("(generated in %.1fs)\n\n", time.Since(start).Seconds())
+	// Progress: one stderr update per percent so logs stay readable.
+	lastPct := -1
+	opts.Progress = func(done, total int) {
+		pct := done * 100 / total
+		if pct != lastPct {
+			lastPct = pct
+			fmt.Fprintf(os.Stderr, "\rfigures: %d/%d runs (%d%%)", done, total, pct)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
+
+	start := time.Now()
+	tables, err := experiments.Generate(opts, want, kinds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, tbl := range tables {
+		fmt.Println(tbl.Format())
+	}
+	hits, misses := scenario.DefaultEngine().TraceStats()
+	fmt.Fprintf(os.Stderr, "generated %d figure(s) in %.1fs on %d worker(s); trace cache: %d replays / %d recordings\n",
+		len(tables), time.Since(start).Seconds(), scenario.DefaultEngine().Workers(), hits, misses)
 }

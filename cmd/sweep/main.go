@@ -8,7 +8,11 @@
 //
 //	sweep -protos ss-spst,ss-spst-e -vmax 1,5,10,20 -groups 10,30 \
 //	      -mobility rwp,gauss-markov,rpgm,manhattan \
-//	      -seeds 3 -duration 300 > results.csv
+//	      -seeds 3 -duration 300 [-workers N] > results.csv
+//
+// The grid runs as one batch on the shared sweep engine (cost-ordered
+// queue, persistent worker arenas, shared mobility traces across the
+// protocols at each point); progress streams to stderr.
 package main
 
 import (
@@ -52,7 +56,12 @@ func main() {
 	seeds := flag.Int("seeds", 2, "seeds per point")
 	duration := flag.Float64("duration", 180, "simulated seconds per run")
 	raw := flag.Bool("raw", false, "emit one row per seed instead of mean ± CI95 per point")
+	workers := flag.Int("workers", 0, "sweep engine width (default: GOMAXPROCS)")
 	flag.Parse()
+
+	if *workers > 0 {
+		scenario.ConfigureDefaultEngine(*workers)
+	}
 
 	var kinds []scenario.MobilityKind
 	for _, name := range splitList(*mobilities) {
@@ -66,6 +75,7 @@ func main() {
 
 	var cfgs []scenario.Config
 	var points []point
+	completed := 0
 	for _, m := range kinds {
 		for _, pName := range splitList(*protos) {
 			kind, ok := protoByName[pName]
@@ -85,7 +95,7 @@ func main() {
 							cfg.GroupSize = g
 							cfg.BeaconInterval = b
 							cfg.Duration = *duration
-							cfg.Seed = 1 + uint64(s)*1000003
+							cfg.Seed = scenario.ReplicationSeed(1, s)
 							cfgs = append(cfgs, cfg)
 						}
 					}
@@ -94,7 +104,21 @@ func main() {
 		}
 	}
 
-	results := scenario.Sweep(cfgs)
+	engine := scenario.DefaultEngine()
+	lastPct := -1
+	results := engine.SweepFunc(cfgs, func(done int, _ scenario.Result) {
+		completed++
+		if pct := completed * 100 / len(cfgs); pct != lastPct {
+			lastPct = pct
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d runs (%d%%)", completed, len(cfgs), pct)
+			if completed == len(cfgs) {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	})
+	hits, misses := engine.TraceStats()
+	fmt.Fprintf(os.Stderr, "%d runs on %d worker(s); trace cache: %d replays / %d recordings\n",
+		len(cfgs), engine.Workers(), hits, misses)
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()

@@ -14,7 +14,18 @@
 // delivery pushes and pops of a run touch two or three levels instead of
 // five. The pop compares the two roots' (time, seq) keys exactly, so the
 // split is unobservable in the event order.
+//
+// Cancellation is lazy: Cancel only clears the callback and the dead event
+// is discarded when it surfaces at a root. Profiling full scenario runs
+// showed cancellations are vanishingly rare (zero in a whole figure
+// sweep), while the eager-removal bookkeeping they required — every heap
+// move writing its event's position back through the event pointer — put
+// one random-memory store on every level of every sift in the hottest
+// loop of the simulator. Dropping the position index makes heap moves
+// touch only the two contiguous arrays.
 package eventq
+
+import "math"
 
 // Action is a pre-allocated callback: hot paths whose event payload
 // already lives in a long-lived structure (the medium's receptions)
@@ -28,8 +39,6 @@ type Event struct {
 	Fn     func()  // callback; nil after cancellation
 	Act    Action  // alternative no-closure callback (PushAction)
 	seq    uint64  // tie-breaker: insertion order
-	idx    int     // index in its heap, -1 when not queued
-	far    bool    // which heap holds it
 	pooled bool    // recycled via Release; no outside handle exists
 }
 
@@ -75,7 +84,7 @@ type Queue struct {
 func New() *Queue { return &Queue{} }
 
 // Len returns the number of pending events (including cancelled ones that
-// have not yet been popped).
+// have not yet been discarded).
 func (q *Queue) Len() int { return len(q.near.heap) + len(q.far.heap) }
 
 // Push schedules fn at time at and returns a handle that can be passed to
@@ -92,10 +101,8 @@ func (q *Queue) push(e *Event) {
 	q.seq++
 	k := key{at: e.At, seq: e.seq}
 	if e.At > q.watermark+farHorizon {
-		e.far = true
 		q.far.push(e, k)
 	} else {
-		e.far = false
 		q.near.push(e, k)
 	}
 }
@@ -119,12 +126,44 @@ func (q *Queue) PushAction(at float64, act Action) {
 	q.push(e)
 }
 
+// ReserveSeqs allocates n consecutive sequence numbers and returns the
+// first, advancing the counter exactly as n immediate pushes would. A
+// caller that schedules a batch of future events one at a time (the
+// medium's per-transmission reception chain) reserves their tie-break
+// identities up front, so the chain's events order against everything
+// else exactly as if each had been pushed individually at reservation
+// time.
+func (q *Queue) ReserveSeqs(n int) uint64 {
+	s := q.seq
+	q.seq += uint64(n)
+	return s
+}
+
+// PushActionSeq schedules act at time at under a sequence number obtained
+// from ReserveSeqs. The (at, seq) pair must be unique; events with
+// reserved seqs participate in the same total (time, seq) order as every
+// other event. The event is pooled like PushAction's.
+func (q *Queue) PushActionSeq(at float64, act Action, seq uint64) {
+	e := q.takeFree()
+	e.At, e.Act, e.pooled = at, act, true
+	e.seq = seq
+	k := key{at: at, seq: seq}
+	if at > q.watermark+farHorizon {
+		q.far.push(e, k)
+	} else {
+		q.near.push(e, k)
+	}
+}
+
 // PushOwned schedules a caller-owned event with a pre-allocated Action,
 // reusing the event's storage: re-arming paths (the simulator's tickers)
 // keep one Event alive for their whole life and re-push it after each
-// firing instead of allocating. The event must not be pending (it has
-// fired, been cancelled, or never been pushed). It can be cancelled like
-// any handle-bearing event and is never recycled into the freelist.
+// firing instead of allocating. The event must not be physically pending:
+// it has fired, or was never pushed. A cancelled owned event may still
+// occupy a heap slot until its time surfaces (cancellation is lazy), so
+// re-pushing after Cancel is not allowed; the only owner, sim.Ticker,
+// never re-arms after Stop. It can be cancelled like any handle-bearing
+// event and is never recycled into the freelist.
 func (q *Queue) PushOwned(e *Event, at float64, act Action) {
 	e.At, e.Fn, e.Act, e.pooled = at, nil, act, false
 	q.push(e)
@@ -165,20 +204,13 @@ func (q *Queue) Release(e *Event) {
 }
 
 // Cancel removes the event from consideration. It is safe to cancel an
-// event that has already fired or been cancelled; the call is a no-op then.
+// event that has already fired or been cancelled; the call is a no-op
+// then. The heap slot is reclaimed lazily when the dead event surfaces.
 func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.Cancelled() {
+	if e == nil {
 		return
 	}
 	e.Fn, e.Act = nil, nil
-	h := &q.near
-	if e.far {
-		h = &q.far
-	}
-	if e.idx >= 0 && e.idx < len(h.heap) && h.heap[e.idx] == e {
-		h.removeAt(e.idx)
-		e.idx = -1
-	}
 }
 
 // minHeap returns the heap whose root is the globally earliest event, or
@@ -199,18 +231,30 @@ func (q *Queue) minHeap() *heapCore {
 // Pop removes and returns the earliest non-cancelled event, or nil if the
 // queue is empty. Cancelled events are dropped lazily as they surface.
 func (q *Queue) Pop() *Event {
+	return q.PopNotAfter(math.Inf(1))
+}
+
+// PopNotAfter removes and returns the earliest non-cancelled event whose
+// time is <= until, or nil when there is none; a later event stays
+// queued. This fuses the simulator's peek-then-pop loop into one root
+// inspection per fired event.
+func (q *Queue) PopNotAfter(until float64) *Event {
 	for {
 		h := q.minHeap()
 		if h == nil {
 			return nil
 		}
 		e := h.heap[0]
-		h.removeAt(0)
-		e.idx = -1
-		q.watermark = e.At
-		if !e.Cancelled() {
-			return e
+		if e.Cancelled() {
+			h.popRoot()
+			continue
 		}
+		if e.At > until {
+			return nil
+		}
+		h.popRoot()
+		q.watermark = e.At
+		return e
 	}
 }
 
@@ -232,6 +276,8 @@ func (q *Queue) PeekTime() (t float64, ok bool) {
 // halves the depth (and with it the moves) compared to a binary heap, and
 // sifting uses hole insertion — the displaced element is held in
 // registers while children/parents shift — instead of pairwise swaps.
+// Events do not know their heap positions (cancellation is lazy), so a
+// move never dereferences an Event.
 type heapCore struct {
 	heap []*Event
 	keys []key
@@ -240,8 +286,7 @@ type heapCore struct {
 func (h *heapCore) push(e *Event, k key) {
 	h.heap = append(h.heap, e)
 	h.keys = append(h.keys, k)
-	e.idx = len(h.heap) - 1
-	h.up(e.idx)
+	h.up(len(h.heap) - 1)
 }
 
 // arity is the heap fan-out.
@@ -256,11 +301,9 @@ func (h *heapCore) up(i int) {
 			break
 		}
 		h.heap[i], h.keys[i] = h.heap[parent], pk
-		h.heap[i].idx = i
 		i = parent
 	}
 	h.heap[i], h.keys[i] = e, k
-	e.idx = i
 }
 
 func (h *heapCore) down(i int) {
@@ -285,37 +328,29 @@ func (h *heapCore) down(i int) {
 			break
 		}
 		h.heap[i], h.keys[i] = h.heap[mc], mk
-		h.heap[i].idx = i
 		i = mc
 	}
 	h.heap[i], h.keys[i] = e, k
-	e.idx = i
 }
 
-// removeAt unlinks the element at index i, refilling the hole with the
-// last element. The removed event's idx is left for the caller to clear.
-func (h *heapCore) removeAt(i int) {
+// popRoot unlinks the root, refilling the hole with the last element.
+func (h *heapCore) popRoot() {
 	n := len(h.heap) - 1
-	moved := i != n
-	if moved {
-		h.heap[i], h.keys[i] = h.heap[n], h.keys[n]
-		h.heap[i].idx = i
+	if n > 0 {
+		h.heap[0], h.keys[0] = h.heap[n], h.keys[n]
 	}
 	h.heap[n] = nil
 	h.heap = h.heap[:n]
 	h.keys = h.keys[:n]
-	if moved {
-		h.down(i)
-		h.up(i)
+	if n > 1 {
+		h.down(0)
 	}
 }
 
 // dropCancelledHead discards lazily-cancelled events sitting at the root.
 func (h *heapCore) dropCancelledHead() {
 	for len(h.heap) > 0 && h.heap[0].Cancelled() {
-		e := h.heap[0]
-		h.removeAt(0)
-		e.idx = -1
+		h.popRoot()
 	}
 }
 
@@ -323,7 +358,6 @@ func (h *heapCore) dropCancelledHead() {
 func (h *heapCore) reset(q *Queue) {
 	for i, e := range h.heap {
 		h.heap[i] = nil
-		e.idx = -1
 		e.Fn, e.Act = nil, nil
 		if e.pooled {
 			q.free = append(q.free, e)

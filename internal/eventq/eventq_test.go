@@ -163,6 +163,61 @@ func TestRandomCancels(t *testing.T) {
 	}
 }
 
+// TestPopNotAfter pins the fused peek-and-pop contract: events beyond the
+// horizon stay queued, cancelled events are discarded lazily regardless of
+// the horizon, and the returned order is exactly Pop's.
+func TestPopNotAfter(t *testing.T) {
+	q := New()
+	e1 := q.Push(1, func() {})
+	q.Push(2, func() {})
+	q.Push(5, func() {})
+	q.Cancel(e1)
+	if e := q.PopNotAfter(0.5); e != nil {
+		t.Fatalf("PopNotAfter(0.5) = %v, want nil", e)
+	}
+	if e := q.PopNotAfter(3); e == nil || e.At != 2 {
+		t.Fatalf("PopNotAfter(3) = %+v, want the t=2 event", e)
+	}
+	if e := q.PopNotAfter(3); e != nil {
+		t.Fatalf("PopNotAfter(3) after drain = %v, want nil", e)
+	}
+	if e := q.PopNotAfter(10); e == nil || e.At != 5 {
+		t.Fatalf("PopNotAfter(10) = %+v, want the t=5 event", e)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining", q.Len())
+	}
+}
+
+// TestCancelKeepsOrder cancels events scattered through a large schedule
+// and checks the survivors pop in exactly reference order even though the
+// dead entries are reclaimed lazily.
+func TestCancelKeepsOrder(t *testing.T) {
+	q := New()
+	var events []*Event
+	for i := 0; i < 500; i++ {
+		events = append(events, q.Push(float64((i*7919)%100), func() {}))
+	}
+	var keep []float64
+	for i, e := range events {
+		if i%3 == 0 {
+			q.Cancel(e)
+		} else {
+			keep = append(keep, e.At)
+		}
+	}
+	sort.Float64s(keep)
+	for _, want := range keep {
+		e := q.Pop()
+		if e == nil || e.At != want {
+			t.Fatalf("pop %v, want %v", e, want)
+		}
+	}
+	if e := q.Pop(); e != nil {
+		t.Fatalf("queue not drained: %v", e)
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	q := New()
 	for i := 0; i < b.N; i++ {

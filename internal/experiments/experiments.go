@@ -4,6 +4,15 @@
 // and ODMRP (Figures 12–16), plus the worked example of Figures 1–6 and
 // the ablations listed in DESIGN.md.
 //
+// Figures are declarative: each one describes its grid of sweep rows
+// (protocol × x-axis templates) and how to read metrics out of a row's
+// summaries. Generate flattens every requested figure into one batch for
+// the scenario package's global sweep engine — all points × seeds in a
+// single cost-ordered queue on one persistent worker pool, with the runs
+// of each (mobility, seed) point sharing a recorded movement trace — and
+// aggregates each point as its replications land, so no more than the
+// in-flight rows' summaries are ever retained.
+//
 // Each FigureN function returns a Table whose series mirror the curves in
 // the paper's plot; cmd/figures prints them, bench_test.go times them, and
 // EXPERIMENTS.md records paper-vs-measured shapes.
@@ -46,9 +55,9 @@ type Table struct {
 // observation.
 type picker func(metrics.Summary) (v float64, ok bool)
 
-// reduce pools the per-seed summaries of one sweep point into its
-// plotted value (via the bias-corrected metrics.Mean) and the CI95
-// half-width of the picked metric over the seeds that observed it.
+// reduce pools the per-seed summaries of one sweep row into its plotted
+// value (via the bias-corrected metrics.Mean) and the CI95 half-width of
+// the picked metric over the seeds that observed it.
 func reduce(ss []metrics.Summary, pick picker) (y, ci float64) {
 	var sample metrics.Sample
 	for _, s := range ss {
@@ -67,6 +76,10 @@ type Options struct {
 	Duration float64 // simulated seconds per run
 	Seeds    int     // runs averaged per point
 	BaseSeed uint64
+	// Progress, when set, is called after every completed run (serialized)
+	// with the batch-wide completion count; cmd/figures and cmd/sweep hang
+	// their progress meters on it.
+	Progress func(done, total int)
 }
 
 // Full mirrors the paper's setup.
@@ -75,9 +88,25 @@ func Full() Options { return Options{Duration: 1800, Seeds: 5, BaseSeed: 1} }
 // Quick is the CI-friendly setting used by tests and benchmarks.
 func Quick() Options { return Options{Duration: 180, Seeds: 2, BaseSeed: 1} }
 
-func (o Options) apply(cfg *scenario.Config) {
-	cfg.Duration = o.Duration
-	cfg.Seed = o.BaseSeed
+// row is one sweep row of a figure: a config template at one x position,
+// replicated over the options' seeds, feeding one or more series through
+// their pickers (the cross-mobility table reads four metrics out of the
+// same runs).
+type row struct {
+	x    float64
+	cfg  scenario.Config
+	outs []rowOut
+}
+
+type rowOut struct {
+	series string
+	pick   picker
+}
+
+// figSpec is one declared figure: the table skeleton plus its rows.
+type figSpec struct {
+	tbl  Table
+	rows []row
 }
 
 // velocities is the paper's mobility sweep (max speed, m/s).
@@ -99,241 +128,83 @@ var allFour = []scenario.ProtocolKind{
 	scenario.MAODV, scenario.SSSPST, scenario.SSSPSTE, scenario.ODMRP,
 }
 
-// sweepVelocity runs the given protocols over the velocity axis and maps
-// each run summary through pick.
-func sweepVelocity(o Options, protos []scenario.ProtocolKind, pick picker) Table {
-	tbl := Table{XLabel: "max velocity (m/s)", Series: map[string][]Point{}}
-	var cfgs []scenario.Config
-	var keys []struct {
-		name string
-		v    float64
-	}
-	for _, p := range protos {
-		tbl.Order = append(tbl.Order, p.String())
-		for _, v := range velocities {
-			for s := 0; s < o.Seeds; s++ {
-				cfg := scenario.Default()
-				o.apply(&cfg)
-				cfg.Protocol = p
-				cfg.VMax = v
-				cfg.GroupSize = 20
-				cfg.Seed = o.BaseSeed + uint64(s)*1000003
-				cfgs = append(cfgs, cfg)
-				keys = append(keys, struct {
-					name string
-					v    float64
-				}{p.String(), v})
-			}
-		}
-	}
-	results := scenario.Sweep(cfgs)
-	acc := map[string]map[float64][]metrics.Summary{}
-	for i, r := range results {
-		k := keys[i]
-		if acc[k.name] == nil {
-			acc[k.name] = map[float64][]metrics.Summary{}
-		}
-		acc[k.name][k.v] = append(acc[k.name][k.v], r.Summary)
-	}
-	for name, byV := range acc {
-		for _, v := range velocities {
-			y, ci := reduce(byV[v], pick)
-			tbl.Series[name] = append(tbl.Series[name], Point{X: v, Y: y, CI: ci})
-		}
-		sortPoints(tbl.Series[name])
-	}
-	return tbl
-}
-
-// sweepGroup runs the given protocols over the group-size axis.
-func sweepGroup(o Options, protos []scenario.ProtocolKind, vmax float64, pick picker) Table {
-	tbl := Table{XLabel: "multicast group size", Series: map[string][]Point{}}
-	var cfgs []scenario.Config
-	var keys []struct {
-		name string
-		g    int
-	}
-	for _, p := range protos {
-		tbl.Order = append(tbl.Order, p.String())
-		for _, g := range groupSizes {
-			for s := 0; s < o.Seeds; s++ {
-				cfg := scenario.Default()
-				o.apply(&cfg)
-				cfg.Protocol = p
-				cfg.VMax = vmax
-				cfg.GroupSize = g
-				if g >= cfg.N {
-					cfg.GroupSize = cfg.N - 1 // everyone but the source
-				}
-				cfg.Seed = o.BaseSeed + uint64(s)*1000003
-				cfgs = append(cfgs, cfg)
-				keys = append(keys, struct {
-					name string
-					g    int
-				}{p.String(), g})
-			}
-		}
-	}
-	results := scenario.Sweep(cfgs)
-	acc := map[string]map[int][]metrics.Summary{}
-	for i, r := range results {
-		k := keys[i]
-		if acc[k.name] == nil {
-			acc[k.name] = map[int][]metrics.Summary{}
-		}
-		acc[k.name][k.g] = append(acc[k.name][k.g], r.Summary)
-	}
-	for name, byG := range acc {
-		for _, g := range groupSizes {
-			y, ci := reduce(byG[g], pick)
-			tbl.Series[name] = append(tbl.Series[name], Point{X: float64(g), Y: y, CI: ci})
-		}
-		sortPoints(tbl.Series[name])
-	}
-	return tbl
-}
-
-// sweepBeacon runs SS-SPST and SS-SPST-E over the beacon-interval axis at
-// 5 m/s, the Figure 10–11 setup.
-func sweepBeacon(o Options, pick picker) Table {
-	tbl := Table{XLabel: "beacon interval (s)", Series: map[string][]Point{}}
-	protos := []scenario.ProtocolKind{scenario.SSSPSTE, scenario.SSSPST}
-	var cfgs []scenario.Config
-	var keys []struct {
-		name string
-		b    float64
-	}
-	for _, p := range protos {
-		tbl.Order = append(tbl.Order, p.String())
-		for _, b := range beaconIntervals {
-			for s := 0; s < o.Seeds; s++ {
-				cfg := scenario.Default()
-				o.apply(&cfg)
-				cfg.Protocol = p
-				cfg.VMax = 5
-				cfg.GroupSize = 20
-				cfg.BeaconInterval = b
-				cfg.Seed = o.BaseSeed + uint64(s)*1000003
-				cfgs = append(cfgs, cfg)
-				keys = append(keys, struct {
-					name string
-					b    float64
-				}{p.String(), b})
-			}
-		}
-	}
-	results := scenario.Sweep(cfgs)
-	acc := map[string]map[float64][]metrics.Summary{}
-	for i, r := range results {
-		k := keys[i]
-		if acc[k.name] == nil {
-			acc[k.name] = map[float64][]metrics.Summary{}
-		}
-		acc[k.name][k.b] = append(acc[k.name][k.b], r.Summary)
-	}
-	for name, byB := range acc {
-		for _, b := range beaconIntervals {
-			y, ci := reduce(byB[b], pick)
-			tbl.Series[name] = append(tbl.Series[name], Point{X: b, Y: y, CI: ci})
-		}
-		sortPoints(tbl.Series[name])
-	}
-	return tbl
-}
-
 func pdr(s metrics.Summary) (float64, bool)      { return s.PDR, s.Expected > 0 }
 func unavail(s metrics.Summary) (float64, bool)  { return s.Unavailability, s.UnavailSamples > 0 }
 func energyMJ(s metrics.Summary) (float64, bool) { return s.EnergyPerDeliveredJ * 1e3, s.Delivered > 0 }
 func delayMS(s metrics.Summary) (float64, bool)  { return s.AvgDelayS * 1e3, s.Delivered > 0 }
 func ctrl(s metrics.Summary) (float64, bool)     { return s.CtrlPerDataByte, s.UniquePayloadBytes > 0 }
 
-// Figure7 reproduces "Packet Delivery Ratio vs. Velocity" for the SS-SPST
-// metric family.
-func Figure7(o Options) Table {
-	t := sweepVelocity(o, ssFamily, pdr)
-	t.Title, t.YLabel = "Figure 7: PDR vs velocity (SS-SPST family)", "packet delivery ratio"
-	return t
+// velocitySpec declares a figure sweeping the given protocols over the
+// velocity axis.
+func velocitySpec(o Options, protos []scenario.ProtocolKind, pick picker, title, ylabel string) *figSpec {
+	spec := &figSpec{tbl: Table{
+		Title: title, XLabel: "max velocity (m/s)", YLabel: ylabel,
+		Series: map[string][]Point{},
+	}}
+	for _, p := range protos {
+		spec.tbl.Order = append(spec.tbl.Order, p.String())
+		for _, v := range velocities {
+			cfg := scenario.Default()
+			cfg.Duration = o.Duration
+			cfg.Protocol = p
+			cfg.VMax = v
+			cfg.GroupSize = 20
+			spec.rows = append(spec.rows, row{
+				x: v, cfg: cfg, outs: []rowOut{{p.String(), pick}},
+			})
+		}
+	}
+	return spec
 }
 
-// Figure8 reproduces "Unavailability Ratio vs. Velocity".
-func Figure8(o Options) Table {
-	t := sweepVelocity(o, ssFamily, unavail)
-	t.Title, t.YLabel = "Figure 8: Unavailability ratio vs velocity (SS-SPST family)", "unavailability ratio"
-	return t
+// groupSpec declares a figure sweeping the given protocols over the
+// group-size axis at fixed vmax.
+func groupSpec(o Options, protos []scenario.ProtocolKind, vmax float64, pick picker, title, ylabel string) *figSpec {
+	spec := &figSpec{tbl: Table{
+		Title: title, XLabel: "multicast group size", YLabel: ylabel,
+		Series: map[string][]Point{},
+	}}
+	for _, p := range protos {
+		spec.tbl.Order = append(spec.tbl.Order, p.String())
+		for _, g := range groupSizes {
+			cfg := scenario.Default()
+			cfg.Duration = o.Duration
+			cfg.Protocol = p
+			cfg.VMax = vmax
+			cfg.GroupSize = g
+			if g >= cfg.N {
+				cfg.GroupSize = cfg.N - 1 // everyone but the source
+			}
+			spec.rows = append(spec.rows, row{
+				x: float64(g), cfg: cfg, outs: []rowOut{{p.String(), pick}},
+			})
+		}
+	}
+	return spec
 }
 
-// Figure9 reproduces "Energy Consumption per Packet Delivered vs.
-// Velocity" for the metric family.
-func Figure9(o Options) Table {
-	t := sweepVelocity(o, ssFamily, energyMJ)
-	t.Title, t.YLabel = "Figure 9: Energy per packet vs velocity (SS-SPST family)", "energy (mJ)"
-	return t
-}
-
-// Figure10 reproduces "PDR vs. Beacon Interval" (SS-SPST vs SS-SPST-E,
-// 5 m/s).
-func Figure10(o Options) Table {
-	t := sweepBeacon(o, pdr)
-	t.Title, t.YLabel = "Figure 10: PDR vs beacon interval", "packet delivery ratio"
-	return t
-}
-
-// Figure11 reproduces "Energy Consumption per Packet Delivered vs. Beacon
-// Interval".
-func Figure11(o Options) Table {
-	t := sweepBeacon(o, energyMJ)
-	t.Title, t.YLabel = "Figure 11: Energy per packet vs beacon interval", "energy (mJ)"
-	return t
-}
-
-// Figure12 reproduces "PDR vs. Multicast Group Size" for the four-protocol
-// comparison at 1 m/s.
-func Figure12(o Options) Table {
-	t := sweepGroup(o, allFour, 1, pdr)
-	t.Title, t.YLabel = "Figure 12: PDR vs multicast group size", "packet delivery ratio"
-	return t
-}
-
-// Figure13 reproduces "Control Byte Overhead vs. Multicast Group Size".
-func Figure13(o Options) Table {
-	t := sweepGroup(o, allFour, 1, ctrl)
-	t.Title, t.YLabel = "Figure 13: Control bytes per data byte delivered vs group size", "control bytes / data byte"
-	return t
-}
-
-// Figure14 reproduces "PDR vs. Velocity" for the four-protocol comparison
-// (group size 20).
-func Figure14(o Options) Table {
-	t := sweepVelocity(o, allFour, pdr)
-	t.Title, t.YLabel = "Figure 14: PDR vs velocity (protocol comparison)", "packet delivery ratio"
-	return t
-}
-
-// Figure15 reproduces "Average Delay per Node vs. Multicast Group Size".
-func Figure15(o Options) Table {
-	t := sweepGroup(o, allFour, 1, delayMS)
-	t.Title, t.YLabel = "Figure 15: Average delay vs multicast group size", "delay (ms)"
-	return t
-}
-
-// Figure16 reproduces "Energy Consumed per Packet Delivered vs. Velocity"
-// for the four-protocol comparison.
-func Figure16(o Options) Table {
-	t := sweepVelocity(o, allFour, energyMJ)
-	t.Title, t.YLabel = "Figure 16: Energy per packet vs velocity (protocol comparison)", "energy (mJ)"
-	return t
-}
-
-// ExtensionMST is an extension experiment beyond the paper: the SS-MST
-// minimax variant (the paper's ref [14]) alongside the SPST family over
-// the velocity axis, on the Figure 7/9 axes.
-func ExtensionMST(o Options) Table {
-	t := sweepVelocity(o, []scenario.ProtocolKind{
-		scenario.SSSPST, scenario.SSSPSTE, scenario.SSMST,
-	}, energyMJ)
-	t.Title = "Extension: SS-MST vs SS-SPST/SS-SPST-E, energy per packet vs velocity"
-	t.YLabel = "energy (mJ)"
-	return t
+// beaconSpec declares a figure sweeping SS-SPST and SS-SPST-E over the
+// beacon-interval axis at 5 m/s, the Figure 10–11 setup.
+func beaconSpec(o Options, pick picker, title, ylabel string) *figSpec {
+	spec := &figSpec{tbl: Table{
+		Title: title, XLabel: "beacon interval (s)", YLabel: ylabel,
+		Series: map[string][]Point{},
+	}}
+	for _, p := range []scenario.ProtocolKind{scenario.SSSPSTE, scenario.SSSPST} {
+		spec.tbl.Order = append(spec.tbl.Order, p.String())
+		for _, b := range beaconIntervals {
+			cfg := scenario.Default()
+			cfg.Duration = o.Duration
+			cfg.Protocol = p
+			cfg.VMax = 5
+			cfg.GroupSize = 20
+			cfg.BeaconInterval = b
+			spec.rows = append(spec.rows, row{
+				x: b, cfg: cfg, outs: []rowOut{{p.String(), pick}},
+			})
+		}
+	}
+	return spec
 }
 
 // DefaultMobilityKinds is the cross-mobility comparison's model set: the
@@ -344,62 +215,248 @@ func DefaultMobilityKinds() []scenario.MobilityKind {
 	}
 }
 
-// CrossMobility is the extension table beyond the paper: the baseline
-// scenario (SS-SPST-E, 50 nodes, 20 receivers, 5 m/s) re-run under each
-// mobility model, reporting the headline metrics side by side. Group
-// mobility (RPGM) keeps receivers spatially coherent and is expected to
-// be the friendliest to tree maintenance; Manhattan's street constraint
+// crossMobilitySpec declares the extension table beyond the paper: the
+// baseline scenario (SS-SPST-E, 50 nodes, 20 receivers, 5 m/s) re-run
+// under each mobility model, reporting the headline metrics side by side.
+// Group mobility (RPGM) keeps receivers spatially coherent and is expected
+// to be the friendliest to tree maintenance; Manhattan's street constraint
 // the harshest.
-func CrossMobility(o Options, kinds []scenario.MobilityKind) Table {
+func crossMobilitySpec(o Options, kinds []scenario.MobilityKind) *figSpec {
 	if len(kinds) == 0 {
 		kinds = DefaultMobilityKinds()
 	}
-	tbl := Table{
+	spec := &figSpec{tbl: Table{
 		Title:  "Extension: cross-mobility comparison (SS-SPST-E, paper baseline)",
 		XLabel: "mobility model",
 		YLabel: "metric value",
 		Series: map[string][]Point{},
 		Order:  []string{"PDR", "energy/pkt (mJ)", "unavailability", "delay (ms)"},
+	}}
+	outs := []rowOut{
+		{"PDR", pdr}, {"energy/pkt (mJ)", energyMJ},
+		{"unavailability", unavail}, {"delay (ms)", delayMS},
 	}
-	var cfgs []scenario.Config
-	var keys []int // index into kinds
 	for ki, k := range kinds {
-		tbl.XTicks = append(tbl.XTicks, k.String())
-		for s := 0; s < o.Seeds; s++ {
-			cfg := scenario.Default()
-			o.apply(&cfg)
-			cfg.Protocol = scenario.SSSPSTE
-			cfg.Mobility = k
-			cfg.VMax = 5
-			cfg.Seed = o.BaseSeed + uint64(s)*1000003
-			cfgs = append(cfgs, cfg)
-			keys = append(keys, ki)
-		}
+		spec.tbl.XTicks = append(spec.tbl.XTicks, k.String())
+		cfg := scenario.Default()
+		cfg.Duration = o.Duration
+		cfg.Protocol = scenario.SSSPSTE
+		cfg.Mobility = k
+		cfg.VMax = 5
+		spec.rows = append(spec.rows, row{x: float64(ki), cfg: cfg, outs: outs})
 	}
-	results := scenario.Sweep(cfgs)
-	byKind := make([][]metrics.Summary, len(kinds))
-	for i, r := range results {
-		byKind[keys[i]] = append(byKind[keys[i]], r.Summary)
-	}
-	picks := map[string]picker{
-		"PDR": pdr, "energy/pkt (mJ)": energyMJ, "unavailability": unavail, "delay (ms)": delayMS,
-	}
-	for name, pick := range picks {
-		for ki := range kinds {
-			y, ci := reduce(byKind[ki], pick)
-			tbl.Series[name] = append(tbl.Series[name], Point{X: float64(ki), Y: y, CI: ci})
-		}
-		sortPoints(tbl.Series[name])
-	}
-	return tbl
+	return spec
 }
 
-// All returns every figure in paper order.
-func All(o Options) []Table {
-	return []Table{
-		Figure7(o), Figure8(o), Figure9(o), Figure10(o), Figure11(o),
-		Figure12(o), Figure13(o), Figure14(o), Figure15(o), Figure16(o),
+// extensionMSTSpec declares the SS-MST extension experiment (the paper's
+// ref [14]) alongside the SPST family over the velocity axis.
+func extensionMSTSpec(o Options) *figSpec {
+	return velocitySpec(o, []scenario.ProtocolKind{
+		scenario.SSSPST, scenario.SSSPSTE, scenario.SSMST,
+	}, energyMJ,
+		"Extension: SS-MST vs SS-SPST/SS-SPST-E, energy per packet vs velocity",
+		"energy (mJ)")
+}
+
+// spec builds the declared figure n (7–17); kinds parameterizes the
+// cross-mobility table 17 and is ignored elsewhere.
+func spec(n int, o Options, kinds []scenario.MobilityKind) (*figSpec, error) {
+	switch n {
+	case 7:
+		return velocitySpec(o, ssFamily, pdr,
+			"Figure 7: PDR vs velocity (SS-SPST family)", "packet delivery ratio"), nil
+	case 8:
+		return velocitySpec(o, ssFamily, unavail,
+			"Figure 8: Unavailability ratio vs velocity (SS-SPST family)", "unavailability ratio"), nil
+	case 9:
+		return velocitySpec(o, ssFamily, energyMJ,
+			"Figure 9: Energy per packet vs velocity (SS-SPST family)", "energy (mJ)"), nil
+	case 10:
+		return beaconSpec(o, pdr,
+			"Figure 10: PDR vs beacon interval", "packet delivery ratio"), nil
+	case 11:
+		return beaconSpec(o, energyMJ,
+			"Figure 11: Energy per packet vs beacon interval", "energy (mJ)"), nil
+	case 12:
+		return groupSpec(o, allFour, 1, pdr,
+			"Figure 12: PDR vs multicast group size", "packet delivery ratio"), nil
+	case 13:
+		return groupSpec(o, allFour, 1, ctrl,
+			"Figure 13: Control bytes per data byte delivered vs group size", "control bytes / data byte"), nil
+	case 14:
+		return velocitySpec(o, allFour, pdr,
+			"Figure 14: PDR vs velocity (protocol comparison)", "packet delivery ratio"), nil
+	case 15:
+		return groupSpec(o, allFour, 1, delayMS,
+			"Figure 15: Average delay vs multicast group size", "delay (ms)"), nil
+	case 16:
+		return velocitySpec(o, allFour, energyMJ,
+			"Figure 16: Energy per packet vs velocity (protocol comparison)", "energy (mJ)"), nil
+	case 17:
+		return crossMobilitySpec(o, kinds), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure %d (valid: 7-17)", n)
 	}
+}
+
+// AllFigures lists the generatable figure numbers in paper order
+// (7–16 reproduce the paper; 17 is the cross-mobility extension).
+func AllFigures() []int { return []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17} }
+
+// Generate regenerates the requested figures as ONE globally scheduled
+// batch: every (figure, row, seed) run goes into the shared engine's
+// cost-ordered queue together, so the longest runs start first regardless
+// of which figure owns them, worker arenas stay hot across figure
+// boundaries, and the runs of each (mobility, seed) point share one
+// recorded movement trace even when different figures request the same
+// point. kinds parameterizes the cross-mobility table 17 (nil → default
+// set). Tables return in request order.
+func Generate(o Options, figs []int, kinds []scenario.MobilityKind) ([]Table, error) {
+	specs := make([]*figSpec, len(figs))
+	for i, n := range figs {
+		sp, err := spec(n, o, kinds)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = sp
+	}
+	return generateSpecs(o, specs)
+}
+
+// generateSpecs runs declared figures through the shared engine.
+func generateSpecs(o Options, specs []*figSpec) ([]Table, error) {
+	// Flatten all rows × seeds, remembering each run's position.
+	type runKey struct{ fig, row, seed int }
+	var cfgs []scenario.Config
+	var keys []runKey
+	for fi, sp := range specs {
+		for ri, r := range sp.rows {
+			for s := 0; s < o.Seeds; s++ {
+				cfg := r.cfg
+				cfg.Seed = scenario.ReplicationSeed(o.BaseSeed, s)
+				cfgs = append(cfgs, cfg)
+				keys = append(keys, runKey{fi, ri, s})
+			}
+		}
+	}
+
+	// Stream aggregation: each row buffers only its own seed summaries
+	// (seed-indexed so completion order cannot perturb the reduction) and
+	// reduces the moment its last replication lands.
+	type rowBuf struct {
+		sums []metrics.Summary
+		got  int
+	}
+	bufs := make([][]rowBuf, len(specs))
+	for fi, sp := range specs {
+		bufs[fi] = make([]rowBuf, len(sp.rows))
+	}
+	done := 0
+	scenario.DefaultEngine().SweepFunc(cfgs, func(i int, res scenario.Result) {
+		k := keys[i]
+		b := &bufs[k.fig][k.row]
+		if b.sums == nil {
+			b.sums = make([]metrics.Summary, o.Seeds)
+		}
+		b.sums[k.seed] = res.Summary
+		b.got++
+		if b.got == o.Seeds {
+			sp := specs[k.fig]
+			r := &sp.rows[k.row]
+			for _, out := range r.outs {
+				y, ci := reduce(b.sums, out.pick)
+				sp.tbl.Series[out.series] = append(sp.tbl.Series[out.series],
+					Point{X: r.x, Y: y, CI: ci})
+			}
+			b.sums = nil // release: nothing beyond in-flight rows is retained
+		}
+		done++
+		if o.Progress != nil {
+			o.Progress(done, len(cfgs))
+		}
+	})
+
+	tables := make([]Table, len(specs))
+	for fi, sp := range specs {
+		for name := range sp.tbl.Series {
+			sortPoints(sp.tbl.Series[name])
+		}
+		tables[fi] = sp.tbl
+	}
+	return tables, nil
+}
+
+// generate1 is the single-figure convenience used by the FigureN API.
+func generate1(o Options, n int, kinds []scenario.MobilityKind) Table {
+	tbls, err := Generate(o, []int{n}, kinds)
+	if err != nil {
+		panic(err) // unreachable: n is a package-internal constant
+	}
+	return tbls[0]
+}
+
+// Figure7 reproduces "Packet Delivery Ratio vs. Velocity" for the SS-SPST
+// metric family.
+func Figure7(o Options) Table { return generate1(o, 7, nil) }
+
+// Figure8 reproduces "Unavailability Ratio vs. Velocity".
+func Figure8(o Options) Table { return generate1(o, 8, nil) }
+
+// Figure9 reproduces "Energy Consumption per Packet Delivered vs.
+// Velocity" for the metric family.
+func Figure9(o Options) Table { return generate1(o, 9, nil) }
+
+// Figure10 reproduces "PDR vs. Beacon Interval" (SS-SPST vs SS-SPST-E,
+// 5 m/s).
+func Figure10(o Options) Table { return generate1(o, 10, nil) }
+
+// Figure11 reproduces "Energy Consumption per Packet Delivered vs. Beacon
+// Interval".
+func Figure11(o Options) Table { return generate1(o, 11, nil) }
+
+// Figure12 reproduces "PDR vs. Multicast Group Size" for the four-protocol
+// comparison at 1 m/s.
+func Figure12(o Options) Table { return generate1(o, 12, nil) }
+
+// Figure13 reproduces "Control Byte Overhead vs. Multicast Group Size".
+func Figure13(o Options) Table { return generate1(o, 13, nil) }
+
+// Figure14 reproduces "PDR vs. Velocity" for the four-protocol comparison
+// (group size 20).
+func Figure14(o Options) Table { return generate1(o, 14, nil) }
+
+// Figure15 reproduces "Average Delay per Node vs. Multicast Group Size".
+func Figure15(o Options) Table { return generate1(o, 15, nil) }
+
+// Figure16 reproduces "Energy Consumed per Packet Delivered vs. Velocity"
+// for the four-protocol comparison.
+func Figure16(o Options) Table { return generate1(o, 16, nil) }
+
+// ExtensionMST is an extension experiment beyond the paper: the SS-MST
+// minimax variant (the paper's ref [14]) alongside the SPST family over
+// the velocity axis, on the Figure 7/9 axes.
+func ExtensionMST(o Options) Table {
+	specs := []*figSpec{extensionMSTSpec(o)}
+	tbls, err := generateSpecs(o, specs)
+	if err != nil {
+		panic(err)
+	}
+	return tbls[0]
+}
+
+// CrossMobility regenerates table 17 with an explicit model set.
+func CrossMobility(o Options, kinds []scenario.MobilityKind) Table {
+	return generate1(o, 17, kinds)
+}
+
+// All returns every reproduced paper figure in paper order, generated as
+// one batch.
+func All(o Options) []Table {
+	tbls, err := Generate(o, []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, nil)
+	if err != nil {
+		panic(err)
+	}
+	return tbls
 }
 
 // Format renders the table as aligned text, one row per x value. Points

@@ -6,6 +6,7 @@
 package flood
 
 import (
+	"repro/internal/fwdpool"
 	"repro/internal/medium"
 	"repro/internal/netsim"
 	"repro/internal/packet"
@@ -16,19 +17,22 @@ import (
 type Protocol struct {
 	node *netsim.Node
 	rng  *xrand.RNG
-	seen map[uint64]struct{}
+	seen packet.SeqSet
 	seq  uint32
+	// frames recycles originated and re-forwarded data frames.
+	frames *fwdpool.Pool[struct{}]
 	// JitterMax decorrelates rebroadcasts; zero means 4 ms.
 	JitterMax float64
 }
 
 // New returns a flooding instance.
-func New() *Protocol { return &Protocol{seen: make(map[uint64]struct{})} }
+func New() *Protocol { return &Protocol{} }
 
 // Start implements netsim.Protocol.
 func (p *Protocol) Start(n *netsim.Node) {
 	p.node = n
 	p.rng = n.Sim().RNG().Split("flood").SplitIndex(int(n.ID))
+	p.frames = fwdpool.New[struct{}](n)
 	if p.JitterMax == 0 {
 		p.JitterMax = 4e-3
 	}
@@ -40,27 +44,27 @@ func (p *Protocol) Receive(pkt *packet.Packet, info medium.RxInfo) {
 		p.node.DiscardRx(info)
 		return
 	}
-	key := uint64(uint32(pkt.Src))<<32 | uint64(pkt.Seq)
-	if _, dup := p.seen[key]; dup {
+	if p.seen.TestAndSet(pkt.Src, pkt.Seq) {
 		p.node.DiscardRx(info)
 		return
 	}
-	p.seen[key] = struct{}{}
 	if p.node.Member {
 		p.node.ConsumeData(pkt, info.At)
 	}
-	fwd := pkt.Clone()
-	fwd.From = p.node.ID
-	fwd.Hops++
+	f := p.frames.Take()
+	f.Pkt = *pkt
+	f.Pkt.Owner = f
+	f.Pkt.From = p.node.ID
+	f.Pkt.Hops++
 	max := p.node.Net.Medium.Model().MaxRange
-	p.node.Sim().After(p.rng.Range(0, p.JitterMax), func() {
-		p.node.Broadcast(fwd, max)
-	})
+	p.frames.SendAfter(p.rng.Range(0, p.JitterMax), f, max, nil)
 }
 
 // Originate implements netsim.Protocol.
 func (p *Protocol) Originate() {
 	p.seq++
-	pkt := packet.NewData(p.node.ID, p.seq, p.node.Now())
-	p.node.Broadcast(pkt, p.node.Net.Medium.Model().MaxRange)
+	f := p.frames.Take()
+	f.Pkt = packet.MakeData(p.node.ID, p.seq, p.node.Now())
+	f.Pkt.Owner = f
+	p.node.Broadcast(&f.Pkt, p.node.Net.Medium.Model().MaxRange)
 }

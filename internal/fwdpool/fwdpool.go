@@ -1,0 +1,100 @@
+// Package fwdpool pools on-air frames and their delayed-send actions for
+// protocols that forward copies of received packets (flooding, mesh and
+// tree forwarding). It generalizes the frame-recycling idiom of
+// internal/core's beaconFrame/dataFrame/fwdAction: a Frame carries its
+// payload storage inline and implements packet.Owner, so the medium
+// returns it to the pool once the frame has fully left the air, and a
+// pooled action replaces the per-forward closure. Steady-state forwarding
+// through a pool allocates nothing.
+package fwdpool
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// Frame is a pooled frame with inline payload storage of type P. Point
+// Pkt.Payload at &f.Payload when the frame carries one; receivers must not
+// retain the payload beyond their Receive callback (the packet.Owner
+// contract, which every protocol in this repository already obeys).
+type Frame[P any] struct {
+	pool *Pool[P]
+	// Pkt is the transmitted packet; fill it per send and keep Pkt.Owner
+	// pointing at the frame (Take pre-sets it; restore it after a
+	// whole-struct copy from a received packet).
+	Pkt packet.Packet
+	// Payload is the inline payload scratch.
+	Payload P
+}
+
+// FreePacket implements packet.Owner: the medium calls it exactly once,
+// after the frame has left the air and its last reception has fired.
+func (f *Frame[P]) FreePacket(*packet.Packet) { f.pool.free = append(f.pool.free, f) }
+
+// Free returns a never-transmitted frame to its pool directly.
+func (f *Frame[P]) Free() { f.pool.free = append(f.pool.free, f) }
+
+// Pool recycles frames of one payload shape for one node.
+type Pool[P any] struct {
+	node    *netsim.Node
+	free    []*Frame[P]
+	actFree []*sendAction[P]
+}
+
+// New returns an empty pool bound to node.
+func New[P any](node *netsim.Node) *Pool[P] { return &Pool[P]{node: node} }
+
+// Take returns a recycled frame (or a fresh one). Pkt is zeroed except for
+// Owner, which points back at the frame; Payload holds stale scratch the
+// caller overwrites.
+func (p *Pool[P]) Take() *Frame[P] {
+	var f *Frame[P]
+	if n := len(p.free); n > 0 {
+		f = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		f = &Frame[P]{pool: p}
+	}
+	f.Pkt = packet.Packet{Owner: f}
+	return f
+}
+
+// sendAction is a pooled deferred broadcast; it recycles itself on firing.
+type sendAction[P any] struct {
+	f       *Frame[P]
+	txRange float64
+	guard   func() bool
+}
+
+// Fire implements sim.Action.
+func (a *sendAction[P]) Fire() {
+	f, r, guard := a.f, a.txRange, a.guard
+	pool := f.pool
+	a.f, a.guard = nil, nil
+	pool.actFree = append(pool.actFree, a)
+	if guard != nil && !guard() {
+		// The forwarding condition lapsed during the jitter: the frame was
+		// never transmitted, so the medium will not free it — recycle here.
+		f.Free()
+		return
+	}
+	pool.node.Broadcast(&f.Pkt, r)
+}
+
+// SendAfter broadcasts f with the given range after delay seconds of
+// simulated time. guard, when non-nil, is re-evaluated at fire time; a
+// false result returns the frame to the pool without transmitting. Pass a
+// guard stored once on the protocol, not a fresh closure per send.
+func (p *Pool[P]) SendAfter(delay float64, f *Frame[P], txRange float64, guard func() bool) {
+	var a *sendAction[P]
+	if n := len(p.actFree); n > 0 {
+		a = p.actFree[n-1]
+		p.actFree[n-1] = nil
+		p.actFree = p.actFree[:n-1]
+	} else {
+		a = &sendAction[P]{}
+	}
+	a.f, a.txRange, a.guard = f, txRange, guard
+	p.node.Sim().AfterAction(delay, a)
+}

@@ -16,6 +16,7 @@
 package maodv
 
 import (
+	"repro/internal/fwdpool"
 	"repro/internal/medium"
 	"repro/internal/netsim"
 	"repro/internal/packet"
@@ -101,28 +102,35 @@ type Protocol struct {
 	// lastKeepAlive paces a member's periodic re-graft of its branch.
 	lastKeepAlive float64
 
-	seenData map[uint64]struct{} // forwarding dedup
-	seenApp  map[uint64]struct{} // member delivery dedup
-	seenCtl  map[uint64]struct{}
+	// Dedup sets. Each sees a single originator (the leader/source)
+	// numbering densely from zero — packet.SeqSet's bitset fast path —
+	// where the old hash maps put several probes on every data reception.
+	seenData packet.SeqSet // forwarding dedup
+	seenApp  packet.SeqSet // member delivery dedup
+	seenCtl  packet.SeqSet // Group Hello flood dedup
 	seq      uint32
+
+	// Frame pools (fwdpool): data forwards, GRPH floods and hop-by-hop
+	// joins recycle through packet.Owner instead of allocating per frame.
+	datPool  *fwdpool.Pool[struct{}]
+	grphPool *fwdpool.Pool[grphPayload]
+	joinPool *fwdpool.Pool[joinPayload]
 
 	ticker *sim.Ticker
 }
 
 // New returns a MAODV instance.
 func New(cfg Config) *Protocol {
-	return &Protocol{
-		cfg:      cfg,
-		seenData: make(map[uint64]struct{}),
-		seenApp:  make(map[uint64]struct{}),
-		seenCtl:  make(map[uint64]struct{}),
-	}
+	return &Protocol{cfg: cfg}
 }
 
 // Start implements netsim.Protocol.
 func (p *Protocol) Start(n *netsim.Node) {
 	p.node = n
 	p.rng = n.Sim().RNG().Split("maodv").SplitIndex(int(n.ID))
+	p.datPool = fwdpool.New[struct{}](n)
+	p.grphPool = fwdpool.New[grphPayload](n)
+	p.joinPool = fwdpool.New[joinPayload](n)
 	if n.Source {
 		p.onTree = true
 		// Leader floods Group Hellos; desynchronized start.
@@ -142,16 +150,19 @@ func (p *Protocol) maxRange() float64 { return p.node.Net.Medium.Model().MaxRang
 // sendGRPH floods one Group Hello from the leader.
 func (p *Protocol) sendGRPH() {
 	p.grphSeq++
-	pkt := &packet.Packet{
+	f := p.grphPool.Take()
+	f.Payload = grphPayload{Seq: p.grphSeq}
+	f.Pkt = packet.Packet{
 		Kind:    packet.KindGroupHello,
 		From:    p.node.ID,
 		To:      packet.Broadcast,
 		Src:     p.node.ID,
 		Seq:     p.grphSeq,
 		Bytes:   grphBytes,
-		Payload: &grphPayload{Seq: p.grphSeq},
+		Payload: &f.Payload,
+		Owner:   f,
 	}
-	p.node.Broadcast(pkt, p.maxRange())
+	p.node.Broadcast(&f.Pkt, p.maxRange())
 }
 
 // maintain runs periodically on non-leader nodes: detect upstream
@@ -203,16 +214,19 @@ func (p *Protocol) tryJoin() {
 }
 
 func (p *Protocol) sendJoin(requester, nextHop packet.NodeID) {
-	pkt := &packet.Packet{
+	f := p.joinPool.Take()
+	f.Payload = joinPayload{Requester: requester, NextHop: nextHop}
+	f.Pkt = packet.Packet{
 		Kind:    packet.KindRREQ,
 		From:    p.node.ID,
 		To:      nextHop,
 		Src:     requester,
 		Seq:     p.nextSeq(),
 		Bytes:   joinBytes,
-		Payload: &joinPayload{Requester: requester, NextHop: nextHop},
+		Payload: &f.Payload,
+		Owner:   f,
 	}
-	p.node.Broadcast(pkt, p.maxRange())
+	p.node.Broadcast(&f.Pkt, p.maxRange())
 }
 
 func (p *Protocol) nextSeq() uint32 { p.seq++; return p.seq }
@@ -237,12 +251,10 @@ func (p *Protocol) handleGRPH(pkt *packet.Packet, info medium.RxInfo) {
 		return
 	}
 	gp := pkt.Payload.(*grphPayload)
-	key := ctlKey(pkt.Src, pkt.Seq, pkt.Kind)
-	if _, dup := p.seenCtl[key]; dup {
+	if p.seenCtl.TestAndSet(pkt.Src, pkt.Seq) {
 		p.node.DiscardRx(info)
 		return
 	}
-	p.seenCtl[key] = struct{}{}
 	// Adopt the first copy's sender as the gradient upstream (fewest hops
 	// with high probability) and rebroadcast.
 	p.gradUp = info.From
@@ -253,12 +265,15 @@ func (p *Protocol) handleGRPH(pkt *packet.Packet, info medium.RxInfo) {
 	if p.onTree && info.From == p.upstream {
 		p.lastUpHeard = info.At
 	}
-	fwd := pkt.Clone()
-	fwd.From = p.node.ID
-	fwd.Hops++
-	fwd.Payload = &grphPayload{Seq: gp.Seq, Hops: gp.Hops + 1}
+	f := p.grphPool.Take()
+	f.Pkt = *pkt
+	f.Pkt.Owner = f
+	f.Pkt.From = p.node.ID
+	f.Pkt.Hops++
+	f.Payload = grphPayload{Seq: gp.Seq, Hops: gp.Hops + 1}
+	f.Pkt.Payload = &f.Payload
 	delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
-	p.node.Sim().After(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
+	p.grphPool.SendAfter(delay, f, p.maxRange(), nil)
 }
 
 // handleJoin grafts a branch: the addressed next-hop becomes a tree router
@@ -292,14 +307,12 @@ func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
 		p.node.DiscardRx(info)
 		return
 	}
-	key := dataKey(pkt.Src, pkt.Seq)
 	consumed := false
 
 	// Members consume the first copy they hear regardless of tree state
 	// (promiscuous multicast reception).
 	if p.node.Member {
-		if _, dup := p.seenApp[key]; !dup {
-			p.seenApp[key] = struct{}{}
+		if !p.seenApp.TestAndSet(pkt.Src, pkt.Seq) {
 			p.node.ConsumeData(pkt, info.At)
 			consumed = true
 		}
@@ -313,14 +326,15 @@ func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
 		// leader) downstream data always arrives from the upstream tree
 		// neighbour. Copies overheard sideways are not re-forwarded —
 		// MAODV is a tree, not a mesh.
-		if _, dup := p.seenData[key]; !dup && info.From == p.upstream {
-			p.seenData[key] = struct{}{}
+		if info.From == p.upstream && !p.seenData.TestAndSet(pkt.Src, pkt.Seq) {
 			p.lastDataFwd = info.At
-			fwd := pkt.Clone()
-			fwd.From = p.node.ID
-			fwd.Hops++
+			f := p.datPool.Take()
+			f.Pkt = *pkt
+			f.Pkt.Owner = f
+			f.Pkt.From = p.node.ID
+			f.Pkt.Hops++
 			delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
-			p.node.Sim().After(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
+			p.datPool.SendAfter(delay, f, p.maxRange(), nil)
 			consumed = true
 		}
 	}
@@ -333,8 +347,10 @@ func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
 // Originate implements netsim.Protocol (called on the source/leader).
 func (p *Protocol) Originate() {
 	p.seq++
-	pkt := packet.NewData(p.node.ID, p.seq, p.node.Now())
-	p.node.Broadcast(pkt, p.maxRange())
+	f := p.datPool.Take()
+	f.Pkt = packet.MakeData(p.node.ID, p.seq, p.node.Now())
+	f.Pkt.Owner = f
+	p.node.Broadcast(&f.Pkt, p.maxRange())
 }
 
 // TreeParent implements netsim.TreeStater.
@@ -350,11 +366,3 @@ func (p *Protocol) TreeParent() (packet.NodeID, bool) {
 
 // OnTree reports whether the node currently holds tree state.
 func (p *Protocol) OnTree() bool { return p.onTree }
-
-func dataKey(src packet.NodeID, seq uint32) uint64 {
-	return uint64(uint32(src))<<32 | uint64(seq)
-}
-
-func ctlKey(src packet.NodeID, seq uint32, kind packet.Kind) uint64 {
-	return uint64(uint32(src))<<40 | uint64(seq)<<8 | uint64(kind)
-}

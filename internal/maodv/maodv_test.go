@@ -151,11 +151,25 @@ func TestRepairAfterBreak(t *testing.T) {
 	}
 }
 
-func TestCtlKeyDistinct(t *testing.T) {
-	a := ctlKey(1, 1, packet.KindGroupHello)
-	b := ctlKey(1, 1, packet.KindRREQ)
-	c := ctlKey(2, 1, packet.KindGroupHello)
-	if a == b || a == c {
-		t.Error("control dedup keys collide across kind/src")
+// TestGRPHDedup checks the Group Hello flood dedup: a second copy of the
+// same (src, seq) hello must not refresh the gradient or be re-flooded.
+// (seenCtl sees only Group Hellos — joins are addressed hop-by-hop and
+// never deduped — so the set's identity is (src, seq) alone.)
+func TestGRPHDedup(t *testing.T) {
+	s, _, protos := rig(t, []geom.Point{{X: 0}, {X: 200}}, []int{1})
+	p := protos[1]
+	s.Run(0.01) // before any periodic traffic
+	pkt := &packet.Packet{
+		Kind: packet.KindGroupHello, From: 0, To: packet.Broadcast,
+		Src: 0, Seq: 42, Bytes: grphBytes, Payload: &grphPayload{Seq: 42},
+	}
+	p.handleGRPH(pkt, medium.RxInfo{From: 0, At: s.Now()})
+	if !p.haveGrad || p.gradSeq != 42 {
+		t.Fatalf("first GRPH not adopted: haveGrad=%v seq=%d", p.haveGrad, p.gradSeq)
+	}
+	p.gradHops = 99 // sentinel: a duplicate must not overwrite this
+	p.handleGRPH(pkt, medium.RxInfo{From: 0, At: s.Now()})
+	if p.gradHops != 99 {
+		t.Error("duplicate GRPH refreshed the gradient")
 	}
 }

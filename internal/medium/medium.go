@@ -244,9 +244,97 @@ type transmission struct {
 	intRng     float64 // interference range
 	start      float64
 	end        float64
+	rxJ        float64 // per-reception energy (bytes and range are fixed)
 	receptions []reception
 	pending    int  // receptions scheduled but not yet fired
 	done       bool // retired from the active set
+	// Reception chain: the transmission's receptions occupy ONE event
+	// queue slot at a time instead of k. order lists reception indices by
+	// delivery (time, seq); chain is the pooled action that delivers
+	// order[chainPos] and re-arms itself for the next. Each reception
+	// carries a sequence number reserved at attach time, so the chained
+	// events order against every other event exactly as the k individual
+	// pushes used to — the pop sequence is bit-identical, the hot heap
+	// just holds one entry per in-flight transmission instead of one per
+	// pending reception.
+	order    []int32
+	sortKeys []uint64 // scratch for the delivery-order sort
+	chainPos int
+	chain    rxChain
+}
+
+// sortDeliveryOrder sorts the (key, order) pairs ascending by
+// (key, order). Keys arrive in covered-id order — effectively random in
+// delivery time — so the small-k insertion sort switches to an in-place
+// heapsort beyond a threshold: a dense large-N broadcast can cover
+// hundreds of receivers, where the quadratic shift count would dominate
+// the attach cost. Both produce the identical unique ordering (keys tie
+// only between equal delivery times, broken by the order value).
+func sortDeliveryOrder(keys []uint64, order []int32) {
+	n := len(keys)
+	if n <= 32 {
+		for i := 1; i < n; i++ {
+			ki, oi := keys[i], order[i]
+			j := i
+			for j > 0 && (ki < keys[j-1] || (ki == keys[j-1] && oi < order[j-1])) {
+				keys[j], order[j] = keys[j-1], order[j-1]
+				j--
+			}
+			keys[j], order[j] = ki, oi
+		}
+		return
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftPairDown(keys, order, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		keys[0], keys[i] = keys[i], keys[0]
+		order[0], order[i] = order[i], order[0]
+		siftPairDown(keys, order, 0, i)
+	}
+}
+
+// siftPairDown restores the max-heap property for sortDeliveryOrder's
+// heapsort over the pair arrays.
+func siftPairDown(keys []uint64, order []int32, lo, hi int) {
+	root := lo
+	for {
+		c := 2*root + 1
+		if c >= hi {
+			return
+		}
+		if c+1 < hi && (keys[c] < keys[c+1] || (keys[c] == keys[c+1] && order[c] < order[c+1])) {
+			c++
+		}
+		if keys[root] > keys[c] || (keys[root] == keys[c] && order[root] > order[c]) {
+			return
+		}
+		keys[root], keys[c] = keys[c], keys[root]
+		order[root], order[c] = order[c], order[root]
+		root = c
+	}
+}
+
+// rxChain walks a transmission's receptions in delivery order, one event
+// at a time. It implements sim.Action.
+type rxChain struct{ tx *transmission }
+
+// Fire delivers the current reception, having first re-armed the chain
+// for the next one under its reserved (time, seq) identity.
+func (c *rxChain) Fire() {
+	tx := c.tx
+	m := tx.m
+	rc := &tx.receptions[tx.order[tx.chainPos]]
+	tx.chainPos++
+	if tx.chainPos < len(tx.order) {
+		next := &tx.receptions[tx.order[tx.chainPos]]
+		m.sim.ActionAtSeq(next.at, c, next.seq)
+	}
+	m.deliver(tx, rc)
+	tx.pending--
+	if tx.pending == 0 && tx.done {
+		m.releaseTx(tx)
+	}
 }
 
 // Fire implements sim.Action: the end-of-air event. The transmission
@@ -277,24 +365,15 @@ func (b *backoffRetry) Fire() {
 }
 
 // reception is one pending delivery of a transmission at a specific node.
-// It implements sim.Action (via the tx back-pointer), so scheduling a
-// delivery allocates nothing: the reception slice is the event payload.
+// Receptions are delivered by the transmission's rxChain in (at, seq)
+// order; the slice is the payload, scheduling allocates nothing.
 type reception struct {
 	tx        *transmission
 	to        packet.NodeID
 	corrupted bool
 	dist      float64 // transmitter→receiver distance at transmission start
-}
-
-// Fire implements sim.Action: resolve the reception at its delivery time,
-// then release the transmission if this was its last pending reception.
-func (rc *reception) Fire() {
-	tx := rc.tx
-	tx.m.deliver(tx, rc)
-	tx.pending--
-	if tx.pending == 0 && tx.done {
-		tx.m.releaseTx(tx)
-	}
+	at        float64 // delivery instant
+	seq       uint64  // reserved event-queue tie-break identity
 }
 
 // New creates a medium over n nodes. Receivers and meters are attached
@@ -557,6 +636,7 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 	tx.intRng = txRange * m.cfg.InterferenceFactor
 	tx.start = now
 	tx.end = now + dur
+	tx.rxJ = m.cfg.Energy.RxEnergy(pkt.Bytes, txRange)
 
 	// Charge the sender.
 	m.meters[from].SpendTx(m.cfg.Energy.TxEnergy(pkt.Bytes, txRange))
@@ -632,6 +712,8 @@ func (m *Medium) releaseTx(tx *transmission) {
 	}
 	tx.pkt = nil
 	tx.receptions = tx.receptions[:0]
+	tx.order = tx.order[:0]
+	tx.chainPos = 0
 	tx.pending = 0
 	tx.done = false
 	m.txFree = append(m.txFree, tx)
@@ -719,15 +801,25 @@ func (m *Medium) coverBrute(tx *transmission, pos geom.Point) {
 // pooled transmission's capacity, so a warm medium allocates nothing) and
 // the pointers handed to the inflight registry stay stable.
 func (m *Medium) attachReceptions(tx *transmission, pos geom.Point, now, dur float64) {
-	if len(m.coverBuf) == 0 {
+	k := len(m.coverBuf)
+	if k == 0 {
 		return
 	}
-	if cap(tx.receptions) < len(m.coverBuf) {
-		tx.receptions = make([]reception, len(m.coverBuf))
+	if cap(tx.receptions) < k {
+		tx.receptions = make([]reception, k)
 	} else {
-		tx.receptions = tx.receptions[:len(m.coverBuf)]
+		tx.receptions = tx.receptions[:k]
 	}
-	tx.pending = len(tx.receptions)
+	tx.pending = k
+	// An empty channel can neither corrupt this frame nor collide with a
+	// mid-transmission receiver (activeTx is empty too), so the whole
+	// interference/half-duplex pass vanishes — the common case for short
+	// frames in a sparse schedule.
+	checkBusy := len(m.active) > 0
+	// Reserve the receptions' event identities up front, in covered-id
+	// order — exactly the sequence numbers k individual pushes would have
+	// drawn here — then let the chain schedule them one at a time.
+	base := m.sim.ReserveSeqs(k)
 	for i, id32 := range m.coverBuf {
 		id := int(id32)
 		rc := &tx.receptions[i]
@@ -739,23 +831,47 @@ func (m *Medium) attachReceptions(tx *transmission, pos geom.Point, now, dur flo
 		} else {
 			p = m.posBuf[id]
 		}
-		// Corrupted if any other active transmission interferes here.
-		if m.interferedAt(p) {
-			rc.corrupted = true
-			m.stats.Collisions++
-		}
-		// Half-duplex: a node mid-transmission cannot receive.
-		if !rc.corrupted && m.transmitting(rc.to, now) {
-			rc.corrupted = true
-			m.stats.HalfDuplex++
+		if checkBusy {
+			// Corrupted if any other active transmission interferes here.
+			if m.interferedAt(p) {
+				rc.corrupted = true
+				m.stats.Collisions++
+			}
+			// Half-duplex: a node mid-transmission cannot receive.
+			if !rc.corrupted && m.transmitting(rc.to, now) {
+				rc.corrupted = true
+				m.stats.HalfDuplex++
+			}
 		}
 		if m.gridOn {
 			m.inflight[id] = append(m.inflight[id], rc)
 		}
 
 		rc.dist = math.Sqrt(p.Dist2(pos))
-		m.sim.AfterAction(dur+rc.dist*m.cfg.PropDelayPerM, rc)
+		rc.at = now + (dur + rc.dist*m.cfg.PropDelayPerM)
+		rc.seq = base + uint64(i)
 	}
+	// Delivery order: (time, seq); within one transmission seq ascends
+	// with the reception index, so ordering by (at, index) is identical.
+	// The sort runs on packed uint64 keys — at is a non-negative float, so
+	// its bit pattern orders like its value — kept in a scratch array next
+	// to the index permutation: contiguous compares, no struct chasing.
+	if cap(tx.order) < k {
+		tx.order = make([]int32, k)
+		tx.sortKeys = make([]uint64, k)
+	} else {
+		tx.order = tx.order[:k]
+		tx.sortKeys = tx.sortKeys[:k]
+	}
+	for i := range tx.order {
+		tx.order[i] = int32(i)
+		tx.sortKeys[i] = math.Float64bits(tx.receptions[i].at)
+	}
+	sortDeliveryOrder(tx.sortKeys, tx.order)
+	tx.chainPos = 0
+	tx.chain.tx = tx
+	first := &tx.receptions[tx.order[0]]
+	m.sim.ActionAtSeq(first.at, &tx.chain, first.seq)
 }
 
 // interferedAt reports whether any active transmission's interference disk
@@ -783,7 +899,7 @@ func (m *Medium) deliver(tx *transmission, rc *reception) {
 	if meter.Dead() {
 		return // depleted battery: the radio is off
 	}
-	rxJ := m.cfg.Energy.RxEnergy(tx.pkt.Bytes, tx.rng)
+	rxJ := tx.rxJ
 	if rc.corrupted {
 		// The radio still burned energy on the corrupted frame.
 		meter.SpendDiscard(rxJ)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/xrand"
 )
 
 // recorder collects deliveries for one node.
@@ -266,5 +267,39 @@ func TestAirTime(t *testing.T) {
 	_, m, _, _ := rig(t, pts, nil)
 	if got := m.AirTime(250); got != 250*8/2e6 {
 		t.Errorf("AirTime = %v", got)
+	}
+}
+
+// TestSortDeliveryOrderPaths checks the insertion-sort and heapsort
+// paths of sortDeliveryOrder produce the identical (unique) ordering:
+// the pairs form a total order, so both must agree element for element.
+func TestSortDeliveryOrderPaths(t *testing.T) {
+	rng := xrand.New(99)
+	for _, n := range []int{0, 1, 2, 31, 32, 33, 200, 513} {
+		keys := make([]uint64, n)
+		order := make([]int32, n)
+		for i := range keys {
+			keys[i] = rng.Uint64() % 64 // dense: force plenty of ties
+			order[i] = int32(i)
+		}
+		k2 := append([]uint64(nil), keys...)
+		o2 := append([]int32(nil), order...)
+		sortDeliveryOrder(keys, order) // path chosen by n
+		// Reference: insertion sort regardless of size.
+		for i := 1; i < n; i++ {
+			ki, oi := k2[i], o2[i]
+			j := i
+			for j > 0 && (ki < k2[j-1] || (ki == k2[j-1] && oi < o2[j-1])) {
+				k2[j], o2[j] = k2[j-1], o2[j-1]
+				j--
+			}
+			k2[j], o2[j] = ki, oi
+		}
+		for i := range keys {
+			if keys[i] != k2[i] || order[i] != o2[i] {
+				t.Fatalf("n=%d: sorted pair %d = (%d,%d), reference (%d,%d)",
+					n, i, keys[i], order[i], k2[i], o2[i])
+			}
+		}
 	}
 }

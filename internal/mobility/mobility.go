@@ -86,6 +86,10 @@ type Tracker struct {
 	// Leg.Position both need it, and recomputing the hypotenuse on every
 	// query dominates the position math.
 	legLen []float64
+	// legEnd caches each current leg's end instant (arrival + pause): the
+	// advance loop tests it on every position query, and caching spares
+	// the division in legEnd. Values are exactly what legEnd computes.
+	legEnd []float64
 	// Per-node memo of the last query. memoT starts as NaN, which never
 	// compares equal, so the zero state is "empty".
 	memoT []float64
@@ -111,12 +115,14 @@ func (t *Tracker) Reset(n int, m Model) {
 	if cap(t.legs) < n {
 		t.legs = make([]Leg, n)
 		t.legLen = make([]float64, n)
+		t.legEnd = make([]float64, n)
 		t.memoT = make([]float64, n)
 		t.memoP = make([]geom.Point, n)
 		t.allP = make([]geom.Point, n)
 	} else {
 		t.legs = t.legs[:n]
 		t.legLen = t.legLen[:n]
+		t.legEnd = t.legEnd[:n]
 		t.memoT = t.memoT[:n]
 		t.memoP = t.memoP[:n]
 		t.allP = t.allP[:n]
@@ -124,6 +130,7 @@ func (t *Tracker) Reset(n int, m Model) {
 	for i := range t.legs {
 		t.legs[i] = m.Init(i)
 		t.legLen[i] = t.legs[i].From.Dist(t.legs[i].To)
+		t.legEnd[i] = legEnd(&t.legs[i], t.legLen[i])
 		t.memoT[i] = math.NaN()
 		t.memoP[i] = geom.Point{}
 	}
@@ -141,14 +148,11 @@ func (t *Tracker) Position(i int, now float64) geom.Point {
 	}
 	leg := &t.legs[i]
 	d := t.legLen[i]
-	for {
-		end := legEnd(leg, d)
-		if end > now {
-			break
-		}
-		*leg = t.model.Next(i, *leg, end)
+	for t.legEnd[i] <= now {
+		*leg = t.model.Next(i, *leg, t.legEnd[i])
 		d = leg.From.Dist(leg.To)
 		t.legLen[i] = d
+		t.legEnd[i] = legEnd(leg, d)
 	}
 	p := legPosition(leg, d, now)
 	t.memoT[i] = now

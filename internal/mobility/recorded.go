@@ -1,0 +1,122 @@
+package mobility
+
+import "sync"
+
+// Recorded is a shared, append-only, concurrency-safe trace of a model's
+// per-node leg sequences. Several simulation runs of the same movement
+// scenario (the 8 protocols at one sweep point) replay one Recorded
+// instead of regenerating identical legs run by run.
+//
+// The trace exploits the discrete-event tracker's contract with Model:
+// legs are consumed strictly in order per node, and Next is always called
+// with now equal to the current leg's end, so node i's leg sequence is a
+// pure function of the wrapped model — leg 0 is Init(i), leg k+1 is
+// Next(i, leg k, leg k's end). Every model in this package additionally
+// derives its randomness from streams keyed by (node, leg history), never
+// from shared mutable draw order across nodes, so the sequence is also
+// independent of which run (or goroutine) forces its extension first.
+// Replayed legs are the recorded Leg values verbatim; positions are
+// therefore bit-identical to driving the wrapped model directly
+// (TestRecordedReplayEquivalence).
+//
+// Concurrency: extension happens under a write lock (one extender at a
+// time — RPGM's group reference paths are shared mutable state across
+// nodes), lookups under a read lock. A run replays through its own Replay
+// cursor; Recorded itself holds no per-run state.
+type Recorded struct {
+	mu    sync.RWMutex
+	model Model
+	legs  [][]Leg
+	// generated counts legs produced by the wrapped model; replays beyond
+	// this count nothing. Read via TotalLegs for cache diagnostics.
+	generated int
+}
+
+// NewRecorded wraps model for n nodes with an empty trace. The model must
+// not be driven directly once wrapped: the trace owns its draw state.
+func NewRecorded(n int, model Model) *Recorded {
+	return &Recorded{model: model, legs: make([][]Leg, n)}
+}
+
+// N returns the node count the trace was built for.
+func (t *Recorded) N() int { return len(t.legs) }
+
+// TotalLegs returns how many legs the wrapped model has generated so far.
+func (t *Recorded) TotalLegs() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.generated
+}
+
+// leg returns node i's k-th leg, extending the trace through the wrapped
+// model if it is not recorded yet.
+func (t *Recorded) leg(i, k int) Leg {
+	t.mu.RLock()
+	if legs := t.legs[i]; k < len(legs) {
+		l := legs[k]
+		t.mu.RUnlock()
+		return l
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k >= len(t.legs[i]) {
+		legs := t.legs[i]
+		var l Leg
+		if len(legs) == 0 {
+			l = t.model.Init(i)
+		} else {
+			last := legs[len(legs)-1]
+			l = t.model.Next(i, last, last.End())
+		}
+		t.legs[i] = append(legs, l)
+		t.generated++
+	}
+	return t.legs[i][k]
+}
+
+// Replay returns a fresh per-run cursor over the trace. Each simulation
+// run needs its own (the cursor tracks per-node progress); all cursors
+// share the same recorded legs.
+func (t *Recorded) Replay() *Replay {
+	r := &Replay{}
+	r.Reset(t)
+	return r
+}
+
+// Replay is a Model that reads legs from a shared Recorded trace. It is
+// single-goroutine like any Model; the underlying trace is not.
+type Replay struct {
+	trace *Recorded
+	next  []int // next[i]: index of the leg following node i's current one
+}
+
+// Reset re-points the cursor at (possibly another) trace, reusing its
+// storage — the arena idiom used by scenario.RunContext.
+func (r *Replay) Reset(t *Recorded) {
+	r.trace = t
+	n := t.N()
+	if cap(r.next) < n {
+		r.next = make([]int, n)
+	} else {
+		r.next = r.next[:n]
+		for i := range r.next {
+			r.next[i] = 0
+		}
+	}
+}
+
+// Init implements Model.
+func (r *Replay) Init(i int) Leg {
+	r.next[i] = 1
+	return r.trace.leg(i, 0)
+}
+
+// Next implements Model. The tracker advances legs strictly in order, so
+// cur is always the cursor's current leg and the arguments are not
+// consulted.
+func (r *Replay) Next(i int, cur Leg, now float64) Leg {
+	k := r.next[i]
+	r.next[i] = k + 1
+	return r.trace.leg(i, k)
+}

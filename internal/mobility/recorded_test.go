@@ -1,0 +1,158 @@
+package mobility
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/xrand"
+)
+
+// testModels builds one instance of every stochastic model from the given
+// seed. Each call returns fresh instances with identical draw state, so a
+// direct run and a recorded run see the same model.
+func testModels(seed uint64) map[string]func() Model {
+	area := geom.Square(750)
+	return map[string]func() Model{
+		"rwp": func() Model {
+			return NewRandomWaypoint(area, 1, 8, 2, xrand.New(seed).Split("mobility"))
+		},
+		"random-direction": func() Model {
+			return NewRandomDirection(area, 1, 8, 2, xrand.New(seed).Split("mobility"))
+		},
+		"gauss-markov": func() Model {
+			return NewGaussMarkov(area, 1, 8, 0.75, 1, xrand.New(seed).Split("mobility"))
+		},
+		"rpgm": func() Model {
+			return NewRPGM(area, 1, 8, 4, 125, xrand.New(seed).Split("mobility"))
+		},
+		"manhattan": func() Model {
+			return NewManhattan(area, 1, 8, 2, 150, xrand.New(seed).Split("mobility"))
+		},
+	}
+}
+
+// queryTimes is a mixed probe schedule: dense early samples (leg
+// boundaries for every model) plus sparse late ones.
+func queryTimes() []float64 {
+	var ts []float64
+	for t := 0.0; t < 60; t += 0.7 {
+		ts = append(ts, t)
+	}
+	for t := 60.0; t < 600; t += 13.3 {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// TestRecordedReplayEquivalence pins the tentpole invariant: replaying a
+// Recorded trace yields bit-identical positions to driving the wrapped
+// model directly, for every mobility kind, across two independent replays
+// of the same trace.
+func TestRecordedReplayEquivalence(t *testing.T) {
+	const n = 30
+	for name, mk := range testModels(7) {
+		t.Run(name, func(t *testing.T) {
+			direct := NewTracker(n, mk())
+			rec := NewRecorded(n, mk())
+			replayA := NewTracker(n, rec.Replay())
+			replayB := NewTracker(n, rec.Replay())
+			for _, now := range queryTimes() {
+				for i := 0; i < n; i++ {
+					want := direct.Position(i, now)
+					if got := replayA.Position(i, now); got != want {
+						t.Fatalf("node %d at t=%g: replay %v != direct %v", i, now, got, want)
+					}
+					if got := replayB.Position(i, now); got != want {
+						t.Fatalf("node %d at t=%g: second replay %v != direct %v", i, now, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecordedExtensionOrderIndependent replays the same trace with
+// staggered horizons: one cursor races ahead (forcing all extensions), a
+// later cursor replays from the warm trace, and a third trace is extended
+// cooperatively node-by-node in reverse order. All three match a direct
+// run, proving extension order is unobservable.
+func TestRecordedExtensionOrderIndependent(t *testing.T) {
+	const n = 12
+	for name, mk := range testModels(11) {
+		t.Run(name, func(t *testing.T) {
+			direct := NewTracker(n, mk())
+			// Trace 1: extended by a single run racing to t=300.
+			recA := NewRecorded(n, mk())
+			hot := NewTracker(n, recA.Replay())
+			for i := 0; i < n; i++ {
+				hot.Position(i, 300)
+			}
+			cold := NewTracker(n, recA.Replay())
+			// Trace 2: extended cooperatively, nodes probed in reverse.
+			recB := NewRecorded(n, mk())
+			rev := NewTracker(n, recB.Replay())
+			for _, now := range []float64{5, 50, 170, 290} {
+				for i := n - 1; i >= 0; i-- {
+					rev.Position(i, now)
+				}
+			}
+			revCheck := NewTracker(n, recB.Replay())
+			for _, now := range []float64{3.1, 47.7, 166.6, 288.8} {
+				for i := 0; i < n; i++ {
+					want := direct.Position(i, now)
+					if got := cold.Position(i, now); got != want {
+						t.Fatalf("node %d at t=%g: warm-trace replay %v != direct %v", i, now, got, want)
+					}
+					if got := revCheck.Position(i, now); got != want {
+						t.Fatalf("node %d at t=%g: reverse-extended replay %v != direct %v", i, now, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecordedConcurrentReplay drives several goroutines, each with its
+// own Tracker and Replay cursor, over one shared trace while it is still
+// being extended. Run under -race this pins the locking discipline; the
+// positions must match a direct run exactly.
+func TestRecordedConcurrentReplay(t *testing.T) {
+	const n, workers = 20, 8
+	for name, mk := range testModels(23) {
+		t.Run(name, func(t *testing.T) {
+			direct := NewTracker(n, mk())
+			var want [][]geom.Point
+			times := queryTimes()
+			for _, now := range times {
+				row := make([]geom.Point, n)
+				direct.Positions(now, row)
+				want = append(want, append([]geom.Point(nil), row...))
+			}
+			rec := NewRecorded(n, mk())
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					tr := NewTracker(n, rec.Replay())
+					for ti, now := range times {
+						for i := 0; i < n; i++ {
+							if got := tr.Position(i, now); got != want[ti][i] {
+								errs <- fmt.Errorf("worker %d node %d t=%g: %v != %v", w, i, now, got, want[ti][i])
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@
 package odmrp
 
 import (
+	"repro/internal/fwdpool"
 	"repro/internal/medium"
 	"repro/internal/netsim"
 	"repro/internal/packet"
@@ -81,27 +82,40 @@ type Protocol struct {
 	// lastCascade rate-limits reply propagation (one per refresh round).
 	lastCascade float64
 
-	seenData map[uint64]struct{}
-	seenCtl  map[uint64]struct{}
+	// seenData dedups the data mesh flood; seenCtl dedups Join Query
+	// floods. Both see a single originator (the multicast source) numbering
+	// densely from zero — packet.SeqSet's bitset fast path — where the old
+	// hash maps put several probes on every reception of the hottest kind.
+	seenData packet.SeqSet
+	seenCtl  packet.SeqSet
 	seq      uint32
 	jqSeq    uint32
+
+	// Frame pools (fwdpool): forwarded data, Join Query floods and Join
+	// Replies recycle through packet.Owner instead of allocating per frame.
+	datPool *fwdpool.Pool[struct{}]
+	jqPool  *fwdpool.Pool[jqPayload]
+	jrPool  *fwdpool.Pool[jrPayload]
+	// fwdGuard re-checks forwarding-group membership at jitter-fire time;
+	// allocated once so SendAfter never closes over anything.
+	fwdGuard func() bool
 
 	ticker *sim.Ticker
 }
 
 // New returns an ODMRP instance.
 func New(cfg Config) *Protocol {
-	return &Protocol{
-		cfg:      cfg,
-		seenData: make(map[uint64]struct{}),
-		seenCtl:  make(map[uint64]struct{}),
-	}
+	return &Protocol{cfg: cfg}
 }
 
 // Start implements netsim.Protocol.
 func (p *Protocol) Start(n *netsim.Node) {
 	p.node = n
 	p.rng = n.Sim().RNG().Split("odmrp").SplitIndex(int(n.ID))
+	p.datPool = fwdpool.New[struct{}](n)
+	p.jqPool = fwdpool.New[jqPayload](n)
+	p.jrPool = fwdpool.New[jrPayload](n)
+	p.fwdGuard = p.isForwarder
 	p.lastCascade = -1e9 // allow the first cascade immediately
 	if n.Source {
 		first := p.rng.Range(0.05, 0.4)
@@ -117,16 +131,19 @@ func (p *Protocol) maxRange() float64 { return p.node.Net.Medium.Model().MaxRang
 // sendJoinQuery floods one refresh round from the source.
 func (p *Protocol) sendJoinQuery() {
 	p.jqSeq++
-	pkt := &packet.Packet{
+	f := p.jqPool.Take()
+	f.Payload = jqPayload{}
+	f.Pkt = packet.Packet{
 		Kind:    packet.KindJoinQuery,
 		From:    p.node.ID,
 		To:      packet.Broadcast,
 		Src:     p.node.ID,
 		Seq:     p.jqSeq,
 		Bytes:   jqBytes,
-		Payload: &jqPayload{},
+		Payload: &f.Payload,
+		Owner:   f,
 	}
-	p.node.Broadcast(pkt, p.maxRange())
+	p.node.Broadcast(&f.Pkt, p.maxRange())
 }
 
 // Receive implements netsim.Protocol.
@@ -149,12 +166,10 @@ func (p *Protocol) handleJoinQuery(pkt *packet.Packet, info medium.RxInfo) {
 		return
 	}
 	jq := pkt.Payload.(*jqPayload)
-	key := ctlKey(pkt.Src, pkt.Seq, pkt.Kind)
-	if _, dup := p.seenCtl[key]; dup {
+	if p.seenCtl.TestAndSet(pkt.Src, pkt.Seq) {
 		p.node.DiscardRx(info)
 		return
 	}
-	p.seenCtl[key] = struct{}{}
 
 	// Record the reverse path (first copy ≈ shortest) and re-flood.
 	p.upstream = info.From
@@ -162,12 +177,15 @@ func (p *Protocol) handleJoinQuery(pkt *packet.Packet, info medium.RxInfo) {
 	p.upAt = info.At
 	p.haveUp = true
 
-	fwd := pkt.Clone()
-	fwd.From = p.node.ID
-	fwd.Hops++
-	fwd.Payload = &jqPayload{Hops: jq.Hops + 1}
+	f := p.jqPool.Take()
+	f.Pkt = *pkt
+	f.Pkt.Owner = f
+	f.Pkt.From = p.node.ID
+	f.Pkt.Hops++
+	f.Payload = jqPayload{Hops: jq.Hops + 1}
+	f.Pkt.Payload = &f.Payload
 	delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
-	p.node.Sim().After(delay, func() { p.node.Broadcast(fwd, p.maxRange()) })
+	p.jqPool.SendAfter(delay, f, p.maxRange(), nil)
 
 	// Members answer each refresh with a Join Reply after a short spread.
 	if p.node.Member {
@@ -182,16 +200,19 @@ func (p *Protocol) sendJoinReply(source packet.NodeID) {
 	if !p.haveUp || p.node.Now()-p.upAt > p.cfg.RouteTTL {
 		return
 	}
-	pkt := &packet.Packet{
+	f := p.jrPool.Take()
+	f.Payload = jrPayload{Source: source, NextHop: p.upstream}
+	f.Pkt = packet.Packet{
 		Kind:    packet.KindJoinReply,
 		From:    p.node.ID,
 		To:      p.upstream,
 		Src:     p.node.ID,
 		Seq:     p.nextSeq(),
 		Bytes:   jrBytes,
-		Payload: &jrPayload{Source: source, NextHop: p.upstream},
+		Payload: &f.Payload,
+		Owner:   f,
 	}
-	p.node.Broadcast(pkt, p.maxRange())
+	p.node.Broadcast(&f.Pkt, p.maxRange())
 }
 
 func (p *Protocol) nextSeq() uint32 { p.seq++; return p.seq }
@@ -225,12 +246,10 @@ func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
 		p.node.DiscardRx(info)
 		return
 	}
-	key := dataKey(pkt.Src, pkt.Seq)
-	if _, dup := p.seenData[key]; dup {
+	if p.seenData.TestAndSet(pkt.Src, pkt.Seq) {
 		p.node.DiscardRx(info)
 		return
 	}
-	p.seenData[key] = struct{}{}
 	consumed := false
 	if p.node.Member {
 		p.node.ConsumeData(pkt, info.At)
@@ -238,15 +257,13 @@ func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
 	}
 	if p.isForwarder() {
 		consumed = true
-		fwd := pkt.Clone()
-		fwd.From = p.node.ID
-		fwd.Hops++
+		f := p.datPool.Take()
+		f.Pkt = *pkt
+		f.Pkt.Owner = f
+		f.Pkt.From = p.node.ID
+		f.Pkt.Hops++
 		delay := p.rng.Range(0, p.cfg.ForwardJitterMax)
-		p.node.Sim().Schedule(delay, func() {
-			if p.isForwarder() {
-				p.node.Broadcast(fwd, p.maxRange())
-			}
-		})
+		p.datPool.SendAfter(delay, f, p.maxRange(), p.fwdGuard)
 	}
 	if !consumed {
 		p.node.DiscardRx(info)
@@ -256,17 +273,11 @@ func (p *Protocol) handleData(pkt *packet.Packet, info medium.RxInfo) {
 // Originate implements netsim.Protocol (source only).
 func (p *Protocol) Originate() {
 	p.seq++
-	pkt := packet.NewData(p.node.ID, p.seq, p.node.Now())
-	p.node.Broadcast(pkt, p.maxRange())
+	f := p.datPool.Take()
+	f.Pkt = packet.MakeData(p.node.ID, p.seq, p.node.Now())
+	f.Pkt.Owner = f
+	p.node.Broadcast(&f.Pkt, p.maxRange())
 }
 
 // Forwarder exposes forwarding-group membership for tests.
 func (p *Protocol) Forwarder() bool { return p.isForwarder() }
-
-func dataKey(src packet.NodeID, seq uint32) uint64 {
-	return uint64(uint32(src))<<32 | uint64(seq)
-}
-
-func ctlKey(src packet.NodeID, seq uint32, kind packet.Kind) uint64 {
-	return uint64(uint32(src))<<40 | uint64(seq)<<8 | uint64(kind)
-}

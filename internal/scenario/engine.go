@@ -1,0 +1,355 @@
+package scenario
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/mobility"
+)
+
+// Engine is the sweep scheduler: one cost-ordered work queue over one
+// persistent pool of workers whose RunContext arenas stay hot across
+// batches, plus a shared mobility-trace cache. It replaces the
+// pool-per-Sweep design, whose nested use (RunSeeds inside a sweep
+// worker) multiplied goroutines by GOMAXPROCS and rebuilt every arena per
+// figure.
+//
+// Scheduling is longest-expected-job-first with N·Duration as the cost
+// estimate, which keeps the tail of a batch short (a small job never
+// straggles behind the batch's one giant run), with submission order
+// breaking ties so the runs sharing a mobility trace stay adjacent and
+// the cache's live footprint stays small.
+//
+// Every Sweep call participates in its own batch: the submitting
+// goroutine drains jobs alongside the background workers, so an engine
+// with 1 worker runs entirely on the caller (zero goroutines), and a
+// nested Sweep from inside a worker makes progress on its own batch
+// instead of deadlocking or spawning a second pool. Results are
+// independent of worker count and completion order — every job is a
+// deterministic function of its Config, and trace extension is
+// order-independent (mobility.Recorded) — pinned by
+// TestSweepWorkersBitIdentical.
+type Engine struct {
+	workers int
+	cache   *TraceCache
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals queued work to background workers
+	queue   jobHeap
+	seq     uint64
+	rcs     []*RunContext // idle arenas for participating callers
+	started bool
+	closed  bool
+}
+
+// job is one queued run.
+type job struct {
+	cfg    Config
+	key    TraceKey
+	hasKey bool
+	cost   float64
+	seq    uint64
+	batch  *batch
+	index  int
+}
+
+// batch tracks one Sweep call's jobs.
+type batch struct {
+	results   []Result
+	fn        func(int, Result)
+	fnMu      sync.Mutex
+	remaining int
+	done      *sync.Cond // on Engine.mu
+}
+
+// NewEngine returns an engine that runs up to workers jobs concurrently:
+// workers-1 background goroutines plus the goroutine calling Sweep.
+// Background workers start lazily at the first Sweep and live until
+// Close; the package-level Default engine is never closed.
+func NewEngine(workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Engine{workers: workers, cache: NewTraceCache()}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Workers returns the engine's concurrency (background workers + caller).
+func (e *Engine) Workers() int { return e.workers }
+
+// TraceStats returns the trace cache's cumulative replay hits and
+// recording misses.
+func (e *Engine) TraceStats() (hits, misses uint64) { return e.cache.Stats() }
+
+// Close stops the background workers. Only transient engines (SweepN with
+// a non-default worker count, tests) need closing; in-flight Sweep calls
+// must have returned.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// Sweep runs every configuration and returns results in input order.
+func (e *Engine) Sweep(cfgs []Config) []Result {
+	return e.sweep(cfgs, nil)
+}
+
+// SweepFunc is Sweep with a streaming hook: fn is called once per
+// completed run (serialized, but in completion order, from whichever
+// goroutine finished the run) with the config's index and its result.
+// Aggregations that must be deterministic should buffer per group and
+// reduce in index order once a group completes.
+func (e *Engine) SweepFunc(cfgs []Config, fn func(i int, r Result)) []Result {
+	return e.sweep(cfgs, fn)
+}
+
+func (e *Engine) sweep(cfgs []Config, fn func(int, Result)) []Result {
+	if len(cfgs) == 0 {
+		return nil
+	}
+	b := &batch{
+		results:   make([]Result, len(cfgs)),
+		fn:        fn,
+		remaining: len(cfgs),
+	}
+	e.mu.Lock()
+	b.done = sync.NewCond(&e.mu)
+	if !e.started && e.workers > 1 {
+		e.started = true
+		for w := 0; w < e.workers-1; w++ {
+			go e.workerLoop()
+		}
+	}
+	for i := range cfgs {
+		j := &job{cfg: cfgs[i], batch: b, index: i, seq: e.seq}
+		e.seq++
+		j.cost = float64(j.cfg.N) * j.cfg.Duration
+		if key, ok := traceKeyOf(j.cfg); ok {
+			j.key, j.hasKey = key, true
+			e.cache.register(key)
+		}
+		e.queue.push(j)
+	}
+	e.mu.Unlock()
+	e.cond.Broadcast()
+
+	// Participate: drain jobs (any batch's — strict LPT order) until this
+	// batch completes; when the queue is empty but workers still hold our
+	// jobs, block on the batch condition.
+	e.mu.Lock()
+	rc := e.takeRCLocked()
+	for b.remaining > 0 {
+		j := e.queue.pop()
+		if j == nil {
+			b.done.Wait()
+			continue
+		}
+		e.mu.Unlock()
+		e.runJob(rc, j)
+		e.mu.Lock()
+	}
+	e.rcs = append(e.rcs, rc)
+	e.mu.Unlock()
+	return b.results
+}
+
+// workerLoop is one background worker: a persistent RunContext draining
+// the queue for the engine's whole life.
+func (e *Engine) workerLoop() {
+	rc := NewRunContext()
+	e.mu.Lock()
+	for {
+		j := e.queue.pop()
+		if j == nil {
+			if e.closed {
+				e.mu.Unlock()
+				return
+			}
+			e.cond.Wait()
+			continue
+		}
+		e.mu.Unlock()
+		e.runJob(rc, j)
+		e.mu.Lock()
+	}
+}
+
+// runJob executes one job on rc and accounts its completion. Called
+// without the engine lock.
+func (e *Engine) runJob(rc *RunContext, j *job) {
+	var trace *mobility.Recorded
+	if j.hasKey {
+		trace = e.cache.acquire(j.cfg, j.key)
+	}
+	res := rc.RunTraced(j.cfg, trace)
+	if j.hasKey {
+		e.cache.release(j.key)
+	}
+	b := j.batch
+	b.results[j.index] = res
+	if b.fn != nil {
+		b.fnMu.Lock()
+		b.fn(j.index, res)
+		b.fnMu.Unlock()
+	}
+	e.mu.Lock()
+	b.remaining--
+	if b.remaining == 0 {
+		b.done.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// takeRCLocked pops an idle arena for a participating caller, or builds
+// one; callers return it after their batch so arenas persist across
+// sweeps.
+func (e *Engine) takeRCLocked() *RunContext {
+	if n := len(e.rcs); n > 0 {
+		rc := e.rcs[n-1]
+		e.rcs[n-1] = nil
+		e.rcs = e.rcs[:n-1]
+		return rc
+	}
+	return NewRunContext()
+}
+
+// jobHeap is a max-heap on (cost, -seq): longest expected job first,
+// submission order among equals.
+type jobHeap struct {
+	jobs []*job
+}
+
+func (h *jobHeap) before(a, b *job) bool {
+	if a.cost != b.cost {
+		return a.cost > b.cost
+	}
+	return a.seq < b.seq
+}
+
+func (h *jobHeap) push(j *job) {
+	h.jobs = append(h.jobs, j)
+	i := len(h.jobs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(h.jobs[i], h.jobs[parent]) {
+			break
+		}
+		h.jobs[i], h.jobs[parent] = h.jobs[parent], h.jobs[i]
+		i = parent
+	}
+}
+
+func (h *jobHeap) pop() *job {
+	n := len(h.jobs)
+	if n == 0 {
+		return nil
+	}
+	top := h.jobs[0]
+	n--
+	h.jobs[0] = h.jobs[n]
+	h.jobs[n] = nil
+	h.jobs = h.jobs[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.before(h.jobs[c+1], h.jobs[c]) {
+			c++
+		}
+		if !h.before(h.jobs[c], h.jobs[i]) {
+			break
+		}
+		h.jobs[i], h.jobs[c] = h.jobs[c], h.jobs[i]
+		i = c
+	}
+	return top
+}
+
+// Default engine: one process-wide scheduler sized to the machine.
+var (
+	defaultEngine     *Engine
+	defaultEngineOnce sync.Once
+)
+
+// DefaultEngine returns the process-wide engine (GOMAXPROCS-wide unless
+// ConfigureDefaultEngine overrode it), creating it on first use. Sweep,
+// RunSeeds, the experiments package and the CLIs all share it, so arenas
+// and traces stay warm across figures.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() {
+		if defaultEngineWidth == 0 {
+			defaultEngineWidth = runtime.GOMAXPROCS(0)
+		}
+		defaultEngine = NewEngine(defaultEngineWidth)
+	})
+	return defaultEngine
+}
+
+var defaultEngineWidth int
+
+// ConfigureDefaultEngine sets the shared engine's width (the CLIs'
+// -workers flag). It must run before anything touches DefaultEngine; a
+// late call with a different width panics rather than silently running at
+// the wrong parallelism.
+func ConfigureDefaultEngine(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if defaultEngine != nil && defaultEngine.Workers() != workers {
+		panic("scenario: ConfigureDefaultEngine after the engine started")
+	}
+	defaultEngineWidth = workers
+	DefaultEngine()
+}
+
+// Sweep runs every configuration on the shared engine and returns results
+// in input order.
+func Sweep(cfgs []Config) []Result {
+	return DefaultEngine().Sweep(cfgs)
+}
+
+// FigurePointConfigs is the benchmark workload shared by bench_test.go's
+// BenchmarkFigureSweep* and cmd/benchsnap's FigureSweep entries: one full
+// figure point — all 8 protocols × 4 replications of base — at the paper
+// baseline (5 m/s, 20 receivers) under the given mobility model and
+// horizon. Keeping the single definition here guarantees the two
+// measurements of the same name time the same workload.
+func FigurePointConfigs(mob MobilityKind, base uint64, duration float64) []Config {
+	protocols := []ProtocolKind{
+		SSSPST, SSSPSTT, SSSPSTF, SSSPSTE, SSMST, MAODV, ODMRP, Flood,
+	}
+	var cfgs []Config
+	for s := 0; s < 4; s++ {
+		for _, p := range protocols {
+			cfg := Default()
+			cfg.Protocol = p
+			cfg.Mobility = mob
+			cfg.VMax = 5
+			cfg.Duration = duration
+			cfg.Seed = ReplicationSeed(base, s)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// SweepN is Sweep with an explicit concurrency. The default width routes
+// to the shared engine; any other width runs on a transient engine with
+// its own trace cache, closed before returning — results are bit-identical
+// either way (TestSweepWorkersBitIdentical).
+func SweepN(cfgs []Config, workers int) []Result {
+	if workers < 1 {
+		workers = 1
+	}
+	if d := DefaultEngine(); workers == d.Workers() {
+		return d.Sweep(cfgs)
+	}
+	e := NewEngine(workers)
+	defer e.Close()
+	return e.Sweep(cfgs)
+}

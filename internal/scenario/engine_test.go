@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+)
+
+// enginePointCfgs is one figure point's worth of work per mobility kind:
+// all 8 protocols at a common (mobility, seed, N, area) point, so the 8
+// runs of each kind share one mobility trace.
+func enginePointCfgs(dur float64) []Config {
+	protocols := []ProtocolKind{
+		SSSPST, SSSPSTT, SSSPSTF, SSSPSTE, SSMST, MAODV, ODMRP, Flood,
+	}
+	var cfgs []Config
+	for _, mob := range []MobilityKind{RandomWaypoint, GaussMarkov, RPGM, Manhattan} {
+		for _, p := range protocols {
+			cfg := Default()
+			cfg.Protocol = p
+			cfg.Mobility = mob
+			cfg.Seed = 9
+			cfg.VMax = 8
+			cfg.Duration = dur
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// TestSweepWorkersBitIdentical pins the engine's central invariant: the
+// same batch swept serially (1 worker: no goroutines, no trace
+// concurrency) and on a wide pool (8 workers: concurrent replay and
+// cooperative trace extension) produces bit-identical results for all 8
+// protocols across all 4 stochastic mobility kinds. Run under -race in CI
+// this also exercises the trace cache's locking.
+func TestSweepWorkersBitIdentical(t *testing.T) {
+	cfgs := enginePointCfgs(8)
+	serial := SweepN(cfgs, 1)
+	wide := SweepN(cfgs, 8)
+	for i := range cfgs {
+		name := fmt.Sprintf("%s/%s", cfgs[i].Mobility, cfgs[i].Protocol)
+		if serial[i].Summary != wide[i].Summary {
+			t.Errorf("%s: summaries diverge across worker counts:\n 1: %+v\n 8: %+v",
+				name, serial[i].Summary, wide[i].Summary)
+		}
+		if serial[i].Medium != wide[i].Medium {
+			t.Errorf("%s: medium stats diverge across worker counts:\n 1: %+v\n 8: %+v",
+				name, serial[i].Medium, wide[i].Medium)
+		}
+	}
+}
+
+// TestTracedRunEquivalence pins RunTraced against Run directly, one
+// protocol per mobility kind, without the engine in the way.
+func TestTracedRunEquivalence(t *testing.T) {
+	for _, mob := range []MobilityKind{RandomWaypoint, RandomDirection, GaussMarkov, RPGM, Manhattan} {
+		cfg := Default()
+		cfg.Mobility = mob
+		cfg.Duration = 10
+		cfg.VMax = 8
+		plain := Run(cfg)
+
+		cache := NewTraceCache()
+		key, ok := traceKeyOf(cfg)
+		if !ok {
+			t.Fatalf("%s: expected a cacheable trace key", mob)
+		}
+		cache.register(key)
+		trace := cache.acquire(cfg, key)
+		traced := NewRunContext().RunTraced(cfg, trace)
+		// A second traced run replays the now-warm trace.
+		traced2 := NewRunContext().RunTraced(cfg, trace)
+		cache.release(key)
+
+		if plain.Summary != traced.Summary || plain.Medium != traced.Medium {
+			t.Errorf("%s: traced run diverges from plain run", mob)
+		}
+		if plain.Summary != traced2.Summary || plain.Medium != traced2.Medium {
+			t.Errorf("%s: warm replay diverges from plain run", mob)
+		}
+	}
+}
+
+// TestEngineTraceSharing checks the cache accounting: one figure point's 8
+// protocol runs record movement once and replay it 7 times, and the entry
+// is evicted when the last run finishes.
+func TestEngineTraceSharing(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+	var cfgs []Config
+	for _, p := range []ProtocolKind{SSSPST, SSSPSTT, SSSPSTF, SSSPSTE, SSMST, MAODV, ODMRP, Flood} {
+		cfg := Default()
+		cfg.Protocol = p
+		cfg.Duration = 5
+		cfgs = append(cfgs, cfg)
+	}
+	e.Sweep(cfgs)
+	hits, misses := e.TraceStats()
+	if misses != 1 || hits != 7 {
+		t.Errorf("trace stats = %d hits, %d misses; want 7, 1", hits, misses)
+	}
+	if live := e.cache.Live(); live != 0 {
+		t.Errorf("%d traces still cached after the batch drained", live)
+	}
+}
+
+// TestNestedSweepNoOversubscription submits a sweep whose runs themselves
+// call RunSeeds (the nested-pool pattern that previously spawned a fresh
+// GOMAXPROCS pool per inner call). On the shared engine the inner sweeps
+// drain on their callers; the test asserts completion and inner/outer
+// result sanity rather than goroutine counts, which the race detector and
+// the engine's caller-participation design cover.
+func TestNestedSweepNoOversubscription(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+	outer := make([]Config, 3)
+	for i := range outer {
+		outer[i] = Default()
+		outer[i].Duration = 4
+		outer[i].Seed = uint64(i + 1)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.SweepFunc(outer, func(i int, r Result) {
+			if r.Summary.Sent == 0 {
+				t.Errorf("outer run %d sent nothing", i)
+			}
+		})
+	}()
+	<-done
+	// An actual nested call through the same engine: a job that sweeps.
+	inner := Default()
+	inner.Duration = 4
+	nested := e.Sweep([]Config{inner})
+	if nested[0].Summary != Run(inner).Summary {
+		t.Error("nested sweep result diverges from direct run")
+	}
+}
+
+// TestReplicationSeedCollisionFree is the seed-derivation regression: the
+// old additive stride (base + i·1000003) collided whenever two sweep
+// points' bases differed by a multiple of the stride. The SplitMix64
+// derivation must keep every (base, replication) pair distinct across
+// adjacent bases, stride-multiple bases, and deep replication counts.
+func TestReplicationSeedCollisionFree(t *testing.T) {
+	seen := map[uint64]string{}
+	check := func(base uint64, i int) {
+		s := ReplicationSeed(base, i)
+		id := fmt.Sprintf("base %d rep %d", base, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: %s and %s both derive %d", prev, id, s)
+		}
+		seen[s] = id
+	}
+	// Adjacent bases (figure points stepping Seed by 1), 32 reps each.
+	for base := uint64(1); base <= 100; base++ {
+		for i := 0; i < 32; i++ {
+			check(base, i)
+		}
+	}
+	// Bases on the old stride lattice — the exact pattern that used to
+	// collide (base + 1000003's replication i-1 == base's replication i).
+	for k := uint64(0); k < 50; k++ {
+		for i := 0; i < 32; i++ {
+			check(1000+k*1000003, i)
+		}
+	}
+}
+
+// TestReplicationSeedAnchored pins replication 0 to the base seed, the
+// property that makes RunSeeds(cfg, 1) reproduce Run(cfg).
+func TestReplicationSeedAnchored(t *testing.T) {
+	for _, base := range []uint64{0, 1, 77, 1 << 40} {
+		if ReplicationSeed(base, 0) != base {
+			t.Errorf("ReplicationSeed(%d, 0) = %d", base, ReplicationSeed(base, 0))
+		}
+		if ReplicationSeed(base, 1) == base+1000003 {
+			t.Errorf("replication 1 still on the additive stride")
+		}
+	}
+}

@@ -9,9 +9,7 @@ package scenario
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/flood"
@@ -356,6 +354,8 @@ type RunContext struct {
 	// ssPool holds one reusable SS-SPST instance per node id; other
 	// protocol families allocate per run (their instances are small).
 	ssPool []*core.Protocol
+	// replay is the reusable cursor for trace-driven runs (RunTraced).
+	replay *mobility.Replay
 }
 
 // NewRunContext returns an empty arena; the first Run populates it.
@@ -367,7 +367,16 @@ func NewRunContext() *RunContext { return &RunContext{} }
 func Run(cfg Config) Result { return NewRunContext().Run(cfg) }
 
 // Run executes one scenario to completion, reusing the arena.
-func (rc *RunContext) Run(cfg Config) Result {
+func (rc *RunContext) Run(cfg Config) Result { return rc.RunTraced(cfg, nil) }
+
+// RunTraced is Run over a shared mobility trace: instead of building
+// cfg's movement model, the run replays trace through the arena's reusable
+// cursor. The trace must have been recorded for exactly cfg's movement
+// subset (TraceKey equality — the sweep engine guarantees it); results are
+// bit-identical to Run because replayed legs are the recorded values
+// verbatim and model construction draws nothing from the run's root RNG
+// streams. A nil trace is plain Run.
+func (rc *RunContext) RunTraced(cfg Config, trace *mobility.Recorded) Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
@@ -386,7 +395,20 @@ func (rc *RunContext) Run(cfg Config) Result {
 	root := xrand.New(cfg.Seed)
 
 	area := geom.Square(cfg.AreaSide)
-	model := buildMobility(cfg, area, root)
+	var model mobility.Model
+	if trace != nil {
+		if trace.N() != cfg.N {
+			panic("scenario: trace node count does not match config")
+		}
+		if rc.replay == nil {
+			rc.replay = trace.Replay()
+		} else {
+			rc.replay.Reset(trace)
+		}
+		model = rc.replay
+	} else {
+		model = buildMobility(cfg, area, root)
+	}
 	if rc.tracker == nil {
 		rc.tracker = mobility.NewTracker(cfg.N, model)
 	} else {
@@ -539,48 +561,42 @@ func attachMembershipChurn(net *netsim.Network, interval float64, r *xrand.RNG) 
 	})
 }
 
-// Sweep runs every configuration concurrently on a bounded worker pool
-// and returns results in input order.
-func Sweep(cfgs []Config) []Result {
-	return SweepN(cfgs, runtime.GOMAXPROCS(0))
+// ReplicationSeed derives the seed of replication i from a base seed via
+// one SplitMix64 step: the golden-gamma increment followed by the full
+// finalizer. The finalizer is a bijection, so two replications collide
+// exactly when their pre-mix values base + γ·(i+1) do — i.e. when two base
+// seeds differ by an exact multiple of γ ≈ 0.618·2⁶⁴. Because γ/2⁶⁴ is
+// the golden ratio (whose continued fraction bounds how close k·γ can
+// come to 0 mod 2⁶⁴), bases within ~10¹⁶ of each other can never collide
+// for replication indices below a few thousand. The previous additive
+// stride (base + i·1000003) collided whenever two sweep points' bases
+// differed by a multiple of the stride — which nested seed derivations
+// produced in practice.
+// Replication 0 is the base seed itself, preserving two properties the
+// suite relies on: RunSeeds(cfg, 1) reproduces Run(cfg) exactly, and
+// sweep points sharing a base seed keep their common-random-numbers
+// pairing for the first replication.
+func ReplicationSeed(base uint64, i int) uint64 {
+	if i == 0 {
+		return base
+	}
+	const gamma = 0x9E3779B97F4A7C15
+	z := base + gamma*uint64(i)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
-// SweepN is Sweep with an explicit worker count. Each worker owns one
-// RunContext, so consecutive replications on a worker reuse the same
-// arena instead of rebuilding (and garbage-collecting) the simulation
-// world per run.
-func SweepN(cfgs []Config, workers int) []Result {
-	if workers < 1 {
-		workers = 1
-	}
-	results := make([]Result, len(cfgs))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rc := NewRunContext()
-			for i := range jobs {
-				results[i] = rc.Run(cfgs[i])
-			}
-		}()
-	}
-	for i := range cfgs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return results
-}
-
-// RunSeeds runs cfg once per seed (sequentially numbered from cfg.Seed)
-// in parallel and returns the mean summary.
+// RunSeeds runs cfg once per replication (seeds derived from cfg.Seed via
+// ReplicationSeed) on the shared sweep engine and returns the pooled mean
+// summary. Calls from inside a sweep worker drain their replications on
+// the caller's own goroutine plus whatever engine workers are idle — no
+// nested pool is ever spawned.
 func RunSeeds(cfg Config, seeds int) metrics.Summary {
 	cfgs := make([]Config, seeds)
 	for i := range cfgs {
 		cfgs[i] = cfg
-		cfgs[i].Seed = cfg.Seed + uint64(i)*1000003
+		cfgs[i].Seed = ReplicationSeed(cfg.Seed, i)
 	}
 	results := Sweep(cfgs)
 	sums := make([]metrics.Summary, len(results))

@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/xrand"
+)
+
+// TraceKey is the movement-determining subset of Config: two configs with
+// equal keys produce bit-identical node trajectories, whatever their
+// protocol, traffic, timer or energy settings. It is the cache identity
+// for shared mobility traces — the 8 protocol runs at one figure point
+// differ only outside this key, so they replay one recorded movement
+// history instead of regenerating it 8 times.
+//
+// Per-model parameters are normalized exactly as buildMobility resolves
+// them (zero → documented default, parameters the model ignores → zero),
+// so "default spelled explicitly" and "default spelled as zero" share a
+// trace, and a leftover RPGM GroupCount does not split the Gauss-Markov
+// cache.
+type TraceKey struct {
+	Mobility MobilityKind
+	Seed     uint64
+	N        int
+	AreaSide float64
+	Duration float64
+
+	VMin, VMax, Pause float64
+
+	GMAlpha, GMStep            float64
+	GroupCount                 int
+	GroupRadius, StreetSpacing float64
+}
+
+// traceKeyOf returns cfg's trace key. ok is false when the config's
+// movement is not cacheable: Static placements (trivially cheap, and
+// caller-supplied Positions have no value identity to key on).
+func traceKeyOf(cfg Config) (k TraceKey, ok bool) {
+	if cfg.Mobility == Static {
+		return TraceKey{}, false
+	}
+	k = TraceKey{
+		Mobility: cfg.Mobility,
+		Seed:     cfg.Seed,
+		N:        cfg.N,
+		AreaSide: cfg.AreaSide,
+		Duration: cfg.Duration,
+		VMin:     cfg.VMin,
+		VMax:     cfg.VMax,
+	}
+	switch cfg.Mobility {
+	case RandomWaypoint, RandomDirection:
+		k.Pause = cfg.Pause
+	case GaussMarkov:
+		k.GMAlpha = cfg.GMAlpha
+		k.GMStep = cfg.GMStep
+		if k.GMStep == 0 {
+			k.GMStep = 1
+		}
+	case RPGM:
+		k.GroupCount = cfg.GroupCount
+		if k.GroupCount == 0 {
+			k.GroupCount = 4
+		}
+		k.GroupRadius = cfg.GroupRadius
+		if k.GroupRadius == 0 {
+			k.GroupRadius = cfg.AreaSide / 6
+		}
+	case Manhattan:
+		k.Pause = cfg.Pause
+		k.StreetSpacing = cfg.StreetSpacing
+		if k.StreetSpacing == 0 {
+			k.StreetSpacing = cfg.AreaSide / 5
+		}
+	}
+	return k, true
+}
+
+// TraceCache shares recorded mobility traces between the runs of a sweep.
+// Entries are reference-counted by the scheduler: every job registers its
+// key before running and releases it after, and an entry whose last
+// registered job has finished is evicted — the cache's live size is
+// bounded by the traces still in use, not by the sweep's total extent.
+type TraceCache struct {
+	mu      sync.Mutex
+	entries map[TraceKey]*traceEntry
+	hits    uint64
+	misses  uint64
+}
+
+type traceEntry struct {
+	trace   *mobility.Recorded
+	pending int
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{entries: map[TraceKey]*traceEntry{}}
+}
+
+// register declares one upcoming run for key, pinning its entry.
+func (c *TraceCache) register(key TraceKey) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &traceEntry{}
+		c.entries[key] = e
+	}
+	e.pending++
+	c.mu.Unlock()
+}
+
+// acquire returns the shared trace for cfg (whose key must be registered),
+// creating it on first use. The trace records lazily: the first run to
+// need a leg generates it, later runs replay it.
+func (c *TraceCache) acquire(cfg Config, key TraceKey) *mobility.Recorded {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e.trace == nil {
+		root := xrand.New(cfg.Seed)
+		e.trace = mobility.NewRecorded(cfg.N, buildMobility(cfg, geom.Square(cfg.AreaSide), root))
+		c.misses++
+	} else {
+		c.hits++
+	}
+	return e.trace
+}
+
+// release undoes one register; the entry is evicted when its last
+// registered run has finished.
+func (c *TraceCache) release(key TraceKey) {
+	c.mu.Lock()
+	e := c.entries[key]
+	e.pending--
+	if e.pending == 0 {
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns the cumulative replay hits and recording misses.
+func (c *TraceCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Live returns the number of traces currently held.
+func (c *TraceCache) Live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -110,6 +110,20 @@ func (s *Simulator) AfterAction(delay Time, act Action) {
 	s.queue.PushAction(s.now+delay, act)
 }
 
+// ReserveSeqs allocates n consecutive event sequence numbers (the
+// (time, seq) tie-break identities) without scheduling anything; see
+// eventq.Queue.ReserveSeqs.
+func (s *Simulator) ReserveSeqs(n int) uint64 { return s.queue.ReserveSeqs(n) }
+
+// ActionAtSeq schedules act at absolute time at under a sequence number
+// previously obtained from ReserveSeqs. Scheduling in the past panics.
+func (s *Simulator) ActionAtSeq(at Time, act Action, seq uint64) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: ActionAtSeq(%g) is before now=%g", at, s.now))
+	}
+	s.queue.PushActionSeq(at, act, seq)
+}
+
 // At runs fn at absolute simulated time t, which must not be in the past.
 func (s *Simulator) At(t Time, fn func()) *Timer {
 	if t < s.now {
@@ -176,11 +190,9 @@ func (t *Ticker) Stop() {
 func (s *Simulator) Run(until Time) Time {
 	s.stopped = false
 	for !s.stopped {
-		tNext, ok := s.queue.PeekTime()
-		if !ok || tNext > until {
-			break
-		}
-		e := s.queue.Pop()
+		// One fused root inspection per event: pop the earliest live event
+		// unless it lies beyond the horizon (then it stays queued).
+		e := s.queue.PopNotAfter(until)
 		if e == nil {
 			break
 		}
