@@ -1,11 +1,15 @@
 // Command figures regenerates the paper's evaluation figures (7–16) and
 // prints each as an aligned text table, plus the repository's extension
-// table 17: the cross-mobility comparison (random waypoint vs
-// Gauss-Markov vs RPGM vs Manhattan at the paper's baseline).
+// tables: 17 — the cross-mobility comparison (random waypoint vs
+// Gauss-Markov vs RPGM vs Manhattan at the paper's baseline), 18 — the
+// membership-churn sweep (PDR / unavailability / control overhead vs
+// churn interval, all four protocols), and 19 — the network-lifetime
+// study under finite batteries (dead-fraction timeline plus the
+// first-death / half-dead / delivered-bytes summary; emits two tables).
 //
 // Usage:
 //
-//	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,17]
+//	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,17,18,19]
 //	        [-mobility gauss-markov,rpgm,manhattan,rwp] [-workers N]
 //
 // All requested figures are flattened into ONE globally scheduled batch
@@ -73,8 +77,8 @@ func main() {
 		want = nil
 		for _, s := range strings.Split(*figs, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 7 || n > 17 {
-				fmt.Fprintf(os.Stderr, "unknown figure %q (valid: 7-17)\n", s)
+			if err != nil || n < 7 || n > 19 {
+				fmt.Fprintf(os.Stderr, "unknown figure %q (valid: 7-19)\n", s)
 				os.Exit(2)
 			}
 			want = append(want, n)
@@ -104,6 +108,6 @@ func main() {
 		fmt.Println(tbl.Format())
 	}
 	hits, misses := scenario.DefaultEngine().TraceStats()
-	fmt.Fprintf(os.Stderr, "generated %d figure(s) in %.1fs on %d worker(s); trace cache: %d replays / %d recordings\n",
+	fmt.Fprintf(os.Stderr, "generated %d table(s) in %.1fs on %d worker(s); trace cache: %d replays / %d recordings\n",
 		len(tables), time.Since(start).Seconds(), scenario.DefaultEngine().Workers(), hits, misses)
 }

@@ -1,13 +1,14 @@
 // Command sweep runs an arbitrary parameter grid and emits one CSV row
-// per (mobility, protocol, velocity, group size, beacon) point with each
-// headline metric as mean ± CI95 across seeds — the raw material for
-// custom plots beyond the paper's figures. With -raw it emits one row per
-// seed instead.
+// per (mobility, protocol, velocity, group size, beacon, churn, battery)
+// point with each headline metric as mean ± CI95 across seeds — the raw
+// material for custom plots beyond the paper's figures. With -raw it
+// emits one row per seed instead. Single-seed points print a CI of 0.
 //
 // Usage:
 //
 //	sweep -protos ss-spst,ss-spst-e -vmax 1,5,10,20 -groups 10,30 \
 //	      -mobility rwp,gauss-markov,rpgm,manhattan \
+//	      -churn 0,5,20 -battery 0,10 \
 //	      -seeds 3 -duration 300 [-workers N] > results.csv
 //
 // The grid runs as one batch on the shared sweep engine (cost-ordered
@@ -45,6 +46,8 @@ type point struct {
 	vmax     float64
 	group    int
 	beacon   float64
+	churn    float64 // membership-churn interval (s); 0 = no churn
+	battery  float64 // joules per node; 0 = unlimited
 }
 
 func main() {
@@ -52,6 +55,8 @@ func main() {
 	vmaxs := flag.String("vmax", "1,5,10,20", "comma-separated max speeds (m/s)")
 	groups := flag.String("groups", "20", "comma-separated group sizes")
 	beacons := flag.String("beacons", "2", "comma-separated beacon intervals (s)")
+	churns := flag.String("churn", "0", "comma-separated membership-churn intervals (s); 0 = no churn")
+	batteries := flag.String("battery", "0", "comma-separated per-node battery reserves (J); 0 = unlimited")
 	mobilities := flag.String("mobility", "rwp", "comma-separated mobility models (rwp, random-direction, gauss-markov, rpgm, manhattan, static)")
 	seeds := flag.Int("seeds", 2, "seeds per point")
 	duration := flag.Float64("duration", 180, "simulated seconds per run")
@@ -86,17 +91,23 @@ func main() {
 			for _, v := range parseFloats(*vmaxs) {
 				for _, g := range parseInts(*groups) {
 					for _, b := range parseFloats(*beacons) {
-						points = append(points, point{m, kind, v, g, b})
-						for s := 0; s < *seeds; s++ {
-							cfg := scenario.Default()
-							cfg.Mobility = m
-							cfg.Protocol = kind
-							cfg.VMax = v
-							cfg.GroupSize = g
-							cfg.BeaconInterval = b
-							cfg.Duration = *duration
-							cfg.Seed = scenario.ReplicationSeed(1, s)
-							cfgs = append(cfgs, cfg)
+						for _, ch := range parseFloats(*churns) {
+							for _, bat := range parseFloats(*batteries) {
+								points = append(points, point{m, kind, v, g, b, ch, bat})
+								for s := 0; s < *seeds; s++ {
+									cfg := scenario.Default()
+									cfg.Mobility = m
+									cfg.Protocol = kind
+									cfg.VMax = v
+									cfg.GroupSize = g
+									cfg.BeaconInterval = b
+									cfg.MemberChurnInterval = ch
+									cfg.Battery = bat
+									cfg.Duration = *duration
+									cfg.Seed = scenario.ReplicationSeed(1, s)
+									cfgs = append(cfgs, cfg)
+								}
+							}
 						}
 					}
 				}
@@ -132,9 +143,10 @@ func main() {
 // writeRaw emits the legacy one-row-per-seed format.
 func writeRaw(w *csv.Writer, results []scenario.Result) {
 	w.Write([]string{
-		"mobility", "protocol", "vmax", "group", "beacon", "seed",
+		"mobility", "protocol", "vmax", "group", "beacon", "churn", "battery", "seed",
 		"pdr", "energy_per_pkt_mJ", "delay_ms", "ctrl_per_data_byte",
 		"unavailability", "total_energy_J", "tx_J", "rx_J", "discard_J",
+		"dead_nodes", "first_death_s", "half_death_s",
 	})
 	for _, r := range results {
 		s := r.Summary
@@ -142,10 +154,12 @@ func writeRaw(w *csv.Writer, results []scenario.Result) {
 		w.Write([]string{
 			c.Mobility.String(), c.Protocol.String(),
 			ftoa(c.VMax), strconv.Itoa(c.GroupSize), ftoa(c.BeaconInterval),
+			ftoa(c.MemberChurnInterval), ftoa(c.Battery),
 			strconv.FormatUint(c.Seed, 10),
 			ftoa(s.PDR), ftoa(s.EnergyPerDeliveredJ * 1e3), ftoa(s.AvgDelayS * 1e3),
 			ftoa(s.CtrlPerDataByte), ftoa(s.Unavailability),
 			ftoa(s.TotalEnergyJ), ftoa(s.TxJ), ftoa(s.RxJ), ftoa(s.DiscardJ),
+			strconv.Itoa(s.DeadNodes), ftoa(s.FirstDeathS), ftoa(s.HalfDeathS),
 		})
 	}
 }
@@ -155,13 +169,15 @@ func writeRaw(w *csv.Writer, results []scenario.Result) {
 // Student-t 95% half-width of the per-seed values.
 func writeAggregated(w *csv.Writer, points []point, results []scenario.Result, seeds int) {
 	w.Write([]string{
-		"mobility", "protocol", "vmax", "group", "beacon", "seeds",
+		"mobility", "protocol", "vmax", "group", "beacon", "churn", "battery", "seeds",
 		"pdr", "pdr_ci95",
 		"energy_per_pkt_mJ", "energy_per_pkt_ci95",
 		"delay_ms", "delay_ci95",
 		"ctrl_per_data_byte", "ctrl_ci95",
 		"unavailability", "unavailability_ci95",
 		"total_energy_J", "total_energy_ci95",
+		"dead_nodes", "dead_nodes_ci95",
+		"first_death_s", "first_death_ci95",
 	})
 	for i, p := range points {
 		var agg metrics.Aggregate
@@ -174,13 +190,16 @@ func writeAggregated(w *csv.Writer, points []point, results []scenario.Result, s
 		pooled := metrics.Mean(sums)
 		w.Write([]string{
 			p.mobility.String(), p.proto.String(),
-			ftoa(p.vmax), strconv.Itoa(p.group), ftoa(p.beacon), strconv.Itoa(seeds),
+			ftoa(p.vmax), strconv.Itoa(p.group), ftoa(p.beacon),
+			ftoa(p.churn), ftoa(p.battery), strconv.Itoa(seeds),
 			ftoa(pooled.PDR), ftoa(agg.PDR.CI95()),
 			ftoa(pooled.EnergyPerDeliveredJ * 1e3), ftoa(agg.EnergyPerPkt.CI95() * 1e3),
 			ftoa(pooled.AvgDelayS * 1e3), ftoa(agg.DelayS.CI95() * 1e3),
 			ftoa(pooled.CtrlPerDataByte), ftoa(agg.CtrlPerByte.CI95()),
 			ftoa(pooled.Unavailability), ftoa(agg.Unavailability.CI95()),
 			ftoa(pooled.TotalEnergyJ), ftoa(agg.TotalEnergyJ.CI95()),
+			ftoa(float64(pooled.DeadNodes) / float64(seeds)), ftoa(agg.DeadNodes.CI95()),
+			ftoa(pooled.FirstDeathS), ftoa(agg.FirstDeathS.CI95()),
 		})
 	}
 }

@@ -101,11 +101,21 @@ type row struct {
 type rowOut struct {
 	series string
 	pick   picker
+	// tbl indexes the spec's table the series belongs to; 0 for the
+	// single-table figures. The lifetime figure 19 feeds one grid of runs
+	// into two tables (timeline + per-protocol summary) without running
+	// the grid twice.
+	tbl int
+	// timeline expands the run's dead-fraction timeline into one point
+	// per lifetime bucket (x = bucket end time) instead of one picked
+	// scalar at the row's x.
+	timeline bool
 }
 
-// figSpec is one declared figure: the table skeleton plus its rows.
+// figSpec is one declared figure: its table skeletons plus the rows that
+// feed them. Most figures own exactly one table.
 type figSpec struct {
-	tbl  Table
+	tbls []Table
 	rows []row
 }
 
@@ -134,15 +144,27 @@ func energyMJ(s metrics.Summary) (float64, bool) { return s.EnergyPerDeliveredJ 
 func delayMS(s metrics.Summary) (float64, bool)  { return s.AvgDelayS * 1e3, s.Delivered > 0 }
 func ctrl(s metrics.Summary) (float64, bool)     { return s.CtrlPerDataByte, s.UniquePayloadBytes > 0 }
 
+// Lifetime pickers (figure 19): each landmark is observed only by runs
+// that actually reached it, so CI samples skip the runs where the network
+// outlived the horizon.
+func firstDeathS(s metrics.Summary) (float64, bool) { return s.FirstDeathS, s.FirstDeaths > 0 }
+func halfDeathS(s metrics.Summary) (float64, bool)  { return s.HalfDeathS, s.HalfDeaths > 0 }
+func halfDeadKB(s metrics.Summary) (float64, bool) {
+	return s.HalfDeadDeliveredB / 1e3, s.HalfDeaths > 0
+}
+func deadFracEnd(s metrics.Summary) (float64, bool) {
+	return s.DeadFrac[metrics.LifetimeBuckets-1], s.Nodes > 0
+}
+
 // velocitySpec declares a figure sweeping the given protocols over the
 // velocity axis.
 func velocitySpec(o Options, protos []scenario.ProtocolKind, pick picker, title, ylabel string) *figSpec {
-	spec := &figSpec{tbl: Table{
+	spec := &figSpec{tbls: []Table{{
 		Title: title, XLabel: "max velocity (m/s)", YLabel: ylabel,
 		Series: map[string][]Point{},
-	}}
+	}}}
 	for _, p := range protos {
-		spec.tbl.Order = append(spec.tbl.Order, p.String())
+		spec.tbls[0].Order = append(spec.tbls[0].Order, p.String())
 		for _, v := range velocities {
 			cfg := scenario.Default()
 			cfg.Duration = o.Duration
@@ -150,7 +172,7 @@ func velocitySpec(o Options, protos []scenario.ProtocolKind, pick picker, title,
 			cfg.VMax = v
 			cfg.GroupSize = 20
 			spec.rows = append(spec.rows, row{
-				x: v, cfg: cfg, outs: []rowOut{{p.String(), pick}},
+				x: v, cfg: cfg, outs: []rowOut{{series: p.String(), pick: pick}},
 			})
 		}
 	}
@@ -160,12 +182,12 @@ func velocitySpec(o Options, protos []scenario.ProtocolKind, pick picker, title,
 // groupSpec declares a figure sweeping the given protocols over the
 // group-size axis at fixed vmax.
 func groupSpec(o Options, protos []scenario.ProtocolKind, vmax float64, pick picker, title, ylabel string) *figSpec {
-	spec := &figSpec{tbl: Table{
+	spec := &figSpec{tbls: []Table{{
 		Title: title, XLabel: "multicast group size", YLabel: ylabel,
 		Series: map[string][]Point{},
-	}}
+	}}}
 	for _, p := range protos {
-		spec.tbl.Order = append(spec.tbl.Order, p.String())
+		spec.tbls[0].Order = append(spec.tbls[0].Order, p.String())
 		for _, g := range groupSizes {
 			cfg := scenario.Default()
 			cfg.Duration = o.Duration
@@ -176,7 +198,7 @@ func groupSpec(o Options, protos []scenario.ProtocolKind, vmax float64, pick pic
 				cfg.GroupSize = cfg.N - 1 // everyone but the source
 			}
 			spec.rows = append(spec.rows, row{
-				x: float64(g), cfg: cfg, outs: []rowOut{{p.String(), pick}},
+				x: float64(g), cfg: cfg, outs: []rowOut{{series: p.String(), pick: pick}},
 			})
 		}
 	}
@@ -186,12 +208,12 @@ func groupSpec(o Options, protos []scenario.ProtocolKind, vmax float64, pick pic
 // beaconSpec declares a figure sweeping SS-SPST and SS-SPST-E over the
 // beacon-interval axis at 5 m/s, the Figure 10–11 setup.
 func beaconSpec(o Options, pick picker, title, ylabel string) *figSpec {
-	spec := &figSpec{tbl: Table{
+	spec := &figSpec{tbls: []Table{{
 		Title: title, XLabel: "beacon interval (s)", YLabel: ylabel,
 		Series: map[string][]Point{},
-	}}
+	}}}
 	for _, p := range []scenario.ProtocolKind{scenario.SSSPSTE, scenario.SSSPST} {
-		spec.tbl.Order = append(spec.tbl.Order, p.String())
+		spec.tbls[0].Order = append(spec.tbls[0].Order, p.String())
 		for _, b := range beaconIntervals {
 			cfg := scenario.Default()
 			cfg.Duration = o.Duration
@@ -200,7 +222,7 @@ func beaconSpec(o Options, pick picker, title, ylabel string) *figSpec {
 			cfg.GroupSize = 20
 			cfg.BeaconInterval = b
 			spec.rows = append(spec.rows, row{
-				x: b, cfg: cfg, outs: []rowOut{{p.String(), pick}},
+				x: b, cfg: cfg, outs: []rowOut{{series: p.String(), pick: pick}},
 			})
 		}
 	}
@@ -225,19 +247,19 @@ func crossMobilitySpec(o Options, kinds []scenario.MobilityKind) *figSpec {
 	if len(kinds) == 0 {
 		kinds = DefaultMobilityKinds()
 	}
-	spec := &figSpec{tbl: Table{
+	spec := &figSpec{tbls: []Table{{
 		Title:  "Extension: cross-mobility comparison (SS-SPST-E, paper baseline)",
 		XLabel: "mobility model",
 		YLabel: "metric value",
 		Series: map[string][]Point{},
 		Order:  []string{"PDR", "energy/pkt (mJ)", "unavailability", "delay (ms)"},
-	}}
+	}}}
 	outs := []rowOut{
-		{"PDR", pdr}, {"energy/pkt (mJ)", energyMJ},
-		{"unavailability", unavail}, {"delay (ms)", delayMS},
+		{series: "PDR", pick: pdr}, {series: "energy/pkt (mJ)", pick: energyMJ},
+		{series: "unavailability", pick: unavail}, {series: "delay (ms)", pick: delayMS},
 	}
 	for ki, k := range kinds {
-		spec.tbl.XTicks = append(spec.tbl.XTicks, k.String())
+		spec.tbls[0].XTicks = append(spec.tbls[0].XTicks, k.String())
 		cfg := scenario.Default()
 		cfg.Duration = o.Duration
 		cfg.Protocol = scenario.SSSPSTE
@@ -258,7 +280,124 @@ func extensionMSTSpec(o Options) *figSpec {
 		"energy (mJ)")
 }
 
-// spec builds the declared figure n (7–17); kinds parameterizes the
+// churnIntervals is the figure 18 membership-churn sweep: seconds between
+// member swaps, fastest churn first. The x-axis is the interval itself —
+// shorter interval = higher churn rate.
+var churnIntervals = []float64{2, 5, 10, 20, 40}
+
+// churnSpec declares figure 18 — the membership-churn sweep this
+// repository adds beyond the paper: all four protocols at the paper
+// baseline (5 m/s, 20 receivers) with the group rotating one member every
+// MemberChurnInterval seconds. The paper's unavailability metric exists
+// precisely to price membership change; this figure finally sweeps it.
+// PDR and control overhead are read for every protocol; unavailability
+// only for the SS family, whose availability sampler defines it.
+func churnSpec(o Options) *figSpec {
+	spec := &figSpec{tbls: []Table{{
+		Title:  "Figure 18: PDR / unavailability / control overhead vs membership churn",
+		XLabel: "churn interval (s)",
+		YLabel: "metric value (per series)",
+		Series: map[string][]Point{},
+	}}}
+	t := &spec.tbls[0]
+	type metricOut struct {
+		label  string
+		pick   picker
+		ssOnly bool
+	}
+	outs := []metricOut{
+		{"PDR", pdr, false},
+		{"unavail", unavail, true},
+		{"ctrl/B", ctrl, false},
+	}
+	for _, mo := range outs {
+		for _, p := range allFour {
+			if mo.ssOnly && !p.SelfStabilizing() {
+				continue
+			}
+			t.Order = append(t.Order, p.String()+" "+mo.label)
+		}
+	}
+	for _, p := range allFour {
+		for _, ci := range churnIntervals {
+			cfg := scenario.Default()
+			cfg.Duration = o.Duration
+			cfg.Protocol = p
+			cfg.VMax = 5
+			cfg.GroupSize = 20
+			cfg.MemberChurnInterval = ci
+			r := row{x: ci, cfg: cfg}
+			for _, mo := range outs {
+				if mo.ssOnly && !p.SelfStabilizing() {
+					continue
+				}
+				r.outs = append(r.outs, rowOut{series: p.String() + " " + mo.label, pick: mo.pick})
+			}
+			spec.rows = append(spec.rows, r)
+		}
+	}
+	return spec
+}
+
+// lifetimeBattery scales the figure 19 battery reserve to the run horizon
+// so depletion lands mid-run at any duration: 20 J carries the baseline
+// traffic load for roughly 600 s, the calibration the lifetime example
+// established.
+func lifetimeBattery(o Options) float64 { return 20 * o.Duration / 600 }
+
+// lifetimeSpec declares figure 19 — the network-lifetime study the paper
+// motivates SS-SPST-E with (its refs [7][28]) but never measures: every
+// node starts with the same finite battery and the four protocols are
+// compared on how long the network stays useful. One grid of runs feeds
+// two tables: (a) the dead-node fraction over time, one curve per
+// protocol, from the collector's fixed-bucket death timeline; (b) the
+// per-protocol lifetime summary — first-node-death time, half-dead time,
+// payload delivered until half the network died, residual dead fraction
+// and PDR.
+func lifetimeSpec(o Options) *figSpec {
+	spec := &figSpec{tbls: []Table{
+		{
+			Title:  "Figure 19a: dead-node fraction over time (finite batteries)",
+			XLabel: "time (s)",
+			YLabel: "fraction of nodes dead",
+			Series: map[string][]Point{},
+		},
+		{
+			Title:  "Figure 19b: network-lifetime summary (finite batteries)",
+			XLabel: "protocol",
+			YLabel: "metric value (per series)",
+			Series: map[string][]Point{},
+			Order: []string{
+				"first death (s)", "half-dead (s)", "payload kB @ half-dead",
+				"dead fraction @ end", "PDR",
+			},
+		},
+	}}
+	battery := lifetimeBattery(o)
+	for pi, p := range allFour {
+		spec.tbls[0].Order = append(spec.tbls[0].Order, p.String())
+		spec.tbls[1].XTicks = append(spec.tbls[1].XTicks, p.String())
+		cfg := scenario.Default()
+		cfg.Duration = o.Duration
+		cfg.Protocol = p
+		cfg.VMax = 2
+		cfg.GroupSize = 20
+		cfg.Battery = battery
+		spec.rows = append(spec.rows, row{
+			x: float64(pi), cfg: cfg, outs: []rowOut{
+				{series: p.String(), tbl: 0, timeline: true},
+				{series: "first death (s)", tbl: 1, pick: firstDeathS},
+				{series: "half-dead (s)", tbl: 1, pick: halfDeathS},
+				{series: "payload kB @ half-dead", tbl: 1, pick: halfDeadKB},
+				{series: "dead fraction @ end", tbl: 1, pick: deadFracEnd},
+				{series: "PDR", tbl: 1, pick: pdr},
+			},
+		})
+	}
+	return spec
+}
+
+// spec builds the declared figure n (7–19); kinds parameterizes the
 // cross-mobility table 17 and is ignored elsewhere.
 func spec(n int, o Options, kinds []scenario.MobilityKind) (*figSpec, error) {
 	switch n {
@@ -294,14 +433,20 @@ func spec(n int, o Options, kinds []scenario.MobilityKind) (*figSpec, error) {
 			"Figure 16: Energy per packet vs velocity (protocol comparison)", "energy (mJ)"), nil
 	case 17:
 		return crossMobilitySpec(o, kinds), nil
+	case 18:
+		return churnSpec(o), nil
+	case 19:
+		return lifetimeSpec(o), nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown figure %d (valid: 7-17)", n)
+		return nil, fmt.Errorf("experiments: unknown figure %d (valid: 7-19)", n)
 	}
 }
 
 // AllFigures lists the generatable figure numbers in paper order
-// (7–16 reproduce the paper; 17 is the cross-mobility extension).
-func AllFigures() []int { return []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17} }
+// (7–16 reproduce the paper; 17 is the cross-mobility extension, 18 the
+// membership-churn sweep, 19 the network-lifetime study — note 19 yields
+// two tables).
+func AllFigures() []int { return []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19} }
 
 // Generate regenerates the requested figures as ONE globally scheduled
 // batch: every (figure, row, seed) run goes into the shared engine's
@@ -310,7 +455,9 @@ func AllFigures() []int { return []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17} 
 // boundaries, and the runs of each (mobility, seed) point share one
 // recorded movement trace even when different figures request the same
 // point. kinds parameterizes the cross-mobility table 17 (nil → default
-// set). Tables return in request order.
+// set). Tables return in request order; a figure owning several tables
+// (the lifetime figure 19 emits a timeline and a summary) contributes
+// them consecutively.
 func Generate(o Options, figs []int, kinds []scenario.MobilityKind) ([]Table, error) {
 	specs := make([]*figSpec, len(figs))
 	for i, n := range figs {
@@ -364,8 +511,14 @@ func generateSpecs(o Options, specs []*figSpec) ([]Table, error) {
 			sp := specs[k.fig]
 			r := &sp.rows[k.row]
 			for _, out := range r.outs {
+				t := &sp.tbls[out.tbl]
+				if out.timeline {
+					t.Series[out.series] = append(t.Series[out.series],
+						timelinePoints(b.sums, r.cfg.Duration)...)
+					continue
+				}
 				y, ci := reduce(b.sums, out.pick)
-				sp.tbl.Series[out.series] = append(sp.tbl.Series[out.series],
+				t.Series[out.series] = append(t.Series[out.series],
 					Point{X: r.x, Y: y, CI: ci})
 			}
 			b.sums = nil // release: nothing beyond in-flight rows is retained
@@ -376,14 +529,36 @@ func generateSpecs(o Options, specs []*figSpec) ([]Table, error) {
 		}
 	})
 
-	tables := make([]Table, len(specs))
-	for fi, sp := range specs {
-		for name := range sp.tbl.Series {
-			sortPoints(sp.tbl.Series[name])
+	var tables []Table
+	for _, sp := range specs {
+		for ti := range sp.tbls {
+			for name := range sp.tbls[ti].Series {
+				sortPoints(sp.tbls[ti].Series[name])
+			}
+			tables = append(tables, sp.tbls[ti])
 		}
-		tables[fi] = sp.tbl
 	}
 	return tables, nil
+}
+
+// timelinePoints expands one row's seed summaries into the dead-fraction
+// curve: one point per lifetime bucket, x at the bucket's end time, y the
+// pooled dead fraction and CI the per-seed spread at that bucket.
+func timelinePoints(ss []metrics.Summary, duration float64) []Point {
+	pooled := metrics.Mean(ss)
+	pts := make([]Point, metrics.LifetimeBuckets)
+	for k := range pts {
+		var sample metrics.Sample
+		for _, s := range ss {
+			sample.Add(s.DeadFrac[k])
+		}
+		pts[k] = Point{
+			X:  duration * float64(k+1) / metrics.LifetimeBuckets,
+			Y:  pooled.DeadFrac[k],
+			CI: sample.CI95(),
+		}
+	}
+	return pts
 }
 
 // generate1 is the single-figure convenience used by the FigureN API.
@@ -449,6 +624,24 @@ func CrossMobility(o Options, kinds []scenario.MobilityKind) Table {
 	return generate1(o, 17, kinds)
 }
 
+// Figure18 generates the membership-churn sweep: PDR, unavailability (SS
+// family) and control overhead for all four protocols as the group
+// rotates one member every MemberChurnInterval seconds.
+func Figure18(o Options) Table { return generate1(o, 18, nil) }
+
+// Figure19 generates the network-lifetime study under finite batteries
+// and returns its two tables: the dead-node fraction timeline (one curve
+// per protocol) and the per-protocol lifetime summary (first death,
+// half-dead time, payload delivered until half-dead, residual dead
+// fraction, PDR).
+func Figure19(o Options) []Table {
+	tbls, err := Generate(o, []int{19}, nil)
+	if err != nil {
+		panic(err) // unreachable: 19 is a package-internal constant
+	}
+	return tbls
+}
+
 // All returns every reproduced paper figure in paper order, generated as
 // one batch.
 func All(o Options) []Table {
@@ -467,8 +660,11 @@ func (t Table) Format() string {
 	names := t.seriesNames()
 	colw := 12
 	for _, n := range names {
+		if len(n)+2 > colw {
+			colw = len(n) + 2
+		}
 		for _, pt := range t.Series[n] {
-			if pt.CI > 0 {
+			if pt.CI > 0 && colw < 22 {
 				colw = 22
 			}
 		}

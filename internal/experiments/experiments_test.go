@@ -102,6 +102,92 @@ func TestCrossMobilityStructure(t *testing.T) {
 	}
 }
 
+// TestChurnFigureStructure: figure 18 sweeps the churn-interval axis for
+// all four protocols — PDR and control overhead everywhere, unavailability
+// for the SS family only (the availability sampler defines it).
+func TestChurnFigureStructure(t *testing.T) {
+	tbl := Figure18(tiny())
+	// 4 protocols × (PDR, ctrl) + 2 SS protocols × unavail.
+	if len(tbl.Series) != 10 {
+		t.Fatalf("series = %d, want 10: %v", len(tbl.Series), tbl.Order)
+	}
+	for name, pts := range tbl.Series {
+		if len(pts) != len(churnIntervals) {
+			t.Errorf("series %q: %d points, want %d", name, len(pts), len(churnIntervals))
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X <= pts[i-1].X {
+				t.Errorf("series %q: x not increasing at %d", name, i)
+			}
+		}
+	}
+	for _, banned := range []string{"MAODV unavail", "ODMRP unavail"} {
+		if _, ok := tbl.Series[banned]; ok {
+			t.Errorf("series %q exists: unavailability is undefined outside the SS family", banned)
+		}
+	}
+	for _, name := range []string{"SS-SPST unavail", "SS-SPST-E unavail", "MAODV PDR", "ODMRP ctrl/B"} {
+		if _, ok := tbl.Series[name]; !ok {
+			t.Errorf("missing series %q", name)
+		}
+	}
+}
+
+// TestLifetimeFigureStructure: figure 19 returns two tables from one run
+// grid — the dead-fraction timeline (monotone nondecreasing curves over
+// the fixed buckets) and the per-protocol lifetime summary. The tiny
+// battery guarantees deaths well inside the horizon, so the landmark
+// metrics must be populated.
+func TestLifetimeFigureStructure(t *testing.T) {
+	tbls := Figure19(tiny())
+	if len(tbls) != 2 {
+		t.Fatalf("figure 19 yields %d tables, want 2", len(tbls))
+	}
+	timeline, summary := tbls[0], tbls[1]
+
+	if len(timeline.Series) != len(allFour) {
+		t.Fatalf("timeline series = %d, want %d", len(timeline.Series), len(allFour))
+	}
+	anyDeath := false
+	for name, pts := range timeline.Series {
+		if len(pts) != metrics.LifetimeBuckets {
+			t.Fatalf("timeline %q: %d points, want %d", name, len(pts), metrics.LifetimeBuckets)
+		}
+		for i, p := range pts {
+			if p.Y < 0 || p.Y > 1 {
+				t.Errorf("timeline %q: dead fraction %v out of range", name, p.Y)
+			}
+			if i > 0 && p.Y < pts[i-1].Y {
+				t.Errorf("timeline %q: dead fraction decreased at bucket %d", name, i)
+			}
+			if p.Y > 0 {
+				anyDeath = true
+			}
+		}
+	}
+	if !anyDeath {
+		t.Error("no protocol recorded any death: lifetime battery not depleting")
+	}
+
+	if len(summary.XTicks) != len(allFour) {
+		t.Fatalf("summary ticks = %v, want one per protocol", summary.XTicks)
+	}
+	for _, name := range summary.Order {
+		pts, ok := summary.Series[name]
+		if !ok {
+			t.Fatalf("missing summary series %q", name)
+		}
+		if len(pts) != len(allFour) {
+			t.Errorf("summary %q: %d points, want %d", name, len(pts), len(allFour))
+		}
+	}
+	for _, p := range summary.Series["first death (s)"] {
+		if p.Y <= 0 {
+			t.Errorf("first-death time %v not positive: death landmark missing", p.Y)
+		}
+	}
+}
+
 func TestExtensionMSTStructure(t *testing.T) {
 	tbl := ExtensionMST(tiny())
 	if len(tbl.Series) != 3 {

@@ -149,9 +149,14 @@ type Medium struct {
 	// OnTransmit, when set, observes every frame put on air (used by the
 	// metrics collector for control-overhead accounting).
 	OnTransmit func(pkt *packet.Packet)
-	stats      Stats
-	posBuf     []geom.Point
-	queues     []txQueue
+	// OnDeath, when set, observes each node's battery crossing into
+	// depletion — fired exactly once per node, immediately after the
+	// charge that exhausted it (used by the metrics collector's
+	// network-lifetime tracker). Never fired with unlimited batteries.
+	OnDeath func(id packet.NodeID)
+	stats   Stats
+	posBuf  []geom.Point
+	queues  []txQueue
 
 	// Spatial index state (configured lazily at the first transmission;
 	// gridReady marks it configured for the current run, while the grid
@@ -409,6 +414,7 @@ func (m *Medium) Reset(s *sim.Simulator, cfg Config, tracker *mobility.Tracker, 
 	m.sim, m.cfg, m.tracker = s, cfg, tracker
 	m.rng = s.RNG().Split("medium")
 	m.OnTransmit = nil
+	m.OnDeath = nil
 	m.stats = Stats{}
 	m.nodes = resized(m.nodes, n)
 	m.meters = resized(m.meters, n)
@@ -640,6 +646,7 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 
 	// Charge the sender.
 	m.meters[from].SpendTx(m.cfg.Energy.TxEnergy(pkt.Bytes, txRange))
+	m.noteDeath(from, m.meters[from])
 	m.stats.Transmissions++
 	if pkt.Kind.Control() {
 		m.stats.ControlBytes += int64(pkt.Bytes)
@@ -893,6 +900,16 @@ func (m *Medium) interferedAt(p geom.Point) bool {
 	return false
 }
 
+// noteDeath fires OnDeath when a charge has just exhausted id's battery.
+// Callers only charge meters they verified alive (send and deliver both
+// early-return on dead radios), so a post-charge Dead() is exactly the
+// alive→dead transition and the hook fires once per node.
+func (m *Medium) noteDeath(id packet.NodeID, meter *energy.Meter) {
+	if m.OnDeath != nil && meter.Dead() {
+		m.OnDeath(id)
+	}
+}
+
 // deliver resolves one reception at its delivery instant.
 func (m *Medium) deliver(tx *transmission, rc *reception) {
 	meter := m.meters[rc.to]
@@ -903,14 +920,17 @@ func (m *Medium) deliver(tx *transmission, rc *reception) {
 	if rc.corrupted {
 		// The radio still burned energy on the corrupted frame.
 		meter.SpendDiscard(rxJ)
+		m.noteDeath(rc.to, meter)
 		return
 	}
 	if m.cfg.LossProb > 0 && m.rng.Bool(m.cfg.LossProb) {
 		m.stats.Fading++
 		meter.SpendDiscard(rxJ)
+		m.noteDeath(rc.to, meter)
 		return
 	}
 	meter.SpendRx(rxJ)
+	m.noteDeath(rc.to, meter)
 	m.stats.Deliveries++
 	m.nodes[rc.to].Deliver(tx.pkt, RxInfo{
 		From:    tx.from,

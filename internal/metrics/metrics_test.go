@@ -8,13 +8,13 @@ import (
 )
 
 func TestPDR(t *testing.T) {
-	c := NewCollector(512)
+	c := NewCollector(512, 4)
 	c.DataSent(4) // 4 members expected
 	c.DataSent(4)
 	c.DataDelivered(1, 0, 1, 0, 0.01)
 	c.DataDelivered(2, 0, 1, 0, 0.02)
 	c.DataDelivered(1, 0, 2, 0.0625, 0.07)
-	s := c.Summarize(nil)
+	s := c.Summarize(nil, 10)
 	if s.Sent != 2 || s.Expected != 8 || s.Delivered != 3 {
 		t.Fatalf("counters %+v", s)
 	}
@@ -24,55 +24,55 @@ func TestPDR(t *testing.T) {
 }
 
 func TestDuplicateSuppression(t *testing.T) {
-	c := NewCollector(512)
+	c := NewCollector(512, 4)
 	c.DataSent(2)
 	c.DataDelivered(1, 0, 1, 0, 0.01)
 	c.DataDelivered(1, 0, 1, 0, 0.02) // duplicate
-	s := c.Summarize(nil)
+	s := c.Summarize(nil, 10)
 	if s.Delivered != 1 || s.Duplicates != 1 {
 		t.Errorf("delivered=%d dups=%d", s.Delivered, s.Duplicates)
 	}
 }
 
 func TestDelay(t *testing.T) {
-	c := NewCollector(512)
+	c := NewCollector(512, 4)
 	c.DataSent(2)
 	c.DataDelivered(1, 0, 1, 1.0, 1.010)
 	c.DataDelivered(2, 0, 1, 1.0, 1.030)
-	s := c.Summarize(nil)
+	s := c.Summarize(nil, 10)
 	if math.Abs(s.AvgDelayS-0.020) > 1e-12 {
 		t.Errorf("AvgDelayS = %v", s.AvgDelayS)
 	}
 }
 
 func TestCtrlPerDataByte(t *testing.T) {
-	c := NewCollector(512)
+	c := NewCollector(512, 4)
 	c.DataSent(1)
 	c.ControlTx(100)
 	c.ControlTx(28)
 	// Packet reaches two members but its payload counts once.
 	c.DataDelivered(1, 0, 1, 0, 0.01)
 	c.DataDelivered(2, 0, 1, 0, 0.01)
-	s := c.Summarize(nil)
+	s := c.Summarize(nil, 10)
 	if math.Abs(s.CtrlPerDataByte-128.0/512) > 1e-12 {
 		t.Errorf("CtrlPerDataByte = %v", s.CtrlPerDataByte)
 	}
 }
 
 func TestUnavailability(t *testing.T) {
-	c := NewCollector(512)
+	c := NewCollector(512, 4)
 	c.ServiceSample(false)
 	c.ServiceSample(true)
 	c.ServiceSample(true)
 	c.ServiceSample(false)
-	s := c.Summarize(nil)
+	s := c.Summarize(nil, 10)
 	if s.Unavailability != 0.5 {
 		t.Errorf("Unavailability = %v", s.Unavailability)
 	}
 }
 
 func TestEnergyAggregation(t *testing.T) {
-	c := NewCollector(512)
+	c := NewCollector(512, 4)
 	c.DataSent(1)
 	c.DataDelivered(1, 0, 1, 0, 0.01)
 	m1 := energy.NewMeter(0)
@@ -80,7 +80,7 @@ func TestEnergyAggregation(t *testing.T) {
 	m1.SpendRx(2)
 	m2 := energy.NewMeter(0)
 	m2.SpendDiscard(3)
-	s := c.Summarize([]*energy.Meter{m1, m2})
+	s := c.Summarize([]*energy.Meter{m1, m2}, 10)
 	if s.TxJ != 1 || s.RxJ != 2 || s.DiscardJ != 3 || s.TotalEnergyJ != 6 {
 		t.Errorf("energy %+v", s)
 	}
@@ -90,7 +90,7 @@ func TestEnergyAggregation(t *testing.T) {
 }
 
 func TestLastDelivery(t *testing.T) {
-	c := NewCollector(512)
+	c := NewCollector(512, 4)
 	if _, ever := c.LastDelivery(1); ever {
 		t.Error("fresh collector reports a delivery")
 	}
@@ -106,7 +106,7 @@ func TestLastDelivery(t *testing.T) {
 }
 
 func TestEmptySummary(t *testing.T) {
-	s := NewCollector(512).Summarize(nil)
+	s := NewCollector(512, 4).Summarize(nil, 10)
 	if s.PDR != 0 || s.EnergyPerDeliveredJ != 0 || s.AvgDelayS != 0 ||
 		s.CtrlPerDataByte != 0 || s.Unavailability != 0 {
 		t.Errorf("zero-activity summary not zero: %+v", s)
@@ -188,12 +188,12 @@ func TestMeanZeroDeliveryRun(t *testing.T) {
 }
 
 func TestDistinctSourcesDistinctPackets(t *testing.T) {
-	c := NewCollector(100)
+	c := NewCollector(100, 4)
 	c.DataSent(1)
 	c.DataSent(1)
 	c.DataDelivered(5, 0, 1, 0, 0.1) // source 0, seq 1
 	c.DataDelivered(5, 1, 1, 0, 0.1) // source 1, seq 1 — different packet
-	s := c.Summarize(nil)
+	s := c.Summarize(nil, 10)
 	if s.Delivered != 2 {
 		t.Errorf("Delivered = %d, want 2 (distinct sources)", s.Delivered)
 	}
@@ -203,5 +203,119 @@ func TestSummaryString(t *testing.T) {
 	s := Summary{PDR: 0.5}
 	if s.String() == "" {
 		t.Error("String() empty")
+	}
+}
+
+// TestDeathTracker exercises the landmark logic: first death, the
+// half-dead crossing (ceil(n/2) deaths) with its delivered-payload
+// snapshot, and the cumulative fixed-bucket timeline.
+func TestDeathTracker(t *testing.T) {
+	c := NewCollector(512, 4)
+	c.DataSent(2)
+	c.DataDelivered(1, 0, 1, 0, 0.5) // 512 payload bytes before any death
+
+	c.NodeDied(10)
+	if c.Deaths() != 1 {
+		t.Fatalf("Deaths = %d", c.Deaths())
+	}
+	c.NodeDied(40)                  // 2 of 4 dead: half-dead crossing
+	c.DataDelivered(2, 0, 2, 0, 45) // distinct packet, after the crossing
+	c.NodeDied(90)
+
+	s := c.Summarize(nil, 100)
+	if s.FirstDeaths != 1 || s.FirstDeathS != 10 {
+		t.Errorf("first death = (n=%d, t=%v), want (1, 10)", s.FirstDeaths, s.FirstDeathS)
+	}
+	if s.HalfDeaths != 1 || s.HalfDeathS != 40 {
+		t.Errorf("half death = (n=%d, t=%v), want (1, 40)", s.HalfDeaths, s.HalfDeathS)
+	}
+	// Only the pre-crossing delivery counts toward the half-dead payload.
+	if s.HalfDeadDeliveredBytes != 512 || s.HalfDeadDeliveredB != 512 {
+		t.Errorf("half-dead payload = %d bytes", s.HalfDeadDeliveredBytes)
+	}
+	// Timeline: deaths at 10, 40, 90 over 100 s in 16 buckets of 6.25 s:
+	// buckets 1, 6, 14. Cumulative counts 0,1,...,1,2,...,2,3,3 and the
+	// final fraction is 3/4.
+	if s.DeadTimeline[0] != 0 || s.DeadTimeline[1] != 1 || s.DeadTimeline[6] != 2 ||
+		s.DeadTimeline[14] != 3 || s.DeadTimeline[LifetimeBuckets-1] != 3 {
+		t.Errorf("timeline = %v", s.DeadTimeline)
+	}
+	if s.DeadFrac[LifetimeBuckets-1] != 0.75 {
+		t.Errorf("final dead fraction = %v, want 0.75", s.DeadFrac[LifetimeBuckets-1])
+	}
+}
+
+// TestDeathTrackerReset: a reused collector must forget the previous
+// run's deaths entirely.
+func TestDeathTrackerReset(t *testing.T) {
+	c := NewCollector(512, 4)
+	c.NodeDied(1)
+	c.NodeDied(2)
+	c.NodeDied(3)
+	c.Reset(512, 6)
+	s := c.Summarize(nil, 100)
+	if s.FirstDeaths != 0 || s.HalfDeaths != 0 || s.DeadTimeline != [LifetimeBuckets]int{} {
+		t.Errorf("death state survived Reset: %+v", s)
+	}
+	// The new node count governs the next half-dead crossing: 3 of 6.
+	c.NodeDied(5)
+	c.NodeDied(6)
+	if s := c.Summarize(nil, 100); s.HalfDeaths != 0 {
+		t.Error("half-dead crossed at 2/6 deaths")
+	}
+	c.NodeDied(7)
+	if s := c.Summarize(nil, 100); s.HalfDeaths != 1 || s.HalfDeathS != 7 {
+		t.Errorf("half-dead not crossed at 3/6 deaths: %+v", s)
+	}
+}
+
+// TestDeathEdgeBuckets: a death exactly at the horizon lands in the last
+// bucket; a zero-duration summary must not divide by zero.
+func TestDeathEdgeBuckets(t *testing.T) {
+	c := NewCollector(512, 10)
+	c.NodeDied(100)
+	s := c.Summarize(nil, 100)
+	if s.DeadTimeline[LifetimeBuckets-1] != 1 {
+		t.Errorf("horizon death missing from last bucket: %v", s.DeadTimeline)
+	}
+	c2 := NewCollector(512, 10)
+	c2.NodeDied(0)
+	if s := c2.Summarize(nil, 0); s.DeadTimeline[0] != 1 {
+		t.Errorf("zero-duration timeline = %v", s.DeadTimeline)
+	}
+}
+
+// TestMeanPoolsDeaths: landmark times average over the runs that observed
+// them; node counts and timelines sum, so the pooled dead fraction is the
+// fraction of all nodes across all runs.
+func TestMeanPoolsDeaths(t *testing.T) {
+	a := Summary{
+		Nodes: 50, DeadNodes: 10,
+		FirstDeaths: 1, FirstDeathSumS: 100, FirstDeathS: 100,
+		HalfDeaths: 1, HalfDeathSumS: 300, HalfDeathS: 300,
+		HalfDeadDeliveredBytes: 4000, HalfDeadDeliveredB: 4000,
+	}
+	a.DeadTimeline[LifetimeBuckets-1] = 10
+	a.DeadFrac[LifetimeBuckets-1] = 0.2
+	b := Summary{Nodes: 50} // outlived the horizon: no landmarks
+	m := Mean([]Summary{a, b})
+	if m.Nodes != 100 || m.DeadNodes != 10 {
+		t.Errorf("pooled nodes/dead = %d/%d", m.Nodes, m.DeadNodes)
+	}
+	if m.FirstDeaths != 1 || m.FirstDeathS != 100 {
+		t.Errorf("pooled first death = (n=%d, t=%v)", m.FirstDeaths, m.FirstDeathS)
+	}
+	if m.HalfDeathS != 300 || m.HalfDeadDeliveredB != 4000 {
+		t.Errorf("pooled half death = (t=%v, B=%v)", m.HalfDeathS, m.HalfDeadDeliveredB)
+	}
+	if m.DeadFrac[LifetimeBuckets-1] != 0.1 {
+		t.Errorf("pooled final dead fraction = %v, want 10/100", m.DeadFrac[LifetimeBuckets-1])
+	}
+	// Two observing runs: landmark times average.
+	c := a
+	c.FirstDeathSumS, c.FirstDeathS = 200, 200
+	m2 := Mean([]Summary{a, c})
+	if m2.FirstDeathS != 150 {
+		t.Errorf("pooled first death over two runs = %v, want 150", m2.FirstDeathS)
 	}
 }

@@ -65,12 +65,18 @@ func (s *Sample) Var() float64 {
 func (s *Sample) Stddev() float64 { return math.Sqrt(s.Var()) }
 
 // CI95 returns the half-width of the 95% confidence interval on the mean
-// using Student's t quantiles for small samples.
+// using Student's t quantiles for small samples. A single observation has
+// no spread estimate: the half-width is 0, never NaN — sweep CSVs and
+// figure tables with one seed print a plain mean.
 func (s *Sample) CI95() float64 {
 	if s.n < 2 {
 		return 0
 	}
-	return tQuantile95(s.n-1) * s.Stddev() / math.Sqrt(float64(s.n))
+	ci := tQuantile95(s.n-1) * s.Stddev() / math.Sqrt(float64(s.n))
+	if math.IsNaN(ci) {
+		return 0 // degenerate sample (e.g. repeated +Inf observations)
+	}
+	return ci
 }
 
 // String implements fmt.Stringer as "mean ± ci95".
@@ -106,6 +112,8 @@ type Aggregate struct {
 	CtrlPerByte    Sample
 	Unavailability Sample
 	TotalEnergyJ   Sample
+	DeadNodes      Sample
+	FirstDeathS    Sample
 }
 
 // AddSummary folds one run into the aggregate. Each ratio joins its
@@ -128,6 +136,10 @@ func (a *Aggregate) AddSummary(s Summary) {
 		a.Unavailability.Add(s.Unavailability)
 	}
 	a.TotalEnergyJ.Add(s.TotalEnergyJ)
+	a.DeadNodes.Add(float64(s.DeadNodes))
+	if s.FirstDeaths > 0 {
+		a.FirstDeathS.Add(s.FirstDeathS)
+	}
 }
 
 // String implements fmt.Stringer with the headline means and CIs.

@@ -102,6 +102,64 @@ func TestVarNonNegativeQuick(t *testing.T) {
 	}
 }
 
+// TestCI95SingleSeedEmitsZero pins the single-seed contract the lifetime
+// figure (which defaults to few seeds) depends on: every CI95 a sweep CSV
+// or figure table can print — including the degenerate all-dead case
+// where the per-run energy ratio is +Inf — is exactly 0 with one
+// observation, and never NaN with more.
+func TestCI95SingleSeedEmitsZero(t *testing.T) {
+	var a Aggregate
+	a.AddSummary(Summary{
+		PDR: 0.5, EnergyPerDeliveredJ: 2, AvgDelayS: 0.01, CtrlPerDataByte: 0.3,
+		Unavailability: 0.1, TotalEnergyJ: 16, DeadNodes: 3, FirstDeathS: 40,
+		Expected: 10, Delivered: 5, UniquePayloadBytes: 512, UnavailSamples: 10,
+		FirstDeaths: 1, Nodes: 50,
+	})
+	for name, ci := range map[string]float64{
+		"pdr":         a.PDR.CI95(),
+		"energy":      a.EnergyPerPkt.CI95(),
+		"delay":       a.DelayS.CI95(),
+		"ctrl":        a.CtrlPerByte.CI95(),
+		"unavail":     a.Unavailability.CI95(),
+		"totalJ":      a.TotalEnergyJ.CI95(),
+		"dead_nodes":  a.DeadNodes.CI95(),
+		"first_death": a.FirstDeathS.CI95(),
+	} {
+		if ci != 0 {
+			t.Errorf("N=1 CI95(%s) = %v, want exactly 0", name, ci)
+		}
+		if math.IsNaN(ci) {
+			t.Errorf("N=1 CI95(%s) is NaN", name)
+		}
+	}
+	// Repeated +Inf observations (all-dead pools rank at +Inf energy/pkt):
+	// the spread is undefined — report 0, not NaN.
+	var s Sample
+	s.Add(math.Inf(1))
+	s.Add(math.Inf(1))
+	if ci := s.CI95(); math.IsNaN(ci) {
+		t.Errorf("CI95 over +Inf observations = %v, want a number", ci)
+	}
+}
+
+// TestAggregateDeathSamples: dead-node counts always join their sample
+// (0 dead is a real observation); the first-death time joins only when a
+// death was observed.
+func TestAggregateDeathSamples(t *testing.T) {
+	var a Aggregate
+	a.AddSummary(Summary{DeadNodes: 4, FirstDeathS: 100, FirstDeaths: 1, Nodes: 50})
+	a.AddSummary(Summary{Nodes: 50}) // nothing died
+	if a.DeadNodes.N() != 2 {
+		t.Errorf("DeadNodes sample N = %d, want 2", a.DeadNodes.N())
+	}
+	if a.FirstDeathS.N() != 1 {
+		t.Errorf("FirstDeathS sample N = %d, want 1 (deathless run must not enter)", a.FirstDeathS.N())
+	}
+	if a.FirstDeathS.Mean() != 100 {
+		t.Errorf("FirstDeathS mean = %v", a.FirstDeathS.Mean())
+	}
+}
+
 func TestAggregate(t *testing.T) {
 	var a Aggregate
 	a.AddSummary(Summary{PDR: 0.8, EnergyPerDeliveredJ: 2, Expected: 10, Delivered: 8})

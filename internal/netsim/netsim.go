@@ -63,6 +63,10 @@ func (n *Node) Broadcast(pkt *packet.Packet, txRange float64) {
 // exactly once for frames the protocol drops.
 func (n *Node) DiscardRx(info medium.RxInfo) { n.Meter.Reclassify(info.RxJ) }
 
+// Dead reports whether the node's (finite) battery is exhausted: its
+// radio is permanently silent for the rest of the run.
+func (n *Node) Dead() bool { return n.Meter.Dead() }
+
 // Sim returns the simulation kernel.
 func (n *Node) Sim() *sim.Simulator { return n.Net.Sim }
 
@@ -135,9 +139,9 @@ func (net *Network) Reset(s *sim.Simulator, tracker *mobility.Tracker, cfg Confi
 	net.Source = cfg.Source
 	net.Members = cfg.Members
 	if net.Collector == nil {
-		net.Collector = metrics.NewCollector(cfg.PayloadBytes)
+		net.Collector = metrics.NewCollector(cfg.PayloadBytes, n)
 	} else {
-		net.Collector.Reset(cfg.PayloadBytes)
+		net.Collector.Reset(cfg.PayloadBytes, n)
 	}
 	mcfg := cfg.Medium
 	if !mcfg.Grid.Disable {
@@ -162,6 +166,11 @@ func (net *Network) Reset(s *sim.Simulator, tracker *mobility.Tracker, cfg Confi
 		} else {
 			net.Collector.DataTx(pkt.Bytes)
 		}
+	}
+	// Time-resolved death tracking: the medium reports the charge that
+	// exhausts each battery, the collector timestamps it.
+	net.Medium.OnDeath = func(packet.NodeID) {
+		net.Collector.NodeDied(net.Sim.Now())
 	}
 	// Membership and join-time state.
 	if cap(net.memberSet) < n {
@@ -237,8 +246,16 @@ func (net *Network) SetMember(id packet.NodeID, member bool) {
 
 // Kill exhausts node id's battery immediately: fault injection for
 // self-stabilization tests. The node's radio goes permanently silent and
-// its neighbours detect the disappearance through beacon timeouts.
-func (net *Network) Kill(id packet.NodeID) { net.Meters[id].Kill() }
+// its neighbours detect the disappearance through beacon timeouts. The
+// death is timestamped like a natural depletion; re-killing a dead node
+// is a no-op.
+func (net *Network) Kill(id packet.NodeID) {
+	if net.Meters[id].Dead() {
+		return
+	}
+	net.Meters[id].Kill()
+	net.Collector.NodeDied(net.Sim.Now())
+}
 
 // SetProtocol attaches a protocol instance to node id.
 func (net *Network) SetProtocol(id packet.NodeID, p Protocol) {
@@ -255,7 +272,9 @@ func (net *Network) Start() {
 	}
 }
 
-// Summarize reduces the run to its metrics summary.
+// Summarize reduces the run to its metrics summary. The current simulated
+// time is the run horizon (sim.Run advances the clock to its `until` even
+// when the queue drains early), scaling the dead-fraction timeline.
 func (net *Network) Summarize() metrics.Summary {
-	return net.Collector.Summarize(net.Meters)
+	return net.Collector.Summarize(net.Meters, net.Sim.Now())
 }

@@ -105,6 +105,79 @@ func TestUnsetProtocolPanics(t *testing.T) {
 	net.Start()
 }
 
+// TestRejoinRebaselinesJoinClock is the leave→rejoin regression test: a
+// member that is churned out and later rejoins must have its join clock
+// re-baselined to the rejoin instant. The availability sampler computes
+// its outage base as max(JoinedAt, LastDelivery); with a stale join clock
+// (and a LastDelivery frozen at the first membership stint) the first
+// post-rejoin window would be misclassified as an outage that accrued
+// while the node was not even in the group.
+func TestRejoinRebaselinesJoinClock(t *testing.T) {
+	s, net, _ := rig(t)
+
+	// Initial member: joined at 0.
+	if got := net.JoinedAt(1); got != 0 {
+		t.Fatalf("initial member JoinedAt = %v", got)
+	}
+
+	// Deliver data during the first stint, then leave at t=2.
+	net.Collector.DataSent(1)
+	net.Nodes[0].Proto.Originate()
+	s.Run(2)
+	last, ever := net.Collector.LastDelivery(1)
+	if !ever {
+		t.Fatal("no delivery during first membership stint")
+	}
+	net.SetMember(1, false)
+	if net.IsMember(1) {
+		t.Fatal("leave did not take")
+	}
+
+	// Rejoin at t=5: the join clock must move to the rejoin instant and
+	// past the stale LastDelivery, so the sampler's outage base is the
+	// rejoin time, not the first stint's last packet.
+	s.Run(5)
+	net.SetMember(1, true)
+	if got := net.JoinedAt(1); got != 5 {
+		t.Errorf("JoinedAt after rejoin = %v, want 5", got)
+	}
+	if net.JoinedAt(1) <= last {
+		t.Errorf("rejoin clock %v not past stale LastDelivery %v", net.JoinedAt(1), last)
+	}
+
+	// A second leave/rejoin keeps re-baselining.
+	net.SetMember(1, false)
+	s.Run(9)
+	net.SetMember(1, true)
+	if got := net.JoinedAt(1); got != 9 {
+		t.Errorf("JoinedAt after second rejoin = %v, want 9", got)
+	}
+}
+
+// TestKillRecordsDeath: fault injection must feed the death tracker like
+// a natural depletion — timestamped once, idempotent on re-kill.
+func TestKillRecordsDeath(t *testing.T) {
+	s, net, _ := rig(t)
+	s.Run(3)
+	net.Kill(2)
+	net.Kill(2) // no-op: already dead
+	s.Run(7)
+	sum := net.Summarize()
+	if sum.DeadNodes != 1 {
+		t.Fatalf("DeadNodes = %d, want 1", sum.DeadNodes)
+	}
+	if sum.FirstDeaths != 1 || sum.FirstDeathS != 3 {
+		t.Errorf("first death = (n=%d, t=%v), want (1, 3)", sum.FirstDeaths, sum.FirstDeathS)
+	}
+	if net.Collector.Deaths() != 1 {
+		t.Errorf("collector recorded %d deaths, want 1", net.Collector.Deaths())
+	}
+	// 3 nodes, 1 dead: half-dead (ceil 3/2 = 2 deaths) not reached.
+	if sum.HalfDeaths != 0 {
+		t.Errorf("half-dead landmark set with 1/3 dead: %+v", sum)
+	}
+}
+
 func TestControlAccounting(t *testing.T) {
 	s, net, _ := rig(t)
 	pkt := &packet.Packet{Kind: packet.KindBeacon, From: 0, Bytes: 80}

@@ -63,6 +63,18 @@ func TestArenaReuseAcrossShapes(t *testing.T) {
 		func(c *Config) { c.N = 50; c.AreaSide = 750; c.MemberChurnInterval = 3 },
 		func(c *Config) { c.N = 50; c.AreaSide = 750; c.Protocol = ODMRP },
 		func(c *Config) { c.N = 60; c.AreaSide = 750; c.Mobility = Static },
+		// Finite batteries + churn: the lifetime workload (figure 19) adds
+		// death-tracker state (collector death times, landmark snapshots)
+		// and dead-node filtering in the churn/sampler callbacks — all of
+		// which must reset cleanly between runs.
+		func(c *Config) { c.N = 40; c.AreaSide = 600; c.Battery = 0.2; c.MemberChurnInterval = 2 },
+		func(c *Config) {
+			c.N = 50
+			c.AreaSide = 750
+			c.Battery = 0.3
+			c.MemberChurnInterval = 3
+			c.Protocol = ODMRP
+		},
 	}
 	rc := NewRunContext()
 	for i, shape := range shapes {

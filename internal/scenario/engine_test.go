@@ -24,6 +24,19 @@ func enginePointCfgs(dur float64) []Config {
 			cfgs = append(cfgs, cfg)
 		}
 	}
+	// One finite-battery + churn point (the figure 18/19 workloads): the
+	// death tracker and the dead-node filtering in the churn/sampler
+	// callbacks must be as worker-count independent as everything else.
+	for _, p := range []ProtocolKind{SSSPSTE, SSSPST, MAODV, ODMRP} {
+		cfg := Default()
+		cfg.Protocol = p
+		cfg.Seed = 9
+		cfg.VMax = 8
+		cfg.Duration = dur
+		cfg.Battery = 0.2 // deaths well inside even a short horizon
+		cfg.MemberChurnInterval = 2
+		cfgs = append(cfgs, cfg)
+	}
 	return cfgs
 }
 
@@ -37,6 +50,7 @@ func TestSweepWorkersBitIdentical(t *testing.T) {
 	cfgs := enginePointCfgs(8)
 	serial := SweepN(cfgs, 1)
 	wide := SweepN(cfgs, 8)
+	deaths := 0
 	for i := range cfgs {
 		name := fmt.Sprintf("%s/%s", cfgs[i].Mobility, cfgs[i].Protocol)
 		if serial[i].Summary != wide[i].Summary {
@@ -47,6 +61,14 @@ func TestSweepWorkersBitIdentical(t *testing.T) {
 			t.Errorf("%s: medium stats diverge across worker counts:\n 1: %+v\n 8: %+v",
 				name, serial[i].Medium, wide[i].Medium)
 		}
+		if cfgs[i].Battery > 0 {
+			deaths += serial[i].Summary.DeadNodes
+		}
+	}
+	// The battery+churn point must actually deplete nodes, or its
+	// bit-identity coverage of the death tracker is illusory.
+	if deaths == 0 {
+		t.Error("finite-battery configs recorded no deaths; lifetime path not exercised")
 	}
 }
 

@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/flood"
+	"repro/internal/geom"
+	"repro/internal/medium"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// deadNodeRig builds a small static network with finite batteries and
+// flood protocols, ready for churn/sampler attachment: node 0 is the
+// source, nodes 1..members are the initial group.
+func deadNodeRig(t *testing.T, n, members int) (*sim.Simulator, *netsim.Network) {
+	t.Helper()
+	s := sim.New(1)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * 50}
+	}
+	tracker := mobility.NewTracker(n, mobility.Static{Points: pts})
+	mcfg := medium.DefaultConfig()
+	mcfg.LossProb = 0
+	var ms []packet.NodeID
+	for i := 1; i <= members; i++ {
+		ms = append(ms, packet.NodeID(i))
+	}
+	net := netsim.New(s, tracker, netsim.Config{
+		N: n, Source: 0, Members: ms, Medium: mcfg,
+		Battery: 100, PayloadBytes: 64, Area: geom.Square(float64(n) * 50),
+		StaticNodes: true,
+	})
+	for i := 0; i < n; i++ {
+		net.SetProtocol(packet.NodeID(i), flood.New())
+	}
+	net.Start()
+	return s, net
+}
+
+// TestChurnSkipsDeadNodes is the regression test for the dead-node churn
+// bug: attachMembershipChurn's candidate scan filtered on Member/Source
+// but never on battery death, so a lifetime run could rotate a depleted
+// node into the group and wedge that slot on a silent radio for the rest
+// of the run. With every non-member but one dead, churn must only ever
+// swap with the single live candidate.
+func TestChurnSkipsDeadNodes(t *testing.T) {
+	s, net := deadNodeRig(t, 6, 1) // source 0, member 1; non-members 2..5
+	dead := []packet.NodeID{3, 4, 5}
+	for _, id := range dead {
+		net.Kill(id)
+	}
+	attachMembershipChurn(net, 1, xrand.New(7))
+	s.Run(30)
+
+	for _, id := range dead {
+		if net.IsMember(id) {
+			t.Errorf("dead node %d was churned into the group", id)
+		}
+		if net.JoinedAt(id) != 0 {
+			t.Errorf("dead node %d has a join timestamp %v", id, net.JoinedAt(id))
+		}
+	}
+	// The group slot kept rotating between the two live candidates.
+	if len(net.Members) != 1 {
+		t.Fatalf("group size drifted: %v", net.Members)
+	}
+	if m := net.Members[0]; m != 1 && m != 2 {
+		t.Errorf("member %d is not one of the live candidates", m)
+	}
+	if net.JoinedAt(2) == 0 {
+		t.Error("live candidate 2 never joined across 30 churn ticks")
+	}
+}
+
+// TestSamplerSkipsDeadMembers pins the availability-sampler fix: a member
+// whose battery died is permanently unreachable — that is node death
+// (DeadNodes, FirstDeathS), not protocol restabilization time, so the
+// sampler must stop charging its outage windows to the unavailability
+// ratio. With one of two members killed, the run takes exactly half the
+// samples of the all-alive run instead of ratcheting unavailability
+// toward 1.
+func TestSamplerSkipsDeadMembers(t *testing.T) {
+	samples := func(kill bool) (int, int) {
+		s, net := deadNodeRig(t, 4, 2)
+		if kill {
+			net.Kill(2)
+		}
+		attachAvailabilitySampler(net, 1)
+		s.Run(20)
+		sum := net.Summarize()
+		return sum.UnavailSamples, sum.DeadNodes
+	}
+	alive, deadCount := samples(false)
+	if alive == 0 || deadCount != 0 {
+		t.Fatalf("baseline run: samples=%d dead=%d", alive, deadCount)
+	}
+	killed, deadCount := samples(true)
+	if deadCount != 1 {
+		t.Fatalf("killed run counts %d dead nodes, want 1", deadCount)
+	}
+	// The old semantics sampled the dead member every tick: killed ==
+	// alive, with the dead member's windows all broken. The new semantics
+	// drop exactly the dead member's share.
+	if killed != alive/2 {
+		t.Errorf("UnavailSamples with a dead member = %d, want %d (half of %d)",
+			killed, alive/2, alive)
+	}
+}
+
+// TestLifetimeRunRecordsDeaths drives a full scenario with a battery small
+// enough to deplete and checks the death tracker end to end: landmarks
+// within the horizon, a monotone timeline consistent with DeadNodes, and
+// agreement between the meter count and the timeline's final bucket.
+func TestLifetimeRunRecordsDeaths(t *testing.T) {
+	cfg := Default()
+	cfg.Protocol = SSSPSTE
+	cfg.Duration = 120
+	cfg.VMax = 2
+	cfg.Battery = 2
+	s := Run(cfg).Summary
+	if s.DeadNodes == 0 {
+		t.Fatal("battery 2 J over 120 s depleted nothing; lifetime workload broken")
+	}
+	if s.FirstDeaths != 1 || s.FirstDeathS <= 0 || s.FirstDeathS > cfg.Duration {
+		t.Errorf("first death landmark: n=%d t=%v", s.FirstDeaths, s.FirstDeathS)
+	}
+	if s.Nodes != cfg.N {
+		t.Errorf("Nodes = %d, want %d", s.Nodes, cfg.N)
+	}
+	last := 0.0
+	for k, f := range s.DeadFrac {
+		if f < last {
+			t.Errorf("dead fraction decreased at bucket %d: %v -> %v", k, last, f)
+		}
+		last = f
+	}
+	if want := float64(s.DeadNodes) / float64(s.Nodes); last != want {
+		t.Errorf("final dead fraction %v != DeadNodes/Nodes %v", last, want)
+	}
+	if s.HalfDeaths == 1 {
+		if s.HalfDeathS < s.FirstDeathS || s.HalfDeathS > cfg.Duration {
+			t.Errorf("half-death landmark %v outside [%v, %v]", s.HalfDeathS, s.FirstDeathS, cfg.Duration)
+		}
+	}
+}
+
+// TestValidateChurnAndBattery pins the new Validate rules: negative churn
+// intervals, batteries and sample intervals are config typos, not
+// settings.
+func TestValidateChurnAndBattery(t *testing.T) {
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.MemberChurnInterval = -1 },
+		func(c *Config) { c.Battery = -5 },
+		func(c *Config) { c.SampleInterval = -0.5 },
+	} {
+		cfg := Default()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", cfg)
+		}
+	}
+	cfg := Default()
+	cfg.MemberChurnInterval = 5
+	cfg.Battery = 10
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Validate rejected a churn+battery config: %v", err)
+	}
+}

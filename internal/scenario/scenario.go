@@ -197,7 +197,9 @@ type Config struct {
 	Warmup float64
 	// SampleInterval paces the availability sampler; 0 → beacon interval.
 	SampleInterval float64
-	// Battery joules per node; <= 0 unlimited.
+	// Battery joules per node; 0 means unlimited (negative rejected by
+	// Validate). Finite reserves enable the network-lifetime metrics:
+	// dead nodes, first/half-death times, and the dead-fraction timeline.
 	Battery float64
 }
 
@@ -287,6 +289,17 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.Duration <= 0 {
 		return fmt.Errorf("scenario: Duration must be positive, got %v", cfg.Duration)
+	}
+	// Churn and lifetime knobs (both swept by figures 18–19): zero always
+	// means "off"/"unlimited"; negatives are config typos, not settings.
+	if cfg.MemberChurnInterval < 0 {
+		return fmt.Errorf("scenario: MemberChurnInterval must be >= 0 (0 = no churn), got %v", cfg.MemberChurnInterval)
+	}
+	if cfg.Battery < 0 {
+		return fmt.Errorf("scenario: Battery must be >= 0 joules (0 = unlimited), got %v", cfg.Battery)
+	}
+	if cfg.SampleInterval < 0 {
+		return fmt.Errorf("scenario: SampleInterval must be >= 0 (0 = beacon interval), got %v", cfg.SampleInterval)
 	}
 	return nil
 }
@@ -519,6 +532,16 @@ func attachAvailabilitySampler(net *netsim.Network, interval float64) {
 	net.Sim.Every(interval, 0, func() {
 		now := net.Sim.Now()
 		for _, m := range net.Members {
+			// A battery-dead member is not a protocol outage: its radio is
+			// permanently off, so no tree repair can ever reach it again.
+			// Sampling it would conflate restabilization time (what the
+			// unavailability ratio prices) with node death (what the
+			// lifetime metrics — DeadNodes, FirstDeathS, the dead-fraction
+			// timeline — report); lifetime runs would see unavailability
+			// ratchet toward 1 as nodes die.
+			if net.Nodes[m].Dead() {
+				continue
+			}
 			// Baseline the outage clock at the member's join time: a node
 			// that joined mid-window has a LastDelivery predating its
 			// membership (or none at all), and counting that silence as an
@@ -544,10 +567,14 @@ func attachMembershipChurn(net *netsim.Network, interval float64, r *xrand.RNG) 
 		if len(net.Members) == 0 {
 			return
 		}
-		// Collect non-members (excluding the source).
+		// Collect non-members (excluding the source). Battery-dead nodes
+		// are never candidates: swapping one in would permanently wedge a
+		// group slot on a silent radio — the group size invariant would
+		// hold on paper while the effective group shrank for the rest of
+		// the run.
 		outs = outs[:0]
 		for _, n := range net.Nodes {
-			if !n.Member && !n.Source {
+			if !n.Member && !n.Source && !n.Dead() {
 				outs = append(outs, n.ID)
 			}
 		}
