@@ -64,8 +64,14 @@ type snapshot struct {
 	// ran at (1: trace sharing and arena persistence isolated from
 	// parallelism); each FigureSweep entry records its own trace-cache
 	// hit rate.
-	EngineWorkers int     `json:"engine_workers"`
-	Benchmarks    []entry `json:"benchmarks"`
+	EngineWorkers int `json:"engine_workers"`
+	// FaultsActive records whether any benchmark ran with fault injection
+	// enabled. The standard suite is fault-free; the flag exists so a
+	// fault-enabled snapshot (hand-built for profiling the fault paths) is
+	// never silently gated against a fault-free baseline — the workloads
+	// differ, so the >15% comparison would be meaningless.
+	FaultsActive bool    `json:"faults_active"`
+	Benchmarks   []entry `json:"benchmarks"`
 }
 
 // bench describes one scenario measurement: the config mutator mirrors the
@@ -168,6 +174,15 @@ func main() {
 		iters = 3
 	}
 	for _, bm := range benches {
+		// Record whether any benchmark injects faults: fault-on and
+		// fault-off snapshots must never meet in -compare.
+		probe := scenario.Default()
+		if bm.mutate != nil {
+			bm.mutate(&probe)
+		}
+		if probe.Faults.Any() {
+			snap.FaultsActive = true
+		}
 		e := measure(bm, iters)
 		snap.Benchmarks = append(snap.Benchmarks, e)
 		fmt.Printf("%-28s %12d ns/op %10d B/op %9d allocs/op\n",
@@ -336,6 +351,11 @@ func compareSnapshots(oldPath, newPath string, threshold float64) int {
 	newSnap, err := loadSnapshot(newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 2
+	}
+	if oldSnap.FaultsActive != newSnap.FaultsActive {
+		fmt.Fprintf(os.Stderr, "benchsnap: refusing to compare: faults_active differs (%s: %v, %s: %v) — fault-on and fault-off snapshots time different workloads\n",
+			oldPath, oldSnap.FaultsActive, newPath, newSnap.FaultsActive)
 		return 2
 	}
 	oldBy := make(map[string]entry, len(oldSnap.Benchmarks))

@@ -5,11 +5,14 @@
 // membership-churn sweep (PDR / unavailability / control overhead vs
 // churn interval, all four protocols), and 19 — the network-lifetime
 // study under finite batteries (dead-fraction timeline plus the
-// first-death / half-dead / delivered-bytes summary; emits two tables).
+// first-death / half-dead / delivered-bytes summary; emits two tables),
+// and 20 — the fault-injection robustness study (PDR / unavailability /
+// control overhead vs Gilbert-Elliott loss burst length and vs
+// crash/reboot rate; emits two tables).
 //
 // Usage:
 //
-//	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,17,18,19]
+//	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,17,18,20]
 //	        [-mobility gauss-markov,rpgm,manhattan,rwp] [-workers N]
 //
 // All requested figures are flattened into ONE globally scheduled batch
@@ -77,8 +80,8 @@ func main() {
 		want = nil
 		for _, s := range strings.Split(*figs, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 7 || n > 19 {
-				fmt.Fprintf(os.Stderr, "unknown figure %q (valid: 7-19)\n", s)
+			if err != nil || n < 7 || n > 20 {
+				fmt.Fprintf(os.Stderr, "unknown figure %q (valid: 7-20)\n", s)
 				os.Exit(2)
 			}
 			want = append(want, n)

@@ -92,6 +92,13 @@ func main() {
 	cfg.Duration = *duration
 	cfg.Seed = *seed
 
+	// Validate up front: a broken flag combination prints one message and
+	// exits instead of panicking deep in the run.
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "manetsim:", err)
+		os.Exit(1)
+	}
+
 	sum := scenario.RunSeeds(cfg, *seeds)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -1,15 +1,25 @@
 // Command sweep runs an arbitrary parameter grid and emits one CSV row
-// per (mobility, protocol, velocity, group size, beacon, churn, battery)
-// point with each headline metric as mean ± CI95 across seeds — the raw
-// material for custom plots beyond the paper's figures. With -raw it
-// emits one row per seed instead. Single-seed points print a CI of 0.
+// per (mobility, protocol, velocity, group size, beacon, churn, battery,
+// loss, crash-MTBF) point with each headline metric as mean ± CI95 across
+// seeds — the raw material for custom plots beyond the paper's figures.
+// With -raw it emits one row per seed instead. Single-seed points print a
+// CI of 0.
 //
 // Usage:
 //
 //	sweep -protos ss-spst,ss-spst-e -vmax 1,5,10,20 -groups 10,30 \
 //	      -mobility rwp,gauss-markov,rpgm,manhattan \
 //	      -churn 0,5,20 -battery 0,10 \
+//	      -loss 0,4,16 -crash-mtbf 0,300 \
 //	      -seeds 3 -duration 300 [-workers N] > results.csv
+//
+// -loss sweeps Gilbert-Elliott bursty channel loss by mean burst length in
+// packets (0 = off; the figure 20a calibration: P(good→bad) = 0.05, 80%
+// loss in the bad state). -crash-mtbf sweeps crash/reboot node faults by
+// mean time between crashes in seconds (0 = off; -crash-mttr sets the mean
+// repair time, 0 = MTBF/10). Aggregated rows carry failed_runs (panics and
+// watchdog aborts, excluded from every metric pool) and retries (total
+// SS-SPST join retries across the pooled seeds).
 //
 // The grid runs as one batch on the shared sweep engine (cost-ordered
 // queue, persistent worker arenas, shared mobility traces across the
@@ -24,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 )
@@ -41,13 +52,29 @@ var protoByName = map[string]scenario.ProtocolKind{
 
 // point is one grid cell; its seeds vary only the RNG.
 type point struct {
-	mobility scenario.MobilityKind
-	proto    scenario.ProtocolKind
-	vmax     float64
-	group    int
-	beacon   float64
-	churn    float64 // membership-churn interval (s); 0 = no churn
-	battery  float64 // joules per node; 0 = unlimited
+	mobility  scenario.MobilityKind
+	proto     scenario.ProtocolKind
+	vmax      float64
+	group     int
+	beacon    float64
+	churn     float64 // membership-churn interval (s); 0 = no churn
+	battery   float64 // joules per node; 0 = unlimited
+	loss      float64 // GE mean loss burst length (packets); 0 = no injected loss
+	crashMTBF float64 // mean time between crashes (s); 0 = no crashes
+}
+
+// faultsFor translates the CLI fault axes into a faults config: loss is
+// the Gilbert-Elliott mean burst length (figure 20a calibration), mtbf the
+// crash process mean (mttr 0 defaults to MTBF/10 in the model).
+func faultsFor(loss, mtbf, mttr float64) (f faults.Config) {
+	if loss > 0 {
+		f.Loss = faults.GEConfig{PGoodBad: 0.05, PBadGood: 1 / loss, LossBad: 0.8}
+	}
+	if mtbf > 0 {
+		f.CrashMTBF = mtbf
+		f.CrashMTTR = mttr
+	}
+	return f
 }
 
 func main() {
@@ -57,6 +84,9 @@ func main() {
 	beacons := flag.String("beacons", "2", "comma-separated beacon intervals (s)")
 	churns := flag.String("churn", "0", "comma-separated membership-churn intervals (s); 0 = no churn")
 	batteries := flag.String("battery", "0", "comma-separated per-node battery reserves (J); 0 = unlimited")
+	losses := flag.String("loss", "0", "comma-separated Gilbert-Elliott mean loss burst lengths (packets); 0 = no injected loss")
+	crashMTBFs := flag.String("crash-mtbf", "0", "comma-separated crash mean-time-between-failures (s); 0 = no crashes")
+	crashMTTR := flag.Float64("crash-mttr", 0, "crash mean repair time (s); 0 = MTBF/10")
 	mobilities := flag.String("mobility", "rwp", "comma-separated mobility models (rwp, random-direction, gauss-markov, rpgm, manhattan, static)")
 	seeds := flag.Int("seeds", 2, "seeds per point")
 	duration := flag.Float64("duration", 180, "simulated seconds per run")
@@ -93,19 +123,28 @@ func main() {
 					for _, b := range parseFloats(*beacons) {
 						for _, ch := range parseFloats(*churns) {
 							for _, bat := range parseFloats(*batteries) {
-								points = append(points, point{m, kind, v, g, b, ch, bat})
-								for s := 0; s < *seeds; s++ {
-									cfg := scenario.Default()
-									cfg.Mobility = m
-									cfg.Protocol = kind
-									cfg.VMax = v
-									cfg.GroupSize = g
-									cfg.BeaconInterval = b
-									cfg.MemberChurnInterval = ch
-									cfg.Battery = bat
-									cfg.Duration = *duration
-									cfg.Seed = scenario.ReplicationSeed(1, s)
-									cfgs = append(cfgs, cfg)
+								for _, loss := range parseFloats(*losses) {
+									for _, mtbf := range parseFloats(*crashMTBFs) {
+										points = append(points, point{m, kind, v, g, b, ch, bat, loss, mtbf})
+										for s := 0; s < *seeds; s++ {
+											cfg := scenario.Default()
+											cfg.Mobility = m
+											cfg.Protocol = kind
+											cfg.VMax = v
+											cfg.GroupSize = g
+											cfg.BeaconInterval = b
+											cfg.MemberChurnInterval = ch
+											cfg.Battery = bat
+											cfg.Faults = faultsFor(loss, mtbf, *crashMTTR)
+											cfg.Duration = *duration
+											cfg.Seed = scenario.ReplicationSeed(1, s)
+											if err := cfg.Validate(); err != nil {
+												fmt.Fprintln(os.Stderr, "sweep:", err)
+												os.Exit(1)
+											}
+											cfgs = append(cfgs, cfg)
+										}
+									}
 								}
 							}
 						}
@@ -140,36 +179,57 @@ func main() {
 	writeAggregated(w, points, results, *seeds)
 }
 
-// writeRaw emits the legacy one-row-per-seed format.
+// cfgBurst recovers the -loss axis value (GE mean burst length) from a
+// run's config; 0 when no loss was injected.
+func cfgBurst(c scenario.Config) float64 {
+	if c.Faults.Loss.PBadGood > 0 {
+		return 1 / c.Faults.Loss.PBadGood
+	}
+	return 0
+}
+
+// writeRaw emits the legacy one-row-per-seed format. A failed replication
+// (isolated panic, watchdog abort) keeps its identifying columns, sets
+// failed=1 and zeroes every metric — consumers filter on the flag.
 func writeRaw(w *csv.Writer, results []scenario.Result) {
 	w.Write([]string{
-		"mobility", "protocol", "vmax", "group", "beacon", "churn", "battery", "seed",
+		"mobility", "protocol", "vmax", "group", "beacon", "churn", "battery",
+		"loss", "crash_mtbf", "seed",
 		"pdr", "energy_per_pkt_mJ", "delay_ms", "ctrl_per_data_byte",
 		"unavailability", "total_energy_J", "tx_J", "rx_J", "discard_J",
-		"dead_nodes", "first_death_s", "half_death_s",
+		"dead_nodes", "first_death_s", "half_death_s", "retries", "failed",
 	})
 	for _, r := range results {
 		s := r.Summary
 		c := r.Config
+		failed := "0"
+		if r.Err != nil {
+			failed = "1"
+		}
 		w.Write([]string{
 			c.Mobility.String(), c.Protocol.String(),
 			ftoa(c.VMax), strconv.Itoa(c.GroupSize), ftoa(c.BeaconInterval),
 			ftoa(c.MemberChurnInterval), ftoa(c.Battery),
+			ftoa(cfgBurst(c)), ftoa(c.Faults.CrashMTBF),
 			strconv.FormatUint(c.Seed, 10),
 			ftoa(s.PDR), ftoa(s.EnergyPerDeliveredJ * 1e3), ftoa(s.AvgDelayS * 1e3),
 			ftoa(s.CtrlPerDataByte), ftoa(s.Unavailability),
 			ftoa(s.TotalEnergyJ), ftoa(s.TxJ), ftoa(s.RxJ), ftoa(s.DiscardJ),
 			strconv.Itoa(s.DeadNodes), ftoa(s.FirstDeathS), ftoa(s.HalfDeathS),
+			strconv.Itoa(s.Faults.JoinRetries), failed,
 		})
 	}
 }
 
 // writeAggregated reduces each point's seeds to mean ± CI95 columns. The
 // mean is the pooled (denominator-weighted) metrics.Mean; the CI is the
-// Student-t 95% half-width of the per-seed values.
+// Student-t 95% half-width of the per-seed values. Failed replications
+// join no pool: n_seeds still reports the attempted count, failed_runs how
+// many were excluded.
 func writeAggregated(w *csv.Writer, points []point, results []scenario.Result, seeds int) {
 	w.Write([]string{
-		"mobility", "protocol", "vmax", "group", "beacon", "churn", "battery", "seeds",
+		"mobility", "protocol", "vmax", "group", "beacon", "churn", "battery",
+		"loss", "crash_mtbf", "seeds",
 		"pdr", "pdr_ci95",
 		"energy_per_pkt_mJ", "energy_per_pkt_ci95",
 		"delay_ms", "delay_ci95",
@@ -178,28 +238,40 @@ func writeAggregated(w *csv.Writer, points []point, results []scenario.Result, s
 		"total_energy_J", "total_energy_ci95",
 		"dead_nodes", "dead_nodes_ci95",
 		"first_death_s", "first_death_ci95",
+		"retries", "failed_runs",
 	})
 	for i, p := range points {
 		var agg metrics.Aggregate
 		var sums []metrics.Summary
 		for s := 0; s < seeds; s++ {
-			sum := results[i*seeds+s].Summary
-			sums = append(sums, sum)
-			agg.AddSummary(sum)
+			r := results[i*seeds+s]
+			if r.Err != nil {
+				agg.AddFailed()
+				continue
+			}
+			sums = append(sums, r.Summary)
+			agg.AddSummary(r.Summary)
 		}
 		pooled := metrics.Mean(sums)
+		nOK := len(sums)
+		deadPerRun := 0.0
+		if nOK > 0 {
+			deadPerRun = float64(pooled.DeadNodes) / float64(nOK)
+		}
 		w.Write([]string{
 			p.mobility.String(), p.proto.String(),
 			ftoa(p.vmax), strconv.Itoa(p.group), ftoa(p.beacon),
-			ftoa(p.churn), ftoa(p.battery), strconv.Itoa(seeds),
+			ftoa(p.churn), ftoa(p.battery),
+			ftoa(p.loss), ftoa(p.crashMTBF), strconv.Itoa(seeds),
 			ftoa(pooled.PDR), ftoa(agg.PDR.CI95()),
 			ftoa(pooled.EnergyPerDeliveredJ * 1e3), ftoa(agg.EnergyPerPkt.CI95() * 1e3),
 			ftoa(pooled.AvgDelayS * 1e3), ftoa(agg.DelayS.CI95() * 1e3),
 			ftoa(pooled.CtrlPerDataByte), ftoa(agg.CtrlPerByte.CI95()),
 			ftoa(pooled.Unavailability), ftoa(agg.Unavailability.CI95()),
 			ftoa(pooled.TotalEnergyJ), ftoa(agg.TotalEnergyJ.CI95()),
-			ftoa(float64(pooled.DeadNodes) / float64(seeds)), ftoa(agg.DeadNodes.CI95()),
+			ftoa(deadPerRun), ftoa(agg.DeadNodes.CI95()),
 			ftoa(pooled.FirstDeathS), ftoa(agg.FirstDeathS.CI95()),
+			strconv.Itoa(pooled.Faults.JoinRetries), strconv.Itoa(agg.Failed),
 		})
 	}
 }

@@ -82,6 +82,18 @@ type Config struct {
 	LoopGuard LoopGuard
 	// DataBytes is the data frame size the metric prices.
 	DataBytes int
+	// JoinRetry enables the bounded retry/backoff for detached members: a
+	// node that ends a beacon round without a parent schedules up to
+	// JoinRetryMax extra rounds at exponentially backed-off delays, so a
+	// join window lost to a fault burst costs a retry delay instead of
+	// waiting out full beacon intervals while the burst recurs. Off by
+	// default — the scenario layer enables it only for fault-injected
+	// runs, keeping fault-free runs bit-identical with earlier builds.
+	JoinRetry bool
+	// JoinRetryBase is the first retry delay; 0 → BeaconInterval/4.
+	JoinRetryBase float64
+	// JoinRetryMax bounds retries per detachment episode; 0 → 4.
+	JoinRetryMax int
 }
 
 // Normalize fills zero fields with defaults for an n-node network and
@@ -122,6 +134,12 @@ func (c Config) Normalize(n int) Config {
 	}
 	if c.DataBytes == 0 {
 		c.DataBytes = packet.DataPayload + packet.IPHeaderBytes + packet.MACHeaderBytes
+	}
+	if c.JoinRetryBase == 0 {
+		c.JoinRetryBase = c.BeaconInterval / 4
+	}
+	if c.JoinRetryMax == 0 {
+		c.JoinRetryMax = 4
 	}
 	return c
 }
@@ -230,6 +248,12 @@ type Protocol struct {
 	ndScratch []float64
 
 	ticker *sim.Ticker
+	// startTimer is the desynchronized first-beacon timer; stored so Stop
+	// can cancel a protocol crashed before its first round.
+	startTimer *sim.Timer
+	// retryTimer / retryCount drive the bounded join retry (Config.JoinRetry).
+	retryTimer *sim.Timer
+	retryCount int
 
 	// ParentChanges counts parent switches, a stability diagnostic the
 	// instability analysis of SS-SPST-F relies on.
@@ -282,6 +306,9 @@ func (p *Protocol) Reset(cfg Config, n int) {
 	p.seenFwd.Reset()
 	p.seq = 0
 	p.ticker = nil
+	p.startTimer = nil
+	p.retryTimer = nil
+	p.retryCount = 0
 	p.ParentChanges = 0
 	p.TraceSwitch = nil
 }
@@ -308,10 +335,21 @@ func (p *Protocol) Start(n *netsim.Node) {
 	}
 	// Desynchronized first beacon inside the first interval, then periodic.
 	first := p.rng.Range(0, p.cfg.BeaconInterval)
-	n.Sim().Schedule(first, func() {
+	p.startTimer = n.Sim().Schedule(first, func() {
 		p.round()
 		p.ticker = n.Sim().Every(p.cfg.BeaconInterval, p.cfg.BeaconJitter, p.round)
 	})
+}
+
+// Stop implements netsim.Stopper: it cancels every pending timer so a
+// crashed node's instance goes quiet. The instance must be Reset (and
+// Started on a node) before it can run again.
+func (p *Protocol) Stop() {
+	p.startTimer.Cancel()
+	p.retryTimer.Cancel()
+	if p.ticker != nil {
+		p.ticker.Stop()
+	}
 }
 
 // round is one beacon interval's work: expire stale neighbours, run the
@@ -320,6 +358,32 @@ func (p *Protocol) round() {
 	p.expire()
 	p.stabilize()
 	p.sendBeacon()
+	p.maybeRetry()
+}
+
+// maybeRetry schedules an extra round when this node ended the current
+// one detached (Config.JoinRetry): a member whose join window was eaten
+// by a loss burst re-evaluates after a jittered, exponentially backed-off
+// delay instead of waiting out whole beacon intervals while the burst
+// recurs. Retries are bounded per detachment episode and the budget
+// refills once a parent is found, so a genuinely unreachable node settles
+// back to the periodic cadence instead of beaconing itself to death.
+func (p *Protocol) maybeRetry() {
+	if !p.cfg.JoinRetry || p.node.Source {
+		return
+	}
+	if p.hasParent {
+		p.retryCount = 0
+		return
+	}
+	if p.retryCount >= p.cfg.JoinRetryMax || p.retryTimer.Active() {
+		return
+	}
+	p.retryCount++
+	p.node.Net.Collector.JoinRetried()
+	d := p.cfg.JoinRetryBase * float64(uint(1)<<uint(p.retryCount-1))
+	d *= p.rng.Range(0.5, 1)
+	p.retryTimer = p.node.Sim().Schedule(d, p.round)
 }
 
 // expire drops neighbour entries that have not beaconed within the TTL —

@@ -397,7 +397,99 @@ func lifetimeSpec(o Options) *figSpec {
 	return spec
 }
 
-// spec builds the declared figure n (7–19); kinds parameterizes the
+// burstLengths is the figure 20a loss-burstiness sweep: the Gilbert-Elliott
+// mean burst length in packets (1/PBadGood), longest burst last. The mean
+// loss rate is held roughly constant while the burst structure changes —
+// the axis isolates burstiness, not raw loss.
+var burstLengths = []float64{1, 2, 4, 8, 16}
+
+// crashMTBFFracs is the figure 20b crash-rate sweep: mean time between
+// crashes as a fraction of the run horizon, gentlest first. MTTR is fixed
+// at Duration/12 so the expected down-fraction rises with the crash rate.
+var crashMTBFFracs = []float64{2, 1, 0.5, 0.25}
+
+// faultSpec declares figure 20 — the fault-injection robustness study this
+// repository adds beyond the paper: all four protocols at the paper
+// baseline (5 m/s, 20 receivers) under (a) Gilbert-Elliott bursty channel
+// loss of increasing burst length and (b) crash/reboot node faults of
+// increasing rate. One spec, two tables, separate grids. PDR and control
+// overhead are read for every protocol; unavailability only for the SS
+// family, whose availability sampler defines it — under faults it prices
+// how long the tree takes to re-stabilize after each loss burst or reboot.
+func faultSpec(o Options) *figSpec {
+	spec := &figSpec{tbls: []Table{
+		{
+			Title:  "Figure 20a: PDR / unavailability / control overhead vs loss burst length (Gilbert-Elliott)",
+			XLabel: "mean loss burst length (packets)",
+			YLabel: "metric value (per series)",
+			Series: map[string][]Point{},
+		},
+		{
+			Title:  "Figure 20b: PDR / unavailability / control overhead vs crash rate (MTBF as fraction of run)",
+			XLabel: "crash MTBF / duration",
+			YLabel: "metric value (per series)",
+			Series: map[string][]Point{},
+		},
+	}}
+	type metricOut struct {
+		label  string
+		pick   picker
+		ssOnly bool
+	}
+	outs := []metricOut{
+		{"PDR", pdr, false},
+		{"unavail", unavail, true},
+		{"ctrl/B", ctrl, false},
+	}
+	for ti := range spec.tbls {
+		for _, mo := range outs {
+			for _, p := range allFour {
+				if mo.ssOnly && !p.SelfStabilizing() {
+					continue
+				}
+				spec.tbls[ti].Order = append(spec.tbls[ti].Order, p.String()+" "+mo.label)
+			}
+		}
+	}
+	base := func(p scenario.ProtocolKind) scenario.Config {
+		cfg := scenario.Default()
+		cfg.Duration = o.Duration
+		cfg.Protocol = p
+		cfg.VMax = 5
+		cfg.GroupSize = 20
+		return cfg
+	}
+	addOuts := func(r *row, p scenario.ProtocolKind, tbl int) {
+		for _, mo := range outs {
+			if mo.ssOnly && !p.SelfStabilizing() {
+				continue
+			}
+			r.outs = append(r.outs, rowOut{series: p.String() + " " + mo.label, pick: mo.pick, tbl: tbl})
+		}
+	}
+	for _, p := range allFour {
+		for _, L := range burstLengths {
+			cfg := base(p)
+			cfg.Faults.Loss.PGoodBad = 0.05
+			cfg.Faults.Loss.PBadGood = 1 / L
+			cfg.Faults.Loss.LossBad = 0.8
+			r := row{x: L, cfg: cfg}
+			addOuts(&r, p, 0)
+			spec.rows = append(spec.rows, r)
+		}
+		for _, frac := range crashMTBFFracs {
+			cfg := base(p)
+			cfg.Faults.CrashMTBF = frac * o.Duration
+			cfg.Faults.CrashMTTR = o.Duration / 12
+			r := row{x: frac, cfg: cfg}
+			addOuts(&r, p, 1)
+			spec.rows = append(spec.rows, r)
+		}
+	}
+	return spec
+}
+
+// spec builds the declared figure n (7–20); kinds parameterizes the
 // cross-mobility table 17 and is ignored elsewhere.
 func spec(n int, o Options, kinds []scenario.MobilityKind) (*figSpec, error) {
 	switch n {
@@ -437,16 +529,19 @@ func spec(n int, o Options, kinds []scenario.MobilityKind) (*figSpec, error) {
 		return churnSpec(o), nil
 	case 19:
 		return lifetimeSpec(o), nil
+	case 20:
+		return faultSpec(o), nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown figure %d (valid: 7-19)", n)
+		return nil, fmt.Errorf("experiments: unknown figure %d (valid: 7-20)", n)
 	}
 }
 
 // AllFigures lists the generatable figure numbers in paper order
 // (7–16 reproduce the paper; 17 is the cross-mobility extension, 18 the
-// membership-churn sweep, 19 the network-lifetime study — note 19 yields
-// two tables).
-func AllFigures() []int { return []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19} }
+// membership-churn sweep, 19 the network-lifetime study, 20 the
+// fault-injection robustness study — note 19 and 20 each yield two
+// tables).
+func AllFigures() []int { return []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20} }
 
 // Generate regenerates the requested figures as ONE globally scheduled
 // batch: every (figure, row, seed) run goes into the shared engine's
@@ -489,10 +584,15 @@ func generateSpecs(o Options, specs []*figSpec) ([]Table, error) {
 
 	// Stream aggregation: each row buffers only its own seed summaries
 	// (seed-indexed so completion order cannot perturb the reduction) and
-	// reduces the moment its last replication lands.
+	// reduces the moment its last replication lands. Failed replications
+	// (engine-isolated panics, watchdog aborts) are excluded from the pool
+	// — the row's point aggregates the surviving seeds; a row with no
+	// survivor contributes no point at all rather than a fabricated zero.
 	type rowBuf struct {
-		sums []metrics.Summary
-		got  int
+		sums   []metrics.Summary
+		ok     []bool
+		got    int
+		failed int
 	}
 	bufs := make([][]rowBuf, len(specs))
 	for fi, sp := range specs {
@@ -504,24 +604,39 @@ func generateSpecs(o Options, specs []*figSpec) ([]Table, error) {
 		b := &bufs[k.fig][k.row]
 		if b.sums == nil {
 			b.sums = make([]metrics.Summary, o.Seeds)
+			b.ok = make([]bool, o.Seeds)
 		}
-		b.sums[k.seed] = res.Summary
+		if res.Err != nil {
+			b.failed++
+		} else {
+			b.sums[k.seed] = res.Summary
+			b.ok[k.seed] = true
+		}
 		b.got++
 		if b.got == o.Seeds {
+			good := b.sums[:0]
+			for si, ok := range b.ok {
+				if ok {
+					good = append(good, b.sums[si])
+				}
+			}
 			sp := specs[k.fig]
 			r := &sp.rows[k.row]
 			for _, out := range r.outs {
+				if len(good) == 0 {
+					break
+				}
 				t := &sp.tbls[out.tbl]
 				if out.timeline {
 					t.Series[out.series] = append(t.Series[out.series],
-						timelinePoints(b.sums, r.cfg.Duration)...)
+						timelinePoints(good, r.cfg.Duration)...)
 					continue
 				}
-				y, ci := reduce(b.sums, out.pick)
+				y, ci := reduce(good, out.pick)
 				t.Series[out.series] = append(t.Series[out.series],
 					Point{X: r.x, Y: y, CI: ci})
 			}
-			b.sums = nil // release: nothing beyond in-flight rows is retained
+			b.sums, b.ok = nil, nil // release: nothing beyond in-flight rows is retained
 		}
 		done++
 		if o.Progress != nil {
@@ -638,6 +753,18 @@ func Figure19(o Options) []Table {
 	tbls, err := Generate(o, []int{19}, nil)
 	if err != nil {
 		panic(err) // unreachable: 19 is a package-internal constant
+	}
+	return tbls
+}
+
+// Figure20 generates the fault-injection robustness study and returns its
+// two tables: PDR / unavailability / control overhead versus the
+// Gilbert-Elliott loss burst length (20a) and versus the crash/reboot rate
+// (20b), for all four protocols.
+func Figure20(o Options) []Table {
+	tbls, err := Generate(o, []int{20}, nil)
+	if err != nil {
+		panic(err) // unreachable: 20 is a package-internal constant
 	}
 	return tbls
 }

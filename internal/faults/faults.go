@@ -1,0 +1,237 @@
+// Package faults defines the deterministic fault processes injected into a
+// simulation run: Gilbert-Elliott bursty channel loss, crash/reboot node
+// faults, and scheduled network partitions.
+//
+// The package is a pure model layer — it holds configuration, validation,
+// and the per-receiver/per-node stochastic state — while the wiring lives
+// in internal/medium (loss, partition link suppression) and
+// internal/scenario (crash scheduling, protocol rejoin). Every process is
+// driven by streams split from the run's root seed, so fault-enabled runs
+// are bit-identical across worker counts and arena reuse; when a process
+// is disabled its stream is never created and zero extra draws occur,
+// which keeps fault-free runs bit-identical with pre-fault builds.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// GEConfig parameterizes a two-state Gilbert-Elliott loss channel. Each
+// receiver owns an independent chain; on every reception the chain first
+// takes one state transition and then draws a loss with the state's
+// probability. The mean burst length in receptions is 1/PBadGood and the
+// mean good-run length is 1/PGoodBad.
+type GEConfig struct {
+	// PGoodBad is the per-reception probability of moving good → bad.
+	PGoodBad float64
+	// PBadGood is the per-reception probability of moving bad → good.
+	PBadGood float64
+	// LossGood is the loss probability while in the good state.
+	LossGood float64
+	// LossBad is the loss probability while in the bad state.
+	LossBad float64
+}
+
+// Enabled reports whether the channel can ever drop a packet.
+func (g GEConfig) Enabled() bool {
+	return g.LossBad > 0 || g.LossGood > 0
+}
+
+// Validate checks the four probabilities are in [0, 1].
+func (g GEConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PGoodBad", g.PGoodBad},
+		{"PBadGood", g.PBadGood},
+		{"LossGood", g.LossGood},
+		{"LossBad", g.LossBad},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: Loss.%s must be in [0, 1], got %v", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// GEChain is one receiver's Gilbert-Elliott state: a private RNG stream
+// (held by value so chains live flat in a slice) and the current channel
+// state. The zero chain starts in the good state; Init must seed the
+// stream before the first Drop.
+type GEChain struct {
+	rng xrand.RNG
+	bad bool
+}
+
+// Init seeds the chain's stream and returns it to the good state.
+func (c *GEChain) Init(rng *xrand.RNG) {
+	c.rng = *rng
+	c.bad = false
+}
+
+// Drop advances the chain one reception — state transition first, then a
+// loss draw at the new state's probability — and reports whether the
+// packet is lost. Exactly two uniforms are consumed per call, so the
+// stream's trajectory depends only on the reception count, never on
+// outcomes elsewhere.
+func (c *GEChain) Drop(g GEConfig) bool {
+	if c.bad {
+		if c.rng.Bool(g.PBadGood) {
+			c.bad = false
+		}
+	} else {
+		if c.rng.Bool(g.PGoodBad) {
+			c.bad = true
+		}
+	}
+	p := g.LossGood
+	if c.bad {
+		p = g.LossBad
+	}
+	return c.rng.Bool(p)
+}
+
+// Bad reports whether the chain is currently in the bad (bursty) state.
+func (c *GEChain) Bad() bool { return c.bad }
+
+// Partition is a scheduled partition window: between StartS and EndS a
+// vertical cut sweeps linearly from FromFrac·AreaSide to ToFrac·AreaSide,
+// and every transmission whose sender and receiver sit on opposite sides
+// of the cut is suppressed. A moving cut exercises re-convergence on both
+// sides as nodes change partitions mid-window.
+type Partition struct {
+	// StartS and EndS bound the window in simulated seconds. The window
+	// is active when StartS < EndS; the zero value disables it.
+	StartS, EndS float64
+	// FromFrac and ToFrac position the cut at window start and end, as
+	// fractions of the area side. Zero values default to 1/3 and 2/3.
+	FromFrac, ToFrac float64
+}
+
+// Enabled reports whether the partition window is non-empty.
+func (p Partition) Enabled() bool { return p.EndS > p.StartS }
+
+// Active reports whether the cut is live at time t.
+func (p Partition) Active(t float64) bool {
+	return p.Enabled() && t >= p.StartS && t < p.EndS
+}
+
+// CutX returns the cut's x coordinate at time t for the given area side.
+func (p Partition) CutX(t, areaSide float64) float64 {
+	from, to := p.FromFrac, p.ToFrac
+	if from == 0 {
+		from = 1.0 / 3
+	}
+	if to == 0 {
+		to = 2.0 / 3
+	}
+	frac := (t - p.StartS) / (p.EndS - p.StartS)
+	if frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	return (from + (to-from)*frac) * areaSide
+}
+
+// Validate checks the window and cut positions against the run duration.
+func (p Partition) Validate(duration float64) error {
+	if !p.Enabled() {
+		if p.StartS != 0 || p.EndS != 0 {
+			return fmt.Errorf("faults: Partition window [%v, %v) is empty; use EndS > StartS or zero both", p.StartS, p.EndS)
+		}
+		return nil
+	}
+	if p.StartS < 0 || p.EndS > duration {
+		return fmt.Errorf("faults: Partition window [%v, %v) must lie inside the run duration [0, %v)", p.StartS, p.EndS, duration)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"FromFrac", p.FromFrac}, {"ToFrac", p.ToFrac}} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("faults: Partition.%s must be in [0, 1] (fraction of the area side), got %v", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// Config aggregates a run's fault processes. The zero value disables all
+// of them, and a disabled Config injects nothing and draws nothing.
+type Config struct {
+	// Loss is the Gilbert-Elliott bursty channel applied per reception.
+	Loss GEConfig
+	// CrashMTBF is the mean up-time before a node crashes, in seconds;
+	// 0 disables crash faults. The source node never crashes.
+	CrashMTBF float64
+	// CrashMTTR is the mean down-time before a crashed node reboots, in
+	// seconds. Zero with CrashMTBF set defaults to CrashMTBF/10.
+	CrashMTTR float64
+	// Partition is the scheduled partition window.
+	Partition Partition
+}
+
+// Any reports whether any fault process is enabled.
+func (c Config) Any() bool {
+	return c.Loss.Enabled() || c.CrashMTBF > 0 || c.Partition.Enabled()
+}
+
+// Validate checks every fault parameter, mirroring scenario.Config.Validate
+// style: nil when the config is inert or well-formed.
+func (c Config) Validate(duration float64) error {
+	if err := c.Loss.Validate(); err != nil {
+		return err
+	}
+	if c.CrashMTBF < 0 {
+		return fmt.Errorf("faults: CrashMTBF must be >= 0 seconds (0 = no crashes), got %v", c.CrashMTBF)
+	}
+	if c.CrashMTTR < 0 {
+		return fmt.Errorf("faults: CrashMTTR must be >= 0 seconds, got %v", c.CrashMTTR)
+	}
+	if c.CrashMTTR > 0 && c.CrashMTBF == 0 {
+		return fmt.Errorf("faults: CrashMTTR set (%v) without CrashMTBF", c.CrashMTTR)
+	}
+	return c.Partition.Validate(duration)
+}
+
+// mttr resolves the effective mean time to repair.
+func (c Config) mttr() float64 {
+	if c.CrashMTTR > 0 {
+		return c.CrashMTTR
+	}
+	return c.CrashMTBF / 10
+}
+
+// CrashEvent is one entry of a node's precomputed crash schedule.
+type CrashEvent struct {
+	At   float64
+	Down bool // true = crash, false = reboot
+}
+
+// CrashSchedule draws one node's alternating crash/reboot times from rng:
+// exponential up-times with mean CrashMTBF, exponential down-times with
+// mean CrashMTTR, truncated at duration. Precomputing the whole schedule
+// at setup keeps the process independent of anything that happens during
+// the run, so the fault trajectory is a pure function of the seed.
+func (c Config) CrashSchedule(rng *xrand.RNG, duration float64) []CrashEvent {
+	if c.CrashMTBF <= 0 {
+		return nil
+	}
+	var evs []CrashEvent
+	t := 0.0
+	for {
+		t += rng.Exp(c.CrashMTBF)
+		if t >= duration {
+			return evs
+		}
+		evs = append(evs, CrashEvent{At: t, Down: true})
+		t += rng.Exp(c.mttr())
+		if t >= duration {
+			return evs
+		}
+		evs = append(evs, CrashEvent{At: t, Down: false})
+	}
+}

@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestGEChainDeterministic(t *testing.T) {
+	g := GEConfig{PGoodBad: 0.1, PBadGood: 0.3, LossGood: 0.01, LossBad: 0.8}
+	run := func() []bool {
+		var c GEChain
+		c.Init(xrand.New(42).Split("ge"))
+		out := make([]bool, 1000)
+		for i := range out {
+			out[i] = c.Drop(g)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	losses := 0
+	for _, d := range a {
+		if d {
+			losses++
+		}
+	}
+	if losses == 0 || losses == len(a) {
+		t.Fatalf("degenerate loss pattern: %d/%d", losses, len(a))
+	}
+}
+
+func TestGEChainBursty(t *testing.T) {
+	// With LossBad near 1 and LossGood 0, losses should cluster: the
+	// number of loss runs must be far below the number of losses.
+	g := GEConfig{PGoodBad: 0.05, PBadGood: 0.25, LossGood: 0, LossBad: 1}
+	var c GEChain
+	c.Init(xrand.New(7).Split("ge"))
+	losses, runs := 0, 0
+	prev := false
+	for i := 0; i < 20000; i++ {
+		d := c.Drop(g)
+		if d {
+			losses++
+			if !prev {
+				runs++
+			}
+		}
+		prev = d
+	}
+	if losses == 0 {
+		t.Fatal("no losses injected")
+	}
+	meanBurst := float64(losses) / float64(runs)
+	// Mean burst length should approximate 1/PBadGood = 4.
+	if meanBurst < 2.5 || meanBurst > 6 {
+		t.Fatalf("mean burst length %.2f outside [2.5, 6]", meanBurst)
+	}
+}
+
+func TestPartitionCut(t *testing.T) {
+	p := Partition{StartS: 10, EndS: 20}
+	if p.Active(5) || p.Active(20) || !p.Active(10) || !p.Active(15) {
+		t.Fatal("window activity wrong")
+	}
+	// Defaults: 1/3 → 2/3 of the side.
+	if got := p.CutX(10, 300); got != 100 {
+		t.Fatalf("cut at start = %v, want 100", got)
+	}
+	if got := p.CutX(20, 300); got != 200 {
+		t.Fatalf("cut at end = %v, want 200", got)
+	}
+	if got := p.CutX(15, 300); got != 150 {
+		t.Fatalf("cut at midpoint = %v, want 150", got)
+	}
+}
+
+func TestCrashScheduleDeterministicAndAlternating(t *testing.T) {
+	cfg := Config{CrashMTBF: 30, CrashMTTR: 5}
+	a := cfg.CrashSchedule(xrand.New(9).Split("crash"), 600)
+	b := cfg.CrashSchedule(xrand.New(9).Split("crash"), 600)
+	if len(a) == 0 {
+		t.Fatal("expected some crash events over 600 s at MTBF 30")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	last := 0.0
+	for i, ev := range a {
+		if ev != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ev, b[i])
+		}
+		if ev.At <= last || ev.At >= 600 {
+			t.Fatalf("event %d at %v out of order or horizon", i, ev.At)
+		}
+		if wantDown := i%2 == 0; ev.Down != wantDown {
+			t.Fatalf("event %d Down=%v, want %v", i, ev.Down, wantDown)
+		}
+		last = ev.At
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"loss ok", Config{Loss: GEConfig{PGoodBad: 0.1, PBadGood: 0.5, LossBad: 0.9}}, true},
+		{"loss prob high", Config{Loss: GEConfig{LossBad: 1.5}}, false},
+		{"loss prob negative", Config{Loss: GEConfig{PGoodBad: -0.1}}, false},
+		{"mtbf negative", Config{CrashMTBF: -1}, false},
+		{"mttr negative", Config{CrashMTBF: 10, CrashMTTR: -2}, false},
+		{"mttr without mtbf", Config{CrashMTTR: 5}, false},
+		{"partition ok", Config{Partition: Partition{StartS: 10, EndS: 50}}, true},
+		{"partition beyond duration", Config{Partition: Partition{StartS: 10, EndS: 700}}, false},
+		{"partition negative start", Config{Partition: Partition{StartS: -1, EndS: 5}}, false},
+		{"partition inverted", Config{Partition: Partition{StartS: 5, EndS: 5}}, false},
+		{"partition frac", Config{Partition: Partition{StartS: 1, EndS: 2, FromFrac: 1.2}}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate(600)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}
+
+func TestAny(t *testing.T) {
+	if (Config{}).Any() {
+		t.Fatal("zero config reports Any")
+	}
+	if !(Config{CrashMTBF: 10}).Any() ||
+		!(Config{Loss: GEConfig{LossBad: 0.5}}).Any() ||
+		!(Config{Partition: Partition{EndS: 5}}).Any() {
+		t.Fatal("enabled config not reported by Any")
+	}
+}

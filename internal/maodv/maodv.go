@@ -117,6 +117,9 @@ type Protocol struct {
 	joinPool *fwdpool.Pool[joinPayload]
 
 	ticker *sim.Ticker
+	// startTimer is the leader's desynchronized first-GRPH timer; stored
+	// so Stop can cancel an instance crashed before its first flood.
+	startTimer *sim.Timer
 }
 
 // New returns a MAODV instance.
@@ -135,7 +138,7 @@ func (p *Protocol) Start(n *netsim.Node) {
 		p.onTree = true
 		// Leader floods Group Hellos; desynchronized start.
 		first := p.rng.Range(0.05, 0.5)
-		n.Sim().Schedule(first, func() {
+		p.startTimer = n.Sim().Schedule(first, func() {
 			p.sendGRPH()
 			p.ticker = n.Sim().Every(p.cfg.GroupHelloInterval, 0.1, p.sendGRPH)
 		})
@@ -143,6 +146,15 @@ func (p *Protocol) Start(n *netsim.Node) {
 	}
 	// Members try to join whenever off-tree; routers just maintain state.
 	p.ticker = n.Sim().Every(p.cfg.JoinRetryInterval, 0.25, p.maintain)
+}
+
+// Stop implements netsim.Stopper: it cancels the instance's timers so a
+// crashed node goes quiet. Crashed nodes restart with a fresh instance.
+func (p *Protocol) Stop() {
+	p.startTimer.Cancel()
+	if p.ticker != nil {
+		p.ticker.Stop()
+	}
 }
 
 func (p *Protocol) maxRange() float64 { return p.node.Net.Medium.Model().MaxRange }

@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/mobility"
 	"repro/internal/packet"
@@ -104,6 +105,16 @@ type Config struct {
 	Energy energy.Model
 	// Grid configures the spatial neighbor index.
 	Grid GridConfig
+	// GELoss layers a Gilbert-Elliott bursty channel on top of LossProb:
+	// each receiver owns an independent two-state chain advanced once per
+	// reception. The zero value is off and draws nothing.
+	GELoss faults.GEConfig
+	// Partition schedules a window during which receptions whose sender
+	// and receiver sit on opposite sides of a moving vertical cut are
+	// suppressed. PartitionArea is the deployment side length the cut
+	// fractions resolve against (scenario fills it from AreaSide).
+	Partition     faults.Partition
+	PartitionArea float64
 }
 
 // DefaultConfig returns the channel parameters used by the paper
@@ -124,16 +135,18 @@ func DefaultConfig() Config {
 
 // Stats counts channel-level events for diagnostics and tests.
 type Stats struct {
-	Transmissions int64
-	Deliveries    int64
-	Collisions    int64 // receptions corrupted by overlap
-	Fading        int64 // receptions dropped by LossProb
-	Backoffs      int64
-	CSMADrops     int64 // frames abandoned after MaxBackoffs
-	QueueDrops    int64 // frames dropped at a full interface queue
-	HalfDuplex    int64 // receptions missed because the receiver was transmitting
-	ControlBytes  int64 // bytes of control frames put on air
-	DataBytes     int64 // bytes of data frames put on air
+	Transmissions  int64
+	Deliveries     int64
+	Collisions     int64 // receptions corrupted by overlap
+	Fading         int64 // receptions dropped by LossProb
+	Backoffs       int64
+	CSMADrops      int64 // frames abandoned after MaxBackoffs
+	QueueDrops     int64 // frames dropped at a full interface queue
+	HalfDuplex     int64 // receptions missed because the receiver was transmitting
+	ControlBytes   int64 // bytes of control frames put on air
+	DataBytes      int64 // bytes of data frames put on air
+	FaultDrops     int64 // receptions dropped by the Gilbert-Elliott channel
+	PartitionDrops int64 // receptions suppressed by a partition cut
 }
 
 // Medium is the shared channel. It is used only from the simulator's
@@ -154,9 +167,20 @@ type Medium struct {
 	// charge that exhausted it (used by the metrics collector's
 	// network-lifetime tracker). Never fired with unlimited batteries.
 	OnDeath func(id packet.NodeID)
-	stats   Stats
-	posBuf  []geom.Point
-	queues  []txQueue
+	// OnFaultDrop, when set, observes every injected channel loss
+	// (partition reports whether the drop came from the partition cut
+	// rather than the Gilbert-Elliott chain).
+	OnFaultDrop func(partition bool)
+	stats       Stats
+	posBuf      []geom.Point
+	queues      []txQueue
+	// geChains holds one Gilbert-Elliott chain per receiver; empty when
+	// the bursty channel is disabled (no streams, no draws).
+	geChains []faults.GEChain
+	// down marks radios administratively off (crash faults): a down node
+	// neither sends nor receives, and unlike a depleted battery the state
+	// is reversible.
+	down []bool
 
 	// Spatial index state (configured lazily at the first transmission;
 	// gridReady marks it configured for the current run, while the grid
@@ -415,9 +439,23 @@ func (m *Medium) Reset(s *sim.Simulator, cfg Config, tracker *mobility.Tracker, 
 	m.rng = s.RNG().Split("medium")
 	m.OnTransmit = nil
 	m.OnDeath = nil
+	m.OnFaultDrop = nil
 	m.stats = Stats{}
 	m.nodes = resized(m.nodes, n)
 	m.meters = resized(m.meters, n)
+	m.down = resized(m.down, n)
+	// Gilbert-Elliott chains exist only when the bursty channel is on:
+	// a fault-free run creates no fault streams and draws nothing extra,
+	// so pre-fault results stay bit-identical.
+	if cfg.GELoss.Enabled() {
+		m.geChains = resized(m.geChains, n)
+		root := s.RNG().Split("faults.ge")
+		for i := range m.geChains {
+			m.geChains[i].Init(root.SplitIndex(i))
+		}
+	} else {
+		m.geChains = m.geChains[:0]
+	}
 	m.posBuf = resized(m.posBuf, n)
 	m.activeTx = resized(m.activeTx, n)
 	for i := range m.active {
@@ -480,6 +518,15 @@ func (m *Medium) Attach(id packet.NodeID, r Receiver, meter *energy.Meter) {
 
 // Stats returns a copy of the channel counters.
 func (m *Medium) Stats() Stats { return m.stats }
+
+// SetDown switches node id's radio administratively off or back on (crash
+// faults). A down radio neither sends (queued frames drain silently, like
+// a depleted battery) nor receives (pending receptions lapse uncharged);
+// unlike energy.Meter.Kill the state is reversible.
+func (m *Medium) SetDown(id packet.NodeID, down bool) { m.down[id] = down }
+
+// IsDown reports whether node id's radio is administratively off.
+func (m *Medium) IsDown(id packet.NodeID) bool { return m.down[id] }
 
 // Model returns the radio energy model in force.
 func (m *Medium) Model() energy.Model { return m.cfg.Energy }
@@ -600,8 +647,9 @@ func (m *Medium) slack(now float64) float64 {
 
 func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, attempt int) {
 	now := m.sim.Now()
-	if m.meters[from].Dead() {
-		// Depleted battery: the radio is off. Drain the queue silently.
+	if m.meters[from].Dead() || m.down[from] {
+		// Depleted battery or crashed node: the radio is off. Drain the
+		// queue silently.
 		freeDropped(pkt)
 		m.txDone(from)
 		return
@@ -910,17 +958,45 @@ func (m *Medium) noteDeath(id packet.NodeID, meter *energy.Meter) {
 	}
 }
 
-// deliver resolves one reception at its delivery instant.
+// deliver resolves one reception at its delivery instant. Fault layers
+// apply in physical order: a down/dead radio hears nothing, collisions
+// corrupt the frame at the antenna, a partition cut blocks propagation
+// (no energy at the receiver), and only then do the stochastic channel
+// losses (Gilbert-Elliott burst state, then independent fading) charge
+// the radio for a frame it failed to decode.
 func (m *Medium) deliver(tx *transmission, rc *reception) {
 	meter := m.meters[rc.to]
-	if meter.Dead() {
-		return // depleted battery: the radio is off
+	if meter.Dead() || m.down[rc.to] {
+		return // depleted battery or crashed node: the radio is off
 	}
 	rxJ := tx.rxJ
 	if rc.corrupted {
 		// The radio still burned energy on the corrupted frame.
 		meter.SpendDiscard(rxJ)
 		m.noteDeath(rc.to, meter)
+		return
+	}
+	now := m.sim.Now()
+	if m.cfg.Partition.Active(now) {
+		cut := m.cfg.Partition.CutX(now, m.cfg.PartitionArea)
+		rp := m.tracker.Position(int(rc.to), now)
+		if (tx.origin.X < cut) != (rp.X < cut) {
+			// The cut is a geometric obstacle: the signal never reaches
+			// the receiver, so no energy is charged.
+			m.stats.PartitionDrops++
+			if m.OnFaultDrop != nil {
+				m.OnFaultDrop(true)
+			}
+			return
+		}
+	}
+	if len(m.geChains) > 0 && m.geChains[rc.to].Drop(m.cfg.GELoss) {
+		m.stats.FaultDrops++
+		meter.SpendDiscard(rxJ)
+		m.noteDeath(rc.to, meter)
+		if m.OnFaultDrop != nil {
+			m.OnFaultDrop(false)
+		}
 		return
 	}
 	if m.cfg.LossProb > 0 && m.rng.Bool(m.cfg.LossProb) {

@@ -114,7 +114,15 @@ type Aggregate struct {
 	TotalEnergyJ   Sample
 	DeadNodes      Sample
 	FirstDeathS    Sample
+	// Failed counts replications that produced no summary (panic, config
+	// error, watchdog abort). Failed runs join no metric pool — a partial
+	// grid reports a degraded answer, flagged by n_failed, instead of
+	// poisoning the means with zeros.
+	Failed int
 }
+
+// AddFailed records one failed replication.
+func (a *Aggregate) AddFailed() { a.Failed++ }
 
 // AddSummary folds one run into the aggregate. Each ratio joins its
 // sample only when the run has that ratio's denominator: a run that

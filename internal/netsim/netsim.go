@@ -172,6 +172,11 @@ func (net *Network) Reset(s *sim.Simulator, tracker *mobility.Tracker, cfg Confi
 	net.Medium.OnDeath = func(packet.NodeID) {
 		net.Collector.NodeDied(net.Sim.Now())
 	}
+	// Injected channel losses (Gilbert-Elliott, partition cuts) feed the
+	// per-run fault statistics.
+	net.Medium.OnFaultDrop = func(partition bool) {
+		net.Collector.FaultLoss(partition)
+	}
 	// Membership and join-time state.
 	if cap(net.memberSet) < n {
 		net.memberSet = make([]bool, n)
@@ -257,6 +262,46 @@ func (net *Network) Kill(id packet.NodeID) {
 	net.Collector.NodeDied(net.Sim.Now())
 }
 
+// Stopper is implemented by protocols that can cancel their pending
+// timers; Crash uses it so a downed node's protocol goes quiet instead of
+// ticking against a dead radio.
+type Stopper interface{ Stop() }
+
+// Crash takes node id down reversibly: the radio switches off (queued
+// frames drain silently, pending receptions lapse) and the protocol's
+// timers stop when it implements Stopper. Unlike Kill, the battery is
+// untouched and the node does not count as dead — Recover brings it back.
+// Crashing a dead or already-down node is a no-op.
+func (net *Network) Crash(id packet.NodeID) {
+	if net.Meters[id].Dead() || net.Medium.IsDown(id) {
+		return
+	}
+	net.Medium.SetDown(id, true)
+	if s, ok := net.Nodes[id].Proto.(Stopper); ok {
+		s.Stop()
+	}
+	net.Collector.NodeCrashed()
+}
+
+// Recover switches a crashed node's radio back on. A crashed node lost
+// all protocol state, so the caller must install a freshly initialized
+// protocol (SetProtocol + Start on the node) after Recover returns; the
+// join clock is deliberately left alone — the outage a member accumulated
+// while down, and until it re-attaches, is exactly the unavailability the
+// crash figures measure. Recovering an up or battery-dead node is a no-op
+// (a battery that depleted while the node was down stays dead).
+func (net *Network) Recover(id packet.NodeID) bool {
+	if !net.Medium.IsDown(id) || net.Meters[id].Dead() {
+		return false
+	}
+	net.Medium.SetDown(id, false)
+	net.Collector.NodeRecovered()
+	return true
+}
+
+// IsDown reports whether node id is currently crashed.
+func (net *Network) IsDown(id packet.NodeID) bool { return net.Medium.IsDown(id) }
+
 // SetProtocol attaches a protocol instance to node id.
 func (net *Network) SetProtocol(id packet.NodeID, p Protocol) {
 	net.Nodes[id].Proto = p
@@ -270,6 +315,13 @@ func (net *Network) Start() {
 		}
 		n.Proto.Start(n)
 	}
+}
+
+// StartNode launches one node's protocol mid-run: the recovery half of the
+// crash/reboot fault path, after the caller installed a fresh instance with
+// SetProtocol.
+func (net *Network) StartNode(id packet.NodeID) {
+	net.Nodes[id].Proto.Start(net.Nodes[id])
 }
 
 // Summarize reduces the run to its metrics summary. The current simulated

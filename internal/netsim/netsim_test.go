@@ -154,6 +154,93 @@ func TestRejoinRebaselinesJoinClock(t *testing.T) {
 	}
 }
 
+// TestCrashRecoverRestoresDelivery is the crash/reboot analogue of the
+// rejoin test: a member crashed mid-run receives nothing while down, and
+// after Recover + a fresh protocol instance (the crash dropped all state)
+// deliveries resume. Unlike Kill, the node never counts as dead, and the
+// join clock is untouched — the outage accrued while down is exactly what
+// the unavailability metric should see.
+func TestCrashRecoverRestoresDelivery(t *testing.T) {
+	s, net, protos := rig(t)
+
+	// Crash the member at t=2; re-crashing is a no-op (counted once).
+	s.Run(2)
+	net.Crash(1)
+	net.Crash(1)
+	if !net.IsDown(1) || net.IsDown(2) {
+		t.Fatal("down flags wrong after crash")
+	}
+
+	// Data sent while the node is down never reaches it.
+	net.Collector.DataSent(1)
+	net.Nodes[0].Proto.Originate()
+	s.Run(3)
+	if protos[1].received != 0 {
+		t.Fatalf("crashed node received %d packets", protos[1].received)
+	}
+	if protos[2].received != 1 {
+		t.Fatalf("bystander received %d packets, want 1", protos[2].received)
+	}
+
+	// Recover at t=5: the caller installs a fresh instance and restarts it.
+	s.Run(5)
+	if !net.Recover(1) {
+		t.Fatal("Recover returned false for a crashed node")
+	}
+	fresh := &echoProto{}
+	net.SetProtocol(1, fresh)
+	net.StartNode(1)
+	if net.IsDown(1) {
+		t.Fatal("node still down after recovery")
+	}
+	// The join clock is deliberately NOT re-baselined by recovery: the
+	// crash outage is the unavailability signal.
+	if got := net.JoinedAt(1); got != 0 {
+		t.Errorf("JoinedAt after recovery = %v, want 0", got)
+	}
+
+	// Deliveries resume through the fresh instance.
+	net.Collector.DataSent(1)
+	net.Nodes[0].Proto.Originate()
+	s.Run(6)
+	if fresh.received != 1 {
+		t.Errorf("recovered node received %d packets, want 1", fresh.received)
+	}
+
+	sum := net.Summarize()
+	if sum.Faults.Crashes != 1 || sum.Faults.Recoveries != 1 {
+		t.Errorf("fault stats = %+v, want 1 crash / 1 recovery", sum.Faults)
+	}
+	if sum.DeadNodes != 0 {
+		t.Errorf("crash counted as death: DeadNodes = %d", sum.DeadNodes)
+	}
+	// Recovering an up node is a no-op.
+	if net.Recover(1) {
+		t.Error("Recover on an up node returned true")
+	}
+}
+
+// TestCrashDeadInteraction: battery-dead nodes can neither crash nor
+// recover — death is permanent, crash is not.
+func TestCrashDeadInteraction(t *testing.T) {
+	s, net, _ := rig(t)
+	s.Run(1)
+	net.Kill(2)
+	net.Crash(2) // no-op on a dead node
+	if net.IsDown(2) {
+		t.Error("dead node marked down by Crash")
+	}
+	net.Crash(1)
+	net.Kill(1) // battery dies while down: recovery must refuse
+	if net.Recover(1) {
+		t.Error("Recover revived a battery-dead node")
+	}
+	sum := net.Summarize()
+	if sum.Faults.Crashes != 1 || sum.Faults.Recoveries != 0 {
+		t.Errorf("fault stats = %+v, want 1 crash / 0 recoveries", sum.Faults)
+	}
+}
+
 // TestKillRecordsDeath: fault injection must feed the death tracker like
 // a natural depletion — timestamped once, idempotent on re-kill.
 func TestKillRecordsDeath(t *testing.T) {

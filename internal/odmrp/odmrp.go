@@ -101,6 +101,9 @@ type Protocol struct {
 	fwdGuard func() bool
 
 	ticker *sim.Ticker
+	// startTimer is the source's desynchronized first-query timer; stored
+	// so Stop can cancel an instance crashed before its first flood.
+	startTimer *sim.Timer
 }
 
 // New returns an ODMRP instance.
@@ -119,10 +122,19 @@ func (p *Protocol) Start(n *netsim.Node) {
 	p.lastCascade = -1e9 // allow the first cascade immediately
 	if n.Source {
 		first := p.rng.Range(0.05, 0.4)
-		n.Sim().Schedule(first, func() {
+		p.startTimer = n.Sim().Schedule(first, func() {
 			p.sendJoinQuery()
 			p.ticker = n.Sim().Every(p.cfg.RefreshInterval, 0.1, p.sendJoinQuery)
 		})
+	}
+}
+
+// Stop implements netsim.Stopper: it cancels the instance's timers so a
+// crashed node goes quiet. Crashed nodes restart with a fresh instance.
+func (p *Protocol) Stop() {
+	p.startTimer.Cancel()
+	if p.ticker != nil {
+		p.ticker.Stop()
 	}
 }
 

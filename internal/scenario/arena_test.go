@@ -75,6 +75,20 @@ func TestArenaReuseAcrossShapes(t *testing.T) {
 			c.MemberChurnInterval = 3
 			c.Protocol = ODMRP
 		},
+		// Fault injection (figure 20): GE chains, crash schedules and the
+		// partition cut add per-run medium state (chains, down flags) and
+		// mid-run protocol restarts — reuse must reset all of it, including
+		// the join-retry timers the faulty SS config arms.
+		func(c *Config) { c.N = 40; c.AreaSide = 600; c.Faults = faultyConfig(c.Duration) },
+		func(c *Config) {
+			c.N = 50
+			c.AreaSide = 750
+			c.Protocol = ODMRP
+			c.Faults = faultyConfig(c.Duration)
+		},
+		// A fault-free run right after faulty ones: fault state (chains,
+		// down flags, retry counters) must not leak forward.
+		func(c *Config) { c.N = 50; c.AreaSide = 750 },
 	}
 	rc := NewRunContext()
 	for i, shape := range shapes {

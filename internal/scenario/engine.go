@@ -1,7 +1,9 @@
 package scenario
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/mobility"
@@ -148,7 +150,7 @@ func (e *Engine) sweep(cfgs []Config, fn func(int, Result)) []Result {
 			continue
 		}
 		e.mu.Unlock()
-		e.runJob(rc, j)
+		rc = e.runJob(rc, j)
 		e.mu.Lock()
 	}
 	e.rcs = append(e.rcs, rc)
@@ -172,21 +174,24 @@ func (e *Engine) workerLoop() {
 			continue
 		}
 		e.mu.Unlock()
-		e.runJob(rc, j)
+		rc = e.runJob(rc, j)
 		e.mu.Lock()
 	}
 }
 
 // runJob executes one job on rc and accounts its completion. Called
 // without the engine lock.
-func (e *Engine) runJob(rc *RunContext, j *job) {
-	var trace *mobility.Recorded
-	if j.hasKey {
-		trace = e.cache.acquire(j.cfg, j.key)
-	}
-	res := rc.RunTraced(j.cfg, trace)
-	if j.hasKey {
-		e.cache.release(j.key)
+//
+// A panic anywhere in the run — trace construction, protocol code, the
+// kernel — is isolated to this job: it becomes Result.Err (with the stack
+// for diagnosis), the rest of the batch keeps running, and the possibly
+// half-mutated arena is discarded for a fresh one, which runJob returns
+// for the caller to keep using. Errors RunTracedE itself reports (bad
+// config, watchdog) are not panics and leave the arena reusable.
+func (e *Engine) runJob(rc *RunContext, j *job) *RunContext {
+	res, panicked := e.tryRunJob(rc, j)
+	if panicked {
+		rc = NewRunContext()
 	}
 	b := j.batch
 	b.results[j.index] = res
@@ -201,6 +206,28 @@ func (e *Engine) runJob(rc *RunContext, j *job) {
 		b.done.Broadcast()
 	}
 	e.mu.Unlock()
+	return rc
+}
+
+// tryRunJob runs one job under a recover fence. The trace release is
+// deferred because acquire itself can panic (it lazily builds the mobility
+// model) and an unreleased registration would pin the cache entry forever.
+func (e *Engine) tryRunJob(rc *RunContext, j *job) (res Result, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err := fmt.Errorf("scenario: run panicked (seed %d, %v, N=%d): %v\n%s",
+				j.cfg.Seed, j.cfg.Protocol, j.cfg.N, r, debug.Stack())
+			res = Result{Config: j.cfg, Err: err}
+		}
+	}()
+	var trace *mobility.Recorded
+	if j.hasKey {
+		defer e.cache.release(j.key)
+		trace = e.cache.acquire(j.cfg, j.key)
+	}
+	res, _ = rc.RunTracedE(j.cfg, trace)
+	return res, false
 }
 
 // takeRCLocked pops an idle arena for a participating caller, or builds

@@ -3,6 +3,9 @@ package scenario
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
 )
 
 // enginePointCfgs is one figure point's worth of work per mobility kind:
@@ -37,7 +40,32 @@ func enginePointCfgs(dur float64) []Config {
 		cfg.MemberChurnInterval = 2
 		cfgs = append(cfgs, cfg)
 	}
+	// One fault-injected point (the figure 20 workload): bursty loss,
+	// crash/reboot faults and a partition window all at once, so every
+	// fault stream's seed derivation and every mid-run protocol restart
+	// must also be bit-identical across worker counts and arena histories.
+	for _, p := range []ProtocolKind{SSSPSTE, SSSPST, MAODV, ODMRP} {
+		cfg := Default()
+		cfg.Protocol = p
+		cfg.Seed = 9
+		cfg.VMax = 8
+		cfg.Duration = dur
+		cfg.Faults = faultyConfig(dur)
+		cfgs = append(cfgs, cfg)
+	}
 	return cfgs
+}
+
+// faultyConfig is the shared all-faults-on setting used by the bit-identity
+// and arena-reuse tests: aggressive enough that every fault path fires
+// inside a short horizon.
+func faultyConfig(dur float64) faults.Config {
+	return faults.Config{
+		Loss:      faults.GEConfig{PGoodBad: 0.1, PBadGood: 0.3, LossBad: 0.8},
+		CrashMTBF: dur / 2,
+		CrashMTTR: dur / 8,
+		Partition: faults.Partition{StartS: dur / 4, EndS: dur / 2},
+	}
 }
 
 // TestSweepWorkersBitIdentical pins the engine's central invariant: the
@@ -51,6 +79,7 @@ func TestSweepWorkersBitIdentical(t *testing.T) {
 	serial := SweepN(cfgs, 1)
 	wide := SweepN(cfgs, 8)
 	deaths := 0
+	var faultStats metrics.FaultStats
 	for i := range cfgs {
 		name := fmt.Sprintf("%s/%s", cfgs[i].Mobility, cfgs[i].Protocol)
 		if serial[i].Summary != wide[i].Summary {
@@ -64,11 +93,24 @@ func TestSweepWorkersBitIdentical(t *testing.T) {
 		if cfgs[i].Battery > 0 {
 			deaths += serial[i].Summary.DeadNodes
 		}
+		if cfgs[i].Faults.Any() {
+			s := serial[i].Summary.Faults
+			faultStats.Losses += s.Losses
+			faultStats.PartitionDrops += s.PartitionDrops
+			faultStats.Crashes += s.Crashes
+			faultStats.Recoveries += s.Recoveries
+		}
 	}
 	// The battery+churn point must actually deplete nodes, or its
 	// bit-identity coverage of the death tracker is illusory.
 	if deaths == 0 {
 		t.Error("finite-battery configs recorded no deaths; lifetime path not exercised")
+	}
+	// Likewise, the fault-injected point must actually lose packets, cut
+	// the partition and crash nodes, or the fault paths' bit-identity
+	// coverage is illusory.
+	if faultStats.Losses == 0 || faultStats.PartitionDrops == 0 || faultStats.Crashes == 0 || faultStats.Recoveries == 0 {
+		t.Errorf("fault-injected configs fired no faults (%+v); fault paths not exercised", faultStats)
 	}
 }
 

@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+)
+
+// faultyCfg is a short fault-injected scenario with every fault process
+// active, used by the determinism tests.
+func faultyCfg(p ProtocolKind) Config {
+	cfg := Default()
+	cfg.Protocol = p
+	cfg.Duration = 8
+	cfg.VMax = 8
+	cfg.Seed = 5
+	cfg.Faults = faultyConfig(cfg.Duration)
+	return cfg
+}
+
+// TestFaultRunDeterministic pins the fault layer's reproducibility: the
+// same seed yields identical fault trajectories (FaultStats) and identical
+// run summaries, and the faults actually fire.
+func TestFaultRunDeterministic(t *testing.T) {
+	for _, p := range []ProtocolKind{SSSPSTE, ODMRP} {
+		cfg := faultyCfg(p)
+		a := Run(cfg)
+		b := Run(cfg)
+		if a.Summary != b.Summary {
+			t.Errorf("%s: summaries diverge across identical runs:\n a %+v\n b %+v",
+				p, a.Summary, b.Summary)
+		}
+		if a.Medium != b.Medium {
+			t.Errorf("%s: medium stats diverge across identical runs", p)
+		}
+		f := a.Summary.Faults
+		if f.Losses == 0 || f.Crashes == 0 || f.Recoveries == 0 || f.PartitionDrops == 0 {
+			t.Errorf("%s: fault processes did not all fire: %+v", p, f)
+		}
+	}
+}
+
+// TestFaultFreeRunsUnperturbed pins the zero-draw invariant: a config with
+// the zero faults.Config must produce exactly the same run as before the
+// fault layer existed — enabling the subsystem costs fault-free runs
+// nothing, not even an RNG draw. The check is indirect (no pre-fault
+// golden values exist): a run with faults enabled and then the same seed
+// without them must differ, while two fault-free runs must agree, and the
+// fault-free run must report all-zero FaultStats.
+func TestFaultFreeRunsUnperturbed(t *testing.T) {
+	cfg := Default()
+	cfg.Duration = 8
+	cfg.VMax = 8
+	clean := Run(cfg)
+	if clean.Summary.Faults != (metrics.FaultStats{}) {
+		t.Errorf("fault-free run reports fault stats: %+v", clean.Summary.Faults)
+	}
+	if again := Run(cfg); again.Summary != clean.Summary {
+		t.Error("fault-free runs diverge across repetitions")
+	}
+	faulty := cfg
+	faulty.Faults = faultyConfig(cfg.Duration)
+	if r := Run(faulty); r.Summary == clean.Summary {
+		t.Error("fault injection changed nothing; faults evidently not wired")
+	}
+}
+
+// TestSweepPanicIsolation is the engine failure-handling contract: one
+// deliberately panicking job (an unknown mobility kind panics inside the
+// lazy trace build) fails alone with Result.Err carrying the diagnostic,
+// every other job in the batch completes normally, and the aggregation
+// convention reports the failure as n_failed rather than pooling zeros.
+func TestSweepPanicIsolation(t *testing.T) {
+	var cfgs []Config
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := Default()
+		cfg.Duration = 5
+		cfg.Seed = seed
+		cfgs = append(cfgs, cfg)
+	}
+	bad := Default()
+	bad.Duration = 5
+	bad.Mobility = MobilityKind(99) // passes Validate, panics in buildMobility
+	cfgs = append(cfgs, bad)
+
+	for _, workers := range []int{1, 3} {
+		results := SweepN(cfgs, workers)
+		var agg metrics.Aggregate
+		for i, r := range results {
+			if i == len(cfgs)-1 {
+				if r.Err == nil {
+					t.Fatalf("workers=%d: panicking job returned no error", workers)
+				}
+				if !strings.Contains(r.Err.Error(), "panicked") {
+					t.Errorf("workers=%d: error lacks panic diagnostic: %v", workers, r.Err)
+				}
+				if r.Summary != (metrics.Summary{}) {
+					t.Errorf("workers=%d: failed result carries a summary", workers)
+				}
+				agg.AddFailed()
+				continue
+			}
+			if r.Err != nil {
+				t.Fatalf("workers=%d: healthy job %d failed: %v", workers, i, r.Err)
+			}
+			if r.Summary.Sent == 0 {
+				t.Errorf("workers=%d: healthy job %d sent nothing", workers, i)
+			}
+			agg.AddSummary(r.Summary)
+		}
+		if agg.Failed != 1 || agg.PDR.N() != len(cfgs)-1 {
+			t.Errorf("workers=%d: aggregate = %d failed / %d pooled, want 1 / %d",
+				workers, agg.Failed, agg.PDR.N(), len(cfgs)-1)
+		}
+	}
+}
+
+// TestArenaSurvivesPanic: after a panic poisons a worker's arena, the
+// engine must keep producing bit-identical results (the poisoned arena is
+// discarded, not reused half-mutated).
+func TestArenaSurvivesPanic(t *testing.T) {
+	good := Default()
+	good.Duration = 5
+	want := Run(good)
+
+	bad := Default()
+	bad.Duration = 5
+	bad.Mobility = MobilityKind(99)
+
+	e := NewEngine(1) // everything on the caller: panic and retry share one arena slot
+	defer e.Close()
+	results := e.Sweep([]Config{bad, good, bad, good})
+	for i, r := range results {
+		if i%2 == 0 {
+			if r.Err == nil {
+				t.Fatalf("job %d: expected a panic-derived error", i)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+		if r.Summary != want.Summary {
+			t.Errorf("job %d: post-panic result diverges from a clean run", i)
+		}
+	}
+}
+
+// TestEventBudgetWatchdog: a run given an absurdly small event budget must
+// come back as a failed result naming the budget, not hang or panic; the
+// default budget must never trip on a legitimate run.
+func TestEventBudgetWatchdog(t *testing.T) {
+	cfg := Default()
+	cfg.Duration = 5
+	cfg.EventBudget = 50
+	res, err := RunE(cfg)
+	if err == nil || res.Err == nil {
+		t.Fatal("tiny event budget did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "event budget") {
+		t.Errorf("watchdog error does not name the budget: %v", err)
+	}
+
+	cfg.EventBudget = 0 // default: generous
+	if _, err := RunE(cfg); err != nil {
+		t.Errorf("default budget tripped on a legitimate run: %v", err)
+	}
+}
+
+// TestRunEErrors covers the library-path error returns that used to be
+// panics: broken config, unknown protocol, trace/config node mismatch —
+// and that the panicking wrappers still panic for legacy callers.
+func TestRunEErrors(t *testing.T) {
+	cfg := Default()
+	cfg.N = 1
+	if _, err := RunE(cfg); err == nil || !strings.Contains(err.Error(), "at least 2 nodes") {
+		t.Errorf("bad config error = %v", err)
+	}
+
+	cfg = Default()
+	cfg.Duration = 5
+	cfg.Protocol = ProtocolKind(99)
+	if _, err := RunE(cfg); err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Errorf("unknown protocol error = %v", err)
+	}
+
+	cfg = Default()
+	cfg.Duration = 5
+	tr := mobility.NewRecorded(10, mobility.Static{Points: make([]geom.Point, 10)})
+	if _, err := NewRunContext().RunTracedE(cfg, tr); err == nil ||
+		!strings.Contains(err.Error(), "does not match config") {
+		t.Errorf("trace mismatch error = %v", err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Run on a broken config should still panic")
+		}
+	}()
+	bad := Default()
+	bad.N = 0
+	Run(bad)
+}
+
+// TestValidateFaultParams: out-of-range fault parameters are rejected with
+// the same zero-means-off convention as the churn/battery knobs.
+func TestValidateFaultParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"loss prob above 1", func(c *Config) { c.Faults.Loss.LossBad = 1.5 }, "must be in [0, 1]"},
+		{"negative loss prob", func(c *Config) { c.Faults.Loss.PGoodBad = -0.1 }, "must be in [0, 1]"},
+		{"negative mtbf", func(c *Config) { c.Faults.CrashMTBF = -1 }, "CrashMTBF"},
+		{"mttr without mtbf", func(c *Config) { c.Faults.CrashMTTR = 5 }, "without CrashMTBF"},
+		{"partition past end", func(c *Config) {
+			c.Faults.Partition = faults.Partition{StartS: 1, EndS: c.Duration + 100}
+		}, "Partition window"},
+		{"inverted partition", func(c *Config) {
+			c.Faults.Partition = faults.Partition{StartS: 5, EndS: 2}
+		}, "Partition window"},
+	}
+	for _, tc := range cases {
+		cfg := Default()
+		cfg.Duration = 60
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestCrashRejoinLongRun: with crash/reboot faults on, an SS-SPST run must
+// see crashed members come back and deliveries continue — PDR degraded but
+// nonzero, recoveries recorded, and (with retry enabled by the fault
+// config) the run's retry counter wired through to the summary.
+func TestCrashRejoinLongRun(t *testing.T) {
+	cfg := Default()
+	cfg.Protocol = SSSPSTE
+	cfg.Duration = 20
+	cfg.Seed = 3
+	cfg.Faults.CrashMTBF = 6
+	cfg.Faults.CrashMTTR = 2
+	res := Run(cfg)
+	f := res.Summary.Faults
+	if f.Crashes == 0 || f.Recoveries == 0 {
+		t.Fatalf("crash process idle over 20 s at MTBF 6: %+v", f)
+	}
+	if res.Summary.PDR == 0 {
+		t.Error("no deliveries at all under moderate crash faults")
+	}
+	if res.Summary.Delivered == 0 {
+		t.Error("no member ever received data after crash/recovery cycles")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/flood"
 	"repro/internal/geom"
 	"repro/internal/maodv"
@@ -201,6 +202,20 @@ type Config struct {
 	// Validate). Finite reserves enable the network-lifetime metrics:
 	// dead nodes, first/half-death times, and the dead-fraction timeline.
 	Battery float64
+
+	// Faults configures the deterministic fault processes (Gilbert-Elliott
+	// bursty loss, crash/reboot node faults, partition windows). The zero
+	// value injects nothing and draws nothing, so fault-free runs stay
+	// bit-identical with earlier builds. Enabling any fault also switches
+	// on the SS-SPST bounded join retry (graceful degradation under loss).
+	Faults faults.Config
+
+	// EventBudget bounds the number of simulator events one run may fire
+	// before it is aborted as a failed result — the watchdog that turns a
+	// runaway run into a diagnosable error instead of a hung sweep worker.
+	// 0 derives a generous default from N and Duration (orders of
+	// magnitude above any legitimate run).
+	EventBudget uint64
 }
 
 // Default returns the paper's baseline scenario: 750 m × 750 m, 50 nodes,
@@ -237,10 +252,14 @@ func Default() Config {
 }
 
 // Result couples a run's summary with diagnostic channel statistics.
+// A non-nil Err marks a failed replication (config error, runaway-run
+// watchdog, or a panic isolated by the sweep engine); its Summary and
+// Medium fields are zero and must not join metric pools.
 type Result struct {
 	Config  Config
 	Summary metrics.Summary
 	Medium  medium.Stats
+	Err     error
 }
 
 // Validate reports the first nonsensical setting in cfg, or nil. Run
@@ -300,6 +319,11 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.SampleInterval < 0 {
 		return fmt.Errorf("scenario: SampleInterval must be >= 0 (0 = beacon interval), got %v", cfg.SampleInterval)
+	}
+	// Fault knobs follow the same convention: zero means "off", loss
+	// probabilities live in [0,1], and partition windows must fit the run.
+	if err := cfg.Faults.Validate(cfg.Duration); err != nil {
+		return fmt.Errorf("scenario: %w", err)
 	}
 	return nil
 }
@@ -379,8 +403,16 @@ func NewRunContext() *RunContext { return &RunContext{} }
 // use its Run instead.
 func Run(cfg Config) Result { return NewRunContext().Run(cfg) }
 
+// RunE is Run with errors returned instead of panicking: a bad config, a
+// mismatched trace or an unknown protocol comes back as (Result{Err: e},
+// e). CLIs use it to print a message and exit 1 instead of a stack trace.
+func RunE(cfg Config) (Result, error) { return NewRunContext().RunE(cfg) }
+
 // Run executes one scenario to completion, reusing the arena.
 func (rc *RunContext) Run(cfg Config) Result { return rc.RunTraced(cfg, nil) }
+
+// RunE is the error-returning form of Run; see the package-level RunE.
+func (rc *RunContext) RunE(cfg Config) (Result, error) { return rc.RunTracedE(cfg, nil) }
 
 // RunTraced is Run over a shared mobility trace: instead of building
 // cfg's movement model, the run replays trace through the arena's reusable
@@ -389,9 +421,30 @@ func (rc *RunContext) Run(cfg Config) Result { return rc.RunTraced(cfg, nil) }
 // bit-identical to Run because replayed legs are the recorded values
 // verbatim and model construction draws nothing from the run's root RNG
 // streams. A nil trace is plain Run.
+//
+// RunTraced panics on a broken config, preserving the historical contract;
+// RunTracedE is the error-returning path underneath it.
 func (rc *RunContext) RunTraced(cfg Config, trace *mobility.Recorded) Result {
-	if err := cfg.Validate(); err != nil {
+	res, err := rc.RunTracedE(cfg, trace)
+	if err != nil {
 		panic(err.Error())
+	}
+	return res
+}
+
+// failed packages a setup or watchdog error as a failed Result.
+func failed(cfg Config, err error) (Result, error) {
+	return Result{Config: cfg, Err: err}, err
+}
+
+// RunTracedE is RunTraced with returned errors: configuration problems
+// (Validate failures, trace/node-count mismatches, unknown protocols) and
+// watchdog aborts produce (Result{Err: e}, e) instead of a panic, so a
+// sweep degrades to a partial grid rather than dying. The arena stays
+// reusable after any returned error.
+func (rc *RunContext) RunTracedE(cfg Config, trace *mobility.Recorded) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return failed(cfg, err)
 	}
 	// Clamp, don't fail: a sweep asking for more receivers than exist
 	// means "everyone but the source".
@@ -411,7 +464,7 @@ func (rc *RunContext) RunTraced(cfg Config, trace *mobility.Recorded) Result {
 	var model mobility.Model
 	if trace != nil {
 		if trace.N() != cfg.N {
-			panic("scenario: trace node count does not match config")
+			return failed(cfg, fmt.Errorf("scenario: trace node count %d does not match config N=%d", trace.N(), cfg.N))
 		}
 		if rc.replay == nil {
 			rc.replay = trace.Replay()
@@ -442,11 +495,18 @@ func (rc *RunContext) RunTraced(cfg Config, trace *mobility.Recorded) Result {
 	if cfg.Mobility == Static {
 		vmax = 0
 	}
+	// Fault processes ride through the medium config: the Gilbert-Elliott
+	// chains and the partition cut act at delivery time, where the physical
+	// effects they model (burst fades, geometric obstacles) live.
+	mcfg := cfg.Medium
+	mcfg.GELoss = cfg.Faults.Loss
+	mcfg.Partition = cfg.Faults.Partition
+	mcfg.PartitionArea = cfg.AreaSide
 	ncfg := netsim.Config{
 		N:            cfg.N,
 		Source:       src,
 		Members:      members,
-		Medium:       cfg.Medium,
+		Medium:       mcfg,
 		Battery:      cfg.Battery,
 		PayloadBytes: cfg.PayloadBytes,
 		Area:         area,
@@ -460,8 +520,14 @@ func (rc *RunContext) RunTraced(cfg Config, trace *mobility.Recorded) Result {
 	}
 	net := rc.net
 
-	rc.attachProtocols(net, cfg)
+	if err := rc.attachProtocols(net, cfg); err != nil {
+		return failed(cfg, err)
+	}
 	net.Start()
+
+	if cfg.Faults.CrashMTBF > 0 {
+		rc.attachCrashFaults(net, cfg, root.Split("faults.crash"))
+	}
 
 	traffic.CBR{
 		RateBps:      cfg.RateBps,
@@ -481,44 +547,112 @@ func (rc *RunContext) RunTraced(cfg Config, trace *mobility.Recorded) Result {
 		attachMembershipChurn(net, cfg.MemberChurnInterval, root.Split("churn"))
 	}
 
+	// Watchdog: bound the event count so a runaway run (a feedback loop
+	// that floods the queue, a timer that reschedules itself at zero delay)
+	// becomes a failed result instead of a hung sweep worker. The default
+	// is orders of magnitude above any legitimate run's event count.
+	budget := cfg.EventBudget
+	if budget == 0 {
+		budget = 50000 * uint64(cfg.N) * uint64(cfg.Duration+1)
+	}
+	s.SetBudget(budget)
+
 	s.Run(cfg.Duration)
-	return Result{Config: cfg, Summary: net.Summarize(), Medium: net.Medium.Stats()}
+	if s.BudgetExceeded() {
+		return failed(cfg, fmt.Errorf("scenario: run exceeded event budget %d before t=%v (seed %d, %v, N=%d) — runaway event loop",
+			budget, cfg.Duration, cfg.Seed, cfg.Protocol, cfg.N))
+	}
+	return Result{Config: cfg, Summary: net.Summarize(), Medium: net.Medium.Stats()}, nil
+}
+
+// protocolFor builds (or resets, for the pooled SS family) the protocol
+// instance for node i. Fault-injected scenarios enable the SS-SPST bounded
+// join retry so a lost JOIN round degrades to a delayed join instead of an
+// orphaned member.
+func (rc *RunContext) protocolFor(cfg Config, i int) (netsim.Protocol, error) {
+	switch cfg.Protocol {
+	case SSSPST, SSSPSTT, SSSPSTF, SSSPSTE, SSMST:
+		ccfg := cfg.SSCore
+		ccfg.Variant = cfg.Protocol.Variant()
+		ccfg.BeaconInterval = cfg.BeaconInterval
+		if cfg.Faults.Any() {
+			ccfg.JoinRetry = true
+		}
+		if p := rc.ssPool[i]; p != nil {
+			p.Reset(ccfg, cfg.N)
+			return p, nil
+		}
+		p := core.New(ccfg, cfg.N)
+		rc.ssPool[i] = p
+		return p, nil
+	case MAODV:
+		return maodv.New(maodv.DefaultConfig()), nil
+	case ODMRP:
+		return odmrp.New(odmrp.DefaultConfig()), nil
+	case Flood:
+		return flood.New(), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown protocol %v", cfg.Protocol)
+	}
 }
 
 // attachProtocols instantiates cfg.Protocol on every node, reusing the
 // arena's SS-SPST instances (reset in place) when the scenario runs the
 // SS family.
-func (rc *RunContext) attachProtocols(net *netsim.Network, cfg Config) {
+func (rc *RunContext) attachProtocols(net *netsim.Network, cfg Config) error {
 	if cfg.Protocol.SelfStabilizing() {
 		for len(rc.ssPool) < cfg.N {
 			rc.ssPool = append(rc.ssPool, nil)
 		}
 	}
 	for i := 0; i < cfg.N; i++ {
+		p, err := rc.protocolFor(cfg, i)
+		if err != nil {
+			return err
+		}
+		net.SetProtocol(packet.NodeID(i), p)
+	}
+	return nil
+}
+
+// attachCrashFaults precomputes each node's crash/reboot schedule from its
+// own fault stream and installs the transitions as simulator events. The
+// schedule is a pure function of the seed — runtime state never feeds back
+// into fault timing — so fault trajectories are identical across worker
+// counts and arena reuse; only the fire-time guards (battery-dead or
+// already-down nodes can't crash; dead nodes can't recover) consult state.
+// The source (node 0) is excluded: a crashed source would silence the
+// traffic generator and every protocol equally, measuring nothing.
+func (rc *RunContext) attachCrashFaults(net *netsim.Network, cfg Config, root *xrand.RNG) {
+	for i := 1; i < cfg.N; i++ {
+		events := cfg.Faults.CrashSchedule(root.SplitIndex(i), cfg.Duration)
 		id := packet.NodeID(i)
-		switch cfg.Protocol {
-		case SSSPST, SSSPSTT, SSSPSTF, SSSPSTE, SSMST:
-			ccfg := cfg.SSCore
-			ccfg.Variant = cfg.Protocol.Variant()
-			ccfg.BeaconInterval = cfg.BeaconInterval
-			if p := rc.ssPool[i]; p != nil {
-				p.Reset(ccfg, cfg.N)
-				net.SetProtocol(id, p)
+		for _, ev := range events {
+			if ev.Down {
+				net.Sim.At(ev.At, func() { net.Crash(id) })
 			} else {
-				p = core.New(ccfg, cfg.N)
-				rc.ssPool[i] = p
-				net.SetProtocol(id, p)
+				net.Sim.At(ev.At, func() {
+					if net.Recover(id) {
+						rc.restartProtocol(net, cfg, id)
+					}
+				})
 			}
-		case MAODV:
-			net.SetProtocol(id, maodv.New(maodv.DefaultConfig()))
-		case ODMRP:
-			net.SetProtocol(id, odmrp.New(odmrp.DefaultConfig()))
-		case Flood:
-			net.SetProtocol(id, flood.New())
-		default:
-			panic("scenario: unknown protocol")
 		}
 	}
+}
+
+// restartProtocol re-runs the protocol join path on a freshly recovered
+// node: the crash dropped all protocol state, so the node comes back as a
+// newborn — SS-SPST re-adopts a parent from the next beacon (with retry
+// pressure if faults keep eating them), ODMRP/MAODV relearn routes from
+// the next refresh flood.
+func (rc *RunContext) restartProtocol(net *netsim.Network, cfg Config, id packet.NodeID) {
+	p, err := rc.protocolFor(cfg, int(id))
+	if err != nil {
+		return // unreachable: the initial attach validated cfg.Protocol
+	}
+	net.SetProtocol(id, p)
+	net.StartNode(id)
 }
 
 // attachAvailabilitySampler probes, once per interval and per member,
@@ -574,7 +708,10 @@ func attachMembershipChurn(net *netsim.Network, interval float64, r *xrand.RNG) 
 		// the run.
 		outs = outs[:0]
 		for _, n := range net.Nodes {
-			if !n.Member && !n.Source && !n.Dead() {
+			// Crashed (down) nodes are skipped for the same reason as dead
+			// ones; unlike death the exclusion is temporary — the node is a
+			// candidate again after recovery.
+			if !n.Member && !n.Source && !n.Dead() && !net.IsDown(n.ID) {
 				outs = append(outs, n.ID)
 			}
 		}
@@ -626,9 +763,15 @@ func RunSeeds(cfg Config, seeds int) metrics.Summary {
 		cfgs[i].Seed = ReplicationSeed(cfg.Seed, i)
 	}
 	results := Sweep(cfgs)
-	sums := make([]metrics.Summary, len(results))
-	for i, r := range results {
-		sums[i] = r.Summary
+	// Failed replications (isolated panics, watchdog aborts) carry zero
+	// summaries; pooling them would drag every mean toward zero. Skip them
+	// — the pooled answer degrades to fewer replications.
+	sums := make([]metrics.Summary, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		sums = append(sums, r.Summary)
 	}
 	return metrics.Mean(sums)
 }

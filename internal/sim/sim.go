@@ -30,6 +30,12 @@ type Simulator struct {
 	// jitter stream (splitting on a fixed label alone would hand every
 	// ticker the same sequence).
 	tickers int
+	// budget, when non-zero, bounds the number of events Run may fire:
+	// the sim-time watchdog that turns a runaway run (event storm,
+	// self-rescheduling livelock) into a failed result instead of a hung
+	// sweep worker. exceeded latches when the bound trips.
+	budget   uint64
+	exceeded bool
 }
 
 // New creates a simulator whose random streams derive from seed.
@@ -48,9 +54,18 @@ func (s *Simulator) Reset(seed uint64) {
 	s.stopped = false
 	s.processed = 0
 	s.tickers = 0
+	s.budget = 0
+	s.exceeded = false
 	s.rng = xrand.New(seed)
 	s.queue.Reset()
 }
+
+// SetBudget bounds the number of events Run may fire before aborting; 0
+// removes the bound. Reset clears it.
+func (s *Simulator) SetBudget(n uint64) { s.budget = n }
+
+// BudgetExceeded reports whether a Run was aborted by the event budget.
+func (s *Simulator) BudgetExceeded() bool { return s.exceeded }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
@@ -201,6 +216,11 @@ func (s *Simulator) Run(until Time) Time {
 		}
 		s.now = e.At
 		s.processed++
+		if s.budget != 0 && s.processed > s.budget {
+			s.exceeded = true
+			s.queue.Release(e)
+			break
+		}
 		fn, act := e.Fn, e.Act
 		s.queue.Release(e) // recycle pooled events before fn can push new ones
 		if fn != nil {
