@@ -279,6 +279,20 @@ func BenchmarkFigureSweepGM(b *testing.B) {
 	}
 }
 
+// BenchmarkFigureSweepGroups8 is the multi-group variant: the same figure
+// point with every run multiplexing 8 Zipf-popular multicast groups over
+// each node's radio — the steady-state per-point cost of the figure 21
+// workload. Compared against BenchmarkFigureSweep, the ratio is the
+// marginal cost of seven extra protocol instances sharing one medium.
+func BenchmarkFigureSweepGroups8(b *testing.B) {
+	e := scenario.NewEngine(1)
+	defer e.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Sweep(scenario.FigurePointConfigsGroups(scenario.RandomWaypoint, 1, 60, 8))
+	}
+}
+
 // BenchmarkFigureSweepParallel runs the same point on a machine-wide
 // engine; the speedup over BenchmarkFigureSweep is the parallel-scaling
 // factor (meaningless when GOMAXPROCS=1 — benchsnap warns).

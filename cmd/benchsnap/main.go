@@ -70,8 +70,14 @@ type snapshot struct {
 	// fault-enabled snapshot (hand-built for profiling the fault paths) is
 	// never silently gated against a fault-free baseline — the workloads
 	// differ, so the >15% comparison would be meaningless.
-	FaultsActive bool    `json:"faults_active"`
-	Benchmarks   []entry `json:"benchmarks"`
+	FaultsActive bool `json:"faults_active"`
+	// Groups is the concurrent-group count of the multi-group FigureSweep
+	// benchmark (FigureSweepGroups<K>); zero in snapshots predating the
+	// many-group workload. Two snapshots measured at different non-zero
+	// counts never meet in -compare: a groups-16 point times a different
+	// workload than a groups-8 one even when the benchmark names line up.
+	Groups     int     `json:"groups"`
+	Benchmarks []entry `json:"benchmarks"`
 }
 
 // bench describes one scenario measurement: the config mutator mirrors the
@@ -196,14 +202,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsnap: warning: GOMAXPROCS=1 — engine parallel speedup is unmeasurable on this host; FigureSweep numbers still isolate trace sharing and arena reuse")
 	}
 	snap.EngineWorkers = 1
+	// benchGroups is the concurrent-group count of the multi-group point:
+	// figure 21's heaviest standard K, recorded in the snapshot so
+	// -compare never gates it against a point of a different width.
+	const benchGroups = 8
+	snap.Groups = benchGroups
 	for _, fb := range []struct {
-		name string
-		mob  scenario.MobilityKind
+		name   string
+		mob    scenario.MobilityKind
+		groups int
 	}{
-		{"FigureSweep", scenario.RandomWaypoint},
-		{"FigureSweepGM", scenario.GaussMarkov},
+		{"FigureSweep", scenario.RandomWaypoint, 1},
+		{"FigureSweepGM", scenario.GaussMarkov, 1},
+		{"FigureSweepGroups8", scenario.RandomWaypoint, benchGroups},
 	} {
-		e := measureFigureSweep(fb.name, fb.mob, dur/2, iters)
+		e := measureFigureSweep(fb.name, fb.mob, dur/2, iters, fb.groups)
 		snap.Benchmarks = append(snap.Benchmarks, e)
 		fmt.Printf("%-28s %12d ns/op %10d B/op %9d allocs/op  (trace hit rate %.3f)\n",
 			fb.name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.TraceHitRate)
@@ -291,17 +304,18 @@ func measure(bm bench, iters int) entry {
 // fresh point (new base seed → new traces) and the minimum wall time is
 // reported, exactly like measure. sim_seconds is the point's total
 // simulated extent so -compare normalizes against per-run benchmarks.
-func measureFigureSweep(name string, mob scenario.MobilityKind, dur float64, iters int) entry {
+// groups > 1 times the multi-group point (figure 21's workload).
+func measureFigureSweep(name string, mob scenario.MobilityKind, dur float64, iters, groups int) entry {
 	eng := scenario.NewEngine(1)
 	defer eng.Close()
-	eng.Sweep(scenario.FigurePointConfigs(mob, 1, dur))
+	eng.Sweep(scenario.FigurePointConfigsGroups(mob, 1, dur, groups))
 	runtime.GC()
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	best := int64(0)
 	for i := 0; i < iters; i++ {
 		start := time.Now()
-		eng.Sweep(scenario.FigurePointConfigs(mob, uint64(i)+2, dur))
+		eng.Sweep(scenario.FigurePointConfigsGroups(mob, uint64(i)+2, dur, groups))
 		if d := time.Since(start).Nanoseconds(); best == 0 || d < best {
 			best = d
 		}
@@ -356,6 +370,11 @@ func compareSnapshots(oldPath, newPath string, threshold float64) int {
 	if oldSnap.FaultsActive != newSnap.FaultsActive {
 		fmt.Fprintf(os.Stderr, "benchsnap: refusing to compare: faults_active differs (%s: %v, %s: %v) — fault-on and fault-off snapshots time different workloads\n",
 			oldPath, oldSnap.FaultsActive, newPath, newSnap.FaultsActive)
+		return 2
+	}
+	if oldSnap.Groups != newSnap.Groups && oldSnap.Groups != 0 && newSnap.Groups != 0 {
+		fmt.Fprintf(os.Stderr, "benchsnap: refusing to compare: groups differs (%s: %d, %s: %d) — multi-group points at different K time different workloads; zero (a snapshot predating the multi-group suite) is exempt, its deltas simply skip the Groups entries\n",
+			oldPath, oldSnap.Groups, newPath, newSnap.Groups)
 		return 2
 	}
 	oldBy := make(map[string]entry, len(oldSnap.Benchmarks))

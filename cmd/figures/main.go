@@ -8,11 +8,13 @@
 // first-death / half-dead / delivered-bytes summary; emits two tables),
 // and 20 — the fault-injection robustness study (PDR / unavailability /
 // control overhead vs Gilbert-Elliott loss burst length and vs
-// crash/reboot rate; emits two tables).
+// crash/reboot rate; emits two tables), and 21 — the concurrent-group
+// sweep (PDR / unavailability / control overhead vs the number of
+// Zipf-popular multicast groups multiplexed over each node's radio).
 //
 // Usage:
 //
-//	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,17,18,20]
+//	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,17,18,21]
 //	        [-mobility gauss-markov,rpgm,manhattan,rwp] [-workers N]
 //
 // All requested figures are flattened into ONE globally scheduled batch
@@ -80,8 +82,8 @@ func main() {
 		want = nil
 		for _, s := range strings.Split(*figs, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 7 || n > 20 {
-				fmt.Fprintf(os.Stderr, "unknown figure %q (valid: 7-20)\n", s)
+			if err != nil || n < 7 || n > 21 {
+				fmt.Fprintf(os.Stderr, "unknown figure %q (valid: 7-21)\n", s)
 				os.Exit(2)
 			}
 			want = append(want, n)

@@ -1,17 +1,27 @@
 // Command sweep runs an arbitrary parameter grid and emits one CSV row
-// per (mobility, protocol, velocity, group size, beacon, churn, battery,
-// loss, crash-MTBF) point with each headline metric as mean ± CI95 across
-// seeds — the raw material for custom plots beyond the paper's figures.
-// With -raw it emits one row per seed instead. Single-seed points print a
-// CI of 0.
+// per (mobility, protocol, velocity, group size, group count, beacon,
+// churn, battery, loss, crash-MTBF) point with each headline metric as
+// mean ± CI95 across seeds — the raw material for custom plots beyond the
+// paper's figures. With -raw it emits one row per seed instead.
+// Single-seed points print a CI of 0.
 //
 // Usage:
 //
-//	sweep -protos ss-spst,ss-spst-e -vmax 1,5,10,20 -groups 10,30 \
+//	sweep -protos ss-spst,ss-spst-e -vmax 1,5,10,20 -groupsize 10,30 \
+//	      -groups 1,4,16 \
 //	      -mobility rwp,gauss-markov,rpgm,manhattan \
 //	      -churn 0,5,20 -battery 0,10 \
 //	      -loss 0,4,16 -crash-mtbf 0,300 \
 //	      -seeds 3 -duration 300 [-workers N] > results.csv
+//
+// -groupsize sweeps the primary group's receiver count; -groups sweeps the
+// number of concurrent multicast groups (topics) multiplexed over each
+// node's radio — per-topic popularity is Zipf-skewed, topic 0 keeping the
+// configured size and rate. Aggregated points with more than one topic
+// emit a pooled row (topic "all") followed by one row per topic whose
+// metrics come from that topic's own summaries; per-topic rows leave the
+// node-lifecycle columns (dead nodes, deaths, retries) zero, as those are
+// radio-level, not per-topic, quantities.
 //
 // -loss sweeps Gilbert-Elliott bursty channel loss by mean burst length in
 // packets (0 = off; the figure 20a calibration: P(good→bad) = 0.05, 80%
@@ -56,6 +66,7 @@ type point struct {
 	proto     scenario.ProtocolKind
 	vmax      float64
 	group     int
+	groups    int // concurrent multicast groups (topics); 1 = paper workload
 	beacon    float64
 	churn     float64 // membership-churn interval (s); 0 = no churn
 	battery   float64 // joules per node; 0 = unlimited
@@ -80,7 +91,8 @@ func faultsFor(loss, mtbf, mttr float64) (f faults.Config) {
 func main() {
 	protos := flag.String("protos", "ss-spst,ss-spst-e", "comma-separated protocols")
 	vmaxs := flag.String("vmax", "1,5,10,20", "comma-separated max speeds (m/s)")
-	groups := flag.String("groups", "20", "comma-separated group sizes")
+	groupSizes := flag.String("groupsize", "20", "comma-separated group sizes (receivers in the primary group)")
+	groupCounts := flag.String("groups", "1", "comma-separated concurrent group (topic) counts; 1 = the paper's single group")
 	beacons := flag.String("beacons", "2", "comma-separated beacon intervals (s)")
 	churns := flag.String("churn", "0", "comma-separated membership-churn intervals (s); 0 = no churn")
 	batteries := flag.String("battery", "0", "comma-separated per-node battery reserves (J); 0 = unlimited")
@@ -119,30 +131,33 @@ func main() {
 				os.Exit(2)
 			}
 			for _, v := range parseFloats(*vmaxs) {
-				for _, g := range parseInts(*groups) {
-					for _, b := range parseFloats(*beacons) {
-						for _, ch := range parseFloats(*churns) {
-							for _, bat := range parseFloats(*batteries) {
-								for _, loss := range parseFloats(*losses) {
-									for _, mtbf := range parseFloats(*crashMTBFs) {
-										points = append(points, point{m, kind, v, g, b, ch, bat, loss, mtbf})
-										for s := 0; s < *seeds; s++ {
-											cfg := scenario.Default()
-											cfg.Mobility = m
-											cfg.Protocol = kind
-											cfg.VMax = v
-											cfg.GroupSize = g
-											cfg.BeaconInterval = b
-											cfg.MemberChurnInterval = ch
-											cfg.Battery = bat
-											cfg.Faults = faultsFor(loss, mtbf, *crashMTTR)
-											cfg.Duration = *duration
-											cfg.Seed = scenario.ReplicationSeed(1, s)
-											if err := cfg.Validate(); err != nil {
-												fmt.Fprintln(os.Stderr, "sweep:", err)
-												os.Exit(1)
+				for _, g := range parseInts(*groupSizes) {
+					for _, k := range parseInts(*groupCounts) {
+						for _, b := range parseFloats(*beacons) {
+							for _, ch := range parseFloats(*churns) {
+								for _, bat := range parseFloats(*batteries) {
+									for _, loss := range parseFloats(*losses) {
+										for _, mtbf := range parseFloats(*crashMTBFs) {
+											points = append(points, point{m, kind, v, g, k, b, ch, bat, loss, mtbf})
+											for s := 0; s < *seeds; s++ {
+												cfg := scenario.Default()
+												cfg.Mobility = m
+												cfg.Protocol = kind
+												cfg.VMax = v
+												cfg.GroupSize = g
+												cfg.Groups = k
+												cfg.BeaconInterval = b
+												cfg.MemberChurnInterval = ch
+												cfg.Battery = bat
+												cfg.Faults = faultsFor(loss, mtbf, *crashMTTR)
+												cfg.Duration = *duration
+												cfg.Seed = scenario.ReplicationSeed(1, s)
+												if err := cfg.Validate(); err != nil {
+													fmt.Fprintln(os.Stderr, "sweep:", err)
+													os.Exit(1)
+												}
+												cfgs = append(cfgs, cfg)
 											}
-											cfgs = append(cfgs, cfg)
 										}
 									}
 								}
@@ -188,12 +203,21 @@ func cfgBurst(c scenario.Config) float64 {
 	return 0
 }
 
+// cfgGroups recovers the -groups axis value (concurrent topic count) from
+// a run's config; the zero value means the single paper group.
+func cfgGroups(c scenario.Config) int {
+	if c.Groups > 1 {
+		return c.Groups
+	}
+	return 1
+}
+
 // writeRaw emits the legacy one-row-per-seed format. A failed replication
 // (isolated panic, watchdog abort) keeps its identifying columns, sets
 // failed=1 and zeroes every metric — consumers filter on the flag.
 func writeRaw(w *csv.Writer, results []scenario.Result) {
 	w.Write([]string{
-		"mobility", "protocol", "vmax", "group", "beacon", "churn", "battery",
+		"mobility", "protocol", "vmax", "group", "groups", "beacon", "churn", "battery",
 		"loss", "crash_mtbf", "seed",
 		"pdr", "energy_per_pkt_mJ", "delay_ms", "ctrl_per_data_byte",
 		"unavailability", "total_energy_J", "tx_J", "rx_J", "discard_J",
@@ -208,7 +232,8 @@ func writeRaw(w *csv.Writer, results []scenario.Result) {
 		}
 		w.Write([]string{
 			c.Mobility.String(), c.Protocol.String(),
-			ftoa(c.VMax), strconv.Itoa(c.GroupSize), ftoa(c.BeaconInterval),
+			ftoa(c.VMax), strconv.Itoa(c.GroupSize), strconv.Itoa(cfgGroups(c)),
+			ftoa(c.BeaconInterval),
 			ftoa(c.MemberChurnInterval), ftoa(c.Battery),
 			ftoa(cfgBurst(c)), ftoa(c.Faults.CrashMTBF),
 			strconv.FormatUint(c.Seed, 10),
@@ -225,10 +250,14 @@ func writeRaw(w *csv.Writer, results []scenario.Result) {
 // mean is the pooled (denominator-weighted) metrics.Mean; the CI is the
 // Student-t 95% half-width of the per-seed values. Failed replications
 // join no pool: n_seeds still reports the attempted count, failed_runs how
-// many were excluded.
+// many were excluded. Multi-topic points (groups > 1) emit the pooled row
+// (topic "all") followed by one row per topic, pooled from that topic's
+// per-seed summaries; node-lifecycle columns stay zero on per-topic rows
+// because battery death and crash retries are radio-level, not per-topic.
 func writeAggregated(w *csv.Writer, points []point, results []scenario.Result, seeds int) {
 	w.Write([]string{
-		"mobility", "protocol", "vmax", "group", "beacon", "churn", "battery",
+		"mobility", "protocol", "vmax", "group", "groups", "topic",
+		"beacon", "churn", "battery",
 		"loss", "crash_mtbf", "seeds",
 		"pdr", "pdr_ci95",
 		"energy_per_pkt_mJ", "energy_per_pkt_ci95",
@@ -240,27 +269,21 @@ func writeAggregated(w *csv.Writer, points []point, results []scenario.Result, s
 		"first_death_s", "first_death_ci95",
 		"retries", "failed_runs",
 	})
-	for i, p := range points {
-		var agg metrics.Aggregate
-		var sums []metrics.Summary
-		for s := 0; s < seeds; s++ {
-			r := results[i*seeds+s]
-			if r.Err != nil {
-				agg.AddFailed()
-				continue
-			}
-			sums = append(sums, r.Summary)
-			agg.AddSummary(r.Summary)
-		}
+	row := func(p point, topic string, sums []metrics.Summary, agg *metrics.Aggregate) {
 		pooled := metrics.Mean(sums)
 		nOK := len(sums)
 		deadPerRun := 0.0
 		if nOK > 0 {
 			deadPerRun = float64(pooled.DeadNodes) / float64(nOK)
 		}
+		k := p.groups
+		if k < 1 {
+			k = 1
+		}
 		w.Write([]string{
 			p.mobility.String(), p.proto.String(),
-			ftoa(p.vmax), strconv.Itoa(p.group), ftoa(p.beacon),
+			ftoa(p.vmax), strconv.Itoa(p.group), strconv.Itoa(k), topic,
+			ftoa(p.beacon),
 			ftoa(p.churn), ftoa(p.battery),
 			ftoa(p.loss), ftoa(p.crashMTBF), strconv.Itoa(seeds),
 			ftoa(pooled.PDR), ftoa(agg.PDR.CI95()),
@@ -273,6 +296,37 @@ func writeAggregated(w *csv.Writer, points []point, results []scenario.Result, s
 			ftoa(pooled.FirstDeathS), ftoa(agg.FirstDeathS.CI95()),
 			strconv.Itoa(pooled.Faults.JoinRetries), strconv.Itoa(agg.Failed),
 		})
+	}
+	for i, p := range points {
+		var agg metrics.Aggregate
+		var sums []metrics.Summary
+		for s := 0; s < seeds; s++ {
+			r := results[i*seeds+s]
+			if r.Err != nil {
+				agg.AddFailed()
+				continue
+			}
+			sums = append(sums, r.Summary)
+			agg.AddSummary(r.Summary)
+		}
+		row(p, "all", sums, &agg)
+		if p.groups <= 1 {
+			continue
+		}
+		for g := 0; g < p.groups; g++ {
+			var tagg metrics.Aggregate
+			var tsums []metrics.Summary
+			for s := 0; s < seeds; s++ {
+				r := results[i*seeds+s]
+				if r.Err != nil || g >= len(r.PerGroup) {
+					tagg.AddFailed()
+					continue
+				}
+				tsums = append(tsums, r.PerGroup[g])
+				tagg.AddSummary(r.PerGroup[g])
+			}
+			row(p, strconv.Itoa(g), tsums, &tagg)
+		}
 	}
 }
 

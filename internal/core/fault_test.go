@@ -64,7 +64,7 @@ func TestDeliveryResumesAfterRepair(t *testing.T) {
 	send := func(k int) {
 		for i := 0; i < k; i++ {
 			tn.net.Collector.DataSent(1)
-			tn.net.Nodes[0].Proto.Originate()
+			tn.net.Nodes[0].Slots[0].Proto.Originate()
 			tn.sim.Run(tn.sim.Now() + 0.1)
 		}
 	}
@@ -89,7 +89,7 @@ func TestSourceDeathSilencesService(t *testing.T) {
 	tn.net.Kill(0)
 	tn.runRounds(1)
 	txJ := tn.net.Meters[0].TxJ
-	tn.net.Nodes[0].Proto.Originate()
+	tn.net.Nodes[0].Slots[0].Proto.Originate()
 	tn.sim.Run(tn.sim.Now() + 1)
 	if tn.net.Meters[0].TxJ != txJ {
 		t.Error("dead source still spent transmission energy")
@@ -139,7 +139,7 @@ func TestDynamicJoinGrowsBranch(t *testing.T) {
 	}
 	// End-to-end: a packet reaches the new member.
 	tn.net.Collector.DataSent(2)
-	tn.net.Nodes[0].Proto.Originate()
+	tn.net.Nodes[0].Slots[0].Proto.Originate()
 	tn.sim.Run(tn.sim.Now() + 0.5)
 	if _, ever := tn.net.Collector.LastDelivery(3); !ever {
 		t.Error("dynamically joined member received nothing")

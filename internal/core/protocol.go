@@ -184,7 +184,7 @@ func (e *Neighbor) pathContains(id packet.NodeID) bool {
 type Protocol struct {
 	cfg    Config
 	metric Metric
-	node   *netsim.Node
+	node   *netsim.Slot
 	rng    *xrand.RNG
 
 	cost       float64
@@ -317,7 +317,7 @@ func (p *Protocol) Reset(cfg Config, n int) {
 func (p *Protocol) Config() Config { return p.cfg }
 
 // Start implements netsim.Protocol.
-func (p *Protocol) Start(n *netsim.Node) {
+func (p *Protocol) Start(n *netsim.Slot) {
 	p.node = n
 	p.metric = Metric{
 		Variant:        p.cfg.Variant,
@@ -325,7 +325,7 @@ func (p *Protocol) Start(n *netsim.Node) {
 		DataBytes:      p.cfg.DataBytes,
 		HopPenaltyFrac: p.cfg.HopPenaltyFrac,
 	}
-	p.rng = n.Sim().RNG().Split("ssspst").SplitIndex(int(n.ID))
+	p.rng = n.ProtoRNG("ssspst")
 	p.detach()
 	if n.Source {
 		p.cost = 0

@@ -116,7 +116,7 @@ func TestDataDeliveryOverChain(t *testing.T) {
 	src := tn.net.Nodes[0]
 	for i := 0; i < 20; i++ {
 		tn.net.Collector.DataSent(1)
-		src.Proto.Originate()
+		src.Slots[0].Proto.Originate()
 		tn.sim.Run(tn.sim.Now() + 0.1)
 	}
 	tn.runRounds(2)
@@ -135,7 +135,7 @@ func TestOriginateWithoutChildrenIsSilent(t *testing.T) {
 	pts := []geom.Point{{X: 0}, {X: 100}}
 	tn := buildStatic(t, pts, Hop, []int{1}, 2, 1)
 	// No rounds run: no beacons exchanged yet.
-	tn.net.Nodes[0].Proto.Originate()
+	tn.net.Nodes[0].Slots[0].Proto.Originate()
 	tn.sim.Run(0.5)
 	if got := tn.net.Medium.Stats().DataBytes; got != 0 {
 		t.Errorf("unformed tree still transmitted %d data bytes", got)

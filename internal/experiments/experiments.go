@@ -397,6 +397,68 @@ func lifetimeSpec(o Options) *figSpec {
 	return spec
 }
 
+// groupCounts is the figure 21 concurrent-group sweep: the number of
+// independent multicast groups multiplexed over each node's single radio.
+// K=1 is the paper's workload; the axis doubles up to 16 topics.
+var groupCounts = []int{1, 2, 4, 8, 16}
+
+// multiGroupSpec declares figure 21 — the many-group pub/sub workload this
+// repository adds beyond the paper: all four protocols at the paper
+// baseline (5 m/s, 20 receivers in the primary group) with K concurrent
+// groups sharing every node's radio, battery and mobility. Per-topic
+// popularity is Zipf-skewed (s=1), so group 0 keeps the paper's exact
+// member count and source rate while later topics shrink; the summary
+// metrics pool all topics. PDR and control overhead are read for every
+// protocol; unavailability only for the SS family, whose availability
+// sampler defines it — with K instances it prices tree re-stabilization
+// under cross-topic radio contention.
+func multiGroupSpec(o Options) *figSpec {
+	spec := &figSpec{tbls: []Table{{
+		Title:  "Figure 21: PDR / unavailability / control overhead vs concurrent group count",
+		XLabel: "concurrent groups (K)",
+		YLabel: "metric value (per series)",
+		Series: map[string][]Point{},
+	}}}
+	t := &spec.tbls[0]
+	type metricOut struct {
+		label  string
+		pick   picker
+		ssOnly bool
+	}
+	outs := []metricOut{
+		{"PDR", pdr, false},
+		{"unavail", unavail, true},
+		{"ctrl/B", ctrl, false},
+	}
+	for _, mo := range outs {
+		for _, p := range allFour {
+			if mo.ssOnly && !p.SelfStabilizing() {
+				continue
+			}
+			t.Order = append(t.Order, p.String()+" "+mo.label)
+		}
+	}
+	for _, p := range allFour {
+		for _, k := range groupCounts {
+			cfg := scenario.Default()
+			cfg.Duration = o.Duration
+			cfg.Protocol = p
+			cfg.VMax = 5
+			cfg.GroupSize = 20
+			cfg.Groups = k
+			r := row{x: float64(k), cfg: cfg}
+			for _, mo := range outs {
+				if mo.ssOnly && !p.SelfStabilizing() {
+					continue
+				}
+				r.outs = append(r.outs, rowOut{series: p.String() + " " + mo.label, pick: mo.pick})
+			}
+			spec.rows = append(spec.rows, r)
+		}
+	}
+	return spec
+}
+
 // burstLengths is the figure 20a loss-burstiness sweep: the Gilbert-Elliott
 // mean burst length in packets (1/PBadGood), longest burst last. The mean
 // loss rate is held roughly constant while the burst structure changes —
@@ -531,17 +593,19 @@ func spec(n int, o Options, kinds []scenario.MobilityKind) (*figSpec, error) {
 		return lifetimeSpec(o), nil
 	case 20:
 		return faultSpec(o), nil
+	case 21:
+		return multiGroupSpec(o), nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown figure %d (valid: 7-20)", n)
+		return nil, fmt.Errorf("experiments: unknown figure %d (valid: 7-21)", n)
 	}
 }
 
 // AllFigures lists the generatable figure numbers in paper order
 // (7–16 reproduce the paper; 17 is the cross-mobility extension, 18 the
 // membership-churn sweep, 19 the network-lifetime study, 20 the
-// fault-injection robustness study — note 19 and 20 each yield two
-// tables).
-func AllFigures() []int { return []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20} }
+// fault-injection robustness study, 21 the concurrent-group sweep — note
+// 19 and 20 each yield two tables).
+func AllFigures() []int { return []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21} }
 
 // Generate regenerates the requested figures as ONE globally scheduled
 // batch: every (figure, row, seed) run goes into the shared engine's
@@ -768,6 +832,11 @@ func Figure20(o Options) []Table {
 	}
 	return tbls
 }
+
+// Figure21 generates the concurrent-group sweep: PDR, unavailability (SS
+// family) and control overhead for all four protocols as K independent
+// Zipf-popular multicast groups share each node's radio.
+func Figure21(o Options) Table { return generate1(o, 21, nil) }
 
 // All returns every reproduced paper figure in paper order, generated as
 // one batch.

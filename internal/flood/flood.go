@@ -15,7 +15,7 @@ import (
 
 // Protocol is one node's flooding instance.
 type Protocol struct {
-	node *netsim.Node
+	node *netsim.Slot
 	rng  *xrand.RNG
 	seen packet.SeqSet
 	seq  uint32
@@ -29,9 +29,9 @@ type Protocol struct {
 func New() *Protocol { return &Protocol{} }
 
 // Start implements netsim.Protocol.
-func (p *Protocol) Start(n *netsim.Node) {
+func (p *Protocol) Start(n *netsim.Slot) {
 	p.node = n
-	p.rng = n.Sim().RNG().Split("flood").SplitIndex(int(n.ID))
+	p.rng = n.ProtoRNG("flood")
 	p.frames = fwdpool.New[struct{}](n)
 	if p.JitterMax == 0 {
 		p.JitterMax = 4e-3

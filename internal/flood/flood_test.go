@@ -36,7 +36,7 @@ func TestFloodReachesEveryMember(t *testing.T) {
 	pts := []geom.Point{{X: 0}, {X: 200}, {X: 400}, {X: 600}, {X: 600, Y: 200}}
 	s, net := rig(t, pts, []int{3, 4})
 	net.Collector.DataSent(2)
-	net.Nodes[0].Proto.Originate()
+	net.Nodes[0].Slots[0].Proto.Originate()
 	s.Run(2)
 	if sum := net.Summarize(); sum.Delivered != 2 {
 		t.Errorf("delivered %d/2", sum.Delivered)
@@ -47,7 +47,7 @@ func TestFloodForwardsOncePerNode(t *testing.T) {
 	pts := []geom.Point{{X: 0}, {X: 100}, {X: 200}}
 	s, net := rig(t, pts, []int{2})
 	net.Collector.DataSent(1)
-	net.Nodes[0].Proto.Originate()
+	net.Nodes[0].Slots[0].Proto.Originate()
 	s.Run(2)
 	// One origination + one rebroadcast per other node = 3 transmissions.
 	if tx := net.Medium.Stats().Transmissions; tx != 3 {
@@ -59,7 +59,7 @@ func TestFloodNoControlTraffic(t *testing.T) {
 	pts := []geom.Point{{X: 0}, {X: 100}}
 	s, net := rig(t, pts, []int{1})
 	net.Collector.DataSent(1)
-	net.Nodes[0].Proto.Originate()
+	net.Nodes[0].Slots[0].Proto.Originate()
 	s.Run(2)
 	if net.Collector.ControlBytes != 0 {
 		t.Errorf("flooding sent %d control bytes", net.Collector.ControlBytes)

@@ -34,15 +34,15 @@ func (f *Frame[P]) FreePacket(*packet.Packet) { f.pool.free = append(f.pool.free
 // Free returns a never-transmitted frame to its pool directly.
 func (f *Frame[P]) Free() { f.pool.free = append(f.pool.free, f) }
 
-// Pool recycles frames of one payload shape for one node.
+// Pool recycles frames of one payload shape for one protocol slot.
 type Pool[P any] struct {
-	node    *netsim.Node
+	slot    *netsim.Slot
 	free    []*Frame[P]
 	actFree []*sendAction[P]
 }
 
-// New returns an empty pool bound to node.
-func New[P any](node *netsim.Node) *Pool[P] { return &Pool[P]{node: node} }
+// New returns an empty pool bound to slot.
+func New[P any](slot *netsim.Slot) *Pool[P] { return &Pool[P]{slot: slot} }
 
 // Take returns a recycled frame (or a fresh one). Pkt is zeroed except for
 // Owner, which points back at the frame; Payload holds stale scratch the
@@ -79,7 +79,7 @@ func (a *sendAction[P]) Fire() {
 		f.Free()
 		return
 	}
-	pool.node.Broadcast(&f.Pkt, r)
+	pool.slot.Broadcast(&f.Pkt, r)
 }
 
 // SendAfter broadcasts f with the given range after delay seconds of
@@ -96,5 +96,5 @@ func (p *Pool[P]) SendAfter(delay float64, f *Frame[P], txRange float64, guard f
 		a = &sendAction[P]{}
 	}
 	a.f, a.txRange, a.guard = f, txRange, guard
-	p.node.Sim().AfterAction(delay, a)
+	p.slot.Sim().AfterAction(delay, a)
 }

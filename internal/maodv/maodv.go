@@ -76,7 +76,7 @@ const (
 // netsim.TreeStater.
 type Protocol struct {
 	cfg  Config
-	node *netsim.Node
+	node *netsim.Slot
 	rng  *xrand.RNG
 
 	// Leader state (the multicast source doubles as group leader).
@@ -128,9 +128,9 @@ func New(cfg Config) *Protocol {
 }
 
 // Start implements netsim.Protocol.
-func (p *Protocol) Start(n *netsim.Node) {
+func (p *Protocol) Start(n *netsim.Slot) {
 	p.node = n
-	p.rng = n.Sim().RNG().Split("maodv").SplitIndex(int(n.ID))
+	p.rng = n.ProtoRNG("maodv")
 	p.datPool = fwdpool.New[struct{}](n)
 	p.grphPool = fwdpool.New[grphPayload](n)
 	p.joinPool = fwdpool.New[joinPayload](n)

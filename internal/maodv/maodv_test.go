@@ -73,7 +73,7 @@ func TestDataFlowsDownTree(t *testing.T) {
 	s.Run(15) // join completes
 	for i := 0; i < 30; i++ {
 		net.Collector.DataSent(1)
-		net.Nodes[0].Proto.Originate()
+		net.Nodes[0].Slots[0].Proto.Originate()
 		s.Run(s.Now() + 0.0625)
 	}
 	s.Run(s.Now() + 1)

@@ -159,9 +159,16 @@ type Medium struct {
 	meters  []*energy.Meter
 	rng     *xrand.RNG
 	active  []*transmission
-	// OnTransmit, when set, observes every frame put on air (used by the
-	// metrics collector for control-overhead accounting).
-	OnTransmit func(pkt *packet.Packet)
+	// OnTransmit, when set, observes every frame put on air together with
+	// the transmit energy charged for it (used by the metrics collector
+	// for control-overhead accounting and per-group energy attribution).
+	OnTransmit func(pkt *packet.Packet, txJ float64)
+	// OnRxWaste, when set, observes every reception the receiver burned
+	// energy on without decoding — collision-corrupted frames,
+	// Gilbert-Elliott losses, and independent fading losses (used for
+	// per-group energy attribution). Partition drops charge no energy and
+	// are not reported here.
+	OnRxWaste func(pkt *packet.Packet, rxJ float64)
 	// OnDeath, when set, observes each node's battery crossing into
 	// depletion — fired exactly once per node, immediately after the
 	// charge that exhausted it (used by the metrics collector's
@@ -438,6 +445,7 @@ func (m *Medium) Reset(s *sim.Simulator, cfg Config, tracker *mobility.Tracker, 
 	m.sim, m.cfg, m.tracker = s, cfg, tracker
 	m.rng = s.RNG().Split("medium")
 	m.OnTransmit = nil
+	m.OnRxWaste = nil
 	m.OnDeath = nil
 	m.OnFaultDrop = nil
 	m.stats = Stats{}
@@ -693,7 +701,8 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 	tx.rxJ = m.cfg.Energy.RxEnergy(pkt.Bytes, txRange)
 
 	// Charge the sender.
-	m.meters[from].SpendTx(m.cfg.Energy.TxEnergy(pkt.Bytes, txRange))
+	txJ := m.cfg.Energy.TxEnergy(pkt.Bytes, txRange)
+	m.meters[from].SpendTx(txJ)
 	m.noteDeath(from, m.meters[from])
 	m.stats.Transmissions++
 	if pkt.Kind.Control() {
@@ -702,7 +711,7 @@ func (m *Medium) send(from packet.NodeID, pkt *packet.Packet, txRange float64, a
 		m.stats.DataBytes += int64(pkt.Bytes)
 	}
 	if m.OnTransmit != nil {
-		m.OnTransmit(pkt)
+		m.OnTransmit(pkt, txJ)
 	}
 
 	// The new transmission corrupts any in-flight reception whose receiver
@@ -948,6 +957,14 @@ func (m *Medium) interferedAt(p geom.Point) bool {
 	return false
 }
 
+// noteRxWaste fires OnRxWaste for a reception that charged the radio
+// without delivering.
+func (m *Medium) noteRxWaste(pkt *packet.Packet, rxJ float64) {
+	if m.OnRxWaste != nil {
+		m.OnRxWaste(pkt, rxJ)
+	}
+}
+
 // noteDeath fires OnDeath when a charge has just exhausted id's battery.
 // Callers only charge meters they verified alive (send and deliver both
 // early-return on dead radios), so a post-charge Dead() is exactly the
@@ -974,6 +991,7 @@ func (m *Medium) deliver(tx *transmission, rc *reception) {
 		// The radio still burned energy on the corrupted frame.
 		meter.SpendDiscard(rxJ)
 		m.noteDeath(rc.to, meter)
+		m.noteRxWaste(tx.pkt, rxJ)
 		return
 	}
 	now := m.sim.Now()
@@ -994,6 +1012,7 @@ func (m *Medium) deliver(tx *transmission, rc *reception) {
 		m.stats.FaultDrops++
 		meter.SpendDiscard(rxJ)
 		m.noteDeath(rc.to, meter)
+		m.noteRxWaste(tx.pkt, rxJ)
 		if m.OnFaultDrop != nil {
 			m.OnFaultDrop(false)
 		}
@@ -1003,6 +1022,7 @@ func (m *Medium) deliver(tx *transmission, rc *reception) {
 		m.stats.Fading++
 		meter.SpendDiscard(rxJ)
 		m.noteDeath(rc.to, meter)
+		m.noteRxWaste(tx.pkt, rxJ)
 		return
 	}
 	meter.SpendRx(rxJ)

@@ -199,7 +199,7 @@ func TestOnTransmitHook(t *testing.T) {
 	pts := []geom.Point{{X: 0}, {X: 50}}
 	s, m, _, _ := rig(t, pts, nil)
 	var seen []packet.Kind
-	m.OnTransmit = func(p *packet.Packet) { seen = append(seen, p.Kind) }
+	m.OnTransmit = func(p *packet.Packet, txJ float64) { seen = append(seen, p.Kind) }
 	m.Broadcast(0, testPacket(0), 100)
 	s.Run(1)
 	if len(seen) != 1 || seen[0] != packet.KindData {

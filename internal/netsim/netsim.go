@@ -2,6 +2,14 @@
 // nodes, their protocol instances and energy meters, the shared medium,
 // the mobility tracker and the metrics collector, and it defines the
 // Protocol interface every multicast routing protocol implements.
+//
+// A node hosts one protocol instance per multicast group (topic): the
+// instances are independent — each has its own membership flag, trees,
+// seen-sets and timers — but they share the node's single radio, battery
+// and mobility trace, so per-group traffic genuinely competes for the
+// channel. Frames carry a packet.GroupID and the node dispatches each
+// reception to the matching slot. Single-group runs use slot 0
+// throughout and behave exactly as the pre-multiplexing build.
 package netsim
 
 import (
@@ -12,21 +20,22 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/xrand"
 )
 
-// Protocol is one node's instance of a multicast routing protocol.
-// Implementations receive every frame the medium delivers to their node
+// Protocol is one group's protocol instance on one node. Implementations
+// receive every frame the medium delivers to their node for their group
 // and drive their own timers via the node's simulator.
 type Protocol interface {
-	// Start binds the protocol to its node and arms initial timers.
-	Start(n *Node)
+	// Start binds the protocol to its slot and arms initial timers.
+	Start(s *Slot)
 	// Receive handles a successfully received frame. The reception energy
 	// has already been charged as consumed; protocols that drop the frame
-	// must call n.DiscardRx(info) so the energy is re-bucketed as
+	// must call s.DiscardRx(info) so the energy is re-bucketed as
 	// overhearing cost.
 	Receive(pkt *packet.Packet, info medium.RxInfo)
 	// Originate injects one application data packet at this node (called
-	// by the traffic generator on the multicast source only).
+	// by the traffic generator on the group's source only).
 	Originate()
 }
 
@@ -38,30 +47,70 @@ type TreeStater interface {
 	TreeParent() (packet.NodeID, bool)
 }
 
-// Node is one mobile host.
+// Node is one mobile host. It owns the radio, battery and position; the
+// per-group protocol state lives in its Slots.
 type Node struct {
-	ID     packet.NodeID
-	Net    *Network
+	ID    packet.NodeID
+	Net   *Network
+	Meter *energy.Meter
+	// Slots holds one protocol slot per multicast group; Slots[g] serves
+	// group g. Single-group runs have exactly Slots[0].
+	Slots []*Slot
+}
+
+// Slot is one node's seat in one multicast group: the protocol instance
+// serving that group plus the node's role in it. It embeds the node, so
+// protocols reach the shared radio, battery, clock and simulator through
+// their slot; the slot-level methods (Broadcast, DiscardRx, ConsumeData)
+// additionally tag the traffic and energy they account with the group.
+type Slot struct {
+	*Node
+	Group  packet.GroupID
 	Proto  Protocol
-	Meter  *energy.Meter
-	Member bool // multicast receiver
-	Source bool // multicast source
+	Member bool // receiver of this group
+	Source bool // source of this group
 }
 
-// Deliver implements medium.Receiver.
+// Deliver implements medium.Receiver: receptions route to the slot
+// serving the frame's group.
 func (n *Node) Deliver(pkt *packet.Packet, info medium.RxInfo) {
-	n.Proto.Receive(pkt, info)
+	g := int(pkt.Group)
+	n.Net.Collector.GroupSpendRx(g, info.RxJ)
+	n.Slots[g].Proto.Receive(pkt, info)
 }
 
-// Broadcast transmits pkt from this node with the given power-controlled
-// range.
-func (n *Node) Broadcast(pkt *packet.Packet, txRange float64) {
-	n.Net.Medium.Broadcast(n.ID, pkt, txRange)
+// Broadcast transmits pkt from this slot's node with the given
+// power-controlled range, tagging the frame with the slot's group.
+func (s *Slot) Broadcast(pkt *packet.Packet, txRange float64) {
+	pkt.Group = s.Group
+	s.Net.Medium.Broadcast(s.Node.ID, pkt, txRange)
 }
 
-// DiscardRx reclassifies a reception's energy as overhearing waste. Call
+// DiscardRx reclassifies a reception's energy as overhearing waste, both
+// on the node's meter and in the group's attributed-energy tally. Call
 // exactly once for frames the protocol drops.
-func (n *Node) DiscardRx(info medium.RxInfo) { n.Meter.Reclassify(info.RxJ) }
+func (s *Slot) DiscardRx(info medium.RxInfo) {
+	s.Meter.Reclassify(info.RxJ)
+	s.Net.Collector.GroupReclassifyRx(int(s.Group), info.RxJ)
+}
+
+// ConsumeData records the application-level delivery of a data packet at
+// this (member) slot.
+func (s *Slot) ConsumeData(pkt *packet.Packet, now float64) {
+	s.Net.Collector.GroupDataDelivered(int(s.Group), s.Node.ID, pkt.Src, pkt.Seq, pkt.Born, now)
+}
+
+// ProtoRNG derives the slot's protocol jitter stream. Slot 0 uses the
+// exact stream the single-protocol build used (label × node id), so
+// single-group runs stay bit-identical; higher slots fork once more by
+// group so K instances on one node never share a stream.
+func (s *Slot) ProtoRNG(label string) *xrand.RNG {
+	r := s.Sim().RNG().Split(label).SplitIndex(int(s.Node.ID))
+	if s.Group > 0 {
+		r = r.Split("group").SplitIndex(int(s.Group))
+	}
+	return r
+}
 
 // Dead reports whether the node's (finite) battery is exhausted: its
 // radio is permanently silent for the rest of the run.
@@ -73,10 +122,18 @@ func (n *Node) Sim() *sim.Simulator { return n.Net.Sim }
 // Now returns the current simulated time.
 func (n *Node) Now() float64 { return n.Net.Sim.Now() }
 
-// ConsumeData records the application-level delivery of a data packet at
-// this (member) node.
-func (n *Node) ConsumeData(pkt *packet.Packet, now float64) {
-	n.Net.Collector.DataDelivered(n.ID, pkt.Src, pkt.Seq, pkt.Born, now)
+// GroupState is one multicast group's membership within a run.
+type GroupState struct {
+	Source  packet.NodeID
+	Members []packet.NodeID // receivers; excludes the source
+	// memberSet mirrors Members for O(1) lookup.
+	memberSet []bool
+	// joinTime[i] is the instant node i last became a member (0 for the
+	// initial membership). The availability sampler baselines a member's
+	// outage clock here: a node that joined mid-run has had no chance to
+	// receive anything before its join, so silence predating it is not an
+	// outage.
+	joinTime []float64
 }
 
 // Network aggregates one simulation run's components.
@@ -87,23 +144,30 @@ type Network struct {
 	Collector *metrics.Collector
 	Nodes     []*Node
 	Meters    []*energy.Meter
-	Source    packet.NodeID
-	Members   []packet.NodeID // receivers; excludes the source
-	memberSet []bool
-	// joinTime[i] is the instant node i last became a member (0 for the
-	// initial membership). The availability sampler baselines a member's
-	// outage clock here: a node that joined mid-run has had no chance to
-	// receive anything before its join, so silence predating it is not an
-	// outage.
-	joinTime []float64
+	// Groups holds the per-group membership state; Groups[g] belongs to
+	// multicast group g. Always at least one group.
+	Groups []GroupState
+
+	groupCfgBuf []GroupConfig // scratch for the single-group shorthand
+}
+
+// GroupConfig describes one multicast group at construction.
+type GroupConfig struct {
+	Source  packet.NodeID
+	Members []packet.NodeID
 }
 
 // Config parameterizes network construction.
 type Config struct {
-	N       int
+	N int
+	// Source and Members describe the single group of a one-group run;
+	// ignored when Groups is non-empty.
 	Source  packet.NodeID
 	Members []packet.NodeID
-	Medium  medium.Config
+	// Groups, when non-empty, declares one multicast group per entry and
+	// every node gets one protocol slot per group.
+	Groups []GroupConfig
+	Medium medium.Config
 	// Battery, in joules per node; <= 0 means unlimited.
 	Battery float64
 	// PayloadBytes is the application payload per data packet.
@@ -120,8 +184,8 @@ type Config struct {
 }
 
 // New builds a network of cfg.N nodes over the given tracker. Protocol
-// instances are attached afterwards with SetProtocol, then Start launches
-// them.
+// instances are attached afterwards with SetProtocol (or
+// SetGroupProtocol), then Start launches them.
 func New(s *sim.Simulator, tracker *mobility.Tracker, cfg Config) *Network {
 	net := &Network{}
 	net.Reset(s, tracker, cfg)
@@ -129,20 +193,23 @@ func New(s *sim.Simulator, tracker *mobility.Tracker, cfg Config) *Network {
 }
 
 // Reset re-initializes the network in place for a new run, exactly as New
-// would, while reusing its components: node and meter structs, the
+// would, while reusing its components: node, slot and meter structs, the
 // metrics collector (and its map buckets) and the medium (with its
 // queues, registries and freelists) all survive, so a run arena pays a
 // small fixed setup cost per replication instead of rebuilding the world.
 func (net *Network) Reset(s *sim.Simulator, tracker *mobility.Tracker, cfg Config) {
 	n := cfg.N
 	net.Sim, net.Tracker = s, tracker
-	net.Source = cfg.Source
-	net.Members = cfg.Members
+	gcs := cfg.Groups
+	if len(gcs) == 0 {
+		net.groupCfgBuf = append(net.groupCfgBuf[:0], GroupConfig{Source: cfg.Source, Members: cfg.Members})
+		gcs = net.groupCfgBuf
+	}
+	k := len(gcs)
 	if net.Collector == nil {
 		net.Collector = metrics.NewCollector(cfg.PayloadBytes, n)
-	} else {
-		net.Collector.Reset(cfg.PayloadBytes, n)
 	}
+	net.Collector.ResetGroups(cfg.PayloadBytes, n, k)
 	mcfg := cfg.Medium
 	if !mcfg.Grid.Disable {
 		if mcfg.Grid.Area == (geom.Rect{}) {
@@ -160,12 +227,19 @@ func (net *Network) Reset(s *sim.Simulator, tracker *mobility.Tracker, cfg Confi
 	} else {
 		net.Medium.Reset(s, mcfg, tracker, n)
 	}
-	net.Medium.OnTransmit = func(pkt *packet.Packet) {
+	net.Medium.OnTransmit = func(pkt *packet.Packet, txJ float64) {
+		g := int(pkt.Group)
 		if pkt.Kind.Control() {
-			net.Collector.ControlTx(pkt.Bytes)
+			net.Collector.GroupControlTx(g, pkt.Bytes)
 		} else {
-			net.Collector.DataTx(pkt.Bytes)
+			net.Collector.GroupDataTx(g, pkt.Bytes)
 		}
+		net.Collector.GroupSpendTx(g, txJ)
+	}
+	// Receptions the radio paid for but never decoded, attributed to the
+	// frame's group.
+	net.Medium.OnRxWaste = func(pkt *packet.Packet, rxJ float64) {
+		net.Collector.GroupDiscard(int(pkt.Group), rxJ)
 	}
 	// Time-resolved death tracking: the medium reports the charge that
 	// exhausts each battery, the collector timestamps it.
@@ -177,20 +251,30 @@ func (net *Network) Reset(s *sim.Simulator, tracker *mobility.Tracker, cfg Confi
 	net.Medium.OnFaultDrop = func(partition bool) {
 		net.Collector.FaultLoss(partition)
 	}
-	// Membership and join-time state.
-	if cap(net.memberSet) < n {
-		net.memberSet = make([]bool, n)
-		net.joinTime = make([]float64, n)
+	// Per-group membership and join-time state.
+	if cap(net.Groups) >= k {
+		net.Groups = net.Groups[:k]
 	} else {
-		net.memberSet = net.memberSet[:n]
-		net.joinTime = net.joinTime[:n]
-		for i := range net.memberSet {
-			net.memberSet[i] = false
-			net.joinTime[i] = 0
-		}
+		net.Groups = append(net.Groups[:cap(net.Groups)], make([]GroupState, k-cap(net.Groups))...)
 	}
-	for _, m := range cfg.Members {
-		net.memberSet[m] = true
+	for g := range net.Groups {
+		gs := &net.Groups[g]
+		gs.Source = gcs[g].Source
+		gs.Members = gcs[g].Members
+		if cap(gs.memberSet) < n {
+			gs.memberSet = make([]bool, n)
+			gs.joinTime = make([]float64, n)
+		} else {
+			gs.memberSet = gs.memberSet[:n]
+			gs.joinTime = gs.joinTime[:n]
+			for i := range gs.memberSet {
+				gs.memberSet[i] = false
+				gs.joinTime[i] = 0
+			}
+		}
+		for _, m := range gs.Members {
+			gs.memberSet[m] = true
+		}
 	}
 	// Nodes and meters: reuse the structs, reassign every field.
 	for len(net.Nodes) < n {
@@ -209,41 +293,68 @@ func (net *Network) Reset(s *sim.Simulator, tracker *mobility.Tracker, cfg Confi
 		if net.Nodes[i] == nil {
 			net.Nodes[i] = &Node{}
 		}
-		*net.Nodes[i] = Node{
-			ID:     id,
-			Net:    net,
-			Meter:  net.Meters[i],
-			Member: net.memberSet[i],
-			Source: id == cfg.Source,
+		nd := net.Nodes[i]
+		*nd = Node{ID: id, Net: net, Meter: net.Meters[i], Slots: nd.Slots}
+		for len(nd.Slots) < k {
+			nd.Slots = append(nd.Slots, &Slot{})
 		}
-		net.Medium.Attach(id, net.Nodes[i], net.Meters[i])
+		nd.Slots = nd.Slots[:k]
+		for g := range nd.Slots {
+			*nd.Slots[g] = Slot{
+				Node:   nd,
+				Group:  packet.GroupID(g),
+				Member: net.Groups[g].memberSet[i],
+				Source: id == net.Groups[g].Source,
+			}
+		}
+		net.Medium.Attach(id, nd, net.Meters[i])
 	}
 }
 
-// IsMember reports whether id is a multicast receiver.
-func (net *Network) IsMember(id packet.NodeID) bool { return net.memberSet[id] }
+// GroupCount returns the number of multicast groups in the run (≥ 1).
+func (net *Network) GroupCount() int { return len(net.Groups) }
 
-// JoinedAt returns the time node id last joined the group (0 for initial
+// IsMember reports whether id is a receiver of group 0.
+func (net *Network) IsMember(id packet.NodeID) bool { return net.IsGroupMember(0, id) }
+
+// IsGroupMember reports whether id is a receiver of group g.
+func (net *Network) IsGroupMember(g int, id packet.NodeID) bool {
+	return net.Groups[g].memberSet[id]
+}
+
+// JoinedAt returns the time node id last joined group 0 (0 for initial
 // members and for nodes that never joined).
-func (net *Network) JoinedAt(id packet.NodeID) float64 { return net.joinTime[id] }
+func (net *Network) JoinedAt(id packet.NodeID) float64 { return net.GroupJoinedAt(0, id) }
 
-// SetMember changes id's group membership at runtime (dynamic join/leave).
-// The protocols observe the flag on their next beacon round — the pruning
-// machinery then grows or sheds the branch. The source cannot be a member.
+// GroupJoinedAt is JoinedAt for group g.
+func (net *Network) GroupJoinedAt(g int, id packet.NodeID) float64 {
+	return net.Groups[g].joinTime[id]
+}
+
+// SetMember changes id's membership of group 0 at runtime.
 func (net *Network) SetMember(id packet.NodeID, member bool) {
-	if id == net.Source || net.memberSet[id] == member {
+	net.SetGroupMember(0, id, member)
+}
+
+// SetGroupMember changes id's membership of group g at runtime (dynamic
+// join/leave). The group's protocol instances observe the flag on their
+// next beacon round — the pruning machinery then grows or sheds the
+// branch. The group's source cannot be a member.
+func (net *Network) SetGroupMember(g int, id packet.NodeID, member bool) {
+	gs := &net.Groups[g]
+	if id == gs.Source || gs.memberSet[id] == member {
 		return
 	}
-	net.memberSet[id] = member
-	net.Nodes[id].Member = member
+	gs.memberSet[id] = member
+	net.Nodes[id].Slots[g].Member = member
 	if member {
-		net.joinTime[id] = net.Sim.Now()
-		net.Members = append(net.Members, id)
+		gs.joinTime[id] = net.Sim.Now()
+		gs.Members = append(gs.Members, id)
 		return
 	}
-	for i, m := range net.Members {
+	for i, m := range gs.Members {
 		if m == id {
-			net.Members = append(net.Members[:i], net.Members[i+1:]...)
+			gs.Members = append(gs.Members[:i], gs.Members[i+1:]...)
 			return
 		}
 	}
@@ -263,33 +374,36 @@ func (net *Network) Kill(id packet.NodeID) {
 }
 
 // Stopper is implemented by protocols that can cancel their pending
-// timers; Crash uses it so a downed node's protocol goes quiet instead of
+// timers; Crash uses it so a downed node's protocols go quiet instead of
 // ticking against a dead radio.
 type Stopper interface{ Stop() }
 
 // Crash takes node id down reversibly: the radio switches off (queued
-// frames drain silently, pending receptions lapse) and the protocol's
-// timers stop when it implements Stopper. Unlike Kill, the battery is
-// untouched and the node does not count as dead — Recover brings it back.
-// Crashing a dead or already-down node is a no-op.
+// frames drain silently, pending receptions lapse) and every slot's
+// protocol timers stop when the instance implements Stopper. Unlike Kill,
+// the battery is untouched and the node does not count as dead — Recover
+// brings it back. Crashing a dead or already-down node is a no-op.
 func (net *Network) Crash(id packet.NodeID) {
 	if net.Meters[id].Dead() || net.Medium.IsDown(id) {
 		return
 	}
 	net.Medium.SetDown(id, true)
-	if s, ok := net.Nodes[id].Proto.(Stopper); ok {
-		s.Stop()
+	for _, sl := range net.Nodes[id].Slots {
+		if s, ok := sl.Proto.(Stopper); ok {
+			s.Stop()
+		}
 	}
 	net.Collector.NodeCrashed()
 }
 
 // Recover switches a crashed node's radio back on. A crashed node lost
-// all protocol state, so the caller must install a freshly initialized
-// protocol (SetProtocol + Start on the node) after Recover returns; the
-// join clock is deliberately left alone — the outage a member accumulated
-// while down, and until it re-attaches, is exactly the unavailability the
-// crash figures measure. Recovering an up or battery-dead node is a no-op
-// (a battery that depleted while the node was down stays dead).
+// all protocol state, so the caller must install freshly initialized
+// protocols (SetGroupProtocol for every group + StartNode) after Recover
+// returns; the join clocks are deliberately left alone — the outage a
+// member accumulated while down, and until it re-attaches, is exactly the
+// unavailability the crash figures measure. Recovering an up or
+// battery-dead node is a no-op (a battery that depleted while the node
+// was down stays dead).
 func (net *Network) Recover(id packet.NodeID) bool {
 	if !net.Medium.IsDown(id) || net.Meters[id].Dead() {
 		return false
@@ -302,26 +416,36 @@ func (net *Network) Recover(id packet.NodeID) bool {
 // IsDown reports whether node id is currently crashed.
 func (net *Network) IsDown(id packet.NodeID) bool { return net.Medium.IsDown(id) }
 
-// SetProtocol attaches a protocol instance to node id.
+// SetProtocol attaches a protocol instance to node id's group-0 slot.
 func (net *Network) SetProtocol(id packet.NodeID, p Protocol) {
-	net.Nodes[id].Proto = p
+	net.SetGroupProtocol(0, id, p)
 }
 
-// Start launches every node's protocol.
+// SetGroupProtocol attaches a protocol instance to node id's slot for
+// group g.
+func (net *Network) SetGroupProtocol(g int, id packet.NodeID, p Protocol) {
+	net.Nodes[id].Slots[g].Proto = p
+}
+
+// Start launches every slot's protocol on every node.
 func (net *Network) Start() {
 	for _, n := range net.Nodes {
-		if n.Proto == nil {
-			panic("netsim: node without protocol")
+		for _, sl := range n.Slots {
+			if sl.Proto == nil {
+				panic("netsim: node without protocol")
+			}
+			sl.Proto.Start(sl)
 		}
-		n.Proto.Start(n)
 	}
 }
 
-// StartNode launches one node's protocol mid-run: the recovery half of the
-// crash/reboot fault path, after the caller installed a fresh instance with
-// SetProtocol.
+// StartNode launches every slot's protocol on one node mid-run: the
+// recovery half of the crash/reboot fault path, after the caller
+// installed fresh instances with SetGroupProtocol.
 func (net *Network) StartNode(id packet.NodeID) {
-	net.Nodes[id].Proto.Start(net.Nodes[id])
+	for _, sl := range net.Nodes[id].Slots {
+		sl.Proto.Start(sl)
+	}
 }
 
 // Summarize reduces the run to its metrics summary. The current simulated

@@ -12,11 +12,11 @@ import (
 
 // echoProto consumes data and discards everything else.
 type echoProto struct {
-	node     *Node
+	node     *Slot
 	received int
 }
 
-func (e *echoProto) Start(n *Node) { e.node = n }
+func (e *echoProto) Start(n *Slot) { e.node = n }
 func (e *echoProto) Receive(p *packet.Packet, info medium.RxInfo) {
 	if p.Kind == packet.KindData {
 		e.received++
@@ -57,10 +57,10 @@ func TestMembership(t *testing.T) {
 	if !net.IsMember(1) || net.IsMember(2) || net.IsMember(0) {
 		t.Error("membership flags wrong")
 	}
-	if !net.Nodes[1].Member || net.Nodes[2].Member {
+	if !net.Nodes[1].Slots[0].Member || net.Nodes[2].Slots[0].Member {
 		t.Error("node Member fields wrong")
 	}
-	if !net.Nodes[0].Source {
+	if !net.Nodes[0].Slots[0].Source {
 		t.Error("source flag missing")
 	}
 }
@@ -68,7 +68,7 @@ func TestMembership(t *testing.T) {
 func TestBroadcastReachesProtocols(t *testing.T) {
 	s, net, protos := rig(t)
 	net.Collector.DataSent(1)
-	net.Nodes[0].Proto.Originate()
+	net.Nodes[0].Slots[0].Proto.Originate()
 	s.Run(1)
 	if protos[1].received != 1 || protos[2].received != 1 {
 		t.Errorf("receptions: %d, %d", protos[1].received, protos[2].received)
@@ -83,7 +83,7 @@ func TestDiscardReclassification(t *testing.T) {
 	s, net, _ := rig(t)
 	// Send a beacon-kind frame: echoProto discards it.
 	pkt := &packet.Packet{Kind: packet.KindBeacon, From: 0, Bytes: 80}
-	net.Nodes[0].Broadcast(pkt, 200)
+	net.Nodes[0].Slots[0].Broadcast(pkt, 200)
 	s.Run(1)
 	for _, i := range []int{1, 2} {
 		m := net.Meters[i]
@@ -122,7 +122,7 @@ func TestRejoinRebaselinesJoinClock(t *testing.T) {
 
 	// Deliver data during the first stint, then leave at t=2.
 	net.Collector.DataSent(1)
-	net.Nodes[0].Proto.Originate()
+	net.Nodes[0].Slots[0].Proto.Originate()
 	s.Run(2)
 	last, ever := net.Collector.LastDelivery(1)
 	if !ever {
@@ -173,7 +173,7 @@ func TestCrashRecoverRestoresDelivery(t *testing.T) {
 
 	// Data sent while the node is down never reaches it.
 	net.Collector.DataSent(1)
-	net.Nodes[0].Proto.Originate()
+	net.Nodes[0].Slots[0].Proto.Originate()
 	s.Run(3)
 	if protos[1].received != 0 {
 		t.Fatalf("crashed node received %d packets", protos[1].received)
@@ -201,7 +201,7 @@ func TestCrashRecoverRestoresDelivery(t *testing.T) {
 
 	// Deliveries resume through the fresh instance.
 	net.Collector.DataSent(1)
-	net.Nodes[0].Proto.Originate()
+	net.Nodes[0].Slots[0].Proto.Originate()
 	s.Run(6)
 	if fresh.received != 1 {
 		t.Errorf("recovered node received %d packets, want 1", fresh.received)
@@ -268,7 +268,7 @@ func TestKillRecordsDeath(t *testing.T) {
 func TestControlAccounting(t *testing.T) {
 	s, net, _ := rig(t)
 	pkt := &packet.Packet{Kind: packet.KindBeacon, From: 0, Bytes: 80}
-	net.Nodes[0].Broadcast(pkt, 200)
+	net.Nodes[0].Slots[0].Broadcast(pkt, 200)
 	s.Run(1)
 	if net.Collector.ControlBytes != 80 {
 		t.Errorf("ControlBytes = %d", net.Collector.ControlBytes)

@@ -68,7 +68,7 @@ const (
 // Protocol is one node's ODMRP instance. It implements netsim.Protocol.
 type Protocol struct {
 	cfg  Config
-	node *netsim.Node
+	node *netsim.Slot
 	rng  *xrand.RNG
 
 	// Reverse path toward the source, refreshed by Join Queries.
@@ -112,9 +112,9 @@ func New(cfg Config) *Protocol {
 }
 
 // Start implements netsim.Protocol.
-func (p *Protocol) Start(n *netsim.Node) {
+func (p *Protocol) Start(n *netsim.Slot) {
 	p.node = n
-	p.rng = n.Sim().RNG().Split("odmrp").SplitIndex(int(n.ID))
+	p.rng = n.ProtoRNG("odmrp")
 	p.datPool = fwdpool.New[struct{}](n)
 	p.jqPool = fwdpool.New[jqPayload](n)
 	p.jrPool = fwdpool.New[jrPayload](n)

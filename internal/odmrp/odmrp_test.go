@@ -70,7 +70,7 @@ func TestDataDeliveredOverMesh(t *testing.T) {
 	s.Run(5)
 	for i := 0; i < 30; i++ {
 		net.Collector.DataSent(1)
-		net.Nodes[0].Proto.Originate()
+		net.Nodes[0].Slots[0].Proto.Originate()
 		s.Run(s.Now() + 0.0625)
 	}
 	s.Run(s.Now() + 1)
@@ -122,7 +122,7 @@ func TestMemberConsumesWithoutFG(t *testing.T) {
 	s, net, _ := rig(t, pts, []int{1})
 	s.Run(4)
 	net.Collector.DataSent(1)
-	net.Nodes[0].Proto.Originate()
+	net.Nodes[0].Slots[0].Proto.Originate()
 	s.Run(s.Now() + 0.5)
 	if sum := net.Summarize(); sum.Delivered != 1 {
 		t.Errorf("adjacent member deliveries = %d", sum.Delivered)

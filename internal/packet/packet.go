@@ -25,6 +25,12 @@ func (id NodeID) String() string {
 	return fmt.Sprintf("n%d", int32(id))
 }
 
+// GroupID indexes a multicast group (topic) within a run. Nodes hosting K
+// protocol instances route received frames by this index; the zero value
+// is group 0, so single-group frames are unchanged from pre-multiplexing
+// builds.
+type GroupID uint8
+
 // Kind discriminates packet payload types.
 type Kind uint8
 
@@ -70,11 +76,14 @@ const (
 // originator of the payload (e.g. the multicast source for data packets).
 type Packet struct {
 	Kind Kind
-	From NodeID // transmitter of this frame
-	To   NodeID // link-layer destination, Broadcast for beacons/floods
-	Src  NodeID // originator (multicast source, RREQ issuer, …)
-	Seq  uint32 // originator sequence number, for dedup
-	TTL  uint8  // remaining hops for flooded packets
+	// Group is the multicast group (topic) the frame belongs to. Receivers
+	// dispatch to the matching per-group protocol instance.
+	Group GroupID
+	From  NodeID // transmitter of this frame
+	To    NodeID // link-layer destination, Broadcast for beacons/floods
+	Src   NodeID // originator (multicast source, RREQ issuer, …)
+	Seq   uint32 // originator sequence number, for dedup
+	TTL   uint8  // remaining hops for flooded packets
 	// Bytes is the total frame size on air, headers included.
 	Bytes int
 	// Born is the simulated time the payload was first transmitted by its

@@ -89,6 +89,21 @@ func TestArenaReuseAcrossShapes(t *testing.T) {
 		// A fault-free run right after faulty ones: fault state (chains,
 		// down flags, retry counters) must not leak forward.
 		func(c *Config) { c.N = 50; c.AreaSide = 750 },
+		// Many-group workload (figure 21): K protocol instances per node add
+		// per-node slot tables, per-group member sets/tallies and per-topic
+		// churn — all cap-reused, all of which must resize cleanly when the
+		// group count changes between runs.
+		func(c *Config) { c.N = 50; c.AreaSide = 750; c.Groups = 4; c.MemberChurnInterval = 3 },
+		func(c *Config) { c.N = 40; c.AreaSide = 600; c.Groups = 8; c.Protocol = ODMRP },
+		func(c *Config) {
+			c.N = 50
+			c.AreaSide = 750
+			c.Groups = 4
+			c.Faults = faultyConfig(c.Duration)
+		},
+		// A single-group run right after multi-group ones: slot tables and
+		// group tallies must shrink back with no cross-group leak-through.
+		func(c *Config) { c.N = 50; c.AreaSide = 750 },
 	}
 	rc := NewRunContext()
 	for i, shape := range shapes {
@@ -107,6 +122,25 @@ func TestArenaReuseAcrossShapes(t *testing.T) {
 		if reused.Medium != fresh.Medium {
 			t.Errorf("shape %d: medium stats diverge:\n reused %+v\n fresh  %+v",
 				i, reused.Medium, fresh.Medium)
+		}
+		if len(reused.PerGroup) != len(fresh.PerGroup) {
+			t.Errorf("shape %d: per-group summary counts diverge: reused %d, fresh %d",
+				i, len(reused.PerGroup), len(fresh.PerGroup))
+			continue
+		}
+		for g := range reused.PerGroup {
+			if reused.PerGroup[g] != fresh.PerGroup[g] {
+				t.Errorf("shape %d group %d: per-group summaries diverge:\n reused %+v\n fresh  %+v",
+					i, g, reused.PerGroup[g], fresh.PerGroup[g])
+			}
+		}
+		// Fired-traffic guard: a multi-group shape where some topic never
+		// sends would cover nothing — every group's source must fire inside
+		// even this short horizon.
+		for g := range reused.PerGroup {
+			if reused.PerGroup[g].Sent == 0 {
+				t.Errorf("shape %d group %d: no data sent; multi-group path not exercised", i, g)
+			}
 		}
 	}
 }

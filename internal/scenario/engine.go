@@ -347,6 +347,15 @@ func Sweep(cfgs []Config) []Result {
 // horizon. Keeping the single definition here guarantees the two
 // measurements of the same name time the same workload.
 func FigurePointConfigs(mob MobilityKind, base uint64, duration float64) []Config {
+	return FigurePointConfigsGroups(mob, base, duration, 1)
+}
+
+// FigurePointConfigsGroups is FigurePointConfigs with a concurrent-group
+// count: the same 8 × 4 point with every run multiplexing K Zipf-popular
+// groups over each node's radio. groups <= 1 is the single-group workload
+// byte-for-byte (Config.Groups stays zero there, so the configs — and the
+// engine's trace keys — match FigurePointConfigs exactly).
+func FigurePointConfigsGroups(mob MobilityKind, base uint64, duration float64, groups int) []Config {
 	protocols := []ProtocolKind{
 		SSSPST, SSSPSTT, SSSPSTF, SSSPSTE, SSMST, MAODV, ODMRP, Flood,
 	}
@@ -358,6 +367,9 @@ func FigurePointConfigs(mob MobilityKind, base uint64, duration float64) []Confi
 			cfg.Mobility = mob
 			cfg.VMax = 5
 			cfg.Duration = duration
+			if groups > 1 {
+				cfg.Groups = groups
+			}
 			cfg.Seed = ReplicationSeed(base, s)
 			cfgs = append(cfgs, cfg)
 		}

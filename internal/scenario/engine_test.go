@@ -53,6 +53,27 @@ func enginePointCfgs(dur float64) []Config {
 		cfg.Faults = faultyConfig(dur)
 		cfgs = append(cfgs, cfg)
 	}
+	// One multi-group point with per-topic churn (the figure 21 workload):
+	// per-group member draws, Zipf-weighted source rates and the churn
+	// stream's topic selection must be worker-count independent too, and a
+	// trailing single-group run pins that multi-group arenas leave nothing
+	// behind for the next config.
+	for _, p := range []ProtocolKind{SSSPSTE, SSSPST, MAODV, ODMRP} {
+		cfg := Default()
+		cfg.Protocol = p
+		cfg.Seed = 9
+		cfg.VMax = 8
+		cfg.Duration = dur
+		cfg.Groups = 4
+		cfg.MemberChurnInterval = 2
+		cfgs = append(cfgs, cfg)
+	}
+	tail := Default()
+	tail.Protocol = SSSPSTE
+	tail.Seed = 9
+	tail.VMax = 8
+	tail.Duration = dur
+	cfgs = append(cfgs, tail)
 	return cfgs
 }
 
@@ -89,6 +110,26 @@ func TestSweepWorkersBitIdentical(t *testing.T) {
 		if serial[i].Medium != wide[i].Medium {
 			t.Errorf("%s: medium stats diverge across worker counts:\n 1: %+v\n 8: %+v",
 				name, serial[i].Medium, wide[i].Medium)
+		}
+		if len(serial[i].PerGroup) != len(wide[i].PerGroup) {
+			t.Errorf("%s: per-group summary counts diverge: 1: %d, 8: %d",
+				name, len(serial[i].PerGroup), len(wide[i].PerGroup))
+		} else {
+			for g := range serial[i].PerGroup {
+				if serial[i].PerGroup[g] != wide[i].PerGroup[g] {
+					t.Errorf("%s group %d: per-group summaries diverge across worker counts:\n 1: %+v\n 8: %+v",
+						name, g, serial[i].PerGroup[g], wide[i].PerGroup[g])
+				}
+			}
+		}
+		// The multi-group point must fire traffic on every topic, or its
+		// bit-identity coverage of the per-group paths is illusory.
+		if cfgs[i].Groups > 1 {
+			for g := range serial[i].PerGroup {
+				if serial[i].PerGroup[g].Sent == 0 {
+					t.Errorf("%s group %d: no data sent; multi-group path not exercised", name, g)
+				}
+			}
 		}
 		if cfgs[i].Battery > 0 {
 			deaths += serial[i].Summary.DeadNodes

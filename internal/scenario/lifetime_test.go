@@ -54,7 +54,7 @@ func TestChurnSkipsDeadNodes(t *testing.T) {
 	for _, id := range dead {
 		net.Kill(id)
 	}
-	attachMembershipChurn(net, 1, xrand.New(7))
+	attachMembershipChurn(net, 1, xrand.New(7), nil)
 	s.Run(30)
 
 	for _, id := range dead {
@@ -66,10 +66,10 @@ func TestChurnSkipsDeadNodes(t *testing.T) {
 		}
 	}
 	// The group slot kept rotating between the two live candidates.
-	if len(net.Members) != 1 {
-		t.Fatalf("group size drifted: %v", net.Members)
+	if len(net.Groups[0].Members) != 1 {
+		t.Fatalf("group size drifted: %v", net.Groups[0].Members)
 	}
-	if m := net.Members[0]; m != 1 && m != 2 {
+	if m := net.Groups[0].Members[0]; m != 1 && m != 2 {
 		t.Errorf("member %d is not one of the live candidates", m)
 	}
 	if net.JoinedAt(2) == 0 {

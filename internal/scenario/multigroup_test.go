@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGroupsZeroOneEquivalence pins the multiplexing refactor's ground
+// rule: Groups unset (the zero value) and Groups=1 are the same workload,
+// bit-identical in every observable — no extra RNG draws, no extra
+// tickers, no per-group accounting drift.
+func TestGroupsZeroOneEquivalence(t *testing.T) {
+	for _, p := range []ProtocolKind{SSSPSTE, Flood, ODMRP, MAODV} {
+		base := Default()
+		base.Protocol = p
+		base.Duration = 10
+		base.MemberChurnInterval = 3
+
+		one := base
+		one.Groups = 1
+
+		r0, r1 := Run(base), Run(one)
+		if r0.Summary != r1.Summary {
+			t.Errorf("%s: Groups=0 vs Groups=1 summaries diverge:\n 0: %+v\n 1: %+v",
+				p, r0.Summary, r1.Summary)
+		}
+		if r0.Medium != r1.Medium {
+			t.Errorf("%s: Groups=0 vs Groups=1 medium stats diverge", p)
+		}
+		if len(r0.PerGroup) != 1 || len(r1.PerGroup) != 1 {
+			t.Fatalf("%s: per-group summary counts = %d, %d; want 1, 1",
+				p, len(r0.PerGroup), len(r1.PerGroup))
+		}
+		if r0.PerGroup[0] != r1.PerGroup[0] {
+			t.Errorf("%s: per-group summaries diverge between Groups=0 and Groups=1", p)
+		}
+	}
+}
+
+// TestMultiGroupConservation checks that the per-topic summaries of a
+// multi-group run partition the pooled one: integer traffic counters sum
+// exactly, energy partitions to float tolerance (the pooled accumulator
+// adds the same spends in interleaved order), and the Zipf skew leaves
+// topic 0 with the single-group workload's send count while later topics
+// shrink monotonically in rate.
+func TestMultiGroupConservation(t *testing.T) {
+	const k = 4
+	cfg := Default()
+	cfg.Protocol = SSSPSTE
+	cfg.Duration = 15
+	cfg.Groups = k
+
+	res := Run(cfg)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.PerGroup) != k {
+		t.Fatalf("per-group summaries = %d, want %d", len(res.PerGroup), k)
+	}
+
+	var sent, expected, delivered int
+	var txJ, rxJ, discardJ float64
+	for g, s := range res.PerGroup {
+		if s.Sent == 0 {
+			t.Errorf("group %d sent no data", g)
+		}
+		if g > 0 && s.Sent > res.PerGroup[g-1].Sent {
+			t.Errorf("group %d sent %d > group %d's %d; Zipf rate skew not monotone",
+				g, s.Sent, g-1, res.PerGroup[g-1].Sent)
+		}
+		sent += s.Sent
+		expected += s.Expected
+		delivered += s.Delivered
+		txJ += s.TxJ
+		rxJ += s.RxJ
+		discardJ += s.DiscardJ
+	}
+	sum := res.Summary
+	if sent != sum.Sent || expected != sum.Expected || delivered != sum.Delivered {
+		t.Errorf("traffic counters don't partition: groups sum (%d,%d,%d) vs pooled (%d,%d,%d)",
+			sent, expected, delivered, sum.Sent, sum.Expected, sum.Delivered)
+	}
+	approx := func(name string, got, want float64) {
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Errorf("%s doesn't partition: groups sum %v vs pooled %v", name, got, want)
+		}
+	}
+	approx("TxJ", txJ, sum.TxJ)
+	approx("RxJ", rxJ, sum.RxJ)
+	approx("DiscardJ", discardJ, sum.DiscardJ)
+
+	// Topic 0 keeps the paper's exact workload: same send count as the
+	// single-group run of the same config.
+	single := cfg
+	single.Groups = 1
+	if s0 := Run(single); s0.Summary.Sent != res.PerGroup[0].Sent {
+		t.Errorf("topic 0 sent %d, single-group run sent %d; primary topic's rate drifted",
+			res.PerGroup[0].Sent, s0.Summary.Sent)
+	}
+}

@@ -167,10 +167,23 @@ type Config struct {
 
 	// Multicast group: the source plus GroupSize receivers.
 	GroupSize int
+	// Groups is the number of concurrent multicast groups (topics)
+	// multiplexed over each node's radio; 0 or 1 runs the single-group
+	// scenario unchanged. Group 0 is always the legacy group (source node
+	// 0, GroupSize receivers, RateBps traffic); higher groups draw their
+	// own source and members and scale their size and rate by the Zipf
+	// popularity of their rank.
+	Groups int
+	// ZipfS is the popularity skew across groups: group g carries
+	// unnormalized weight (g+1)^-ZipfS for its member-set size, source
+	// rate, and churn share. 0 means uniform; Default sets 1.0. Ignored
+	// with fewer than two groups.
+	ZipfS float64
 	// MemberChurnInterval, when > 0, swaps one random member for a random
 	// non-member every interval: group size stays constant while the
 	// membership set rotates, exercising the pruning machinery's dynamic
-	// join/leave path.
+	// join/leave path. With multiple groups each tick first picks the
+	// churning group by Zipf popularity, so hot topics also churn most.
 	MemberChurnInterval float64
 
 	// Traffic.
@@ -232,6 +245,7 @@ func Default() Config {
 		VMax:           5,
 		Pause:          2,
 		GroupSize:      20,
+		ZipfS:          1.0,
 		GMAlpha:        0.75,
 		RateBps:        64e3,
 		PayloadBytes:   512,
@@ -259,7 +273,13 @@ type Result struct {
 	Config  Config
 	Summary metrics.Summary
 	Medium  medium.Stats
-	Err     error
+	// PerGroup holds one summary per multicast group (len = effective
+	// group count, ≥ 1): the group's traffic counters, service samples
+	// and attributed energy spend. Node-lifecycle fields (death
+	// landmarks, fault counters) live in Summary only. Empty on failed
+	// runs.
+	PerGroup []metrics.Summary
+	Err      error
 }
 
 // Validate reports the first nonsensical setting in cfg, or nil. Run
@@ -276,6 +296,12 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.GroupSize < 1 {
 		return fmt.Errorf("scenario: GroupSize must be at least 1, got %d", cfg.GroupSize)
+	}
+	if cfg.Groups < 0 || cfg.Groups > 256 {
+		return fmt.Errorf("scenario: Groups must be in [0, 256] (0 = single group; packet group ids are 8-bit), got %d", cfg.Groups)
+	}
+	if cfg.ZipfS < 0 {
+		return fmt.Errorf("scenario: ZipfS must be >= 0 (0 = uniform popularity), got %v", cfg.ZipfS)
 	}
 	if cfg.Mobility != Static {
 		if cfg.VMin <= 0 {
@@ -388,11 +414,14 @@ type RunContext struct {
 	sim     *sim.Simulator
 	tracker *mobility.Tracker
 	net     *netsim.Network
-	// ssPool holds one reusable SS-SPST instance per node id; other
-	// protocol families allocate per run (their instances are small).
+	// ssPool holds one reusable SS-SPST instance per protocol slot,
+	// indexed group*N + node id; other protocol families allocate per run
+	// (their instances are small).
 	ssPool []*core.Protocol
 	// replay is the reusable cursor for trace-driven runs (RunTraced).
 	replay *mobility.Replay
+	// groupCfg is the reusable per-run group table handed to netsim.
+	groupCfg []netsim.GroupConfig
 }
 
 // NewRunContext returns an empty arena; the first Run populates it.
@@ -482,13 +511,44 @@ func (rc *RunContext) RunTracedE(cfg Config, trace *mobility.Recorded) (Result, 
 	}
 	tracker := rc.tracker
 
-	// Group selection: source is node 0; receivers drawn uniformly from
-	// the rest.
+	// Group selection. Group 0 is always the legacy group — source node
+	// 0, receivers drawn uniformly from the rest on the historical
+	// "group" stream — so single-group runs are bit-identical with
+	// pre-multiplexing builds. Additional groups draw from their own
+	// per-group streams forked off a separate label, so enabling them
+	// consumes nothing from any legacy stream.
+	k := cfg.Groups
+	if k < 1 {
+		k = 1
+	}
 	src := packet.NodeID(0)
 	perm := root.Split("group").Perm(cfg.N - 1)
 	members := make([]packet.NodeID, 0, cfg.GroupSize)
 	for _, idx := range perm[:cfg.GroupSize] {
 		members = append(members, packet.NodeID(idx+1))
+	}
+	rc.groupCfg = append(rc.groupCfg[:0], netsim.GroupConfig{Source: src, Members: members})
+	var zipf *xrand.Zipf
+	if k > 1 {
+		zipf = xrand.NewZipf(k, cfg.ZipfS)
+		multi := root.Split("groups.multi")
+		for g := 1; g < k; g++ {
+			gr := multi.SplitIndex(g)
+			// Sources may collide across groups on purpose: one node
+			// sourcing several topics is exactly the multiplexing the
+			// refactor models.
+			gsrc := packet.NodeID(gr.Intn(cfg.N))
+			size := zipfGroupSize(cfg.GroupSize, zipf.Weight(g), cfg.N)
+			gm := make([]packet.NodeID, 0, size)
+			for _, idx := range gr.Perm(cfg.N - 1)[:size] {
+				id := packet.NodeID(idx)
+				if id >= gsrc {
+					id++ // skip the group's source
+				}
+				gm = append(gm, id)
+			}
+			rc.groupCfg = append(rc.groupCfg, netsim.GroupConfig{Source: gsrc, Members: gm})
+		}
 	}
 
 	vmax := cfg.VMax
@@ -504,8 +564,7 @@ func (rc *RunContext) RunTracedE(cfg Config, trace *mobility.Recorded) (Result, 
 	mcfg.PartitionArea = cfg.AreaSide
 	ncfg := netsim.Config{
 		N:            cfg.N,
-		Source:       src,
-		Members:      members,
+		Groups:       rc.groupCfg,
 		Medium:       mcfg,
 		Battery:      cfg.Battery,
 		PayloadBytes: cfg.PayloadBytes,
@@ -529,11 +588,20 @@ func (rc *RunContext) RunTracedE(cfg Config, trace *mobility.Recorded) (Result, 
 		rc.attachCrashFaults(net, cfg, root.Split("faults.crash"))
 	}
 
-	traffic.CBR{
-		RateBps:      cfg.RateBps,
-		PayloadBytes: cfg.PayloadBytes,
-		Start:        0,
-	}.Attach(net.Nodes[src])
+	// One CBR source per group, attached to the group's source slot; a
+	// group's rate scales with its Zipf popularity (group 0 keeps the
+	// configured rate exactly — its weight is always 1).
+	for g := 0; g < k; g++ {
+		rate := cfg.RateBps
+		if zipf != nil {
+			rate = cfg.RateBps * zipf.Weight(g)
+		}
+		traffic.CBR{
+			RateBps:      rate,
+			PayloadBytes: cfg.PayloadBytes,
+			Start:        0,
+		}.Attach(net.Nodes[net.Groups[g].Source].Slots[g])
+	}
 
 	if cfg.Protocol.SelfStabilizing() {
 		interval := cfg.SampleInterval
@@ -544,7 +612,7 @@ func (rc *RunContext) RunTracedE(cfg Config, trace *mobility.Recorded) (Result, 
 	}
 
 	if cfg.MemberChurnInterval > 0 {
-		attachMembershipChurn(net, cfg.MemberChurnInterval, root.Split("churn"))
+		attachMembershipChurn(net, cfg.MemberChurnInterval, root.Split("churn"), zipf)
 	}
 
 	// Watchdog: bound the event count so a runaway run (a feedback loop
@@ -562,13 +630,32 @@ func (rc *RunContext) RunTracedE(cfg Config, trace *mobility.Recorded) (Result, 
 		return failed(cfg, fmt.Errorf("scenario: run exceeded event budget %d before t=%v (seed %d, %v, N=%d) — runaway event loop",
 			budget, cfg.Duration, cfg.Seed, cfg.Protocol, cfg.N))
 	}
-	return Result{Config: cfg, Summary: net.Summarize(), Medium: net.Medium.Stats()}, nil
+	return Result{
+		Config:   cfg,
+		Summary:  net.Summarize(),
+		Medium:   net.Medium.Stats(),
+		PerGroup: net.Collector.SummarizeGroups(nil),
+	}, nil
+}
+
+// zipfGroupSize scales the configured group size by a group's Zipf weight,
+// clamped to [1, n-1] (at least one receiver, at most everyone but the
+// source).
+func zipfGroupSize(base int, w float64, n int) int {
+	size := int(float64(base)*w + 0.5)
+	if size < 1 {
+		size = 1
+	}
+	if size > n-1 {
+		size = n - 1
+	}
+	return size
 }
 
 // protocolFor builds (or resets, for the pooled SS family) the protocol
-// instance for node i. Fault-injected scenarios enable the SS-SPST bounded
-// join retry so a lost JOIN round degrades to a delayed join instead of an
-// orphaned member.
+// instance for slot i (= group*N + node id). Fault-injected scenarios
+// enable the SS-SPST bounded join retry so a lost JOIN round degrades to
+// a delayed join instead of an orphaned member.
 func (rc *RunContext) protocolFor(cfg Config, i int) (netsim.Protocol, error) {
 	switch cfg.Protocol {
 	case SSSPST, SSSPSTT, SSSPSTF, SSSPSTE, SSMST:
@@ -596,21 +683,24 @@ func (rc *RunContext) protocolFor(cfg Config, i int) (netsim.Protocol, error) {
 	}
 }
 
-// attachProtocols instantiates cfg.Protocol on every node, reusing the
-// arena's SS-SPST instances (reset in place) when the scenario runs the
-// SS family.
+// attachProtocols instantiates cfg.Protocol on every slot of every node
+// (one instance per group), reusing the arena's SS-SPST instances (reset
+// in place) when the scenario runs the SS family.
 func (rc *RunContext) attachProtocols(net *netsim.Network, cfg Config) error {
+	k := net.GroupCount()
 	if cfg.Protocol.SelfStabilizing() {
-		for len(rc.ssPool) < cfg.N {
+		for len(rc.ssPool) < k*cfg.N {
 			rc.ssPool = append(rc.ssPool, nil)
 		}
 	}
-	for i := 0; i < cfg.N; i++ {
-		p, err := rc.protocolFor(cfg, i)
-		if err != nil {
-			return err
+	for g := 0; g < k; g++ {
+		for i := 0; i < cfg.N; i++ {
+			p, err := rc.protocolFor(cfg, g*cfg.N+i)
+			if err != nil {
+				return err
+			}
+			net.SetGroupProtocol(g, packet.NodeID(i), p)
 		}
-		net.SetProtocol(packet.NodeID(i), p)
 	}
 	return nil
 }
@@ -643,15 +733,19 @@ func (rc *RunContext) attachCrashFaults(net *netsim.Network, cfg Config, root *x
 
 // restartProtocol re-runs the protocol join path on a freshly recovered
 // node: the crash dropped all protocol state, so the node comes back as a
-// newborn — SS-SPST re-adopts a parent from the next beacon (with retry
-// pressure if faults keep eating them), ODMRP/MAODV relearn routes from
-// the next refresh flood.
+// newborn in every group it hosts a slot for — SS-SPST re-adopts a parent
+// from the next beacon (with retry pressure if faults keep eating them),
+// ODMRP/MAODV relearn routes from the next refresh flood. Every group's
+// instance is reinstalled before any is started, mirroring the initial
+// attach order.
 func (rc *RunContext) restartProtocol(net *netsim.Network, cfg Config, id packet.NodeID) {
-	p, err := rc.protocolFor(cfg, int(id))
-	if err != nil {
-		return // unreachable: the initial attach validated cfg.Protocol
+	for g := 0; g < net.GroupCount(); g++ {
+		p, err := rc.protocolFor(cfg, g*cfg.N+int(id))
+		if err != nil {
+			return // unreachable: the initial attach validated cfg.Protocol
+		}
+		net.SetGroupProtocol(g, id, p)
 	}
-	net.SetProtocol(id, p)
 	net.StartNode(id)
 }
 
@@ -663,65 +757,80 @@ func (rc *RunContext) restartProtocol(net *netsim.Network, cfg Config, id packet
 // interval, a window with zero deliveries means the member's path was
 // broken for essentially the whole window.
 func attachAvailabilitySampler(net *netsim.Network, interval float64) {
+	// One ticker serves every group (the ticker count feeds the
+	// simulator's jitter-stream derivation, so multi-group runs must not
+	// add tickers relative to single-group ones).
 	net.Sim.Every(interval, 0, func() {
 		now := net.Sim.Now()
-		for _, m := range net.Members {
-			// A battery-dead member is not a protocol outage: its radio is
-			// permanently off, so no tree repair can ever reach it again.
-			// Sampling it would conflate restabilization time (what the
-			// unavailability ratio prices) with node death (what the
-			// lifetime metrics — DeadNodes, FirstDeathS, the dead-fraction
-			// timeline — report); lifetime runs would see unavailability
-			// ratchet toward 1 as nodes die.
-			if net.Nodes[m].Dead() {
-				continue
+		for g := range net.Groups {
+			for _, m := range net.Groups[g].Members {
+				// A battery-dead member is not a protocol outage: its radio is
+				// permanently off, so no tree repair can ever reach it again.
+				// Sampling it would conflate restabilization time (what the
+				// unavailability ratio prices) with node death (what the
+				// lifetime metrics — DeadNodes, FirstDeathS, the dead-fraction
+				// timeline — report); lifetime runs would see unavailability
+				// ratchet toward 1 as nodes die.
+				if net.Nodes[m].Dead() {
+					continue
+				}
+				// Baseline the outage clock at the member's join time: a node
+				// that joined mid-window has a LastDelivery predating its
+				// membership (or none at all), and counting that silence as an
+				// outage would charge the protocol for time the member was not
+				// even in the group.
+				base := net.GroupJoinedAt(g, m)
+				if last, ever := net.Collector.GroupLastDelivery(g, m); ever && last > base {
+					base = last
+				}
+				net.Collector.GroupServiceSample(g, now-base > interval)
 			}
-			// Baseline the outage clock at the member's join time: a node
-			// that joined mid-window has a LastDelivery predating its
-			// membership (or none at all), and counting that silence as an
-			// outage would charge the protocol for time the member was not
-			// even in the group.
-			base := net.JoinedAt(m)
-			if last, ever := net.Collector.LastDelivery(m); ever && last > base {
-				base = last
-			}
-			net.Collector.ServiceSample(now-base > interval)
 		}
 	})
 }
 
 // attachMembershipChurn swaps one member for one non-member every
-// interval, keeping the group size constant while rotating membership.
-func attachMembershipChurn(net *netsim.Network, interval float64, r *xrand.RNG) {
+// interval, keeping each group's size constant while rotating its
+// membership. With several groups each tick first draws the churning
+// group from the Zipf popularity (nil zipf = single-group run, no extra
+// draw), so hot topics see proportionally more membership dynamics.
+func attachMembershipChurn(net *netsim.Network, interval float64, r *xrand.RNG, zipf *xrand.Zipf) {
 	// The non-member scratch is hoisted out of the tick: churn fires
 	// hundreds of times per run and the candidate set is bounded by N,
-	// so one buffer serves every tick without reallocating.
+	// so one buffer serves every tick without reallocating. One ticker
+	// serves every group (see attachAvailabilitySampler).
 	var outs []packet.NodeID
 	net.Sim.Every(interval, 0.2, func() {
-		if len(net.Members) == 0 {
+		g := 0
+		if zipf != nil {
+			g = zipf.Rank(r)
+		}
+		gs := &net.Groups[g]
+		if len(gs.Members) == 0 {
 			return
 		}
-		// Collect non-members (excluding the source). Battery-dead nodes
-		// are never candidates: swapping one in would permanently wedge a
-		// group slot on a silent radio — the group size invariant would
-		// hold on paper while the effective group shrank for the rest of
-		// the run.
+		// Collect the group's non-members (excluding its source).
+		// Battery-dead nodes are never candidates: swapping one in would
+		// permanently wedge a group slot on a silent radio — the group
+		// size invariant would hold on paper while the effective group
+		// shrank for the rest of the run.
 		outs = outs[:0]
 		for _, n := range net.Nodes {
 			// Crashed (down) nodes are skipped for the same reason as dead
 			// ones; unlike death the exclusion is temporary — the node is a
 			// candidate again after recovery.
-			if !n.Member && !n.Source && !n.Dead() && !net.IsDown(n.ID) {
+			sl := n.Slots[g]
+			if !sl.Member && !sl.Source && !n.Dead() && !net.IsDown(n.ID) {
 				outs = append(outs, n.ID)
 			}
 		}
 		if len(outs) == 0 {
 			return
 		}
-		leave := net.Members[r.Intn(len(net.Members))]
+		leave := gs.Members[r.Intn(len(gs.Members))]
 		join := outs[r.Intn(len(outs))]
-		net.SetMember(leave, false)
-		net.SetMember(join, true)
+		net.SetGroupMember(g, leave, false)
+		net.SetGroupMember(g, join, true)
 	})
 }
 

@@ -26,21 +26,22 @@ func (c CBR) Interval() float64 {
 	return float64(c.PayloadBytes) * 8 / c.RateBps
 }
 
-// Attach schedules the generator on node n (the multicast source). Each
+// Attach schedules the generator on slot s (the group's source). Each
 // firing records the expected deliveries with the collector — using the
 // group size *at send time*, so dynamic membership churn is accounted
-// correctly — and asks the node's protocol to originate one packet.
-func (c CBR) Attach(n *netsim.Node) {
+// correctly — and asks the slot's protocol to originate one packet.
+func (c CBR) Attach(s *netsim.Slot) {
 	interval := c.Interval()
+	g := int(s.Group)
 	var fire func()
 	fire = func() {
-		now := n.Now()
+		now := s.Now()
 		if c.Stop > 0 && now > c.Stop {
 			return
 		}
-		n.Net.Collector.DataSent(len(n.Net.Members))
-		n.Proto.Originate()
-		n.Sim().After(interval, fire)
+		s.Net.Collector.GroupDataSent(g, len(s.Net.Groups[g].Members))
+		s.Proto.Originate()
+		s.Sim().After(interval, fire)
 	}
-	n.Sim().At(c.Start, fire)
+	s.Sim().At(c.Start, fire)
 }

@@ -16,10 +16,10 @@ import (
 type countingProto struct {
 	n     int
 	times []float64
-	node  *netsim.Node
+	node  *netsim.Slot
 }
 
-func (c *countingProto) Start(n *netsim.Node)                         { c.node = n }
+func (c *countingProto) Start(n *netsim.Slot)                         { c.node = n }
 func (c *countingProto) Receive(p *packet.Packet, info medium.RxInfo) {}
 func (c *countingProto) Originate()                                   { c.n++; c.times = append(c.times, c.node.Now()) }
 
@@ -49,7 +49,7 @@ func rig(t *testing.T) (*sim.Simulator, *netsim.Network, *countingProto) {
 
 func TestCBRRate(t *testing.T) {
 	s, net, cp := rig(t)
-	DefaultCBR().Attach(net.Nodes[0])
+	DefaultCBR().Attach(net.Nodes[0].Slots[0])
 	s.Run(6.4) // exactly 100 intervals
 	if cp.n < 99 || cp.n > 101 {
 		t.Errorf("originated %d packets in 6.4 s, want ~100", cp.n)
@@ -67,7 +67,7 @@ func TestCBRStop(t *testing.T) {
 	s, net, cp := rig(t)
 	c := DefaultCBR()
 	c.Stop = 1.0
-	c.Attach(net.Nodes[0])
+	c.Attach(net.Nodes[0].Slots[0])
 	s.Run(10)
 	want := int(1.0/c.Interval()) + 1
 	if cp.n < want-1 || cp.n > want+1 {
@@ -79,7 +79,7 @@ func TestCBRStart(t *testing.T) {
 	s, net, cp := rig(t)
 	c := DefaultCBR()
 	c.Start = 2.0
-	c.Attach(net.Nodes[0])
+	c.Attach(net.Nodes[0].Slots[0])
 	s.Run(1.9)
 	if cp.n != 0 {
 		t.Errorf("originated before Start: %d", cp.n)
@@ -95,7 +95,7 @@ func TestCBRStart(t *testing.T) {
 
 func TestCBRSpacing(t *testing.T) {
 	s, net, cp := rig(t)
-	DefaultCBR().Attach(net.Nodes[0])
+	DefaultCBR().Attach(net.Nodes[0].Slots[0])
 	s.Run(2)
 	for i := 1; i < len(cp.times); i++ {
 		gap := cp.times[i] - cp.times[i-1]

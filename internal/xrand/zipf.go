@@ -1,0 +1,67 @@
+package xrand
+
+import "math"
+
+// Zipf is a bounded rank-popularity distribution over the ranks
+// [0, n): rank k carries unnormalized weight (k+1)^-s, so rank 0 is the
+// most popular topic and the tail decays polynomially. s = 0 degenerates
+// to the uniform distribution; larger s concentrates mass on the head.
+//
+// The sampler is a pure function of the RNG stream passed to Rank: it
+// holds no mutable state of its own, so two Zipf values with the same
+// (n, s) driven by identical streams produce identical rank sequences.
+// Weights and the cumulative table are precomputed at construction, which
+// keeps Rank allocation-free on the hot path.
+type Zipf struct {
+	n   int
+	s   float64
+	w   []float64 // w[k] = (k+1)^-s
+	cum []float64 // cum[k] = sum of w[0..k]
+}
+
+// NewZipf builds a Zipf distribution over n ranks with exponent s. It
+// panics if n <= 0 or s < 0 — both indicate a configuration bug, matching
+// Intn's contract.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf with negative exponent")
+	}
+	z := &Zipf{n: n, s: s, w: make([]float64, n), cum: make([]float64, n)}
+	total := 0.0
+	for k := 0; k < n; k++ {
+		z.w[k] = math.Pow(float64(k+1), -s)
+		total += z.w[k]
+		z.cum[k] = total
+	}
+	return z
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Weight returns rank k's unnormalized weight (k+1)^-s.
+func (z *Zipf) Weight(k int) float64 { return z.w[k] }
+
+// PMF returns the probability of rank k.
+func (z *Zipf) PMF(k int) float64 { return z.w[k] / z.cum[z.n-1] }
+
+// Rank draws one rank from r by inverting the cumulative table. Exactly
+// one uniform is consumed per call, so the stream's trajectory depends
+// only on the draw count.
+func (z *Zipf) Rank(r *RNG) int {
+	u := r.Float64() * z.cum[z.n-1]
+	// Binary search for the first rank whose cumulative weight exceeds u.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

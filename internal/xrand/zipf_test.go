@@ -1,0 +1,90 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfDistribution draws a large sample and checks the empirical rank
+// frequencies against the analytic PMF within a loose tolerance, for a
+// uniform (s=0) and a skewed (s=1.2) exponent.
+func TestZipfDistribution(t *testing.T) {
+	const draws = 200000
+	for _, s := range []float64{0, 0.8, 1.2} {
+		z := NewZipf(8, s)
+		r := New(42).Split("zipf.dist")
+		counts := make([]int, z.N())
+		for i := 0; i < draws; i++ {
+			counts[z.Rank(r)]++
+		}
+		for k := 0; k < z.N(); k++ {
+			got := float64(counts[k]) / draws
+			want := z.PMF(k)
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("s=%v rank %d: frequency %.4f, want %.4f ± 0.01", s, k, got, want)
+			}
+		}
+	}
+}
+
+// TestZipfMonotone checks the PMF is non-increasing in rank (rank 0 is
+// the most popular) and sums to one.
+func TestZipfMonotone(t *testing.T) {
+	z := NewZipf(16, 1.0)
+	sum := 0.0
+	for k := 0; k < z.N(); k++ {
+		sum += z.PMF(k)
+		if k > 0 && z.PMF(k) > z.PMF(k-1) {
+			t.Errorf("PMF(%d)=%v exceeds PMF(%d)=%v", k, z.PMF(k), k-1, z.PMF(k-1))
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("PMF sums to %v, want 1", sum)
+	}
+}
+
+// TestZipfDeterminism pins that Rank is a pure function of the stream:
+// identical streams yield identical rank sequences, and the sampler
+// consumes exactly one uniform per draw so interleaved consumers stay
+// reproducible.
+func TestZipfDeterminism(t *testing.T) {
+	z := NewZipf(10, 1.1)
+	a := New(7).Split("zipf.det")
+	b := New(7).Split("zipf.det")
+	for i := 0; i < 1000; i++ {
+		ra, rb := z.Rank(a), z.Rank(b)
+		if ra != rb {
+			t.Fatalf("draw %d: streams diverge (%d vs %d)", i, ra, rb)
+		}
+	}
+	// One uniform per draw: a fresh stream advanced by n Rank calls must
+	// be in the same state as one advanced by n Float64 calls.
+	c, d := New(9).Split("zipf.one"), New(9).Split("zipf.one")
+	for i := 0; i < 100; i++ {
+		z.Rank(c)
+		d.Float64()
+	}
+	if c.Uint64() != d.Uint64() {
+		t.Error("Rank consumed a different number of uniforms than one Float64 per call")
+	}
+}
+
+// TestZipfPanics pins the constructor's contract on invalid arguments.
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"n=0", func() { NewZipf(0, 1) }},
+		{"s<0", func() { NewZipf(4, -0.1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
