@@ -16,6 +16,8 @@
 //
 //	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,17,18,21]
 //	        [-mobility gauss-markov,rpgm,manhattan,rwp] [-workers N]
+//	        [-shard k/n -out shard.json] [-journal FILE [-resume]]
+//	        [-retries N]
 //
 // All requested figures are flattened into ONE globally scheduled batch
 // on the shared sweep engine: the longest runs start first across figure
@@ -27,18 +29,37 @@
 // uses); curve shapes are stable well before the paper's 1800 s horizon.
 // -mobility selects the models compared in table 17; -workers bounds the
 // engine (default: GOMAXPROCS).
+//
+// # Crash tolerance and sharding
+//
+// -shard k/n runs only the k-th of n deterministic, cost-balanced slices
+// of the flattened (figure point × seed) grid and writes a raw-counter
+// artifact (to -out) instead of tables; cmd/mergefigs validates and
+// merges the n artifacts into tables byte-identical to an unsharded run
+// with the same flags. -journal FILE checkpoints every completed
+// replication crash-safely; -resume skips replications the journal
+// already holds, so a SIGKILLed batch re-runs at most the one
+// replication that was in flight. -retries bounds re-execution of failed
+// replications; persistent failures surface as partial-coverage
+// footnotes on the affected points rather than aborting the batch. On
+// SIGINT/SIGTERM the journal is flushed before exiting non-zero.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/scenario"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -48,11 +69,23 @@ func main() {
 	figs := flag.String("fig", "", "comma-separated figure numbers (default: all)")
 	mob := flag.String("mobility", "", "comma-separated mobility models for the cross-mobility table 17 (default: rwp,gauss-markov,rpgm,manhattan)")
 	workers := flag.Int("workers", 0, "sweep engine width (default: GOMAXPROCS)")
+	shardSpec := flag.String("shard", "", "run slice k/n of the job grid and write an artifact instead of tables (merge with mergefigs)")
+	out := flag.String("out", "", "artifact path for -shard (default figures-shard-K-of-N.json)")
+	journalPath := flag.String("journal", "", "checkpoint journal: record every completed replication crash-safely")
+	resume := flag.Bool("resume", false, "skip replications already recorded in -journal")
+	retries := flag.Int("retries", 1, "re-runs of a failed replication before recording the failure (0 = none)")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
 
 	if *workers > 0 {
 		scenario.ConfigureDefaultEngine(*workers)
 	}
+	engine := scenario.DefaultEngine()
+	engine.SetRetryPolicy(*retries, 100*time.Millisecond)
 
 	opts := experiments.Full()
 	if *quick {
@@ -65,15 +98,17 @@ func main() {
 		opts.Seeds = *seeds
 	}
 
-	var kinds []scenario.MobilityKind
+	// Mobility names are canonicalized through the parser so the PlanSpec
+	// (and with it the grid fingerprint) is identical however they were
+	// spelled on the command line.
+	var mobility []string
 	if *mob != "" {
 		for _, name := range strings.Split(*mob, ",") {
 			k, err := scenario.ParseMobility(name)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				fail(err)
 			}
-			kinds = append(kinds, k)
+			mobility = append(mobility, k.String())
 		}
 	}
 
@@ -83,36 +118,160 @@ func main() {
 		for _, s := range strings.Split(*figs, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n < 7 || n > 21 {
-				fmt.Fprintf(os.Stderr, "unknown figure %q (valid: 7-21)\n", s)
-				os.Exit(2)
+				fail(fmt.Errorf("unknown figure %q (valid: 7-21)", s))
 			}
 			want = append(want, n)
 		}
 	}
 
-	// Progress: one stderr update per percent so logs stay readable.
-	lastPct := -1
-	opts.Progress = func(done, total int) {
-		pct := done * 100 / total
-		if pct != lastPct {
-			lastPct = pct
-			fmt.Fprintf(os.Stderr, "\rfigures: %d/%d runs (%d%%)", done, total, pct)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
+	ps := experiments.PlanSpec{
+		Figures:  want,
+		Mobility: mobility,
+		Duration: opts.Duration,
+		Seeds:    opts.Seeds,
+		BaseSeed: opts.BaseSeed,
+	}
+	plan, err := ps.Plan()
+	if err != nil {
+		fail(err)
+	}
+	cfgs := plan.Jobs()
+	gridFP := plan.GridFingerprint()
+
+	sel := make([]int, len(cfgs))
+	for i := range sel {
+		sel[i] = i
+	}
+	shardK, shardN := 1, 1
+	if *shardSpec != "" {
+		shardK, shardN, err = shard.ParseSpec(*shardSpec)
+		if err != nil {
+			fail(err)
+		}
+		sel = shard.Partition(plan.Costs(), shardK, shardN)
+		if *out == "" {
+			*out = fmt.Sprintf("figures-shard-%d-of-%d.json", shardK, shardN)
 		}
 	}
 
+	var journal *shard.Journal
+	if *journalPath != "" {
+		var skipped int
+		journal, skipped, err = shard.OpenJournal(*journalPath, "figures", gridFP)
+		if err != nil {
+			fail(err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "figures: journal: %d corrupt record(s) skipped; their jobs will re-run\n", skipped)
+		}
+	}
+	if *resume && journal == nil {
+		fail(fmt.Errorf("-resume needs -journal"))
+	}
+
+	var mu sync.Mutex
+	results := make([]scenario.Result, len(cfgs))
+
+	// Resume: preset every journaled success; failures re-run (transient
+	// faults may pass; deterministic ones re-fail identically, so the
+	// final tables come out byte-identical either way).
+	var todo []int
+	resumed := 0
+	for _, gi := range sel {
+		if *resume {
+			if rec, ok := journal.Lookup(cfgs[gi].Fingerprint()); ok && rec.Err == "" {
+				results[gi] = rec.Result(cfgs[gi])
+				resumed++
+				continue
+			}
+		}
+		todo = append(todo, gi)
+	}
+	if resumed > 0 {
+		fmt.Fprintf(os.Stderr, "figures: resume: %d of %d replications already journaled, %d to run\n",
+			resumed, len(sel), len(todo))
+	}
+
+	// SIGINT/SIGTERM: flush the journal, then exit non-zero. Tables and
+	// artifacts are whole-batch outputs — a partial one must not exist.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		mu.Lock()
+		defer mu.Unlock()
+		if journal != nil {
+			if err := journal.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "\nfigures: %v: journal has %d record(s); re-run with -resume to continue\n",
+			sig, journalLen(journal))
+		os.Exit(1)
+	}()
+
+	run := make([]scenario.Config, len(todo))
+	for i, gi := range todo {
+		run[i] = cfgs[gi]
+	}
 	start := time.Now()
-	tables, err := experiments.Generate(opts, want, kinds)
+	completed, lastPct := 0, -1
+	engine.SweepFunc(run, func(i int, res scenario.Result) {
+		gi := todo[i]
+		mu.Lock()
+		results[gi] = res
+		mu.Unlock()
+		if journal != nil {
+			if err := journal.Append(shard.RecordOf(gi, res, false)); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+			}
+		}
+		completed++
+		if pct := completed * 100 / len(run); pct != lastPct {
+			lastPct = pct
+			fmt.Fprintf(os.Stderr, "\rfigures: %d/%d runs (%d%%)", completed, len(run), pct)
+			if completed == len(run) {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	})
+	signal.Stop(sigc)
+
+	if *shardSpec != "" {
+		meta, err := json.Marshal(ps)
+		if err != nil {
+			fail(err)
+		}
+		art := &shard.Artifact{
+			Kind: "figures", Shard: shardK, Shards: shardN,
+			TotalJobs: len(cfgs), GridFP: gridFP, Meta: meta,
+		}
+		for _, gi := range sel {
+			art.Jobs = append(art.Jobs, shard.RecordOf(gi, results[gi], false))
+		}
+		if err := shard.WriteArtifact(*out, art); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "figures: shard %d/%d: %d job(s) -> %s (grid %s)\n",
+			shardK, shardN, len(sel), *out, gridFP)
+		return
+	}
+
+	tables, err := plan.Tables(results)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fail(err)
 	}
 	for _, tbl := range tables {
 		fmt.Println(tbl.Format())
 	}
-	hits, misses := scenario.DefaultEngine().TraceStats()
+	hits, misses := engine.TraceStats()
 	fmt.Fprintf(os.Stderr, "generated %d table(s) in %.1fs on %d worker(s); trace cache: %d replays / %d recordings\n",
-		len(tables), time.Since(start).Seconds(), scenario.DefaultEngine().Workers(), hits, misses)
+		len(tables), time.Since(start).Seconds(), engine.Workers(), hits, misses)
+}
+
+func journalLen(j *shard.Journal) int {
+	if j == nil {
+		return 0
+	}
+	return j.Len()
 }

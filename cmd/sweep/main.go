@@ -16,20 +16,25 @@
 //
 // -groupsize sweeps the primary group's receiver count; -groups sweeps the
 // number of concurrent multicast groups (topics) multiplexed over each
-// node's radio — per-topic popularity is Zipf-skewed, topic 0 keeping the
-// configured size and rate. Aggregated points with more than one topic
-// emit a pooled row (topic "all") followed by one row per topic whose
-// metrics come from that topic's own summaries; per-topic rows leave the
-// node-lifecycle columns (dead nodes, deaths, retries) zero, as those are
-// radio-level, not per-topic, quantities.
+// node's radio. -loss sweeps Gilbert-Elliott bursty channel loss by mean
+// burst length; -crash-mtbf sweeps crash/reboot node faults (see the
+// sweepgrid package for the full axis semantics).
 //
-// -loss sweeps Gilbert-Elliott bursty channel loss by mean burst length in
-// packets (0 = off; the figure 20a calibration: P(good→bad) = 0.05, 80%
-// loss in the bad state). -crash-mtbf sweeps crash/reboot node faults by
-// mean time between crashes in seconds (0 = off; -crash-mttr sets the mean
-// repair time, 0 = MTBF/10). Aggregated rows carry failed_runs (panics and
-// watchdog aborts, excluded from every metric pool) and retries (total
-// SS-SPST join retries across the pooled seeds).
+// # Crash tolerance and sharding
+//
+// -shard k/n runs only the k-th of n deterministic, cost-balanced slices
+// of the job grid and writes a raw-counter artifact (to -out) instead of
+// CSV; cmd/mergefigs validates and merges the n artifacts into CSV
+// byte-identical to an unsharded run. -journal FILE checkpoints every
+// completed replication crash-safely (write-temp-fsync-rename per
+// record); -resume skips replications the journal already holds, so a
+// SIGKILLed sweep re-runs at most the one replication that was in
+// flight. -retries bounds the re-execution of failed replications
+// (identical consecutive failures are classified deterministic and not
+// retried); persistent failures flow into the failed_runs column rather
+// than aborting the sweep. On SIGINT/SIGTERM the journal is flushed and
+// the CSV rows of every fully-completed point are emitted before exiting
+// non-zero.
 //
 // The grid runs as one batch on the shared sweep engine (cost-ordered
 // queue, persistent worker arenas, shared mobility traces across the
@@ -37,328 +42,209 @@
 package main
 
 import (
-	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
-	"repro/internal/faults"
-	"repro/internal/metrics"
 	"repro/internal/scenario"
+	"repro/internal/shard"
+	"repro/internal/sweepgrid"
 )
 
-var protoByName = map[string]scenario.ProtocolKind{
-	"ss-spst":   scenario.SSSPST,
-	"ss-spst-t": scenario.SSSPSTT,
-	"ss-spst-f": scenario.SSSPSTF,
-	"ss-spst-e": scenario.SSSPSTE,
-	"ss-mst":    scenario.SSMST,
-	"maodv":     scenario.MAODV,
-	"odmrp":     scenario.ODMRP,
-	"flood":     scenario.Flood,
-}
-
-// point is one grid cell; its seeds vary only the RNG.
-type point struct {
-	mobility  scenario.MobilityKind
-	proto     scenario.ProtocolKind
-	vmax      float64
-	group     int
-	groups    int // concurrent multicast groups (topics); 1 = paper workload
-	beacon    float64
-	churn     float64 // membership-churn interval (s); 0 = no churn
-	battery   float64 // joules per node; 0 = unlimited
-	loss      float64 // GE mean loss burst length (packets); 0 = no injected loss
-	crashMTBF float64 // mean time between crashes (s); 0 = no crashes
-}
-
-// faultsFor translates the CLI fault axes into a faults config: loss is
-// the Gilbert-Elliott mean burst length (figure 20a calibration), mtbf the
-// crash process mean (mttr 0 defaults to MTBF/10 in the model).
-func faultsFor(loss, mtbf, mttr float64) (f faults.Config) {
-	if loss > 0 {
-		f.Loss = faults.GEConfig{PGoodBad: 0.05, PBadGood: 1 / loss, LossBad: 0.8}
-	}
-	if mtbf > 0 {
-		f.CrashMTBF = mtbf
-		f.CrashMTTR = mttr
-	}
-	return f
-}
-
 func main() {
-	protos := flag.String("protos", "ss-spst,ss-spst-e", "comma-separated protocols")
-	vmaxs := flag.String("vmax", "1,5,10,20", "comma-separated max speeds (m/s)")
-	groupSizes := flag.String("groupsize", "20", "comma-separated group sizes (receivers in the primary group)")
-	groupCounts := flag.String("groups", "1", "comma-separated concurrent group (topic) counts; 1 = the paper's single group")
-	beacons := flag.String("beacons", "2", "comma-separated beacon intervals (s)")
-	churns := flag.String("churn", "0", "comma-separated membership-churn intervals (s); 0 = no churn")
-	batteries := flag.String("battery", "0", "comma-separated per-node battery reserves (J); 0 = unlimited")
-	losses := flag.String("loss", "0", "comma-separated Gilbert-Elliott mean loss burst lengths (packets); 0 = no injected loss")
-	crashMTBFs := flag.String("crash-mtbf", "0", "comma-separated crash mean-time-between-failures (s); 0 = no crashes")
-	crashMTTR := flag.Float64("crash-mttr", 0, "crash mean repair time (s); 0 = MTBF/10")
-	mobilities := flag.String("mobility", "rwp", "comma-separated mobility models (rwp, random-direction, gauss-markov, rpgm, manhattan, static)")
-	seeds := flag.Int("seeds", 2, "seeds per point")
-	duration := flag.Float64("duration", 180, "simulated seconds per run")
-	raw := flag.Bool("raw", false, "emit one row per seed instead of mean ± CI95 per point")
+	a := sweepgrid.Axes{}
+	flag.StringVar(&a.Protos, "protos", "ss-spst,ss-spst-e", "comma-separated protocols")
+	flag.StringVar(&a.VMaxs, "vmax", "1,5,10,20", "comma-separated max speeds (m/s)")
+	flag.StringVar(&a.GroupSizes, "groupsize", "20", "comma-separated group sizes (receivers in the primary group)")
+	flag.StringVar(&a.GroupCounts, "groups", "1", "comma-separated concurrent group (topic) counts; 1 = the paper's single group")
+	flag.StringVar(&a.Beacons, "beacons", "2", "comma-separated beacon intervals (s)")
+	flag.StringVar(&a.Churns, "churn", "0", "comma-separated membership-churn intervals (s); 0 = no churn")
+	flag.StringVar(&a.Batteries, "battery", "0", "comma-separated per-node battery reserves (J); 0 = unlimited")
+	flag.StringVar(&a.Losses, "loss", "0", "comma-separated Gilbert-Elliott mean loss burst lengths (packets); 0 = no injected loss")
+	flag.StringVar(&a.CrashMTBFs, "crash-mtbf", "0", "comma-separated crash mean-time-between-failures (s); 0 = no crashes")
+	flag.Float64Var(&a.CrashMTTR, "crash-mttr", 0, "crash mean repair time (s); 0 = MTBF/10")
+	flag.StringVar(&a.Mobilities, "mobility", "rwp", "comma-separated mobility models (rwp, random-direction, gauss-markov, rpgm, manhattan, static)")
+	flag.IntVar(&a.Seeds, "seeds", 2, "seeds per point")
+	flag.Float64Var(&a.Duration, "duration", 180, "simulated seconds per run")
+	flag.BoolVar(&a.Raw, "raw", false, "emit one row per seed instead of mean ± CI95 per point")
 	workers := flag.Int("workers", 0, "sweep engine width (default: GOMAXPROCS)")
+	shardSpec := flag.String("shard", "", "run slice k/n of the job grid and write an artifact instead of CSV (merge with mergefigs)")
+	out := flag.String("out", "", "artifact path for -shard (default sweep-shard-K-of-N.json)")
+	journalPath := flag.String("journal", "", "checkpoint journal: record every completed replication crash-safely")
+	resume := flag.Bool("resume", false, "skip replications already recorded in -journal")
+	retries := flag.Int("retries", 1, "re-runs of a failed replication before recording the failure (0 = none)")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
 
 	if *workers > 0 {
 		scenario.ConfigureDefaultEngine(*workers)
 	}
-
-	var kinds []scenario.MobilityKind
-	for _, name := range splitList(*mobilities) {
-		k, err := scenario.ParseMobility(name)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		kinds = append(kinds, k)
-	}
-
-	var cfgs []scenario.Config
-	var points []point
-	completed := 0
-	for _, m := range kinds {
-		for _, pName := range splitList(*protos) {
-			kind, ok := protoByName[pName]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown protocol %q\n", pName)
-				os.Exit(2)
-			}
-			for _, v := range parseFloats(*vmaxs) {
-				for _, g := range parseInts(*groupSizes) {
-					for _, k := range parseInts(*groupCounts) {
-						for _, b := range parseFloats(*beacons) {
-							for _, ch := range parseFloats(*churns) {
-								for _, bat := range parseFloats(*batteries) {
-									for _, loss := range parseFloats(*losses) {
-										for _, mtbf := range parseFloats(*crashMTBFs) {
-											points = append(points, point{m, kind, v, g, k, b, ch, bat, loss, mtbf})
-											for s := 0; s < *seeds; s++ {
-												cfg := scenario.Default()
-												cfg.Mobility = m
-												cfg.Protocol = kind
-												cfg.VMax = v
-												cfg.GroupSize = g
-												cfg.Groups = k
-												cfg.BeaconInterval = b
-												cfg.MemberChurnInterval = ch
-												cfg.Battery = bat
-												cfg.Faults = faultsFor(loss, mtbf, *crashMTTR)
-												cfg.Duration = *duration
-												cfg.Seed = scenario.ReplicationSeed(1, s)
-												if err := cfg.Validate(); err != nil {
-													fmt.Fprintln(os.Stderr, "sweep:", err)
-													os.Exit(1)
-												}
-												cfgs = append(cfgs, cfg)
-											}
-										}
-									}
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-
 	engine := scenario.DefaultEngine()
-	lastPct := -1
-	results := engine.SweepFunc(cfgs, func(done int, _ scenario.Result) {
+	engine.SetRetryPolicy(*retries, 100*time.Millisecond)
+
+	points, cfgs, err := sweepgrid.Build(a)
+	if err != nil {
+		fail(err)
+	}
+	gridFP := shard.GridFingerprint("sweep", a, cfgs)
+
+	// sel is the global job-index slice this process owns: the whole grid,
+	// or its deterministic cost-balanced shard.
+	sel := make([]int, len(cfgs))
+	for i := range sel {
+		sel[i] = i
+	}
+	shardK, shardN := 1, 1
+	if *shardSpec != "" {
+		shardK, shardN, err = shard.ParseSpec(*shardSpec)
+		if err != nil {
+			fail(err)
+		}
+		costs := make([]float64, len(cfgs))
+		for i, cfg := range cfgs {
+			costs[i] = float64(cfg.N) * cfg.Duration
+		}
+		sel = shard.Partition(costs, shardK, shardN)
+		if *out == "" {
+			*out = fmt.Sprintf("sweep-shard-%d-of-%d.json", shardK, shardN)
+		}
+	}
+
+	var journal *shard.Journal
+	if *journalPath != "" {
+		var skipped int
+		journal, skipped, err = shard.OpenJournal(*journalPath, "sweep", gridFP)
+		if err != nil {
+			fail(err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: journal: %d corrupt record(s) skipped; their jobs will re-run\n", skipped)
+		}
+	}
+	if *resume && journal == nil {
+		fail(fmt.Errorf("-resume needs -journal"))
+	}
+
+	// results/done are shared with the signal handler; mu guards them.
+	var mu sync.Mutex
+	results := make([]scenario.Result, len(cfgs))
+	done := make([]bool, len(cfgs))
+
+	// Resume: preset every journaled success; failures re-run (a transient
+	// fault may pass this time — a deterministic one re-fails identically,
+	// keeping the final output byte-identical either way).
+	var todo []int
+	resumed := 0
+	for _, gi := range sel {
+		if *resume {
+			if rec, ok := journal.Lookup(cfgs[gi].Fingerprint()); ok && rec.Err == "" {
+				results[gi] = rec.Result(cfgs[gi])
+				done[gi] = true
+				resumed++
+				continue
+			}
+		}
+		todo = append(todo, gi)
+	}
+	if resumed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: resume: %d of %d replications already journaled, %d to run\n",
+			resumed, len(sel), len(todo))
+	}
+
+	// SIGINT/SIGTERM: flush the journal and the CSV rows of every
+	// fully-completed point, then exit non-zero. The artifact is not
+	// written — a partial shard must not look mergeable.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		mu.Lock()
+		defer mu.Unlock()
+		if journal != nil {
+			if err := journal.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+		}
+		if *shardSpec == "" {
+			n, err := sweepgrid.WriteCompletedCSV(os.Stdout, a, points, results, done)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+			fmt.Fprintf(os.Stderr, "\nsweep: %v: flushed %d completed point(s); journal has %d record(s)\n",
+				sig, n, journalLen(journal))
+		} else {
+			fmt.Fprintf(os.Stderr, "\nsweep: %v: journal has %d record(s); artifact not written (re-run with -resume)\n",
+				sig, journalLen(journal))
+		}
+		os.Exit(1)
+	}()
+
+	run := make([]scenario.Config, len(todo))
+	for i, gi := range todo {
+		run[i] = cfgs[gi]
+	}
+	completed, lastPct := 0, -1
+	engine.SweepFunc(run, func(i int, res scenario.Result) {
+		gi := todo[i]
+		mu.Lock()
+		results[gi] = res
+		done[gi] = true
+		mu.Unlock()
+		if journal != nil {
+			if err := journal.Append(shard.RecordOf(gi, res, true)); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+		}
 		completed++
-		if pct := completed * 100 / len(cfgs); pct != lastPct {
+		if pct := completed * 100 / len(run); pct != lastPct {
 			lastPct = pct
-			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d runs (%d%%)", completed, len(cfgs), pct)
-			if completed == len(cfgs) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d runs (%d%%)", completed, len(run), pct)
+			if completed == len(run) {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
 	})
+	signal.Stop(sigc)
 	hits, misses := engine.TraceStats()
 	fmt.Fprintf(os.Stderr, "%d runs on %d worker(s); trace cache: %d replays / %d recordings\n",
-		len(cfgs), engine.Workers(), hits, misses)
+		len(run), engine.Workers(), hits, misses)
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	if *raw {
-		writeRaw(w, results)
+	if *shardSpec != "" {
+		meta, err := json.Marshal(a)
+		if err != nil {
+			fail(err)
+		}
+		art := &shard.Artifact{
+			Kind: "sweep", Shard: shardK, Shards: shardN,
+			TotalJobs: len(cfgs), GridFP: gridFP, Meta: meta,
+		}
+		for _, gi := range sel {
+			art.Jobs = append(art.Jobs, shard.RecordOf(gi, results[gi], true))
+		}
+		if err := shard.WriteArtifact(*out, art); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: shard %d/%d: %d job(s) -> %s (grid %s)\n",
+			shardK, shardN, len(sel), *out, gridFP)
 		return
 	}
-	writeAggregated(w, points, results, *seeds)
-}
-
-// cfgBurst recovers the -loss axis value (GE mean burst length) from a
-// run's config; 0 when no loss was injected.
-func cfgBurst(c scenario.Config) float64 {
-	if c.Faults.Loss.PBadGood > 0 {
-		return 1 / c.Faults.Loss.PBadGood
-	}
-	return 0
-}
-
-// cfgGroups recovers the -groups axis value (concurrent topic count) from
-// a run's config; the zero value means the single paper group.
-func cfgGroups(c scenario.Config) int {
-	if c.Groups > 1 {
-		return c.Groups
-	}
-	return 1
-}
-
-// writeRaw emits the legacy one-row-per-seed format. A failed replication
-// (isolated panic, watchdog abort) keeps its identifying columns, sets
-// failed=1 and zeroes every metric — consumers filter on the flag.
-func writeRaw(w *csv.Writer, results []scenario.Result) {
-	w.Write([]string{
-		"mobility", "protocol", "vmax", "group", "groups", "beacon", "churn", "battery",
-		"loss", "crash_mtbf", "seed",
-		"pdr", "energy_per_pkt_mJ", "delay_ms", "ctrl_per_data_byte",
-		"unavailability", "total_energy_J", "tx_J", "rx_J", "discard_J",
-		"dead_nodes", "first_death_s", "half_death_s", "retries", "failed",
-	})
-	for _, r := range results {
-		s := r.Summary
-		c := r.Config
-		failed := "0"
-		if r.Err != nil {
-			failed = "1"
-		}
-		w.Write([]string{
-			c.Mobility.String(), c.Protocol.String(),
-			ftoa(c.VMax), strconv.Itoa(c.GroupSize), strconv.Itoa(cfgGroups(c)),
-			ftoa(c.BeaconInterval),
-			ftoa(c.MemberChurnInterval), ftoa(c.Battery),
-			ftoa(cfgBurst(c)), ftoa(c.Faults.CrashMTBF),
-			strconv.FormatUint(c.Seed, 10),
-			ftoa(s.PDR), ftoa(s.EnergyPerDeliveredJ * 1e3), ftoa(s.AvgDelayS * 1e3),
-			ftoa(s.CtrlPerDataByte), ftoa(s.Unavailability),
-			ftoa(s.TotalEnergyJ), ftoa(s.TxJ), ftoa(s.RxJ), ftoa(s.DiscardJ),
-			strconv.Itoa(s.DeadNodes), ftoa(s.FirstDeathS), ftoa(s.HalfDeathS),
-			strconv.Itoa(s.Faults.JoinRetries), failed,
-		})
+	if err := sweepgrid.WriteCSV(os.Stdout, a, points, results); err != nil {
+		fail(err)
 	}
 }
 
-// writeAggregated reduces each point's seeds to mean ± CI95 columns. The
-// mean is the pooled (denominator-weighted) metrics.Mean; the CI is the
-// Student-t 95% half-width of the per-seed values. Failed replications
-// join no pool: n_seeds still reports the attempted count, failed_runs how
-// many were excluded. Multi-topic points (groups > 1) emit the pooled row
-// (topic "all") followed by one row per topic, pooled from that topic's
-// per-seed summaries; node-lifecycle columns stay zero on per-topic rows
-// because battery death and crash retries are radio-level, not per-topic.
-func writeAggregated(w *csv.Writer, points []point, results []scenario.Result, seeds int) {
-	w.Write([]string{
-		"mobility", "protocol", "vmax", "group", "groups", "topic",
-		"beacon", "churn", "battery",
-		"loss", "crash_mtbf", "seeds",
-		"pdr", "pdr_ci95",
-		"energy_per_pkt_mJ", "energy_per_pkt_ci95",
-		"delay_ms", "delay_ci95",
-		"ctrl_per_data_byte", "ctrl_ci95",
-		"unavailability", "unavailability_ci95",
-		"total_energy_J", "total_energy_ci95",
-		"dead_nodes", "dead_nodes_ci95",
-		"first_death_s", "first_death_ci95",
-		"retries", "failed_runs",
-	})
-	row := func(p point, topic string, sums []metrics.Summary, agg *metrics.Aggregate) {
-		pooled := metrics.Mean(sums)
-		nOK := len(sums)
-		deadPerRun := 0.0
-		if nOK > 0 {
-			deadPerRun = float64(pooled.DeadNodes) / float64(nOK)
-		}
-		k := p.groups
-		if k < 1 {
-			k = 1
-		}
-		w.Write([]string{
-			p.mobility.String(), p.proto.String(),
-			ftoa(p.vmax), strconv.Itoa(p.group), strconv.Itoa(k), topic,
-			ftoa(p.beacon),
-			ftoa(p.churn), ftoa(p.battery),
-			ftoa(p.loss), ftoa(p.crashMTBF), strconv.Itoa(seeds),
-			ftoa(pooled.PDR), ftoa(agg.PDR.CI95()),
-			ftoa(pooled.EnergyPerDeliveredJ * 1e3), ftoa(agg.EnergyPerPkt.CI95() * 1e3),
-			ftoa(pooled.AvgDelayS * 1e3), ftoa(agg.DelayS.CI95() * 1e3),
-			ftoa(pooled.CtrlPerDataByte), ftoa(agg.CtrlPerByte.CI95()),
-			ftoa(pooled.Unavailability), ftoa(agg.Unavailability.CI95()),
-			ftoa(pooled.TotalEnergyJ), ftoa(agg.TotalEnergyJ.CI95()),
-			ftoa(deadPerRun), ftoa(agg.DeadNodes.CI95()),
-			ftoa(pooled.FirstDeathS), ftoa(agg.FirstDeathS.CI95()),
-			strconv.Itoa(pooled.Faults.JoinRetries), strconv.Itoa(agg.Failed),
-		})
+func journalLen(j *shard.Journal) int {
+	if j == nil {
+		return 0
 	}
-	for i, p := range points {
-		var agg metrics.Aggregate
-		var sums []metrics.Summary
-		for s := 0; s < seeds; s++ {
-			r := results[i*seeds+s]
-			if r.Err != nil {
-				agg.AddFailed()
-				continue
-			}
-			sums = append(sums, r.Summary)
-			agg.AddSummary(r.Summary)
-		}
-		row(p, "all", sums, &agg)
-		if p.groups <= 1 {
-			continue
-		}
-		for g := 0; g < p.groups; g++ {
-			var tagg metrics.Aggregate
-			var tsums []metrics.Summary
-			for s := 0; s < seeds; s++ {
-				r := results[i*seeds+s]
-				if r.Err != nil || g >= len(r.PerGroup) {
-					tagg.AddFailed()
-					continue
-				}
-				tsums = append(tsums, r.PerGroup[g])
-				tagg.AddSummary(r.PerGroup[g])
-			}
-			row(p, strconv.Itoa(g), tsums, &tagg)
-		}
-	}
+	return j.Len()
 }
-
-func splitList(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, strings.ToLower(p))
-		}
-	}
-	return out
-}
-
-func parseFloats(s string) []float64 {
-	var out []float64
-	for _, p := range splitList(s) {
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad number %q\n", p)
-			os.Exit(2)
-		}
-		out = append(out, v)
-	}
-	return out
-}
-
-func parseInts(s string) []int {
-	var out []int
-	for _, v := range parseFloats(s) {
-		out = append(out, int(v))
-	}
-	return out
-}
-
-func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', 6, 64) }

@@ -29,11 +29,17 @@ import (
 
 // Point is one (x, y) sample of a curve. CI, when non-zero, is the
 // half-width of the 95% confidence interval on y across the seeds that
-// were averaged into it.
+// were averaged into it. NOK/NTotal report the replication coverage
+// behind the point: NOK seeds survived of NTotal scheduled. Under the
+// bounded-retry policy a persistently failing replication is excluded
+// rather than fabricated, so NOK < NTotal marks a degraded point.
 type Point struct {
 	X  float64
 	Y  float64
 	CI float64
+
+	NOK    int
+	NTotal int
 }
 
 // Table is one reproduced figure: named series over a common x-axis.
@@ -47,6 +53,9 @@ type Table struct {
 	// XTicks, when set, labels a categorical x-axis: XTicks[i] names the
 	// point with X == i (the cross-mobility table uses model names).
 	XTicks []string
+	// Notes records degradations worth surfacing next to the data — rows
+	// whose every replication failed plot no point and leave a note here.
+	Notes []string
 }
 
 // picker extracts one plotted metric from a summary; ok reports whether
@@ -629,95 +638,22 @@ func Generate(o Options, figs []int, kinds []scenario.MobilityKind) ([]Table, er
 	return generateSpecs(o, specs)
 }
 
-// generateSpecs runs declared figures through the shared engine.
+// generateSpecs runs declared figures through the shared engine and
+// reduces the results offline — the same flatten + reduceSpecs pair the
+// sharded Plan path uses, so live runs, resumed runs and merged shard
+// artifacts all format byte-identically.
 func generateSpecs(o Options, specs []*figSpec) ([]Table, error) {
-	// Flatten all rows × seeds, remembering each run's position.
-	type runKey struct{ fig, row, seed int }
-	var cfgs []scenario.Config
-	var keys []runKey
-	for fi, sp := range specs {
-		for ri, r := range sp.rows {
-			for s := 0; s < o.Seeds; s++ {
-				cfg := r.cfg
-				cfg.Seed = scenario.ReplicationSeed(o.BaseSeed, s)
-				cfgs = append(cfgs, cfg)
-				keys = append(keys, runKey{fi, ri, s})
-			}
-		}
-	}
-
-	// Stream aggregation: each row buffers only its own seed summaries
-	// (seed-indexed so completion order cannot perturb the reduction) and
-	// reduces the moment its last replication lands. Failed replications
-	// (engine-isolated panics, watchdog aborts) are excluded from the pool
-	// — the row's point aggregates the surviving seeds; a row with no
-	// survivor contributes no point at all rather than a fabricated zero.
-	type rowBuf struct {
-		sums   []metrics.Summary
-		ok     []bool
-		got    int
-		failed int
-	}
-	bufs := make([][]rowBuf, len(specs))
-	for fi, sp := range specs {
-		bufs[fi] = make([]rowBuf, len(sp.rows))
-	}
+	cfgs, keys := flatten(o, specs)
+	results := make([]scenario.Result, len(cfgs))
 	done := 0
 	scenario.DefaultEngine().SweepFunc(cfgs, func(i int, res scenario.Result) {
-		k := keys[i]
-		b := &bufs[k.fig][k.row]
-		if b.sums == nil {
-			b.sums = make([]metrics.Summary, o.Seeds)
-			b.ok = make([]bool, o.Seeds)
-		}
-		if res.Err != nil {
-			b.failed++
-		} else {
-			b.sums[k.seed] = res.Summary
-			b.ok[k.seed] = true
-		}
-		b.got++
-		if b.got == o.Seeds {
-			good := b.sums[:0]
-			for si, ok := range b.ok {
-				if ok {
-					good = append(good, b.sums[si])
-				}
-			}
-			sp := specs[k.fig]
-			r := &sp.rows[k.row]
-			for _, out := range r.outs {
-				if len(good) == 0 {
-					break
-				}
-				t := &sp.tbls[out.tbl]
-				if out.timeline {
-					t.Series[out.series] = append(t.Series[out.series],
-						timelinePoints(good, r.cfg.Duration)...)
-					continue
-				}
-				y, ci := reduce(good, out.pick)
-				t.Series[out.series] = append(t.Series[out.series],
-					Point{X: r.x, Y: y, CI: ci})
-			}
-			b.sums, b.ok = nil, nil // release: nothing beyond in-flight rows is retained
-		}
+		results[i] = res
 		done++
 		if o.Progress != nil {
 			o.Progress(done, len(cfgs))
 		}
 	})
-
-	var tables []Table
-	for _, sp := range specs {
-		for ti := range sp.tbls {
-			for name := range sp.tbls[ti].Series {
-				sortPoints(sp.tbls[ti].Series[name])
-			}
-			tables = append(tables, sp.tbls[ti])
-		}
-	}
-	return tables, nil
+	return reduceSpecs(o, specs, keys, results), nil
 }
 
 // timelinePoints expands one row's seed summaries into the dead-fraction
@@ -892,6 +828,19 @@ func (t Table) Format() string {
 			fmt.Fprintf(&b, "%*s", colw, cell)
 		}
 		b.WriteByte('\n')
+	}
+	// Degradation footer: points pooled from fewer seeds than scheduled
+	// (persistent replication failures) and rows that plotted nothing.
+	// Fully-covered tables print exactly as before.
+	for _, n := range names {
+		for _, p := range t.Series[n] {
+			if p.NTotal > 0 && p.NOK < p.NTotal {
+				fmt.Fprintf(&b, "  partial: %s at x=%g pooled %d/%d seeds\n", n, p.X, p.NOK, p.NTotal)
+			}
+		}
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", note)
 	}
 	return b.String()
 }

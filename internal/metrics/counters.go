@@ -1,0 +1,131 @@
+package metrics
+
+import "math"
+
+// Counters is the raw-counter wire form of a single run's Summary: only
+// the pooled numerators, denominators and energy sums survive; every
+// ratio metric (PDR, energy per delivery, delay, control overhead,
+// unavailability, the lifetime landmarks and the dead-fraction timeline)
+// is re-derived on import by exactly the divisions Summarize performs.
+//
+// This is what makes cross-process merging exact rather than approximate:
+// a shard artifact or checkpoint journal stores Counters, and a Summary
+// round-tripped through CountersOf → JSON → Summary is bit-identical to
+// the original — the derived fields repeat the same float64 operations on
+// the same operands, the raw fields are integers or finite float64 sums
+// (Go's encoding/json emits the shortest representation that round-trips
+// float64 exactly), and the non-finite values a Summary can carry
+// (EnergyPerDeliveredJ = +Inf on all-dead runs), which JSON cannot
+// represent, are never stored because they are derived.
+//
+// Counters represents PER-RUN summaries only. A pooled Mean summary is
+// not representable: Mean reports per-run mean energies whose
+// TotalEnergyJ is not bitwise TxJ+RxJ+DiscardJ, and its lifetime
+// landmarks divide by the observing-run counts. Pool after importing,
+// never before exporting.
+type Counters struct {
+	Sent       int `json:"sent"`
+	Expected   int `json:"expected"`
+	Delivered  int `json:"delivered"`
+	Duplicates int `json:"duplicates"`
+
+	ControlBytes       int64   `json:"control_bytes"`
+	DataTxBytes        int64   `json:"data_tx_bytes"`
+	DelaySumS          float64 `json:"delay_sum_s"`
+	UniquePayloadBytes int64   `json:"unique_payload_bytes"`
+
+	UnavailSamples int `json:"unavail_samples"`
+	UnavailBroken  int `json:"unavail_broken"`
+
+	TxJ      float64 `json:"tx_j"`
+	RxJ      float64 `json:"rx_j"`
+	DiscardJ float64 `json:"discard_j"`
+
+	DeadNodes int `json:"dead_nodes,omitempty"`
+	Nodes     int `json:"nodes,omitempty"`
+
+	FirstDeaths            int     `json:"first_deaths,omitempty"`
+	HalfDeaths             int     `json:"half_deaths,omitempty"`
+	FirstDeathSumS         float64 `json:"first_death_sum_s,omitempty"`
+	HalfDeathSumS          float64 `json:"half_death_sum_s,omitempty"`
+	HalfDeadDeliveredBytes int64   `json:"half_dead_delivered_bytes,omitempty"`
+
+	DeadTimeline [LifetimeBuckets]int `json:"dead_timeline,omitempty"`
+
+	Faults FaultStats `json:"faults,omitempty"`
+}
+
+// CountersOf extracts the raw counters of one run's summary. s must be a
+// per-run summary (Summarize or SummarizeGroups output), not a pooled
+// Mean — see the type comment.
+func CountersOf(s Summary) Counters {
+	return Counters{
+		Sent: s.Sent, Expected: s.Expected,
+		Delivered: s.Delivered, Duplicates: s.Duplicates,
+		ControlBytes: s.ControlBytes, DataTxBytes: s.DataTxBytes,
+		DelaySumS:          s.DelaySumS,
+		UniquePayloadBytes: s.UniquePayloadBytes,
+		UnavailSamples:     s.UnavailSamples, UnavailBroken: s.UnavailBroken,
+		TxJ: s.TxJ, RxJ: s.RxJ, DiscardJ: s.DiscardJ,
+		DeadNodes: s.DeadNodes, Nodes: s.Nodes,
+		FirstDeaths: s.FirstDeaths, HalfDeaths: s.HalfDeaths,
+		FirstDeathSumS: s.FirstDeathSumS, HalfDeathSumS: s.HalfDeathSumS,
+		HalfDeadDeliveredBytes: s.HalfDeadDeliveredBytes,
+		DeadTimeline:           s.DeadTimeline,
+		Faults:                 s.Faults,
+	}
+}
+
+// Summary rehydrates the full per-run summary, repeating Summarize's
+// derivations on the imported counters so every field — including the
+// float64 ratio metrics — matches the original bit for bit
+// (TestCountersRoundTrip pins this over real runs).
+func (c Counters) Summary() Summary {
+	s := Summary{
+		Sent: c.Sent, Expected: c.Expected,
+		Delivered: c.Delivered, Duplicates: c.Duplicates,
+		ControlBytes: c.ControlBytes, DataTxBytes: c.DataTxBytes,
+		DelaySumS:          c.DelaySumS,
+		UniquePayloadBytes: c.UniquePayloadBytes,
+		UnavailSamples:     c.UnavailSamples, UnavailBroken: c.UnavailBroken,
+		TxJ: c.TxJ, RxJ: c.RxJ, DiscardJ: c.DiscardJ,
+		DeadNodes: c.DeadNodes, Nodes: c.Nodes,
+		FirstDeaths: c.FirstDeaths, HalfDeaths: c.HalfDeaths,
+		FirstDeathSumS: c.FirstDeathSumS, HalfDeathSumS: c.HalfDeathSumS,
+		HalfDeadDeliveredBytes: c.HalfDeadDeliveredBytes,
+		DeadTimeline:           c.DeadTimeline,
+		Faults:                 c.Faults,
+	}
+	s.TotalEnergyJ = s.TxJ + s.RxJ + s.DiscardJ
+	// Per-run landmark values: FirstDeaths/HalfDeaths are 0 or 1 on a
+	// single run, so the landmark equals its sum (same assignment
+	// Summarize performs, no division).
+	if c.FirstDeaths > 0 {
+		s.FirstDeathS = c.FirstDeathSumS
+	}
+	if c.HalfDeaths > 0 {
+		s.HalfDeathS = c.HalfDeathSumS
+		s.HalfDeadDeliveredB = float64(c.HalfDeadDeliveredBytes)
+	}
+	if c.Nodes > 0 {
+		for k := range s.DeadFrac {
+			s.DeadFrac[k] = float64(c.DeadTimeline[k]) / float64(c.Nodes)
+		}
+	}
+	if c.Expected > 0 {
+		s.PDR = float64(c.Delivered) / float64(c.Expected)
+	}
+	if c.Delivered > 0 {
+		s.EnergyPerDeliveredJ = s.TotalEnergyJ / float64(c.Delivered)
+		s.AvgDelayS = c.DelaySumS / float64(c.Delivered)
+	} else if s.TotalEnergyJ > 0 {
+		s.EnergyPerDeliveredJ = math.Inf(1) // see Summarize
+	}
+	if c.UniquePayloadBytes > 0 {
+		s.CtrlPerDataByte = float64(c.ControlBytes) / float64(c.UniquePayloadBytes)
+	}
+	if c.UnavailSamples > 0 {
+		s.Unavailability = float64(c.UnavailBroken) / float64(c.UnavailSamples)
+	}
+	return s
+}

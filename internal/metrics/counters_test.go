@@ -1,0 +1,76 @@
+package metrics_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// TestCountersRoundTrip pins the property the whole shard fabric rests
+// on: a real run's Summary, exported as raw Counters, marshaled to JSON,
+// parsed back and rehydrated, is bit-identical to the original —
+// including every derived float64 ratio. Summary is a comparable struct
+// (fixed-size array, no pointers), so == is exact bit comparison apart
+// from NaN, which no field produces.
+func TestCountersRoundTrip(t *testing.T) {
+	cfgs := []scenario.Config{}
+	base := scenario.Default()
+	base.Duration = 30
+
+	battery := base
+	battery.Battery = 1 // force deaths so the lifetime fields are non-zero
+	churn := base
+	churn.MemberChurnInterval = 5
+	groups := base
+	groups.Groups = 3
+	for _, cfg := range []scenario.Config{base, battery, churn, groups} {
+		cfg.Seed = 7
+		cfgs = append(cfgs, cfg)
+	}
+
+	for _, cfg := range cfgs {
+		res, err := scenario.RunE(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range append([]metrics.Summary{res.Summary}, res.PerGroup...) {
+			b, err := json.Marshal(metrics.CountersOf(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var c metrics.Counters
+			if err := json.Unmarshal(b, &c); err != nil {
+				t.Fatal(err)
+			}
+			if got := c.Summary(); got != s {
+				t.Fatalf("round trip drifted:\n got %+v\nwant %+v", got, s)
+			}
+		}
+	}
+}
+
+// TestCountersInfEnergy: the one non-finite Summary field (+Inf energy
+// per delivery on a run that spent energy and delivered nothing) is
+// derived, never stored, so the wire form stays JSON-legal and the
+// rehydration reproduces the Inf.
+func TestCountersInfEnergy(t *testing.T) {
+	c := metrics.Counters{Sent: 10, Expected: 10, Delivered: 0, TxJ: 2.5}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatalf("all-dead counters not JSON-marshalable: %v", err)
+	}
+	var c2 metrics.Counters
+	if err := json.Unmarshal(b, &c2); err != nil {
+		t.Fatal(err)
+	}
+	s := c2.Summary()
+	if !math.IsInf(s.EnergyPerDeliveredJ, 1) {
+		t.Fatalf("EnergyPerDeliveredJ = %v, want +Inf", s.EnergyPerDeliveredJ)
+	}
+	if s.PDR != 0 || s.TotalEnergyJ != 2.5 {
+		t.Fatalf("unexpected rehydration: %+v", s)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/mobility"
 )
@@ -42,6 +44,14 @@ type Engine struct {
 	rcs     []*RunContext // idle arenas for participating callers
 	started bool
 	closed  bool
+
+	// Bounded retry (SetRetryPolicy): failed jobs re-run up to retries
+	// times with capped exponential backoff, except when a repeat attempt
+	// reproduces the identical failure — runs are deterministic functions
+	// of their config, so an identical second failure marks the job
+	// deterministically broken and further attempts are pointless.
+	retries int
+	backoff time.Duration
 }
 
 // job is one queued run.
@@ -79,6 +89,25 @@ func NewEngine(workers int) *Engine {
 
 // Workers returns the engine's concurrency (background workers + caller).
 func (e *Engine) Workers() int { return e.workers }
+
+// SetRetryPolicy configures bounded retry for failed jobs: a job whose
+// run fails (isolated panic, watchdog abort, setup error) is re-run with
+// the SAME config and ReplicationSeed up to retries more times, sleeping
+// backoff·2^attempt (capped at 16·backoff) between attempts. A retry that
+// reproduces the identical failure classifies the job as deterministic
+// and stops immediately — retry exists for transient causes (memory
+// pressure, a CI runner wobble), and a pure function of the seed that
+// failed twice the same way will fail every time. The default policy is
+// no retries. Result.Attempts records how many runs each job consumed.
+func (e *Engine) SetRetryPolicy(retries int, backoff time.Duration) {
+	if retries < 0 {
+		retries = 0
+	}
+	e.mu.Lock()
+	e.retries = retries
+	e.backoff = backoff
+	e.mu.Unlock()
+}
 
 // TraceStats returns the trace cache's cumulative replay hits and
 // recording misses.
@@ -189,9 +218,43 @@ func (e *Engine) workerLoop() {
 // for the caller to keep using. Errors RunTracedE itself reports (bad
 // config, watchdog) are not panics and leave the arena reusable.
 func (e *Engine) runJob(rc *RunContext, j *job) *RunContext {
-	res, panicked := e.tryRunJob(rc, j)
-	if panicked {
-		rc = NewRunContext()
+	e.mu.Lock()
+	retries, backoff := e.retries, e.backoff
+	e.mu.Unlock()
+	var res Result
+	var prevFail string
+	for attempt := 0; ; attempt++ {
+		var panicked bool
+		res, panicked = e.tryRunJob(rc, j)
+		if panicked {
+			rc = NewRunContext()
+		}
+		res.Attempts = attempt + 1
+		if res.Err == nil || attempt >= retries {
+			break
+		}
+		// Deterministic-failure classification: compare the failure's head
+		// line (message without the stack, whose frame addresses vary run
+		// to run) against the previous attempt's. An identical repeat on
+		// the same seed cannot be transient.
+		head := errHead(res.Err)
+		if head == prevFail {
+			res.Err = fmt.Errorf("%w (deterministic: identical failure on retry, %d attempts)", res.Err, res.Attempts)
+			break
+		}
+		prevFail = head
+		// Each attempt consumes one trace-cache registration (tryRunJob
+		// releases on exit), so a retry needs its own.
+		if j.hasKey {
+			e.cache.register(j.key)
+		}
+		if backoff > 0 {
+			d := backoff << uint(attempt)
+			if max := backoff << 4; d > max {
+				d = max
+			}
+			time.Sleep(d)
+		}
 	}
 	b := j.batch
 	b.results[j.index] = res
@@ -216,8 +279,14 @@ func (e *Engine) tryRunJob(rc *RunContext, j *job) (res Result, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
-			err := fmt.Errorf("scenario: run panicked (seed %d, %v, N=%d): %v\n%s",
-				j.cfg.Seed, j.cfg.Protocol, j.cfg.N, r, debug.Stack())
+			// The message leads with the job's config fingerprint and seed
+			// so a failure in a merged shard log is attributable to the
+			// exact grid cell that hit it, and the stack is truncated to a
+			// fixed cap — panic payloads otherwise carry unbounded stack
+			// strings through Result.Err into journals and artifacts.
+			err := fmt.Errorf("scenario: run panicked (cfg %s, seed %d, %v, N=%d): %v\n%s",
+				j.cfg.Fingerprint(), j.cfg.Seed, j.cfg.Protocol, j.cfg.N, r,
+				truncateStack(debug.Stack()))
 			res = Result{Config: j.cfg, Err: err}
 		}
 	}()
@@ -228,6 +297,36 @@ func (e *Engine) tryRunJob(rc *RunContext, j *job) (res Result, panicked bool) {
 	}
 	res, _ = rc.RunTracedE(j.cfg, trace)
 	return res, false
+}
+
+// maxPanicStackBytes caps the stack trace carried by a panic-isolated
+// Result.Err: enough frames to diagnose, bounded so journals, artifacts
+// and merged logs stay readable when a whole shard's jobs fail the same
+// way.
+const maxPanicStackBytes = 2048
+
+// truncateStack bounds a debug.Stack dump to maxPanicStackBytes, cutting
+// at a line boundary and marking the elision.
+func truncateStack(stack []byte) string {
+	if len(stack) <= maxPanicStackBytes {
+		return string(stack)
+	}
+	cut := stack[:maxPanicStackBytes]
+	if i := strings.LastIndexByte(string(cut), '\n'); i > 0 {
+		cut = cut[:i]
+	}
+	return string(cut) + "\n... [stack truncated]"
+}
+
+// errHead returns the failure message up to the first newline — the
+// stable part of a failure identity (stacks carry addresses that vary
+// between attempts).
+func errHead(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
 }
 
 // takeRCLocked pops an idle arena for a participating caller, or builds

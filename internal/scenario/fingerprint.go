@@ -1,0 +1,25 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint returns a short stable digest identifying the complete
+// configuration, seed included: two configs share a fingerprint exactly
+// when every field (protocol, topology, mobility parameters, group
+// layout, traffic, timers, fault processes, run control, seed) is equal.
+//
+// The digest is the canonical Go value syntax of the struct hashed with
+// SHA-256, truncated to 64 bits and hex-encoded. Config is a pure value
+// type — every field is a scalar, a value struct, or a slice of value
+// structs, never a pointer, map or function — so the %#v rendering is
+// identical across processes and platforms, which is what lets shard
+// artifacts and checkpoint journals written by one process be verified by
+// another. Failed-run diagnostics embed the fingerprint so a panic in a
+// merged log is attributable to the exact (config, seed) job that hit it.
+func (cfg Config) Fingerprint() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", cfg)))
+	return hex.EncodeToString(h[:8])
+}

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRetryDeterministicClassification: a job that fails identically on
+// its retry is classified deterministic — the engine stops burning
+// attempts on it and flags the classification in the error.
+func TestRetryDeterministicClassification(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	e.SetRetryPolicy(3, 0)
+
+	bad := Default()
+	bad.Duration = 5
+	bad.Mobility = MobilityKind(99) // passes Validate, panics in buildMobility
+
+	res := e.Sweep([]Config{bad})[0]
+	if res.Err == nil {
+		t.Fatal("deterministically panicking config produced no error")
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2 (first failure + one identical retry)", res.Attempts)
+	}
+	msg := res.Err.Error()
+	if !strings.Contains(msg, "deterministic: identical failure on retry") {
+		t.Fatalf("error not classified deterministic: %s", msg)
+	}
+	// Satellite: panic errors are prefixed with the config fingerprint and
+	// seed so a sharded log line identifies its exact replication.
+	if !strings.Contains(msg, "cfg "+bad.Fingerprint()) {
+		t.Fatalf("error does not carry the config fingerprint %s: %s", bad.Fingerprint(), msg)
+	}
+}
+
+// TestRetryDisabled: with retries = 0 a failed job is recorded after its
+// single attempt.
+func TestRetryDisabled(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	e.SetRetryPolicy(0, 0)
+
+	bad := Default()
+	bad.Duration = 5
+	bad.Mobility = MobilityKind(99)
+
+	res := e.Sweep([]Config{bad})[0]
+	if res.Err == nil || res.Attempts != 1 {
+		t.Fatalf("retries=0: Attempts = %d, err = %v, want 1 attempt with error", res.Attempts, res.Err)
+	}
+	if strings.Contains(res.Err.Error(), "deterministic:") {
+		t.Fatalf("single attempt wrongly classified: %v", res.Err)
+	}
+}
+
+// TestSuccessAttempts: a clean run reports exactly one attempt even when
+// retries are enabled.
+func TestSuccessAttempts(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	e.SetRetryPolicy(3, 0)
+
+	cfg := Default()
+	cfg.Duration = 5
+
+	res := e.Sweep([]Config{cfg})[0]
+	if res.Err != nil || res.Attempts != 1 {
+		t.Fatalf("clean run: Attempts = %d, err = %v, want 1 and nil", res.Attempts, res.Err)
+	}
+}
+
+// TestTruncateStack pins the panic-stack cap: long stacks are cut at a
+// line boundary and marked, short ones pass through untouched.
+func TestTruncateStack(t *testing.T) {
+	short := []byte("goroutine 1 [running]:\nmain.main()\n")
+	if got := truncateStack(short); got != string(short) {
+		t.Fatalf("short stack modified: %q", got)
+	}
+	long := bytes.Repeat([]byte("some/deep/frame.func1(0xc000)\n"), 1000)
+	got := truncateStack(long)
+	if len(got) > maxPanicStackBytes+len("\n... [stack truncated]") {
+		t.Fatalf("truncated stack still %d bytes", len(got))
+	}
+	if !strings.HasSuffix(got, "... [stack truncated]") {
+		t.Fatalf("truncation not marked: ...%q", got[len(got)-40:])
+	}
+	body := strings.TrimSuffix(got, "\n... [stack truncated]")
+	if !strings.HasSuffix(body, ")") { // cut mid-line would end elsewhere
+		t.Fatalf("stack not cut at a line boundary: ...%q", body[len(body)-20:])
+	}
+}
+
+func TestErrHead(t *testing.T) {
+	if h := errHead(errors.New("first line\nsecond line")); h != "first line" {
+		t.Fatalf("errHead = %q", h)
+	}
+	if h := errHead(errors.New("only line")); h != "only line" {
+		t.Fatalf("errHead = %q", h)
+	}
+}
+
+// TestEventBudgetExactBoundary finds the run's true event count E by
+// binary search and pins the watchdog boundary end to end: budget E
+// (the run ends exactly at its budget) passes, budget E-1 fails.
+func TestEventBudgetExactBoundary(t *testing.T) {
+	cfg := Default()
+	cfg.Duration = 2
+
+	passes := func(budget uint64) bool {
+		cfg.EventBudget = budget
+		_, err := RunE(cfg)
+		if err != nil && !strings.Contains(err.Error(), "event budget") {
+			t.Fatalf("budget %d failed for the wrong reason: %v", budget, err)
+		}
+		return err == nil
+	}
+
+	hi := uint64(1 << 16)
+	for !passes(hi) {
+		hi *= 4
+		if hi > 1<<34 {
+			t.Fatal("no passing budget below 2^34")
+		}
+	}
+	lo := uint64(1)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if passes(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	e := lo // the run's exact event count
+
+	if !passes(e) {
+		t.Fatalf("run ending exactly at budget %d failed", e)
+	}
+	if passes(e - 1) {
+		t.Fatalf("budget %d (one below the run's %d events) did not trip the watchdog", e-1, e)
+	}
+}

@@ -279,6 +279,11 @@ type Result struct {
 	// landmarks, fault counters) live in Summary only. Empty on failed
 	// runs.
 	PerGroup []metrics.Summary
+	// Attempts counts how many times the sweep engine ran this job under
+	// its bounded-retry policy: 1 for a first-try success (0 in results
+	// not produced by the engine), more when earlier attempts failed and
+	// were retried.
+	Attempts int
 	Err      error
 }
 

@@ -133,12 +133,12 @@ func (c *TraceCache) acquire(cfg Config, key TraceKey) *mobility.Recorded {
 // registered run has finished.
 func (c *TraceCache) release(key TraceKey) {
 	c.mu.Lock()
+	defer c.mu.Unlock() // deferred: a paired-release bug must not hold the lock forever
 	e := c.entries[key]
 	e.pending--
 	if e.pending == 0 {
 		delete(c.entries, key)
 	}
-	c.mu.Unlock()
 }
 
 // Stats returns the cumulative replay hits and recording misses.

@@ -1,0 +1,274 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// ArtifactVersion is bumped whenever the artifact schema changes
+// incompatibly; readers refuse other versions with an explicit error
+// instead of misinterpreting the payload.
+const ArtifactVersion = 1
+
+// JobRecord is one completed (or conclusively failed) replication: the
+// job's position in the flattened grid, its identity (config fingerprint
+// + seed), and its raw-counter result. Summary is nil exactly when the
+// replication failed; Err then carries the (stack-truncated) failure.
+type JobRecord struct {
+	Index    int    `json:"index"`
+	Seed     uint64 `json:"seed"`
+	FP       string `json:"fp"`
+	Attempts int    `json:"attempts,omitempty"`
+	Err      string `json:"err,omitempty"`
+
+	Summary  *metrics.Counters  `json:"summary,omitempty"`
+	PerGroup []metrics.Counters `json:"per_group,omitempty"`
+}
+
+// RecordOf packages one engine result as a journal/artifact record.
+// withGroups controls whether the per-topic summaries ride along (the
+// sweep CSV needs them; figure tables do not).
+func RecordOf(index int, r scenario.Result, withGroups bool) JobRecord {
+	rec := JobRecord{
+		Index:    index,
+		Seed:     r.Config.Seed,
+		FP:       r.Config.Fingerprint(),
+		Attempts: r.Attempts,
+	}
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+		return rec
+	}
+	c := metrics.CountersOf(r.Summary)
+	rec.Summary = &c
+	if withGroups {
+		rec.PerGroup = make([]metrics.Counters, len(r.PerGroup))
+		for i, g := range r.PerGroup {
+			rec.PerGroup[i] = metrics.CountersOf(g)
+		}
+	}
+	return rec
+}
+
+// Result rehydrates the record as an engine result for cfg — the config
+// is reconstructed from the grid (never stored), so callers must have
+// verified rec.FP == cfg.Fingerprint() first.
+func (rec JobRecord) Result(cfg scenario.Config) scenario.Result {
+	res := scenario.Result{Config: cfg, Attempts: rec.Attempts}
+	if rec.Err != "" {
+		res.Err = fmt.Errorf("%s", rec.Err)
+		return res
+	}
+	if rec.Summary != nil {
+		res.Summary = rec.Summary.Summary()
+	}
+	if len(rec.PerGroup) > 0 {
+		res.PerGroup = make([]metrics.Summary, len(rec.PerGroup))
+		for i, g := range rec.PerGroup {
+			res.PerGroup[i] = g.Summary()
+		}
+	}
+	return res
+}
+
+// Artifact is one shard's complete output: which slice of which grid it
+// covers, the reducer inputs needed to rebuild that grid (Meta, a
+// tool-specific JSON document), and one record per assigned job. The
+// on-disk form wraps it in an integrity envelope (CRC-32 over the exact
+// marshaled bytes), so truncated or bit-rotted files are detected at
+// read time rather than merged.
+type Artifact struct {
+	Version   int    `json:"version"`
+	Kind      string `json:"kind"` // "figures" or "sweep"
+	Shard     int    `json:"shard"`
+	Shards    int    `json:"shards"`
+	TotalJobs int    `json:"total_jobs"`
+	GridFP    string `json:"grid_fp"`
+
+	Meta json.RawMessage `json:"meta"`
+	Jobs []JobRecord     `json:"jobs"`
+}
+
+// envelope is the on-disk wrapper: Body is the exact marshaled payload
+// and CRC its CRC-32 (IEEE). json.RawMessage round-trips verbatim, so
+// the checksum is over the same bytes on both sides.
+type envelope struct {
+	Body json.RawMessage `json:"body"`
+	CRC  uint32          `json:"crc"`
+}
+
+func seal(body []byte) ([]byte, error) {
+	return json.Marshal(envelope{Body: body, CRC: crc32.ChecksumIEEE(body)})
+}
+
+func unseal(data []byte, what string) ([]byte, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("shard: %s is not a sealed JSON envelope: %w", what, err)
+	}
+	if got := crc32.ChecksumIEEE(env.Body); got != env.CRC {
+		return nil, fmt.Errorf("shard: %s is corrupt: CRC %08x, recorded %08x", what, got, env.CRC)
+	}
+	return env.Body, nil
+}
+
+// WriteArtifact persists a via write-temp → fsync → rename, so a crash
+// mid-write leaves either the previous file or none — never a torn one.
+func WriteArtifact(path string, a *Artifact) error {
+	a.Version = ArtifactVersion
+	body, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("shard: marshal artifact: %w", err)
+	}
+	sealed, err := seal(body)
+	if err != nil {
+		return fmt.Errorf("shard: seal artifact: %w", err)
+	}
+	return atomicWrite(path, append(sealed, '\n'))
+}
+
+// ReadArtifact loads and integrity-checks one shard artifact.
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	body, err := unseal(data, fmt.Sprintf("artifact %s", path))
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(body, &a); err != nil {
+		return nil, fmt.Errorf("shard: artifact %s: %w", path, err)
+	}
+	if a.Version != ArtifactVersion {
+		return nil, fmt.Errorf("shard: artifact %s has schema version %d, this build reads %d", path, a.Version, ArtifactVersion)
+	}
+	return &a, nil
+}
+
+// Merge validates a set of shard artifacts against the expected grid and
+// flattens them into one record per job. It detects, with actionable
+// errors naming the offending files: artifacts from different grids
+// (fingerprint or kind mismatch — the merge flags must reproduce the
+// shards' flags), disagreeing shard counts, missing shards, duplicate
+// jobs (the same grid cell in two artifacts), and incomplete coverage
+// (jobs no artifact carries). paths must parallel arts.
+func Merge(arts []*Artifact, paths []string, kind, gridFP string, totalJobs int) ([]JobRecord, error) {
+	if len(arts) == 0 {
+		return nil, fmt.Errorf("shard: no artifacts to merge")
+	}
+	n := arts[0].Shards
+	haveShard := map[int]string{}
+	records := make([]JobRecord, totalJobs)
+	owner := make([]string, totalJobs) // path that contributed each job
+	for i, a := range arts {
+		p := paths[i]
+		if a.Kind != kind {
+			return nil, fmt.Errorf("shard: %s holds %q results, merging %q — mixed tool outputs", p, a.Kind, kind)
+		}
+		if a.GridFP != gridFP {
+			return nil, fmt.Errorf("shard: %s was produced from a different job grid (fingerprint %s, expected %s) — regenerate it with the same flags and code version", p, a.GridFP, gridFP)
+		}
+		if a.TotalJobs != totalJobs {
+			return nil, fmt.Errorf("shard: %s covers a grid of %d jobs, expected %d", p, a.TotalJobs, totalJobs)
+		}
+		if a.Shards != n {
+			return nil, fmt.Errorf("shard: %s says %d shards, %s says %d — mixed shard splits", p, a.Shards, paths[0], n)
+		}
+		if a.Shard < 1 || a.Shard > n {
+			return nil, fmt.Errorf("shard: %s has shard index %d outside 1..%d", p, a.Shard, n)
+		}
+		if prev, dup := haveShard[a.Shard]; dup {
+			return nil, fmt.Errorf("shard: shard %d/%d appears in both %s and %s", a.Shard, n, prev, p)
+		}
+		haveShard[a.Shard] = p
+		for _, rec := range a.Jobs {
+			if rec.Index < 0 || rec.Index >= totalJobs {
+				return nil, fmt.Errorf("shard: %s carries job %d outside the grid (0..%d)", p, rec.Index, totalJobs-1)
+			}
+			if owner[rec.Index] != "" {
+				return nil, fmt.Errorf("shard: job %d (seed %d) appears in both %s and %s", rec.Index, rec.Seed, owner[rec.Index], p)
+			}
+			owner[rec.Index] = p
+			records[rec.Index] = rec
+		}
+	}
+	if len(haveShard) != n {
+		var missing []string
+		for k := 1; k <= n; k++ {
+			if _, ok := haveShard[k]; !ok {
+				missing = append(missing, fmt.Sprintf("%d/%d", k, n))
+			}
+		}
+		return nil, fmt.Errorf("shard: incomplete shard set: missing %s (have %d of %d artifacts)", strings.Join(missing, ", "), len(haveShard), n)
+	}
+	var holes []int
+	for i, o := range owner {
+		if o == "" {
+			holes = append(holes, i)
+		}
+	}
+	if len(holes) > 0 {
+		sort.Ints(holes)
+		show := holes
+		if len(show) > 8 {
+			show = show[:8]
+		}
+		return nil, fmt.Errorf("shard: %d job(s) covered by no artifact (e.g. %v) — a shard run exited before writing its records; re-run it with -resume", len(holes), show)
+	}
+	return records, nil
+}
+
+// GridFingerprint digests an ordered job grid: the producing tool's kind,
+// its reducer meta (a pure value — rendered via %#v), and every job
+// config's fingerprint in grid order. Two processes agree on it exactly
+// when they would run the same jobs in the same slots and reduce them the
+// same way; it is what artifact merging and journal resume verify before
+// trusting any record.
+func GridFingerprint(kind string, meta any, cfgs []scenario.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|v%d|%#v|%d", kind, ArtifactVersion, meta, len(cfgs))
+	for i := range cfgs {
+		b.WriteByte('|')
+		b.WriteString(cfgs[i].Fingerprint())
+	}
+	h := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(h[:8])
+}
+
+// atomicWrite writes data to path via a temp file in the same directory,
+// fsyncs it, and renames it into place.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	return nil
+}

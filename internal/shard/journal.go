@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is the per-process checkpoint: every completed replication is
+// appended as a sealed record, and each append rewrites the file via
+// write-temp → fsync → rename, so at any instant the on-disk journal is
+// a complete, CRC-verifiable prefix of the work done — a `kill -9`
+// mid-sweep costs at most the one replication that was in flight.
+//
+// The file is line-oriented: a header envelope binding the journal to
+// one (kind, grid fingerprint) pair, then one envelope per record. On
+// open, records that fail the CRC or do not parse are skipped (counted,
+// not fatal): an unverifiable record is simply re-run. A header bound to
+// a different grid refuses to load — resuming a journal against changed
+// flags would silently mix incompatible results.
+//
+// Append is safe to call concurrently with Flush (the signal handlers
+// flush from their own goroutine); record appends themselves arrive
+// serialized from the engine's completion callback.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	header  journalHeader
+	records []JobRecord
+	byFP    map[string]int // fingerprint → index into records (latest wins)
+	dirty   bool
+}
+
+type journalHeader struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	GridFP  string `json:"grid_fp"`
+}
+
+// OpenJournal opens (or creates) the journal at path for the given grid.
+// An existing file must carry the same kind and grid fingerprint —
+// otherwise the error explains the journal belongs to a different grid.
+// skipped reports records dropped for failing their integrity check.
+func OpenJournal(path, kind, gridFP string) (j *Journal, skipped int, err error) {
+	j = &Journal{
+		path:   path,
+		header: journalHeader{Version: ArtifactVersion, Kind: kind, GridFP: gridFP},
+		byFP:   map[string]int{},
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return j, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard: %w", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(nil, 16<<20)
+	first := true
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			body, err := unseal(line, fmt.Sprintf("journal %s header", path))
+			if err != nil {
+				return nil, 0, err
+			}
+			var h journalHeader
+			if err := json.Unmarshal(body, &h); err != nil {
+				return nil, 0, fmt.Errorf("shard: journal %s header: %w", path, err)
+			}
+			if h.Version != ArtifactVersion {
+				return nil, 0, fmt.Errorf("shard: journal %s has schema version %d, this build reads %d", path, h.Version, ArtifactVersion)
+			}
+			if h.Kind != kind || h.GridFP != gridFP {
+				return nil, 0, fmt.Errorf("shard: journal %s was written for a different grid (kind %q fp %s; this run is kind %q fp %s) — delete it or point -journal elsewhere",
+					path, h.Kind, h.GridFP, kind, gridFP)
+			}
+			continue
+		}
+		body, err := unseal(line, "journal record")
+		if err != nil {
+			skipped++ // unverifiable → the job will simply re-run
+			continue
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			skipped++
+			continue
+		}
+		j.addLocked(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("shard: journal %s: %w", path, err)
+	}
+	return j, skipped, nil
+}
+
+func (j *Journal) addLocked(rec JobRecord) {
+	if i, ok := j.byFP[rec.FP]; ok {
+		j.records[i] = rec // a re-run of the same job supersedes
+		return
+	}
+	j.byFP[rec.FP] = len(j.records)
+	j.records = append(j.records, rec)
+}
+
+// Lookup returns the journaled record for a config fingerprint.
+func (j *Journal) Lookup(fp string) (JobRecord, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i, ok := j.byFP[fp]
+	if !ok {
+		return JobRecord{}, false
+	}
+	return j.records[i], true
+}
+
+// Len returns the number of journaled records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.records)
+}
+
+// Append records one completed replication and flushes the journal —
+// the per-record-batch write-temp-fsync-rename that gives the crash
+// guarantee. Flush errors are returned, not fatal: the caller decides
+// whether a degraded (journal-less) continuation is acceptable.
+func (j *Journal) Append(rec JobRecord) error {
+	j.mu.Lock()
+	j.addLocked(rec)
+	j.dirty = true
+	j.mu.Unlock()
+	return j.Flush()
+}
+
+// Flush atomically rewrites the journal with every record appended so
+// far. It is a no-op when nothing changed since the last flush.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.dirty {
+		return nil
+	}
+	var buf bytes.Buffer
+	hb, err := json.Marshal(j.header)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	sealed, err := seal(hb)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	buf.Write(sealed)
+	buf.WriteByte('\n')
+	for _, rec := range j.records {
+		rb, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
+		sealed, err := seal(rb)
+		if err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
+		buf.Write(sealed)
+		buf.WriteByte('\n')
+	}
+	if err := atomicWrite(j.path, buf.Bytes()); err != nil {
+		return err
+	}
+	j.dirty = false
+	return nil
+}

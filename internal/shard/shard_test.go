@@ -1,0 +1,344 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// TestPartitionProperties pins the contract every sharding process relies
+// on: for any (costs, n), the shards are disjoint, jointly exhaustive,
+// deterministic, sorted ascending, and cost-balanced to within one job.
+func TestPartitionProperties(t *testing.T) {
+	costs := make([]float64, 103)
+	for i := range costs {
+		// Strongly skewed costs (the ODMRP-vs-SS-SPST situation): a few
+		// huge jobs, a long tail of small ones.
+		costs[i] = float64((i*7919)%13) * 100
+	}
+	for _, n := range []int{1, 2, 3, 7, 103, 200} {
+		seen := make([]bool, len(costs))
+		perShard := make([]float64, n)
+		maxJob := 0.0
+		for _, c := range costs {
+			if c > maxJob {
+				maxJob = c
+			}
+		}
+		for k := 1; k <= n; k++ {
+			sel := Partition(costs, k, n)
+			again := Partition(costs, k, n)
+			if len(sel) != len(again) {
+				t.Fatalf("n=%d k=%d: non-deterministic partition", n, k)
+			}
+			for i := range sel {
+				if sel[i] != again[i] {
+					t.Fatalf("n=%d k=%d: non-deterministic partition", n, k)
+				}
+				if i > 0 && sel[i] <= sel[i-1] {
+					t.Fatalf("n=%d k=%d: indices not strictly ascending: %v", n, k, sel)
+				}
+			}
+			for _, i := range sel {
+				if seen[i] {
+					t.Fatalf("n=%d: job %d assigned to more than one shard", n, i)
+				}
+				seen[i] = true
+				perShard[k-1] += costs[i]
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("n=%d: job %d assigned to no shard", n, i)
+			}
+		}
+		var lo, hi = perShard[0], perShard[0]
+		for _, c := range perShard[1:] {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if n <= len(costs) && hi-lo > maxJob {
+			t.Fatalf("n=%d: shard cost spread %.0f exceeds the largest job %.0f: %v", n, hi-lo, maxJob, perShard)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	k, n, err := ParseSpec("2/3")
+	if err != nil || k != 2 || n != 3 {
+		t.Fatalf("ParseSpec(2/3) = %d, %d, %v", k, n, err)
+	}
+	for _, bad := range []string{"", "3", "0/3", "4/3", "a/b", "1/0", "-1/2", "1/2/3"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// grid builds a small deterministic config grid for artifact tests.
+func grid(jobs int) []scenario.Config {
+	cfgs := make([]scenario.Config, jobs)
+	for i := range cfgs {
+		cfg := scenario.Default()
+		cfg.Duration = 30
+		cfg.Seed = scenario.ReplicationSeed(1, i)
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+func record(i int, cfg scenario.Config) JobRecord {
+	c := metrics.Counters{Sent: 10 + i, Expected: 10, Delivered: 9, TxJ: 1.25}
+	return JobRecord{Index: i, Seed: cfg.Seed, FP: cfg.Fingerprint(), Attempts: 1, Summary: &c}
+}
+
+// twoShards writes a consistent 2-shard artifact set over the grid and
+// returns their paths.
+func twoShards(t *testing.T, dir string, cfgs []scenario.Config, gridFP string) []string {
+	t.Helper()
+	paths := make([]string, 2)
+	for k := 1; k <= 2; k++ {
+		a := &Artifact{Kind: "figures", Shard: k, Shards: 2, TotalJobs: len(cfgs), GridFP: gridFP, Meta: []byte(`{}`)}
+		for i := k - 1; i < len(cfgs); i += 2 {
+			a.Jobs = append(a.Jobs, record(i, cfgs[i]))
+		}
+		paths[k-1] = filepath.Join(dir, fmt.Sprintf("s%d.json", k))
+		if err := WriteArtifact(paths[k-1], a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+func readAll(t *testing.T, paths []string) []*Artifact {
+	t.Helper()
+	arts := make([]*Artifact, len(paths))
+	for i, p := range paths {
+		a, err := ReadArtifact(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts[i] = a
+	}
+	return arts
+}
+
+func TestArtifactRoundTripAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := grid(5)
+	gridFP := GridFingerprint("figures", struct{}{}, cfgs)
+	paths := twoShards(t, dir, cfgs, gridFP)
+	arts := readAll(t, paths)
+
+	recs, err := Merge(arts, paths, "figures", gridFP, len(cfgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		if rec.Index != i || rec.FP != cfgs[i].Fingerprint() {
+			t.Fatalf("job %d merged out of place: %+v", i, rec)
+		}
+		if rec.Summary == nil || rec.Summary.Sent != 10+i {
+			t.Fatalf("job %d lost its counters: %+v", i, rec)
+		}
+	}
+}
+
+func TestArtifactCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := grid(3)
+	gridFP := GridFingerprint("figures", struct{}{}, cfgs)
+	paths := twoShards(t, dir, cfgs, gridFP)
+
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload digit: either the CRC or the JSON parse must trip.
+	i := bytes.LastIndexByte(data, '9')
+	if i < 0 {
+		i = bytes.LastIndexByte(data, '1')
+	}
+	data[i] = '7'
+	if err := os.WriteFile(paths[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(paths[0]); err == nil {
+		t.Fatal("bit-flipped artifact read back without error")
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := grid(5)
+	gridFP := GridFingerprint("figures", struct{}{}, cfgs)
+	paths := twoShards(t, dir, cfgs, gridFP)
+	arts := readAll(t, paths)
+
+	check := func(name string, arts []*Artifact, paths []string, fp string, total int, wantSub string) {
+		t.Helper()
+		_, err := Merge(arts, paths, "figures", fp, total)
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %v, want substring %q", name, err, wantSub)
+		}
+	}
+	check("missing shard", arts[:1], paths[:1], gridFP, len(cfgs), "missing 2/2")
+	check("duplicate shard", []*Artifact{arts[0], arts[0]}, []string{paths[0], paths[0]}, gridFP, len(cfgs), "appears in both")
+	check("grid mismatch", arts, paths, "0000000000000000", len(cfgs), "different job grid")
+	check("wrong total", arts, paths, gridFP, len(cfgs)+1, "covers a grid of")
+
+	kindArts := readAll(t, paths)
+	kindArts[1].Kind = "sweep"
+	check("mixed kinds", kindArts, paths, gridFP, len(cfgs), "mixed tool outputs")
+
+	splitArts := readAll(t, paths)
+	splitArts[1].Shards = 3
+	check("mixed splits", splitArts, paths, gridFP, len(cfgs), "mixed shard splits")
+
+	dupArts := readAll(t, paths)
+	dupArts[1].Jobs = append(dupArts[1].Jobs, dupArts[0].Jobs[0])
+	check("duplicate job", dupArts, paths, gridFP, len(cfgs), "appears in both")
+
+	holeArts := readAll(t, paths)
+	holeArts[0].Jobs = holeArts[0].Jobs[1:] // drop job 0
+	check("coverage hole", holeArts, paths, gridFP, len(cfgs), "covered by no artifact")
+}
+
+func TestJournalAppendResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.journal")
+	cfgs := grid(4)
+	gridFP := GridFingerprint("figures", struct{}{}, cfgs)
+
+	j, skipped, err := OpenJournal(path, "figures", gridFP)
+	if err != nil || skipped != 0 {
+		t.Fatalf("fresh open: %v (skipped %d)", err, skipped)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(record(i, cfgs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	j2, skipped, err := OpenJournal(path, "figures", gridFP)
+	if err != nil || skipped != 0 {
+		t.Fatalf("reopen: %v (skipped %d)", err, skipped)
+	}
+	if j2.Len() != 3 {
+		t.Fatalf("reopened journal has %d records, want 3", j2.Len())
+	}
+	for i := 0; i < 3; i++ {
+		rec, ok := j2.Lookup(cfgs[i].Fingerprint())
+		if !ok || rec.Index != i {
+			t.Fatalf("job %d not found after reopen: %+v %v", i, rec, ok)
+		}
+	}
+	if _, ok := j2.Lookup(cfgs[3].Fingerprint()); ok {
+		t.Fatal("never-journaled job reported present")
+	}
+
+	// A re-run of the same job supersedes its earlier record.
+	rerun := record(0, cfgs[0])
+	rerun.Attempts = 2
+	if err := j2.Append(rerun); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 3 {
+		t.Fatalf("supersede grew the journal to %d records", j2.Len())
+	}
+	if rec, _ := j2.Lookup(cfgs[0].Fingerprint()); rec.Attempts != 2 {
+		t.Fatalf("supersede kept the stale record: %+v", rec)
+	}
+}
+
+func TestJournalCorruptRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.journal")
+	cfgs := grid(2)
+	gridFP := GridFingerprint("figures", struct{}{}, cfgs)
+
+	j, _, err := OpenJournal(path, "figures", gridFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := j.Append(record(i, cfgs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Torn tail write: a half-record the crash left behind.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"body":{"index":`)
+	f.Close()
+
+	j2, skipped, err := OpenJournal(path, "figures", gridFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 || j2.Len() != 2 {
+		t.Fatalf("skipped %d (want 1), kept %d (want 2)", skipped, j2.Len())
+	}
+}
+
+func TestJournalGridMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.journal")
+	cfgs := grid(1)
+	gridFP := GridFingerprint("figures", struct{}{}, cfgs)
+
+	j, _, err := OpenJournal(path, "figures", gridFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(record(0, cfgs[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path, "figures", "1111111111111111"); err == nil ||
+		!strings.Contains(err.Error(), "different grid") {
+		t.Fatalf("grid-mismatched journal opened: %v", err)
+	}
+	if _, _, err := OpenJournal(path, "sweep", gridFP); err == nil ||
+		!strings.Contains(err.Error(), "different grid") {
+		t.Fatalf("kind-mismatched journal opened: %v", err)
+	}
+}
+
+// TestGridFingerprintSensitivity: the fingerprint must move when any job
+// config, the job order, the kind or the meta changes.
+func TestGridFingerprintSensitivity(t *testing.T) {
+	cfgs := grid(3)
+	base := GridFingerprint("figures", struct{}{}, cfgs)
+
+	if GridFingerprint("figures", struct{}{}, cfgs) != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if GridFingerprint("sweep", struct{}{}, cfgs) == base {
+		t.Fatal("kind change did not move the fingerprint")
+	}
+	if GridFingerprint("figures", struct{ X int }{1}, cfgs) == base {
+		t.Fatal("meta change did not move the fingerprint")
+	}
+	mut := grid(3)
+	mut[1].VMax++
+	if GridFingerprint("figures", struct{}{}, mut) == base {
+		t.Fatal("config change did not move the fingerprint")
+	}
+	swapped := grid(3)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if GridFingerprint("figures", struct{}{}, swapped) == base {
+		t.Fatal("order change did not move the fingerprint")
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// TestBudgetBoundaryExact pins the watchdog's off-by-one contract: a run
+// that processes exactly its budgeted number of events passes; needing
+// one event more trips the watchdog and stops execution before the
+// excess event fires.
+func TestBudgetBoundaryExact(t *testing.T) {
+	const events = 10
+
+	schedule := func(s *Simulator, fired *int) {
+		for i := 0; i < events; i++ {
+			s.After(Time(i+1), func() { *fired++ })
+		}
+	}
+
+	// Budget == exact event count: every event fires, no trip.
+	s := New(1)
+	fired := 0
+	schedule(s, &fired)
+	s.SetBudget(events)
+	s.Run(1e9)
+	if s.BudgetExceeded() {
+		t.Fatalf("budget == event count (%d) tripped the watchdog", events)
+	}
+	if fired != events || s.Processed() != events {
+		t.Fatalf("fired %d, processed %d events, want %d", fired, s.Processed(), events)
+	}
+
+	// Budget one short: the watchdog trips and the final event never runs.
+	s = New(1)
+	fired = 0
+	schedule(s, &fired)
+	s.SetBudget(events - 1)
+	s.Run(1e9)
+	if !s.BudgetExceeded() {
+		t.Fatalf("budget %d with %d events did not trip the watchdog", events-1, events)
+	}
+	if fired != events-1 {
+		t.Fatalf("fired %d events under budget %d, want %d (the over-budget event must not run)",
+			fired, events-1, events-1)
+	}
+}

@@ -1,0 +1,392 @@
+// Package sweepgrid builds cmd/sweep's parameter grid and writes its CSV
+// outputs. It exists as a library (rather than living inside the command)
+// so that a sharded sweep and cmd/mergefigs agree, by construction, on
+// the exact job grid and row format: the Axes value is the serializable
+// identity embedded in shard artifacts, Build is a pure function of it,
+// and WriteCSV renders merged shard results byte-identically to a
+// single-process run.
+package sweepgrid
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// ProtoByName maps the CLI protocol names to their kinds.
+var ProtoByName = map[string]scenario.ProtocolKind{
+	"ss-spst":   scenario.SSSPST,
+	"ss-spst-t": scenario.SSSPSTT,
+	"ss-spst-f": scenario.SSSPSTF,
+	"ss-spst-e": scenario.SSSPSTE,
+	"ss-mst":    scenario.SSMST,
+	"maodv":     scenario.MAODV,
+	"odmrp":     scenario.ODMRP,
+	"flood":     scenario.Flood,
+}
+
+// Axes is the full identity of one sweep invocation: every flag that
+// shapes the job grid or the CSV, verbatim. It is the Meta document a
+// sweep shard artifact carries; a merge process rebuilds the grid from
+// it and verifies the grid fingerprint before pooling any record.
+type Axes struct {
+	Protos      string  `json:"protos"`
+	VMaxs       string  `json:"vmax"`
+	GroupSizes  string  `json:"groupsize"`
+	GroupCounts string  `json:"groups"`
+	Beacons     string  `json:"beacons"`
+	Churns      string  `json:"churn"`
+	Batteries   string  `json:"battery"`
+	Losses      string  `json:"loss"`
+	CrashMTBFs  string  `json:"crash_mtbf"`
+	CrashMTTR   float64 `json:"crash_mttr"`
+	Mobilities  string  `json:"mobility"`
+	Seeds       int     `json:"seeds"`
+	Duration    float64 `json:"duration"`
+	Raw         bool    `json:"raw"`
+}
+
+// Point is one grid cell; its seeds vary only the RNG.
+type Point struct {
+	Mobility  scenario.MobilityKind
+	Proto     scenario.ProtocolKind
+	VMax      float64
+	Group     int
+	Groups    int // concurrent multicast groups (topics); 1 = paper workload
+	Beacon    float64
+	Churn     float64 // membership-churn interval (s); 0 = no churn
+	Battery   float64 // joules per node; 0 = unlimited
+	Loss      float64 // GE mean loss burst length (packets); 0 = no injected loss
+	CrashMTBF float64 // mean time between crashes (s); 0 = no crashes
+}
+
+// FaultsFor translates the CLI fault axes into a faults config: loss is
+// the Gilbert-Elliott mean burst length (figure 20a calibration), mtbf the
+// crash process mean (mttr 0 defaults to MTBF/10 in the model).
+func FaultsFor(loss, mtbf, mttr float64) (f faults.Config) {
+	if loss > 0 {
+		f.Loss = faults.GEConfig{PGoodBad: 0.05, PBadGood: 1 / loss, LossBad: 0.8}
+	}
+	if mtbf > 0 {
+		f.CrashMTBF = mtbf
+		f.CrashMTTR = mttr
+	}
+	return f
+}
+
+// Build expands the axes into the grid's points and its flattened job
+// list — Seeds consecutive configs per point, in point order. It is a
+// pure function of Axes: every process sharding the same axes computes
+// the same grid.
+func Build(a Axes) (points []Point, cfgs []scenario.Config, err error) {
+	if a.Seeds < 1 {
+		return nil, nil, fmt.Errorf("sweep: seeds must be >= 1, got %d", a.Seeds)
+	}
+	var kinds []scenario.MobilityKind
+	for _, name := range SplitList(a.Mobilities) {
+		k, err := scenario.ParseMobility(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	vmaxs, err := ParseFloats(a.VMaxs)
+	if err != nil {
+		return nil, nil, err
+	}
+	groupSizes, err := ParseInts(a.GroupSizes)
+	if err != nil {
+		return nil, nil, err
+	}
+	groupCounts, err := ParseInts(a.GroupCounts)
+	if err != nil {
+		return nil, nil, err
+	}
+	beacons, err := ParseFloats(a.Beacons)
+	if err != nil {
+		return nil, nil, err
+	}
+	churns, err := ParseFloats(a.Churns)
+	if err != nil {
+		return nil, nil, err
+	}
+	batteries, err := ParseFloats(a.Batteries)
+	if err != nil {
+		return nil, nil, err
+	}
+	losses, err := ParseFloats(a.Losses)
+	if err != nil {
+		return nil, nil, err
+	}
+	mtbfs, err := ParseFloats(a.CrashMTBFs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, m := range kinds {
+		for _, pName := range SplitList(a.Protos) {
+			kind, ok := ProtoByName[pName]
+			if !ok {
+				return nil, nil, fmt.Errorf("sweep: unknown protocol %q", pName)
+			}
+			for _, v := range vmaxs {
+				for _, g := range groupSizes {
+					for _, k := range groupCounts {
+						for _, b := range beacons {
+							for _, ch := range churns {
+								for _, bat := range batteries {
+									for _, loss := range losses {
+										for _, mtbf := range mtbfs {
+											points = append(points, Point{m, kind, v, g, k, b, ch, bat, loss, mtbf})
+											for s := 0; s < a.Seeds; s++ {
+												cfg := scenario.Default()
+												cfg.Mobility = m
+												cfg.Protocol = kind
+												cfg.VMax = v
+												cfg.GroupSize = g
+												cfg.Groups = k
+												cfg.BeaconInterval = b
+												cfg.MemberChurnInterval = ch
+												cfg.Battery = bat
+												cfg.Faults = FaultsFor(loss, mtbf, a.CrashMTTR)
+												cfg.Duration = a.Duration
+												cfg.Seed = scenario.ReplicationSeed(1, s)
+												if err := cfg.Validate(); err != nil {
+													return nil, nil, fmt.Errorf("sweep: %w", err)
+												}
+												cfgs = append(cfgs, cfg)
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return points, cfgs, nil
+}
+
+// WriteCSV renders the grid's results in the format the axes request
+// (raw one-row-per-seed, or aggregated mean ± CI95 per point). results
+// must parallel the cfgs Build returned.
+func WriteCSV(out io.Writer, a Axes, points []Point, results []scenario.Result) error {
+	w := csv.NewWriter(out)
+	if a.Raw {
+		writeRaw(w, results)
+	} else {
+		writeAggregated(w, points, results, a.Seeds)
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// WriteCompletedCSV renders only the points whose every replication has
+// landed (done[i] reporting per-job completion) — the partial flush the
+// signal handlers use so an interrupted sweep still emits every finished
+// row. It returns the number of points written.
+func WriteCompletedCSV(out io.Writer, a Axes, points []Point, results []scenario.Result, done []bool) (int, error) {
+	var keep []Point
+	var kept []scenario.Result
+	complete := 0
+	for i, p := range points {
+		all := true
+		for s := 0; s < a.Seeds; s++ {
+			if !done[i*a.Seeds+s] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		complete++
+		keep = append(keep, p)
+		kept = append(kept, results[i*a.Seeds:(i+1)*a.Seeds]...)
+	}
+	return complete, WriteCSV(out, a, keep, kept)
+}
+
+// cfgBurst recovers the -loss axis value (GE mean burst length) from a
+// run's config; 0 when no loss was injected.
+func cfgBurst(c scenario.Config) float64 {
+	if c.Faults.Loss.PBadGood > 0 {
+		return 1 / c.Faults.Loss.PBadGood
+	}
+	return 0
+}
+
+// cfgGroups recovers the -groups axis value (concurrent topic count) from
+// a run's config; the zero value means the single paper group.
+func cfgGroups(c scenario.Config) int {
+	if c.Groups > 1 {
+		return c.Groups
+	}
+	return 1
+}
+
+// writeRaw emits the legacy one-row-per-seed format. A failed replication
+// (isolated panic, watchdog abort) keeps its identifying columns, sets
+// failed=1 and zeroes every metric — consumers filter on the flag.
+func writeRaw(w *csv.Writer, results []scenario.Result) {
+	w.Write([]string{
+		"mobility", "protocol", "vmax", "group", "groups", "beacon", "churn", "battery",
+		"loss", "crash_mtbf", "seed",
+		"pdr", "energy_per_pkt_mJ", "delay_ms", "ctrl_per_data_byte",
+		"unavailability", "total_energy_J", "tx_J", "rx_J", "discard_J",
+		"dead_nodes", "first_death_s", "half_death_s", "retries", "failed",
+	})
+	for _, r := range results {
+		s := r.Summary
+		c := r.Config
+		failed := "0"
+		if r.Err != nil {
+			failed = "1"
+		}
+		w.Write([]string{
+			c.Mobility.String(), c.Protocol.String(),
+			Ftoa(c.VMax), strconv.Itoa(c.GroupSize), strconv.Itoa(cfgGroups(c)),
+			Ftoa(c.BeaconInterval),
+			Ftoa(c.MemberChurnInterval), Ftoa(c.Battery),
+			Ftoa(cfgBurst(c)), Ftoa(c.Faults.CrashMTBF),
+			strconv.FormatUint(c.Seed, 10),
+			Ftoa(s.PDR), Ftoa(s.EnergyPerDeliveredJ * 1e3), Ftoa(s.AvgDelayS * 1e3),
+			Ftoa(s.CtrlPerDataByte), Ftoa(s.Unavailability),
+			Ftoa(s.TotalEnergyJ), Ftoa(s.TxJ), Ftoa(s.RxJ), Ftoa(s.DiscardJ),
+			strconv.Itoa(s.DeadNodes), Ftoa(s.FirstDeathS), Ftoa(s.HalfDeathS),
+			strconv.Itoa(s.Faults.JoinRetries), failed,
+		})
+	}
+}
+
+// writeAggregated reduces each point's seeds to mean ± CI95 columns. The
+// mean is the pooled (denominator-weighted) metrics.Mean; the CI is the
+// Student-t 95% half-width of the per-seed values. Failed replications
+// join no pool: n_seeds still reports the attempted count, failed_runs how
+// many were excluded. Multi-topic points (groups > 1) emit the pooled row
+// (topic "all") followed by one row per topic, pooled from that topic's
+// per-seed summaries; node-lifecycle columns stay zero on per-topic rows
+// because battery death and crash retries are radio-level, not per-topic.
+func writeAggregated(w *csv.Writer, points []Point, results []scenario.Result, seeds int) {
+	w.Write([]string{
+		"mobility", "protocol", "vmax", "group", "groups", "topic",
+		"beacon", "churn", "battery",
+		"loss", "crash_mtbf", "seeds",
+		"pdr", "pdr_ci95",
+		"energy_per_pkt_mJ", "energy_per_pkt_ci95",
+		"delay_ms", "delay_ci95",
+		"ctrl_per_data_byte", "ctrl_ci95",
+		"unavailability", "unavailability_ci95",
+		"total_energy_J", "total_energy_ci95",
+		"dead_nodes", "dead_nodes_ci95",
+		"first_death_s", "first_death_ci95",
+		"retries", "failed_runs",
+	})
+	row := func(p Point, topic string, sums []metrics.Summary, agg *metrics.Aggregate) {
+		pooled := metrics.Mean(sums)
+		nOK := len(sums)
+		deadPerRun := 0.0
+		if nOK > 0 {
+			deadPerRun = float64(pooled.DeadNodes) / float64(nOK)
+		}
+		k := p.Groups
+		if k < 1 {
+			k = 1
+		}
+		w.Write([]string{
+			p.Mobility.String(), p.Proto.String(),
+			Ftoa(p.VMax), strconv.Itoa(p.Group), strconv.Itoa(k), topic,
+			Ftoa(p.Beacon),
+			Ftoa(p.Churn), Ftoa(p.Battery),
+			Ftoa(p.Loss), Ftoa(p.CrashMTBF), strconv.Itoa(seeds),
+			Ftoa(pooled.PDR), Ftoa(agg.PDR.CI95()),
+			Ftoa(pooled.EnergyPerDeliveredJ * 1e3), Ftoa(agg.EnergyPerPkt.CI95() * 1e3),
+			Ftoa(pooled.AvgDelayS * 1e3), Ftoa(agg.DelayS.CI95() * 1e3),
+			Ftoa(pooled.CtrlPerDataByte), Ftoa(agg.CtrlPerByte.CI95()),
+			Ftoa(pooled.Unavailability), Ftoa(agg.Unavailability.CI95()),
+			Ftoa(pooled.TotalEnergyJ), Ftoa(agg.TotalEnergyJ.CI95()),
+			Ftoa(deadPerRun), Ftoa(agg.DeadNodes.CI95()),
+			Ftoa(pooled.FirstDeathS), Ftoa(agg.FirstDeathS.CI95()),
+			strconv.Itoa(pooled.Faults.JoinRetries), strconv.Itoa(agg.Failed),
+		})
+	}
+	for i, p := range points {
+		var agg metrics.Aggregate
+		var sums []metrics.Summary
+		for s := 0; s < seeds; s++ {
+			r := results[i*seeds+s]
+			if r.Err != nil {
+				agg.AddFailed()
+				continue
+			}
+			sums = append(sums, r.Summary)
+			agg.AddSummary(r.Summary)
+		}
+		row(p, "all", sums, &agg)
+		if p.Groups <= 1 {
+			continue
+		}
+		for g := 0; g < p.Groups; g++ {
+			var tagg metrics.Aggregate
+			var tsums []metrics.Summary
+			for s := 0; s < seeds; s++ {
+				r := results[i*seeds+s]
+				if r.Err != nil || g >= len(r.PerGroup) {
+					tagg.AddFailed()
+					continue
+				}
+				tsums = append(tsums, r.PerGroup[g])
+				tagg.AddSummary(r.PerGroup[g])
+			}
+			row(p, strconv.Itoa(g), tsums, &tagg)
+		}
+	}
+}
+
+// SplitList splits a comma-separated flag value, trimming and lowering.
+func SplitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.ToLower(p))
+		}
+	}
+	return out
+}
+
+// ParseFloats parses a comma-separated list of numbers.
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range SplitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseInts parses a comma-separated list of integers (float syntax
+// accepted, truncated).
+func ParseInts(s string) ([]int, error) {
+	fs, err := ParseFloats(s)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, v := range fs {
+		out = append(out, int(v))
+	}
+	return out, nil
+}
+
+// Ftoa renders a float the way every sweep CSV column does.
+func Ftoa(f float64) string { return strconv.FormatFloat(f, 'g', 6, 64) }

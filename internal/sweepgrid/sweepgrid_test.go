@@ -1,0 +1,154 @@
+package sweepgrid
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+func tinyAxes() Axes {
+	return Axes{
+		Protos: "ss-spst", VMaxs: "1", GroupSizes: "20", GroupCounts: "1",
+		Beacons: "2", Churns: "0", Batteries: "0", Losses: "0", CrashMTBFs: "0",
+		Mobilities: "rwp", Seeds: 2, Duration: 40,
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := tinyAxes()
+	a.VMaxs = "1,5"
+	a.Protos = "ss-spst,odmrp"
+	p1, c1, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, c2, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 4 || len(c1) != 8 {
+		t.Fatalf("grid size %d points / %d cfgs, want 4 / 8", len(p1), len(c1))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("point %d differs between builds", i)
+		}
+	}
+	for i := range c1 {
+		if c1[i].Fingerprint() != c2[i].Fingerprint() {
+			t.Fatalf("config %d differs between builds", i)
+		}
+	}
+	if _, _, err := Build(Axes{Protos: "nope", VMaxs: "1", GroupSizes: "20", GroupCounts: "1",
+		Beacons: "2", Churns: "0", Batteries: "0", Losses: "0", CrashMTBFs: "0",
+		Mobilities: "rwp", Seeds: 1, Duration: 40}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+// TestFailedRunsColumn pins the Aggregate propagation: a failed
+// replication joins no metric pool but is counted in failed_runs, and in
+// raw mode sets the failed flag on its own row.
+func TestFailedRunsColumn(t *testing.T) {
+	a := tinyAxes()
+	points, cfgs, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := metrics.Counters{
+		Sent: 100, Expected: 100, Delivered: 90,
+		DelaySumS: 4, UniquePayloadBytes: 51200, ControlBytes: 7000,
+		UnavailSamples: 50, UnavailBroken: 2, TxJ: 1, RxJ: 2, Nodes: 50,
+	}.Summary()
+	results := []scenario.Result{
+		{Config: cfgs[0], Summary: ok},
+		{Config: cfgs[1], Err: errors.New("scenario: run panicked")},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, points, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("aggregated CSV has %d rows, want header + 1", len(rows))
+	}
+	header, row := rows[0], rows[1]
+	col := func(name string) string {
+		for i, h := range header {
+			if h == name {
+				return row[i]
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return ""
+	}
+	if col("failed_runs") != "1" {
+		t.Fatalf("failed_runs = %q, want 1", col("failed_runs"))
+	}
+	if col("seeds") != "2" {
+		t.Fatalf("seeds = %q, want 2 (attempted count, not survivors)", col("seeds"))
+	}
+	if col("pdr") != Ftoa(0.9) {
+		t.Fatalf("pdr = %q, want %s (failed seed excluded from the pool)", col("pdr"), Ftoa(0.9))
+	}
+
+	a.Raw = true
+	buf.Reset()
+	if err := WriteCSV(&buf, a, points, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("raw CSV has %d rows, want header + 2", len(rows))
+	}
+	failedCol := len(rows[0]) - 1
+	if rows[0][failedCol] != "failed" {
+		t.Fatalf("last raw column is %q, want failed", rows[0][failedCol])
+	}
+	if rows[1][failedCol] != "0" || rows[2][failedCol] != "1" {
+		t.Fatalf("failed flags = %q, %q, want 0, 1", rows[1][failedCol], rows[2][failedCol])
+	}
+}
+
+// TestWriteCompletedCSV: the signal-handler flush emits exactly the
+// points whose every replication landed.
+func TestWriteCompletedCSV(t *testing.T) {
+	a := tinyAxes()
+	a.VMaxs = "1,5"
+	points, cfgs, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := metrics.Counters{Sent: 10, Expected: 10, Delivered: 9, UniquePayloadBytes: 100, TxJ: 1}.Summary()
+	results := make([]scenario.Result, len(cfgs))
+	done := make([]bool, len(cfgs))
+	for i := range cfgs {
+		results[i] = scenario.Result{Config: cfgs[i], Summary: ok}
+	}
+	// Point 0 fully done; point 1 missing its second seed.
+	done[0], done[1], done[2] = true, true, true
+
+	var buf bytes.Buffer
+	n, err := WriteCompletedCSV(&buf, a, points, results, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("flushed %d points, want 1", n)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Fatalf("flushed CSV has %d lines, want header + 1", lines)
+	}
+}
