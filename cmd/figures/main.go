@@ -17,7 +17,8 @@
 //	figures [-quick] [-duration 1800] [-seeds 5] [-fig 7,9,17,18,21]
 //	        [-mobility gauss-markov,rpgm,manhattan,rwp] [-workers N]
 //	        [-shard k/n -out shard.json] [-journal FILE [-resume]]
-//	        [-retries N]
+//	        [-retries N] [-deadline SECONDS] [-check cheap|full|off]
+//	        [-chaos-fs seed,rate]
 //
 // All requested figures are flattened into ONE globally scheduled batch
 // on the shared sweep engine: the longest runs start first across figure
@@ -42,7 +43,18 @@
 // replication that was in flight. -retries bounds re-execution of failed
 // replications; persistent failures surface as partial-coverage
 // footnotes on the affected points rather than aborting the batch. On
-// SIGINT/SIGTERM the journal is flushed before exiting non-zero.
+// SIGINT/SIGTERM the journal is flushed before exiting non-zero; a
+// second signal force-exits immediately.
+//
+// # Hardening knobs
+//
+// -deadline bounds each replication's wall-clock time (a typed,
+// retryable failure — never classified deterministic). -check selects
+// the end-of-run invariant tier: cheap (default; the O(N) conservation
+// laws), full (adds the delivered-tally recount), or off. -chaos-fs
+// seed,rate threads a deterministic fault-injecting filesystem under
+// the journal and artifact writers — a test hook for exercising the
+// crash-tolerance machinery, not for production sweeps.
 package main
 
 import (
@@ -51,6 +63,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -58,6 +71,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fsio"
+	"repro/internal/runerr"
 	"repro/internal/scenario"
 	"repro/internal/shard"
 )
@@ -74,11 +89,27 @@ func main() {
 	journalPath := flag.String("journal", "", "checkpoint journal: record every completed replication crash-safely")
 	resume := flag.Bool("resume", false, "skip replications already recorded in -journal")
 	retries := flag.Int("retries", 1, "re-runs of a failed replication before recording the failure (0 = none)")
+	deadline := flag.Float64("deadline", 0, "wall-clock seconds per replication before it fails typed (0 = unlimited)")
+	check := flag.String("check", "cheap", "end-of-run invariant tier: cheap, full or off")
+	chaosFS := flag.String("chaos-fs", "", "inject seed-scheduled I/O faults under journal/artifact writers, as \"seed,rate\" (test hook)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(2)
+	}
+
+	checkTier, err := scenario.ParseCheckTier(*check)
+	if err != nil {
+		fail(err)
+	}
+	var fsys fsio.FS = fsio.OS
+	if *chaosFS != "" {
+		seed, rate, err := fsio.ParseSpec(*chaosFS)
+		if err != nil {
+			fail(err)
+		}
+		fsys = fsio.NewFaultFS(fsio.OS, seed, rate)
 	}
 
 	if *workers > 0 {
@@ -137,6 +168,13 @@ func main() {
 	}
 	cfgs := plan.Jobs()
 	gridFP := plan.GridFingerprint()
+	// Execution-control knobs are excluded from config fingerprints, so
+	// applying them after the grid is built cannot move gridFP: journals
+	// and artifacts stay resumable across watchdog settings.
+	for i := range cfgs {
+		cfgs[i].Deadline = *deadline
+		cfgs[i].Check = checkTier
+	}
 
 	sel := make([]int, len(cfgs))
 	for i := range sel {
@@ -157,7 +195,7 @@ func main() {
 	var journal *shard.Journal
 	if *journalPath != "" {
 		var skipped int
-		journal, skipped, err = shard.OpenJournal(*journalPath, "figures", gridFP)
+		journal, skipped, err = shard.OpenJournalFS(fsys, *journalPath, "figures", gridFP)
 		if err != nil {
 			fail(err)
 		}
@@ -194,10 +232,17 @@ func main() {
 
 	// SIGINT/SIGTERM: flush the journal, then exit non-zero. Tables and
 	// artifacts are whole-batch outputs — a partial one must not exist.
+	// A second signal force-exits immediately: an operator hammering ^C
+	// must not be held hostage by a wedged flush.
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		sig := <-sigc
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "\nfigures: second signal, exiting immediately")
+			os.Exit(130)
+		}()
 		mu.Lock()
 		defer mu.Unlock()
 		if journal != nil {
@@ -236,6 +281,7 @@ func main() {
 		}
 	})
 	signal.Stop(sigc)
+	reportFailures("figures", results, sel)
 
 	if *shardSpec != "" {
 		meta, err := json.Marshal(ps)
@@ -249,7 +295,7 @@ func main() {
 		for _, gi := range sel {
 			art.Jobs = append(art.Jobs, shard.RecordOf(gi, results[gi], false))
 		}
-		if err := shard.WriteArtifact(*out, art); err != nil {
+		if err := shard.WriteArtifactFS(fsys, *out, art); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "figures: shard %d/%d: %d job(s) -> %s (grid %s)\n",
@@ -274,4 +320,31 @@ func journalLen(j *shard.Journal) int {
 		return 0
 	}
 	return j.Len()
+}
+
+// reportFailures prints a one-line failure census by taxonomy kind —
+// "panic=2 deadline=1" — so a long sweep log answers "what broke" at a
+// glance. Silent when everything passed.
+func reportFailures(tool string, results []scenario.Result, sel []int) {
+	counts := map[string]int{}
+	total := 0
+	for _, gi := range sel {
+		if err := results[gi].Err; err != nil {
+			counts[runerr.Kind(err)]++
+			total++
+		}
+	}
+	if total == 0 {
+		return
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s=%d", k, counts[k])
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d failed replication(s) by kind: %s\n", tool, total, strings.Join(parts, " "))
 }

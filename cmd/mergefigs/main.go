@@ -23,6 +23,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +47,16 @@ func main() {
 	}
 	if err := run(paths); err != nil {
 		fmt.Fprintln(os.Stderr, "mergefigs:", err)
+		// The shard fabric's errors are typed; translate each class into
+		// the operator's next move.
+		switch {
+		case errors.Is(err, shard.ErrCorrupt):
+			fmt.Fprintln(os.Stderr, "mergefigs: (corrupt input: delete the named file and re-run its shard)")
+		case errors.Is(err, shard.ErrGridMismatch):
+			fmt.Fprintln(os.Stderr, "mergefigs: (grid mismatch: regenerate every shard with the same flags and code version)")
+		case errors.Is(err, shard.ErrIncomplete):
+			fmt.Fprintln(os.Stderr, "mergefigs: (incomplete results: re-run the missing shard(s), with -resume where a journal exists)")
+		}
 		os.Exit(1)
 	}
 }

@@ -34,7 +34,12 @@
 // retried); persistent failures flow into the failed_runs column rather
 // than aborting the sweep. On SIGINT/SIGTERM the journal is flushed and
 // the CSV rows of every fully-completed point are emitted before exiting
-// non-zero.
+// non-zero; a second signal force-exits immediately.
+//
+// -deadline bounds each replication's wall-clock time; -check selects
+// the end-of-run invariant tier (cheap, full, off); -chaos-fs seed,rate
+// injects deterministic I/O faults under the journal/artifact writers
+// (a test hook for the crash-tolerance machinery).
 //
 // The grid runs as one batch on the shared sweep engine (cost-ordered
 // queue, persistent worker arenas, shared mobility traces across the
@@ -47,10 +52,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/fsio"
+	"repro/internal/runerr"
 	"repro/internal/scenario"
 	"repro/internal/shard"
 	"repro/internal/sweepgrid"
@@ -78,11 +87,27 @@ func main() {
 	journalPath := flag.String("journal", "", "checkpoint journal: record every completed replication crash-safely")
 	resume := flag.Bool("resume", false, "skip replications already recorded in -journal")
 	retries := flag.Int("retries", 1, "re-runs of a failed replication before recording the failure (0 = none)")
+	deadline := flag.Float64("deadline", 0, "wall-clock seconds per replication before it fails typed (0 = unlimited)")
+	check := flag.String("check", "cheap", "end-of-run invariant tier: cheap, full or off")
+	chaosFS := flag.String("chaos-fs", "", "inject seed-scheduled I/O faults under journal/artifact writers, as \"seed,rate\" (test hook)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
+	}
+
+	checkTier, err := scenario.ParseCheckTier(*check)
+	if err != nil {
+		fail(err)
+	}
+	var fsys fsio.FS = fsio.OS
+	if *chaosFS != "" {
+		seed, rate, err := fsio.ParseSpec(*chaosFS)
+		if err != nil {
+			fail(err)
+		}
+		fsys = fsio.NewFaultFS(fsio.OS, seed, rate)
 	}
 
 	if *workers > 0 {
@@ -96,6 +121,13 @@ func main() {
 		fail(err)
 	}
 	gridFP := shard.GridFingerprint("sweep", a, cfgs)
+	// Execution-control knobs are excluded from config fingerprints, so
+	// applying them after the grid is built cannot move gridFP: journals
+	// and artifacts stay resumable across watchdog settings.
+	for i := range cfgs {
+		cfgs[i].Deadline = *deadline
+		cfgs[i].Check = checkTier
+	}
 
 	// sel is the global job-index slice this process owns: the whole grid,
 	// or its deterministic cost-balanced shard.
@@ -122,7 +154,7 @@ func main() {
 	var journal *shard.Journal
 	if *journalPath != "" {
 		var skipped int
-		journal, skipped, err = shard.OpenJournal(*journalPath, "sweep", gridFP)
+		journal, skipped, err = shard.OpenJournalFS(fsys, *journalPath, "sweep", gridFP)
 		if err != nil {
 			fail(err)
 		}
@@ -163,10 +195,17 @@ func main() {
 	// SIGINT/SIGTERM: flush the journal and the CSV rows of every
 	// fully-completed point, then exit non-zero. The artifact is not
 	// written — a partial shard must not look mergeable.
+	// A second signal force-exits immediately: an operator hammering ^C
+	// must not be held hostage by a wedged flush.
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		sig := <-sigc
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "\nsweep: second signal, exiting immediately")
+			os.Exit(130)
+		}()
 		mu.Lock()
 		defer mu.Unlock()
 		if journal != nil {
@@ -214,6 +253,7 @@ func main() {
 		}
 	})
 	signal.Stop(sigc)
+	reportFailures("sweep", results, sel)
 	hits, misses := engine.TraceStats()
 	fmt.Fprintf(os.Stderr, "%d runs on %d worker(s); trace cache: %d replays / %d recordings\n",
 		len(run), engine.Workers(), hits, misses)
@@ -230,7 +270,7 @@ func main() {
 		for _, gi := range sel {
 			art.Jobs = append(art.Jobs, shard.RecordOf(gi, results[gi], true))
 		}
-		if err := shard.WriteArtifact(*out, art); err != nil {
+		if err := shard.WriteArtifactFS(fsys, *out, art); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "sweep: shard %d/%d: %d job(s) -> %s (grid %s)\n",
@@ -247,4 +287,31 @@ func journalLen(j *shard.Journal) int {
 		return 0
 	}
 	return j.Len()
+}
+
+// reportFailures prints a one-line failure census by taxonomy kind —
+// "panic=2 deadline=1" — so a long sweep log answers "what broke" at a
+// glance. Silent when everything passed.
+func reportFailures(tool string, results []scenario.Result, sel []int) {
+	counts := map[string]int{}
+	total := 0
+	for _, gi := range sel {
+		if err := results[gi].Err; err != nil {
+			counts[runerr.Kind(err)]++
+			total++
+		}
+	}
+	if total == 0 {
+		return
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s=%d", k, counts[k])
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d failed replication(s) by kind: %s\n", tool, total, strings.Join(parts, " "))
 }

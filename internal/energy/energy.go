@@ -112,6 +112,14 @@ type Meter struct {
 	Battery float64
 
 	limited bool
+	// initial remembers the reserve Reset granted, so the end-of-run
+	// energy-ledger invariant can compare drawdown (initial − Battery)
+	// against the bucket total.
+	initial float64
+	// killed marks batteries exhausted by Kill rather than by spending:
+	// the drawdown it fabricates has no matching bucket charges, so the
+	// ledger check skips killed meters.
+	killed bool
 }
 
 // NewMeter returns a meter with the given battery reserve in joules.
@@ -129,8 +137,18 @@ func (m *Meter) Reset(reserve float64) {
 	if reserve > 0 {
 		m.Battery = reserve
 		m.limited = true
+		m.initial = reserve
 	}
 }
+
+// Limited reports whether the meter has a finite battery.
+func (m *Meter) Limited() bool { return m.limited }
+
+// Killed reports whether the battery was exhausted by Kill.
+func (m *Meter) Killed() bool { return m.killed }
+
+// InitialJ returns the reserve the meter started with (0 if unlimited).
+func (m *Meter) InitialJ() float64 { return m.initial }
 
 // Total returns all energy spent, in joules.
 func (m *Meter) Total() float64 { return m.TxJ + m.RxJ + m.DiscardJ }
@@ -142,6 +160,7 @@ func (m *Meter) Dead() bool { return m.limited && m.Battery <= 0 }
 // pull). The radio goes silent for the rest of the run.
 func (m *Meter) Kill() {
 	m.limited = true
+	m.killed = true
 	m.Battery = 0
 }
 

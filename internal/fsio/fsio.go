@@ -1,0 +1,230 @@
+// Package fsio is the filesystem seam under the shard fabric's durable
+// writers: an FS interface whose production implementation (OS) is the
+// real filesystem, and a deterministic fault-injecting wrapper (FaultFS)
+// that chaos tests thread under the same code paths to prove the
+// journal/artifact machinery recovers from short writes, failed fsyncs,
+// torn renames and simulated crashes — or refuses with a typed,
+// actionable error.
+package fsio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/xrand"
+)
+
+// File is the subset of *os.File the durable writers need.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem seam. Production code uses OS; chaos tests wrap
+// it in a FaultFS.
+type FS interface {
+	CreateTemp(dir, pattern string) (File, error)
+	ReadFile(path string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	// SyncDir fsyncs a directory, making a preceding rename within it
+	// durable. Filesystems that do not support directory fsync report
+	// success (there is nothing more the caller could do).
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	// Some filesystems (and some OSes) reject fsync on directories;
+	// the rename is still atomic, just not durably ordered — not a
+	// correctness failure the caller can act on.
+	if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.ENOTTY) {
+		return nil
+	}
+	return err
+}
+
+// ErrInjected is the root of every fault FaultFS injects; callers (and
+// tests) classify injected failures with errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("fsio: injected fault")
+
+// ErrCrashed marks the latched post-crash state: once a simulated crash
+// fires, every subsequent operation on the FaultFS fails with it, the
+// way a dead process performs no further I/O. It wraps ErrInjected.
+var ErrCrashed = fmt.Errorf("fsio: simulated crash: %w", ErrInjected)
+
+// FaultFS wraps an FS with a deterministic seed-driven fault schedule.
+// Each durability-relevant operation (file write, file sync, rename,
+// directory sync) draws from a private RNG stream and fails with
+// probability rate; renames additionally crash (latch the whole FS
+// dead) half the time they fault, modeling a process killed between
+// sync and rename. The schedule is a pure function of (seed, operation
+// sequence), so a failing chaos seed replays exactly.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	rng      *xrand.RNG
+	rate     float64
+	crashed  bool
+	injected []string // one line per injected fault, for diagnostics
+}
+
+// NewFaultFS wraps inner with fault probability rate drawn from seed.
+func NewFaultFS(inner FS, seed uint64, rate float64) *FaultFS {
+	return &FaultFS{inner: inner, rng: xrand.New(seed).Split("fsio.faults"), rate: rate}
+}
+
+// Crashed reports whether a simulated crash has latched.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Injected returns the log of injected faults, one line each.
+func (f *FaultFS) Injected() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.injected...)
+}
+
+// decide runs one fault point: it returns ErrCrashed if the FS is dead,
+// draws the schedule, and if the point fires appends "<op> <path>" to
+// the log and returns an injected error (latching the crash for
+// op "rename" when the second draw selects it). A nil return means the
+// operation proceeds normally.
+func (f *FaultFS) decide(op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if f.rate <= 0 || !f.rng.Bool(f.rate) {
+		return nil
+	}
+	if op == "rename" && f.rng.Bool(0.5) {
+		f.crashed = true
+		f.injected = append(f.injected, "crash "+path)
+		return ErrCrashed
+	}
+	f.injected = append(f.injected, op+" "+path)
+	return fmt.Errorf("fsio: %s %s failed: %w", op, path, ErrInjected)
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	// A faulted rename is torn: the temp file stays, the target is
+	// untouched — exactly what a crash between sync and rename leaves.
+	if err := f.decide("rename", newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.decide("syncdir", dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile intercepts the durability-relevant file operations.
+type faultFile struct {
+	inner File
+	fs    *FaultFS
+}
+
+func (ff *faultFile) Name() string { return ff.inner.Name() }
+
+// Write models a short write (out of space, I/O error mid-buffer): the
+// first half of the buffer lands in the file, the rest does not.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if err := ff.fs.decide("write", ff.inner.Name()); err != nil {
+		n, _ := ff.inner.Write(p[:len(p)/2])
+		return n, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.decide("sync", ff.inner.Name()); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	// Close always reaches the real file — leaking descriptors would
+	// perturb the test process itself, not the simulated disk.
+	err := ff.inner.Close()
+	if ff.fs.Crashed() {
+		return ErrCrashed
+	}
+	return err
+}
+
+// ParseSpec parses a "seed,rate" chaos specification (e.g. "7,0.3").
+func ParseSpec(s string) (seed uint64, rate float64, err error) {
+	a, b, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("fsio: chaos spec %q: want \"seed,rate\" (e.g. \"7,0.3\")", s)
+	}
+	seed, err = strconv.ParseUint(strings.TrimSpace(a), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fsio: chaos spec %q: bad seed: %v", s, err)
+	}
+	rate, err = strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if err != nil || !(rate >= 0 && rate <= 1) { // the negation also rejects NaN
+		return 0, 0, fmt.Errorf("fsio: chaos spec %q: rate must be in [0, 1]", s)
+	}
+	return seed, rate, nil
+}

@@ -1,0 +1,187 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// atomicPut mimics the shard fabric's durable write path: temp → write →
+// sync → close → rename → dir sync.
+func atomicPut(fs FS, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := fs.CreateTemp(dir, "put*")
+	if err != nil {
+		return err
+	}
+	defer fs.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f.json")
+	if err := atomicPut(OS, p, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(p)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+}
+
+func TestOSSyncDirOnFile(t *testing.T) {
+	// SyncDir on a missing path must surface the error.
+	if err := OS.SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("SyncDir on a missing directory returned nil")
+	}
+}
+
+// TestFaultDeterminism: the same seed produces the same fault schedule.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() []string {
+		dir := t.TempDir()
+		fs := NewFaultFS(OS, 42, 0.5)
+		for i := 0; i < 20; i++ {
+			atomicPut(fs, filepath.Join(dir, "f.json"), []byte("payload"))
+		}
+		log := fs.Injected()
+		// Paths embed the per-run temp dir; strip to the op word.
+		for i, l := range log {
+			for j := 0; j < len(l); j++ {
+				if l[j] == ' ' {
+					log[i] = l[:j]
+					break
+				}
+			}
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("rate 0.5 over 20 writes injected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverges at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestInjectionTyped: every injected failure matches ErrInjected, and
+// never corrupts the visible file — atomicPut either lands the new bytes
+// completely or leaves the previous content untouched.
+func TestInjectionTyped(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f.json")
+	if err := atomicPut(OS, p, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultFS(OS, 7, 0.6)
+	var failures, successes int
+	for i := 0; i < 50 && !fs.Crashed(); i++ {
+		err := atomicPut(fs, p, []byte("new"))
+		switch {
+		case err == nil:
+			successes++
+		case errors.Is(err, ErrInjected):
+			failures++
+		default:
+			t.Fatalf("write %d failed with a non-injected error: %v", i, err)
+		}
+		got, rerr := os.ReadFile(p)
+		if rerr != nil {
+			t.Fatalf("visible file unreadable after write %d: %v", i, rerr)
+		}
+		if s := string(got); s != "old" && s != "new" {
+			t.Fatalf("torn visible file after write %d: %q", i, s)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("rate 0.6 over 50 writes injected nothing")
+	}
+}
+
+// TestCrashLatches: after a rename-crash fires, every subsequent
+// operation fails with ErrCrashed (which wraps ErrInjected).
+func TestCrashLatches(t *testing.T) {
+	dir := t.TempDir()
+	// A moderate rate reaches the rename fault point often (a high rate
+	// faults the write first and never gets there).
+	fs := NewFaultFS(OS, 3, 0.3)
+	for i := 0; i < 500 && !fs.Crashed(); i++ {
+		atomicPut(fs, filepath.Join(dir, "f.json"), []byte("x"))
+	}
+	if !fs.Crashed() {
+		t.Fatal("rate 0.3 over 500 writes never crashed")
+	}
+	if _, err := fs.ReadFile(filepath.Join(dir, "f.json")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash ReadFile error = %v, want ErrCrashed", err)
+	}
+	if err := fs.Rename("a", "b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ErrCrashed does not wrap ErrInjected: %v", err)
+	}
+	if _, err := fs.CreateTemp(dir, "t*"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash CreateTemp error = %v, want ErrCrashed", err)
+	}
+}
+
+// TestShortWriteLeavesPrefix: a faulted Write lands only a prefix, the
+// way ENOSPC or a mid-buffer I/O error would.
+func TestShortWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	// Find a seed whose first fault point is the write itself.
+	for seed := uint64(0); seed < 100; seed++ {
+		fs := NewFaultFS(OS, seed, 1.0)
+		tmp, err := fs.CreateTemp(dir, "w*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, werr := tmp.Write([]byte("0123456789"))
+		tmp.Close()
+		if werr == nil {
+			t.Fatalf("seed %d: rate 1.0 write did not fault", seed)
+		}
+		if !errors.Is(werr, ErrInjected) {
+			t.Fatalf("seed %d: fault not typed: %v", seed, werr)
+		}
+		got, rerr := os.ReadFile(tmp.Name())
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if n != 5 || string(got) != "01234" {
+			t.Fatalf("seed %d: short write landed %d bytes %q, want 5 %q", seed, n, got, "01234")
+		}
+		return
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	seed, rate, err := ParseSpec("7,0.3")
+	if err != nil || seed != 7 || rate != 0.3 {
+		t.Fatalf("ParseSpec(\"7,0.3\") = %d, %g, %v", seed, rate, err)
+	}
+	for _, bad := range []string{"", "7", "x,0.3", "7,nan", "7,1.5", "7,-0.1"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -147,6 +147,16 @@ type Stats struct {
 	DataBytes      int64 // bytes of data frames put on air
 	FaultDrops     int64 // receptions dropped by the Gilbert-Elliott channel
 	PartitionDrops int64 // receptions suppressed by a partition cut
+
+	// Reception-conservation ledger: every reception attached to a
+	// transmission (RxScheduled) resolves through exactly one deliver()
+	// branch — RxOff (radio dead/down at delivery), RxCorrupt (collision
+	// or half-duplex), PartitionDrops, FaultDrops, Fading or Deliveries —
+	// or is still in flight at the horizon (Medium.PendingRx). The
+	// end-of-run invariant check balances this ledger exactly.
+	RxScheduled int64
+	RxOff       int64 // receptions to radios that were off at delivery time
+	RxCorrupt   int64 // corrupted receptions resolved (≤ Collisions+HalfDuplex: off radios resolve first)
 }
 
 // Medium is the shared channel. It is used only from the simulator's
@@ -179,8 +189,12 @@ type Medium struct {
 	// rather than the Gilbert-Elliott chain).
 	OnFaultDrop func(partition bool)
 	stats       Stats
-	posBuf      []geom.Point
-	queues      []txQueue
+	// pendingRx counts receptions scheduled but not yet resolved; at the
+	// end of a run it is exactly the in-flight balance of the
+	// reception-conservation ledger (see Stats.RxScheduled).
+	pendingRx int64
+	posBuf    []geom.Point
+	queues    []txQueue
 	// geChains holds one Gilbert-Elliott chain per receiver; empty when
 	// the bursty channel is disabled (no streams, no draws).
 	geChains []faults.GEChain
@@ -368,6 +382,7 @@ func (c *rxChain) Fire() {
 	}
 	m.deliver(tx, rc)
 	tx.pending--
+	m.pendingRx--
 	if tx.pending == 0 && tx.done {
 		m.releaseTx(tx)
 	}
@@ -449,6 +464,7 @@ func (m *Medium) Reset(s *sim.Simulator, cfg Config, tracker *mobility.Tracker, 
 	m.OnDeath = nil
 	m.OnFaultDrop = nil
 	m.stats = Stats{}
+	m.pendingRx = 0
 	m.nodes = resized(m.nodes, n)
 	m.meters = resized(m.meters, n)
 	m.down = resized(m.down, n)
@@ -526,6 +542,10 @@ func (m *Medium) Attach(id packet.NodeID, r Receiver, meter *energy.Meter) {
 
 // Stats returns a copy of the channel counters.
 func (m *Medium) Stats() Stats { return m.stats }
+
+// PendingRx returns the number of scheduled receptions not yet resolved
+// — the in-flight balance of the reception-conservation ledger.
+func (m *Medium) PendingRx() int64 { return m.pendingRx }
 
 // SetDown switches node id's radio administratively off or back on (crash
 // faults). A down radio neither sends (queued frames drain silently, like
@@ -875,6 +895,8 @@ func (m *Medium) attachReceptions(tx *transmission, pos geom.Point, now, dur flo
 		tx.receptions = tx.receptions[:k]
 	}
 	tx.pending = k
+	m.stats.RxScheduled += int64(k)
+	m.pendingRx += int64(k)
 	// An empty channel can neither corrupt this frame nor collide with a
 	// mid-transmission receiver (activeTx is empty too), so the whole
 	// interference/half-duplex pass vanishes — the common case for short
@@ -984,11 +1006,13 @@ func (m *Medium) noteDeath(id packet.NodeID, meter *energy.Meter) {
 func (m *Medium) deliver(tx *transmission, rc *reception) {
 	meter := m.meters[rc.to]
 	if meter.Dead() || m.down[rc.to] {
+		m.stats.RxOff++
 		return // depleted battery or crashed node: the radio is off
 	}
 	rxJ := tx.rxJ
 	if rc.corrupted {
 		// The radio still burned energy on the corrupted frame.
+		m.stats.RxCorrupt++
 		meter.SpendDiscard(rxJ)
 		m.noteDeath(rc.to, meter)
 		m.noteRxWaste(tx.pkt, rxJ)

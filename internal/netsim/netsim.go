@@ -13,12 +13,16 @@
 package netsim
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/energy"
 	"repro/internal/geom"
 	"repro/internal/medium"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/packet"
+	"repro/internal/runerr"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
@@ -453,4 +457,88 @@ func (net *Network) StartNode(id packet.NodeID) {
 // when the queue drains early), scaling the dead-fraction timeline.
 func (net *Network) Summarize() metrics.Summary {
 	return net.Collector.Summarize(net.Meters, net.Sim.Now())
+}
+
+// Float accumulations are compared under a relative tolerance: the two
+// sides of each law sum the same charges in different orders (a battery
+// drains sequentially from a large reserve while buckets sum small
+// values; per-group tallies accumulate in delivery order while meters
+// accumulate per node), so they agree to float precision, not bit
+// equality. 1e-6 relative sits far above that noise and far below any
+// real accounting bug — a single dropped packet charge is ~1e-4 J.
+const checkRelTol = 1e-6
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := math.Abs(a) + math.Abs(b) + 1
+	return d <= checkRelTol*scale
+}
+
+// CheckConservation verifies the cross-layer conservation laws of a
+// finished run and returns a *runerr.InvariantError naming the first
+// violated one, or nil. The cheap laws are O(N):
+//
+//   - energy-ledger: for every finite battery not exhausted by Kill,
+//     the drawdown (initial − remaining) equals the sum of the meter's
+//     tx/rx/discard buckets.
+//   - rx-conservation: every reception the medium scheduled resolved
+//     through exactly one delivery branch or is still in flight.
+//   - byte-counters: the collector's control/data byte tallies (fed by
+//     the OnTransmit hook) equal the medium's own counters exactly.
+//   - death-count: depletion events recorded by the collector equal the
+//     number of dead meters.
+//
+// full additionally recounts every group's delivered tally from the
+// dedup sets (see metrics.Collector.VerifyDeliveredRecount).
+func (net *Network) CheckConservation(full bool) error {
+	for i, m := range net.Meters {
+		if !m.Limited() || m.Killed() {
+			continue
+		}
+		drawn := m.InitialJ() - m.Battery
+		if !closeEnough(drawn, m.Total()) {
+			return &runerr.InvariantError{
+				Name:   "energy-ledger",
+				Detail: fmt.Sprintf("node %d: battery drawdown %.9g J but buckets sum to %.9g J (%s)", i, drawn, m.Total(), m),
+			}
+		}
+	}
+	st := net.Medium.Stats()
+	resolved := st.RxOff + st.RxCorrupt + st.PartitionDrops + st.FaultDrops + st.Fading + st.Deliveries
+	pending := net.Medium.PendingRx()
+	if pending < 0 || st.RxScheduled != resolved+pending {
+		return &runerr.InvariantError{
+			Name: "rx-conservation",
+			Detail: fmt.Sprintf("scheduled %d receptions but resolved %d (+%d in flight): off=%d corrupt=%d partition=%d fault=%d fading=%d delivered=%d",
+				st.RxScheduled, resolved, pending, st.RxOff, st.RxCorrupt, st.PartitionDrops, st.FaultDrops, st.Fading, st.Deliveries),
+		}
+	}
+	if net.Collector.ControlBytes != st.ControlBytes || net.Collector.DataTxBytes != st.DataBytes {
+		return &runerr.InvariantError{
+			Name: "byte-counters",
+			Detail: fmt.Sprintf("collector counted %d control / %d data bytes, medium put %d / %d on air",
+				net.Collector.ControlBytes, net.Collector.DataTxBytes, st.ControlBytes, st.DataBytes),
+		}
+	}
+	deadMeters := 0
+	for _, m := range net.Meters {
+		if m.Dead() {
+			deadMeters++
+		}
+	}
+	if deaths := net.Collector.Deaths(); deaths != deadMeters {
+		return &runerr.InvariantError{
+			Name:   "death-count",
+			Detail: fmt.Sprintf("collector recorded %d depletion events but %d meters are dead", deaths, deadMeters),
+		}
+	}
+	if full {
+		if err := net.Collector.VerifyDeliveredRecount(); err != nil {
+			return &runerr.InvariantError{Name: "delivered-recount", Detail: err.Error()}
+		}
+	}
+	return nil
 }

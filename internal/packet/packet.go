@@ -8,7 +8,10 @@
 // (control bytes per data byte delivered) depends on it.
 package packet
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // NodeID identifies a node. IDs are dense small integers assigned by the
 // network at construction.
@@ -162,6 +165,18 @@ func (s *SeqSet) TestAndSet(src NodeID, seq uint32) bool {
 	}
 	s.rest[k] = struct{}{}
 	return false
+}
+
+// Count returns the number of identities in the set. It recounts from
+// the backing storage (popcount over the bitset plus the fallback map's
+// size), so it serves as the independent tally the expensive invariant
+// tier compares against incrementally-maintained delivery counters.
+func (s *SeqSet) Count() int {
+	n := 0
+	for _, w := range s.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n + len(s.rest)
 }
 
 // Reset empties the set, keeping the bitset's backing array and the

@@ -1,0 +1,230 @@
+// Package runerr is the typed error taxonomy of the execution layer.
+//
+// Every way a replication can fail — setup rejection, event-budget
+// exhaustion, wall-clock deadline, sim-time stall, panic, invariant
+// violation — maps to one sentinel here, so the sweep engine, the shard
+// fabric and the CLIs classify failures with errors.Is instead of
+// comparing error strings. Two classification questions drive retry
+// policy, and both are answered structurally:
+//
+//   - Retryable: setup and invariant errors are pure functions of the
+//     config (re-running cannot change the verdict), so they are never
+//     retried. Everything else gets the configured retry budget.
+//   - SameFailure: a failure that repeats identically on retry is
+//     deterministic and stops further attempts. Panics compare by a
+//     normalized stack digest — heap addresses and goroutine IDs are
+//     masked first, so two identical panics at different addresses
+//     cannot flip the verdict. Deadline failures never compare equal:
+//     wall-clock time depends on machine load, not on the config.
+package runerr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// The sentinel kinds. Errors carrying a kind match it under errors.Is.
+var (
+	// ErrSetup marks configs rejected before the simulation started:
+	// validation failures, trace mismatches, protocol attachment errors.
+	// Deterministic by construction; never retried.
+	ErrSetup = errors.New("setup rejected")
+	// ErrBudget marks runs aborted by the event-count budget.
+	ErrBudget = errors.New("event budget exceeded")
+	// ErrDeadline marks runs aborted by the per-replication wall-clock
+	// deadline. Load-dependent: retryable and never classified
+	// deterministic.
+	ErrDeadline = errors.New("wall-clock deadline exceeded")
+	// ErrStall marks runs aborted by the sim-time stall detector
+	// (events kept firing while the clock stopped advancing: livelock).
+	ErrStall = errors.New("simulated clock stalled")
+	// ErrPanic marks runs that panicked; the concrete error is a
+	// *PanicError carrying the normalized digest.
+	ErrPanic = errors.New("run panicked")
+	// ErrInvariant marks runs whose end-of-run conservation checks
+	// failed; the concrete error is an *InvariantError. A violation is a
+	// bug in the simulator, not bad luck — never retried.
+	ErrInvariant = errors.New("invariant violated")
+)
+
+// kindError tags an underlying error with a sentinel kind without
+// altering its message: Error() stays the wrapped text, errors.Is
+// additionally matches the kind.
+type kindError struct {
+	kind error
+	err  error
+}
+
+func (e *kindError) Error() string        { return e.err.Error() }
+func (e *kindError) Unwrap() error        { return e.err }
+func (e *kindError) Is(target error) bool { return target == e.kind }
+
+// Mark tags err with the sentinel kind. The message is unchanged;
+// errors.Is(Mark(kind, err), kind) is true, and wrapped causes of err
+// remain reachable. Mark(kind, nil) returns nil.
+func Mark(kind, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &kindError{kind: kind, err: err}
+}
+
+// PanicError is a recovered run panic with enough identity for a sharded
+// log line to name its exact replication, plus a normalized digest for
+// deterministic-failure classification.
+type PanicError struct {
+	// Fingerprint is the config fingerprint of the panicked replication.
+	Fingerprint string
+	// Seed is its replication seed.
+	Seed uint64
+	// Value is the rendered panic value.
+	Value string
+	// Stack is the (truncated) goroutine stack at recovery.
+	Stack string
+	// Digest is Digest(Value, Stack): stable across address-space layout
+	// and goroutine numbering.
+	Digest string
+}
+
+// NewPanic builds a PanicError, computing the normalized digest.
+func NewPanic(fingerprint string, seed uint64, value, stack string) *PanicError {
+	return &PanicError{
+		Fingerprint: fingerprint,
+		Seed:        seed,
+		Value:       value,
+		Stack:       stack,
+		Digest:      Digest(value, stack),
+	}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("scenario: run panicked (cfg %s, seed %d, digest %s): %s\n%s",
+		e.Fingerprint, e.Seed, e.Digest, e.Value, e.Stack)
+}
+
+func (e *PanicError) Is(target error) bool { return target == ErrPanic }
+
+// InvariantError names the end-of-run conservation law that failed and
+// what the two sides were.
+type InvariantError struct {
+	// Name identifies the violated law (e.g. "energy-ledger",
+	// "rx-conservation", "pergroup-partition").
+	Name string
+	// Detail states the mismatch with both values.
+	Detail string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("invariant %s violated: %s", e.Name, e.Detail)
+}
+
+func (e *InvariantError) Is(target error) bool { return target == ErrInvariant }
+
+var (
+	hexLiteral  = regexp.MustCompile(`0x[0-9a-fA-F]+`)
+	goroutineID = regexp.MustCompile(`goroutine \d+`)
+)
+
+// Normalize masks the run-to-run noise in a panic rendering: hex
+// literals (heap addresses, frame offsets) and goroutine numbers. What
+// survives — function names, files, line numbers, the panic message —
+// is exactly the part determined by the code path taken.
+func Normalize(s string) string {
+	s = hexLiteral.ReplaceAllString(s, "0x?")
+	return goroutineID.ReplaceAllString(s, "goroutine ?")
+}
+
+// Digest condenses a panic value and stack into a short stable
+// identifier: sha256 of the normalized rendering, first 8 bytes hex.
+func Digest(value, stack string) string {
+	h := sha256.Sum256([]byte(Normalize(value) + "\n" + Normalize(stack)))
+	return hex.EncodeToString(h[:8])
+}
+
+// Retryable reports whether re-running could plausibly change the
+// outcome. Setup rejections and invariant violations are pure functions
+// of the config and build — retrying burns attempts to reach the same
+// verdict — so they are the two non-retryable kinds.
+func Retryable(err error) bool {
+	return !errors.Is(err, ErrSetup) && !errors.Is(err, ErrInvariant)
+}
+
+// SameFailure reports whether two failures are the same for
+// deterministic-failure classification. Panics compare by normalized
+// digest; deadline failures never compare equal (wall-clock time is a
+// property of the machine, not the config); everything else falls back
+// to first-line equality of the message.
+func SameFailure(a, b error) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if errors.Is(a, ErrDeadline) || errors.Is(b, ErrDeadline) {
+		return false
+	}
+	var pa, pb *PanicError
+	if errors.As(a, &pa) && errors.As(b, &pb) {
+		return pa.Digest == pb.Digest
+	}
+	return Head(a) == Head(b)
+}
+
+// Head returns the first line of err's message: the structured failure
+// comparison's fallback identity for untyped errors.
+func Head(err error) string {
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		return msg[:i]
+	}
+	return msg
+}
+
+// Sentinel is Kind's inverse: the sentinel error for a kind label, or
+// nil for "", "error" and unknown labels. Rehydrating a journaled
+// failure re-marks it with Sentinel(kind) so errors.Is classification
+// survives the round trip through a record's string fields.
+func Sentinel(kind string) error {
+	switch kind {
+	case "setup":
+		return ErrSetup
+	case "invariant":
+		return ErrInvariant
+	case "panic":
+		return ErrPanic
+	case "budget":
+		return ErrBudget
+	case "stall":
+		return ErrStall
+	case "deadline":
+		return ErrDeadline
+	default:
+		return nil
+	}
+}
+
+// Kind returns a short stable label for err's taxonomy kind — used for
+// failure summaries and the err_kind field of shard job records. Unknown
+// errors report "error"; nil reports "".
+func Kind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrSetup):
+		return "setup"
+	case errors.Is(err, ErrInvariant):
+		return "invariant"
+	case errors.Is(err, ErrPanic):
+		return "panic"
+	case errors.Is(err, ErrBudget):
+		return "budget"
+	case errors.Is(err, ErrStall):
+		return "stall"
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
+	default:
+		return "error"
+	}
+}

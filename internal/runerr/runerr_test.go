@@ -1,0 +1,179 @@
+package runerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestMark: a marked error keeps its message, matches its kind under
+// errors.Is, and still unwraps to its cause.
+func TestMark(t *testing.T) {
+	cause := errors.New("underlying cause")
+	err := Mark(ErrBudget, fmt.Errorf("scenario: boom: %w", cause))
+	if err.Error() != "scenario: boom: underlying cause" {
+		t.Fatalf("message altered: %q", err.Error())
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatal("marked error does not match its kind")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("marked error lost its cause chain")
+	}
+	if errors.Is(err, ErrStall) {
+		t.Fatal("marked error matches a foreign kind")
+	}
+	if Mark(ErrBudget, nil) != nil {
+		t.Fatal("Mark(kind, nil) != nil")
+	}
+}
+
+// TestMarkSurvivesWrapping: classification survives further %w wrapping,
+// the property the engine's "deterministic: identical failure" suffix
+// relies on.
+func TestMarkSurvivesWrapping(t *testing.T) {
+	err := fmt.Errorf("%w (deterministic: identical failure on retry, 2 attempts)",
+		Mark(ErrStall, errors.New("scenario: run stalled")))
+	if !errors.Is(err, ErrStall) {
+		t.Fatal("wrapped marked error lost its kind")
+	}
+	if Kind(err) != "stall" {
+		t.Fatalf("Kind = %q, want stall", Kind(err))
+	}
+}
+
+// TestPanicDigestMasksAddresses is the satellite regression test: two
+// runs panicking identically but with different heap addresses and
+// goroutine IDs must classify as the same failure under the digest
+// comparison — the flakiness latent in the old first-line scheme, where
+// an address in the panic value flipped the deterministic verdict.
+func TestPanicDigestMasksAddresses(t *testing.T) {
+	a := NewPanic("deadbeef", 7,
+		"runtime error: invalid memory address or nil pointer dereference [recovered from 0xc000123456]",
+		"goroutine 17 [running]:\nrepro/internal/medium.(*Medium).send(0xc0000a2000, 0x5, 0xc00017e000)\n\t/root/repo/internal/medium/medium.go:700 +0x1a4\n")
+	b := NewPanic("deadbeef", 7,
+		"runtime error: invalid memory address or nil pointer dereference [recovered from 0xc000abcdef]",
+		"goroutine 42 [running]:\nrepro/internal/medium.(*Medium).send(0xc000b40000, 0x5, 0xc000532000)\n\t/root/repo/internal/medium/medium.go:700 +0x1a4\n")
+	if a.Digest != b.Digest {
+		t.Fatalf("identical panics at different addresses digest differently:\n%s\n%s", a.Digest, b.Digest)
+	}
+	if !SameFailure(a, b) {
+		t.Fatal("identical panics at different addresses not classified as the same failure")
+	}
+
+	// A genuinely different panic site must not collide.
+	c := NewPanic("deadbeef", 7,
+		"runtime error: index out of range [5] with length 3",
+		"goroutine 17 [running]:\nrepro/internal/metrics.(*Collector).GroupSent(...)\n\t/root/repo/internal/metrics/metrics.go:100 +0x40\n")
+	if a.Digest == c.Digest {
+		t.Fatal("distinct panics share a digest")
+	}
+	if SameFailure(a, c) {
+		t.Fatal("distinct panics classified as the same failure")
+	}
+}
+
+// TestPanicErrorIdentity: the rendered message carries the replication
+// identity (cfg fingerprint + seed) and matches ErrPanic.
+func TestPanicErrorIdentity(t *testing.T) {
+	p := NewPanic("cafebabe", 42, "boom", "goroutine 1 [running]:\nmain.main()\n")
+	msg := p.Error()
+	for _, want := range []string{"cfg cafebabe", "seed 42", "digest " + p.Digest, "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic message missing %q: %s", want, msg)
+		}
+	}
+	if !errors.Is(p, ErrPanic) {
+		t.Fatal("PanicError does not match ErrPanic")
+	}
+	wrapped := fmt.Errorf("attempt context: %w", p)
+	var got *PanicError
+	if !errors.As(wrapped, &got) || got.Digest != p.Digest {
+		t.Fatal("PanicError not recoverable through wrapping")
+	}
+}
+
+// TestRetryable: setup and invariant kinds are the two non-retryable
+// classes; every runtime failure kind stays retryable.
+func TestRetryable(t *testing.T) {
+	base := errors.New("x")
+	for kind, want := range map[error]bool{
+		ErrSetup:     false,
+		ErrInvariant: false,
+		ErrBudget:    true,
+		ErrDeadline:  true,
+		ErrStall:     true,
+		ErrPanic:     true,
+	} {
+		if got := Retryable(Mark(kind, base)); got != want {
+			t.Errorf("Retryable(%v) = %v, want %v", kind, got, want)
+		}
+	}
+	if !Retryable(errors.New("untyped")) {
+		t.Error("untyped errors must stay retryable")
+	}
+	var inv error = &InvariantError{Name: "energy-ledger", Detail: "gap 1J"}
+	if Retryable(inv) {
+		t.Error("InvariantError must not be retryable")
+	}
+}
+
+// TestSameFailureDeadline: deadline failures never classify as
+// deterministic — identical messages included — because wall-clock
+// expiry depends on machine load.
+func TestSameFailureDeadline(t *testing.T) {
+	a := Mark(ErrDeadline, errors.New("scenario: run exceeded wall-clock deadline 0.5s"))
+	b := Mark(ErrDeadline, errors.New("scenario: run exceeded wall-clock deadline 0.5s"))
+	if SameFailure(a, b) {
+		t.Fatal("two deadline failures classified as the same deterministic failure")
+	}
+	if SameFailure(a, nil) || SameFailure(nil, a) {
+		t.Fatal("SameFailure with nil must be false")
+	}
+}
+
+// TestSameFailureHeadFallback: untyped errors compare by first line.
+func TestSameFailureHeadFallback(t *testing.T) {
+	a := errors.New("scenario: boom\ndetail A")
+	b := errors.New("scenario: boom\ndetail B")
+	c := errors.New("scenario: other")
+	if !SameFailure(a, b) {
+		t.Fatal("same first line not classified as same failure")
+	}
+	if SameFailure(a, c) {
+		t.Fatal("different first lines classified as same failure")
+	}
+}
+
+func TestHead(t *testing.T) {
+	if h := Head(errors.New("first line\nsecond line")); h != "first line" {
+		t.Fatalf("Head = %q", h)
+	}
+	if h := Head(errors.New("only line")); h != "only line" {
+		t.Fatalf("Head = %q", h)
+	}
+}
+
+func TestKind(t *testing.T) {
+	if Kind(nil) != "" {
+		t.Fatal("Kind(nil) != \"\"")
+	}
+	if Kind(errors.New("plain")) != "error" {
+		t.Fatal("untyped Kind != error")
+	}
+	if Kind(&InvariantError{Name: "n", Detail: "d"}) != "invariant" {
+		t.Fatal("InvariantError Kind != invariant")
+	}
+	if Kind(NewPanic("fp", 1, "v", "s")) != "panic" {
+		t.Fatal("PanicError Kind != panic")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	in := "goroutine 123 [running]:\nfunc(0xdeadBEEF, 0x12) +0x9f"
+	want := "goroutine ? [running]:\nfunc(0x?, 0x?) +0x?"
+	if got := Normalize(in); got != want {
+		t.Fatalf("Normalize = %q, want %q", got, want)
+	}
+}

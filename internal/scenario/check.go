@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/runerr"
+)
+
+// CheckTier selects how much end-of-run self-verification a replication
+// performs. The zero value is CheckCheap: the cheap conservation laws
+// are always on — they are O(N) against runs that fire millions of
+// events, and a violation means the simulator is corrupting the very
+// numbers the figures plot. Violations surface as ErrInvariant failed
+// replications and are excluded from metric pools like any other
+// failure; they are never retried (a conservation bug is a pure function
+// of config and build).
+type CheckTier int
+
+const (
+	// CheckCheap (the default) verifies the O(N) conservation laws:
+	// energy ledger, reception conservation, cross-layer byte counters,
+	// death counts, and the per-group partition of the pooled summary.
+	CheckCheap CheckTier = iota
+	// CheckFull adds the expensive recount pass: every group's delivered
+	// tally recomputed from the dedup bitsets.
+	CheckFull
+	// CheckOff disables all end-of-run verification.
+	CheckOff
+)
+
+// String implements fmt.Stringer (also the -check flag's vocabulary).
+func (t CheckTier) String() string {
+	switch t {
+	case CheckCheap:
+		return "cheap"
+	case CheckFull:
+		return "full"
+	case CheckOff:
+		return "off"
+	default:
+		return fmt.Sprintf("CheckTier(%d)", int(t))
+	}
+}
+
+// ParseCheckTier parses the -check flag's vocabulary.
+func ParseCheckTier(s string) (CheckTier, error) {
+	switch s {
+	case "cheap", "":
+		return CheckCheap, nil
+	case "full":
+		return CheckFull, nil
+	case "off":
+		return CheckOff, nil
+	default:
+		return 0, fmt.Errorf("unknown check tier %q (want cheap, full or off)", s)
+	}
+}
+
+// checkInvariants verifies a finished run at cfg.Check's tier: the
+// netsim cross-layer conservation laws, then the partition law — the
+// per-group summaries must partition the pooled summary exactly (ints)
+// or to float tolerance (sums accumulated in different orders). Returns
+// nil or an error wrapping *runerr.InvariantError.
+func checkInvariants(cfg Config, net *netsim.Network, sum metrics.Summary, perGroup []metrics.Summary) error {
+	if err := net.CheckConservation(cfg.Check == CheckFull); err != nil {
+		return fmt.Errorf("scenario: %w (cfg %s, seed %d)", err, cfg.Fingerprint(), cfg.Seed)
+	}
+	if err := checkPartition(sum, perGroup); err != nil {
+		return fmt.Errorf("scenario: %w (cfg %s, seed %d)", err, cfg.Fingerprint(), cfg.Seed)
+	}
+	return nil
+}
+
+// partitionRelTol tolerates the float rounding between a per-group sum
+// and the pooled counter accumulated in a different order; see
+// netsim.CheckConservation's discussion. Integer fields compare exactly.
+const partitionRelTol = 1e-6
+
+func partitionClose(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= partitionRelTol*(math.Abs(a)+math.Abs(b)+1)
+}
+
+// checkPartition verifies that the per-group summaries exactly partition
+// the pooled run summary: every group-attributed counter summed across
+// groups must reproduce the global tally. The integer laws are exact by
+// construction (each collector event increments one group and the global
+// at the same site); a mismatch means an event was attributed to a group
+// but lost from the pool or vice versa.
+func checkPartition(sum metrics.Summary, perGroup []metrics.Summary) error {
+	if len(perGroup) == 0 {
+		return &runerr.InvariantError{Name: "pergroup-partition", Detail: "run produced no per-group summaries"}
+	}
+	var g metrics.Summary
+	var txJ, rxJ, discardJ float64
+	for _, p := range perGroup {
+		g.Sent += p.Sent
+		g.Expected += p.Expected
+		g.Delivered += p.Delivered
+		g.Duplicates += p.Duplicates
+		g.ControlBytes += p.ControlBytes
+		g.DataTxBytes += p.DataTxBytes
+		g.UniquePayloadBytes += p.UniquePayloadBytes
+		g.UnavailSamples += p.UnavailSamples
+		g.UnavailBroken += p.UnavailBroken
+		g.DelaySumS += p.DelaySumS
+		txJ += p.TxJ
+		rxJ += p.RxJ
+		discardJ += p.DiscardJ
+	}
+	type intLaw struct {
+		name      string
+		got, want int64
+	}
+	for _, law := range []intLaw{
+		{"sent", int64(g.Sent), int64(sum.Sent)},
+		{"expected", int64(g.Expected), int64(sum.Expected)},
+		{"delivered", int64(g.Delivered), int64(sum.Delivered)},
+		{"duplicates", int64(g.Duplicates), int64(sum.Duplicates)},
+		{"control-bytes", g.ControlBytes, sum.ControlBytes},
+		{"data-bytes", g.DataTxBytes, sum.DataTxBytes},
+		{"payload-bytes", g.UniquePayloadBytes, sum.UniquePayloadBytes},
+		{"unavail-samples", int64(g.UnavailSamples), int64(sum.UnavailSamples)},
+		{"unavail-broken", int64(g.UnavailBroken), int64(sum.UnavailBroken)},
+	} {
+		if law.got != law.want {
+			return &runerr.InvariantError{
+				Name:   "pergroup-partition",
+				Detail: fmt.Sprintf("%s: groups sum to %d, pooled summary says %d", law.name, law.got, law.want),
+			}
+		}
+	}
+	if !partitionClose(g.DelaySumS, sum.DelaySumS) {
+		return &runerr.InvariantError{
+			Name:   "pergroup-partition",
+			Detail: fmt.Sprintf("delay-sum: groups sum to %.9g s, pooled summary says %.9g s", g.DelaySumS, sum.DelaySumS),
+		}
+	}
+	// Attributed energy: every meter charge is mirrored into exactly one
+	// group tally at the charging site, so the group sums reproduce the
+	// meter totals up to summation order.
+	if !partitionClose(txJ, sum.TxJ) || !partitionClose(rxJ, sum.RxJ) || !partitionClose(discardJ, sum.DiscardJ) {
+		return &runerr.InvariantError{
+			Name: "pergroup-energy",
+			Detail: fmt.Sprintf("groups attribute tx/rx/discard %.9g/%.9g/%.9g J, meters hold %.9g/%.9g/%.9g J",
+				txJ, rxJ, discardJ, sum.TxJ, sum.RxJ, sum.DiscardJ),
+		}
+	}
+	return nil
+}

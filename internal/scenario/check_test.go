@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/runerr"
+)
+
+func TestCheckTierParse(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want CheckTier
+	}{
+		{"cheap", CheckCheap}, {"", CheckCheap}, {"full", CheckFull}, {"off", CheckOff},
+	} {
+		got, err := ParseCheckTier(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseCheckTier(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if c.in != "" && got.String() != c.in {
+			t.Errorf("CheckTier(%v).String() = %q, want %q", got, got.String(), c.in)
+		}
+	}
+	if _, err := ParseCheckTier("paranoid"); err == nil {
+		t.Error("ParseCheckTier accepted an unknown tier")
+	}
+}
+
+// TestPartitionCheckerTrips fabricates per-group summaries that fail to
+// partition the pooled summary and verifies each law fires as a typed
+// ErrInvariant.
+func TestPartitionCheckerTrips(t *testing.T) {
+	base := metrics.Summary{Sent: 10, Delivered: 8, DelaySumS: 1.5, TxJ: 2.0}
+	groups := []metrics.Summary{
+		{Sent: 6, Delivered: 5, DelaySumS: 1.0, TxJ: 1.5},
+		{Sent: 4, Delivered: 3, DelaySumS: 0.5, TxJ: 0.5},
+	}
+	if err := checkPartition(base, groups); err != nil {
+		t.Fatalf("exact partition rejected: %v", err)
+	}
+
+	for _, c := range []struct {
+		name   string
+		mutate func(sum *metrics.Summary, groups []metrics.Summary)
+		want   string
+	}{
+		{"int drift", func(sum *metrics.Summary, _ []metrics.Summary) { sum.Delivered++ }, "pergroup-partition"},
+		{"delay drift", func(_ *metrics.Summary, g []metrics.Summary) { g[0].DelaySumS += 0.1 }, "pergroup-partition"},
+		{"energy drift", func(sum *metrics.Summary, _ []metrics.Summary) { sum.TxJ *= 2 }, "pergroup-energy"},
+	} {
+		sum := base
+		g := append([]metrics.Summary(nil), groups...)
+		c.mutate(&sum, g)
+		err := checkPartition(sum, g)
+		if err == nil {
+			t.Fatalf("%s: violation passed the partition check", c.name)
+		}
+		if !errors.Is(err, runerr.ErrInvariant) {
+			t.Fatalf("%s: violation not typed ErrInvariant: %v", c.name, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: violation names the wrong invariant: %v", c.name, err)
+		}
+	}
+
+	if err := checkPartition(base, nil); !errors.Is(err, runerr.ErrInvariant) {
+		t.Fatalf("empty per-group slice not a typed violation: %v", err)
+	}
+}
+
+// TestFullChecksPassAcrossScenarios runs the expensive tier over a spread
+// of real configurations — every protocol family, faults, finite
+// batteries, many groups with churn — and requires a clean verdict from
+// each: the default-on checks must never false-positive, or the sweep
+// fabric would discard healthy replications.
+func TestFullChecksPassAcrossScenarios(t *testing.T) {
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"sssp-st", func(c *Config) { c.Protocol = SSSPST }},
+		{"sssp-ste", func(c *Config) { c.Protocol = SSSPSTE }},
+		{"ss-mst", func(c *Config) { c.Protocol = SSMST }},
+		{"maodv", func(c *Config) { c.Protocol = MAODV }},
+		{"odmrp", func(c *Config) { c.Protocol = ODMRP }},
+		{"flood", func(c *Config) { c.Protocol = Flood }},
+		{"faulty", func(c *Config) {
+			c.Protocol = SSSPSTE
+			c.Faults = faultyConfig(c.Duration)
+		}},
+		{"battery", func(c *Config) {
+			c.Protocol = ODMRP
+			c.Battery = 0.5 // tight enough that nodes die mid-run
+		}},
+		{"groups-churn", func(c *Config) {
+			c.Protocol = SSSPSTE
+			c.Groups = 3
+			c.MemberChurnInterval = 2
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Default()
+			cfg.Duration = 5
+			cfg.Check = CheckFull
+			v.mutate(&cfg)
+			if _, err := RunE(cfg); err != nil {
+				t.Fatalf("full-check run failed: %v", err)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/mobility"
+	"repro/internal/runerr"
 )
 
 // Engine is the sweep scheduler: one cost-ordered work queue over one
@@ -222,7 +223,7 @@ func (e *Engine) runJob(rc *RunContext, j *job) *RunContext {
 	retries, backoff := e.retries, e.backoff
 	e.mu.Unlock()
 	var res Result
-	var prevFail string
+	var prevErr error
 	for attempt := 0; ; attempt++ {
 		var panicked bool
 		res, panicked = e.tryRunJob(rc, j)
@@ -233,16 +234,22 @@ func (e *Engine) runJob(rc *RunContext, j *job) *RunContext {
 		if res.Err == nil || attempt >= retries {
 			break
 		}
-		// Deterministic-failure classification: compare the failure's head
-		// line (message without the stack, whose frame addresses vary run
-		// to run) against the previous attempt's. An identical repeat on
-		// the same seed cannot be transient.
-		head := errHead(res.Err)
-		if head == prevFail {
+		// Setup rejections and invariant violations are pure functions of
+		// the config and build: re-running cannot change the verdict, so
+		// the retry budget is not spent on them.
+		if !runerr.Retryable(res.Err) {
+			break
+		}
+		// Deterministic-failure classification: a failure that repeats
+		// identically on the same seed cannot be transient. Panics compare
+		// by normalized stack digest (frame addresses and goroutine IDs
+		// masked), deadline expiries never compare equal (wall-clock time
+		// is machine load, not config), everything else by message head.
+		if runerr.SameFailure(res.Err, prevErr) {
 			res.Err = fmt.Errorf("%w (deterministic: identical failure on retry, %d attempts)", res.Err, res.Attempts)
 			break
 		}
-		prevFail = head
+		prevErr = res.Err
 		// Each attempt consumes one trace-cache registration (tryRunJob
 		// releases on exit), so a retry needs its own.
 		if j.hasKey {
@@ -283,9 +290,11 @@ func (e *Engine) tryRunJob(rc *RunContext, j *job) (res Result, panicked bool) {
 			// so a failure in a merged shard log is attributable to the
 			// exact grid cell that hit it, and the stack is truncated to a
 			// fixed cap — panic payloads otherwise carry unbounded stack
-			// strings through Result.Err into journals and artifacts.
-			err := fmt.Errorf("scenario: run panicked (cfg %s, seed %d, %v, N=%d): %v\n%s",
-				j.cfg.Fingerprint(), j.cfg.Seed, j.cfg.Protocol, j.cfg.N, r,
+			// strings through Result.Err into journals and artifacts. The
+			// typed PanicError additionally carries the normalized digest
+			// the retry loop classifies determinism by.
+			err := runerr.NewPanic(j.cfg.Fingerprint(), j.cfg.Seed,
+				fmt.Sprintf("%v (%v, N=%d)", r, j.cfg.Protocol, j.cfg.N),
 				truncateStack(debug.Stack()))
 			res = Result{Config: j.cfg, Err: err}
 		}
@@ -316,17 +325,6 @@ func truncateStack(stack []byte) string {
 		cut = cut[:i]
 	}
 	return string(cut) + "\n... [stack truncated]"
-}
-
-// errHead returns the failure message up to the first newline — the
-// stable part of a failure identity (stacks carry addresses that vary
-// between attempts).
-func errHead(err error) string {
-	s := err.Error()
-	if i := strings.IndexByte(s, '\n'); i >= 0 {
-		s = s[:i]
-	}
-	return s
 }
 
 // takeRCLocked pops an idle arena for a participating caller, or builds

@@ -8,8 +8,15 @@ import (
 
 // Fingerprint returns a short stable digest identifying the complete
 // configuration, seed included: two configs share a fingerprint exactly
-// when every field (protocol, topology, mobility parameters, group
-// layout, traffic, timers, fault processes, run control, seed) is equal.
+// when every result-determining field (protocol, topology, mobility
+// parameters, group layout, traffic, timers, fault processes, run
+// control, seed) is equal.
+//
+// Execution-control knobs — the watchdogs (EventBudget, Deadline,
+// StallEvents) and the invariant tier (Check) — are excluded: they can
+// only decide whether a run fails, never what a successful run computes,
+// so journals and shard artifacts recorded under one watchdog setting
+// stay resumable under another.
 //
 // The digest is the canonical Go value syntax of the struct hashed with
 // SHA-256, truncated to 64 bits and hex-encoded. Config is a pure value
@@ -20,6 +27,10 @@ import (
 // another. Failed-run diagnostics embed the fingerprint so a panic in a
 // merged log is attributable to the exact (config, seed) job that hit it.
 func (cfg Config) Fingerprint() string {
+	cfg.EventBudget = 0
+	cfg.Deadline = 0
+	cfg.StallEvents = 0
+	cfg.Check = 0
 	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", cfg)))
 	return hex.EncodeToString(h[:8])
 }

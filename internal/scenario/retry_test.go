@@ -5,6 +5,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/runerr"
 )
 
 // TestRetryDeterministicClassification: a job that fails identically on
@@ -94,12 +96,78 @@ func TestTruncateStack(t *testing.T) {
 	}
 }
 
-func TestErrHead(t *testing.T) {
-	if h := errHead(errors.New("first line\nsecond line")); h != "first line" {
-		t.Fatalf("errHead = %q", h)
+// TestRetryPanicTyped: an engine-recovered panic carries the ErrPanic
+// kind through the deterministic-classification wrapping, so callers
+// classify with errors.Is instead of message grepping.
+func TestRetryPanicTyped(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	e.SetRetryPolicy(3, 0)
+
+	bad := Default()
+	bad.Duration = 5
+	bad.Mobility = MobilityKind(99)
+
+	res := e.Sweep([]Config{bad})[0]
+	if !errors.Is(res.Err, runerr.ErrPanic) {
+		t.Fatalf("recovered panic does not match runerr.ErrPanic: %v", res.Err)
 	}
-	if h := errHead(errors.New("only line")); h != "only line" {
-		t.Fatalf("errHead = %q", h)
+	var pe *runerr.PanicError
+	if !errors.As(res.Err, &pe) {
+		t.Fatalf("recovered panic is not a *runerr.PanicError: %v", res.Err)
+	}
+	if pe.Fingerprint != bad.Fingerprint() {
+		t.Fatalf("PanicError fingerprint = %s, want %s", pe.Fingerprint, bad.Fingerprint())
+	}
+}
+
+// TestSetupErrorNotRetried: a config rejected by Validate is a pure
+// function of the config — the engine must not burn retry attempts on
+// it, and the failure must carry the ErrSetup kind.
+func TestSetupErrorNotRetried(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	e.SetRetryPolicy(3, 0)
+
+	bad := Default()
+	bad.Duration = -1 // rejected by Validate
+
+	res := e.Sweep([]Config{bad})[0]
+	if res.Err == nil {
+		t.Fatal("invalid config produced no error")
+	}
+	if !errors.Is(res.Err, runerr.ErrSetup) {
+		t.Fatalf("setup rejection does not match runerr.ErrSetup: %v", res.Err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("setup rejection retried: Attempts = %d, want 1", res.Attempts)
+	}
+	if strings.Contains(res.Err.Error(), "deterministic:") {
+		t.Fatalf("non-retried failure wrongly classified: %v", res.Err)
+	}
+}
+
+// TestDeadlineRetriedNeverDeterministic: a wall-clock deadline expiry is
+// load-dependent, so the engine retries it through the full budget and
+// never classifies the repeats as deterministic.
+func TestDeadlineRetriedNeverDeterministic(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	e.SetRetryPolicy(2, 0)
+
+	cfg := Default()
+	cfg.Duration = 5
+	cfg.Deadline = 1e-9 // expires before the first stride check
+
+	res := e.Sweep([]Config{cfg})[0]
+	if !errors.Is(res.Err, runerr.ErrDeadline) {
+		t.Fatalf("deadline expiry does not match runerr.ErrDeadline: %v", res.Err)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("deadline expiry: Attempts = %d, want 3 (full retry budget)", res.Attempts)
+	}
+	if strings.Contains(res.Err.Error(), "deterministic:") {
+		t.Fatalf("deadline expiry wrongly classified deterministic: %v", res.Err)
 	}
 }
 
@@ -113,7 +181,7 @@ func TestEventBudgetExactBoundary(t *testing.T) {
 	passes := func(budget uint64) bool {
 		cfg.EventBudget = budget
 		_, err := RunE(cfg)
-		if err != nil && !strings.Contains(err.Error(), "event budget") {
+		if err != nil && (!strings.Contains(err.Error(), "event budget") || !errors.Is(err, runerr.ErrBudget)) {
 			t.Fatalf("budget %d failed for the wrong reason: %v", budget, err)
 		}
 		return err == nil

@@ -10,6 +10,7 @@ package scenario
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/odmrp"
 	"repro/internal/packet"
+	"repro/internal/runerr"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 	"repro/internal/xrand"
@@ -229,7 +231,28 @@ type Config struct {
 	// 0 derives a generous default from N and Duration (orders of
 	// magnitude above any legitimate run).
 	EventBudget uint64
+	// Deadline, when > 0, bounds one replication's wall-clock execution
+	// time in seconds. Unlike the event budget it catches runs that are
+	// slow rather than busy; expiry surfaces as a runerr.ErrDeadline
+	// failed replication, retryable (load-dependent) but never classified
+	// deterministic.
+	Deadline float64
+	// StallEvents bounds the number of consecutive events fired at one
+	// simulated instant before the run is aborted as livelocked
+	// (runerr.ErrStall) — a zero-delay self-rescheduling cycle freezes
+	// the clock and would otherwise burn the whole event budget. 0 means
+	// DefaultStallEvents; legitimate same-instant cascades (protocol
+	// floods reacting to one reception) stay far below it.
+	StallEvents uint64
+	// Check selects the end-of-run invariant tier; the zero value is
+	// CheckCheap (always-on conservation laws). See CheckTier.
+	Check CheckTier
 }
+
+// DefaultStallEvents is the stall detector's default streak limit: far
+// above any legitimate same-instant event cascade (bounded by a few
+// events per node per frame), far below the event budget.
+const DefaultStallEvents = 1 << 20
 
 // Default returns the paper's baseline scenario: 750 m × 750 m, 50 nodes,
 // random waypoint at 1 m/s minimum, 20 receivers, 64 kb/s CBR of 512-byte
@@ -356,6 +379,12 @@ func (cfg Config) Validate() error {
 	if err := cfg.Faults.Validate(cfg.Duration); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
+	if cfg.Deadline < 0 {
+		return fmt.Errorf("scenario: Deadline must be >= 0 wall-clock seconds (0 = unlimited), got %v", cfg.Deadline)
+	}
+	if cfg.Check < CheckCheap || cfg.Check > CheckOff {
+		return fmt.Errorf("scenario: invalid Check tier %d (want CheckCheap, CheckFull or CheckOff)", int(cfg.Check))
+	}
 	return nil
 }
 
@@ -478,7 +507,7 @@ func failed(cfg Config, err error) (Result, error) {
 // reusable after any returned error.
 func (rc *RunContext) RunTracedE(cfg Config, trace *mobility.Recorded) (Result, error) {
 	if err := cfg.Validate(); err != nil {
-		return failed(cfg, err)
+		return failed(cfg, runerr.Mark(runerr.ErrSetup, err))
 	}
 	// Clamp, don't fail: a sweep asking for more receivers than exist
 	// means "everyone but the source".
@@ -498,7 +527,8 @@ func (rc *RunContext) RunTracedE(cfg Config, trace *mobility.Recorded) (Result, 
 	var model mobility.Model
 	if trace != nil {
 		if trace.N() != cfg.N {
-			return failed(cfg, fmt.Errorf("scenario: trace node count %d does not match config N=%d", trace.N(), cfg.N))
+			return failed(cfg, runerr.Mark(runerr.ErrSetup,
+				fmt.Errorf("scenario: trace node count %d does not match config N=%d", trace.N(), cfg.N)))
 		}
 		if rc.replay == nil {
 			rc.replay = trace.Replay()
@@ -585,7 +615,7 @@ func (rc *RunContext) RunTracedE(cfg Config, trace *mobility.Recorded) (Result, 
 	net := rc.net
 
 	if err := rc.attachProtocols(net, cfg); err != nil {
-		return failed(cfg, err)
+		return failed(cfg, runerr.Mark(runerr.ErrSetup, err))
 	}
 	net.Start()
 
@@ -629,18 +659,47 @@ func (rc *RunContext) RunTracedE(cfg Config, trace *mobility.Recorded) (Result, 
 		budget = 50000 * uint64(cfg.N) * uint64(cfg.Duration+1)
 	}
 	s.SetBudget(budget)
+	// Companion watchdogs: the stall detector catches a frozen clock long
+	// before the budget would, and the wall-clock deadline catches runs
+	// that are slow rather than busy. Both default on (the stall limit) or
+	// off (the deadline); neither consumes RNG draws or schedules events,
+	// so enabling them cannot perturb results.
+	stall := cfg.StallEvents
+	if stall == 0 {
+		stall = DefaultStallEvents
+	}
+	s.SetStallLimit(stall)
+	if cfg.Deadline > 0 {
+		s.SetWallDeadline(time.Duration(cfg.Deadline * float64(time.Second)))
+	}
 
 	s.Run(cfg.Duration)
-	if s.BudgetExceeded() {
-		return failed(cfg, fmt.Errorf("scenario: run exceeded event budget %d before t=%v (seed %d, %v, N=%d) — runaway event loop",
-			budget, cfg.Duration, cfg.Seed, cfg.Protocol, cfg.N))
+	switch {
+	case s.BudgetExceeded():
+		return failed(cfg, runerr.Mark(runerr.ErrBudget,
+			fmt.Errorf("scenario: run exceeded event budget %d before t=%v (seed %d, %v, N=%d) — runaway event loop",
+				budget, cfg.Duration, cfg.Seed, cfg.Protocol, cfg.N)))
+	case s.Stalled():
+		return failed(cfg, runerr.Mark(runerr.ErrStall,
+			fmt.Errorf("scenario: run stalled: %d consecutive events at t=%v without the clock advancing (seed %d, %v, N=%d) — livelock",
+				stall, s.HaltedAt(), cfg.Seed, cfg.Protocol, cfg.N)))
+	case s.DeadlineExceeded():
+		return failed(cfg, runerr.Mark(runerr.ErrDeadline,
+			fmt.Errorf("scenario: run exceeded wall-clock deadline %gs at t=%v of %v (seed %d, %v, N=%d)",
+				cfg.Deadline, s.HaltedAt(), cfg.Duration, cfg.Seed, cfg.Protocol, cfg.N)))
 	}
-	return Result{
+	res := Result{
 		Config:   cfg,
 		Summary:  net.Summarize(),
 		Medium:   net.Medium.Stats(),
 		PerGroup: net.Collector.SummarizeGroups(nil),
-	}, nil
+	}
+	if cfg.Check != CheckOff {
+		if err := checkInvariants(cfg, net, res.Summary, res.PerGroup); err != nil {
+			return failed(cfg, err)
+		}
+	}
+	return res, nil
 }
 
 // zipfGroupSize scales the configured group size by a group's Zipf weight,

@@ -4,15 +4,34 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"repro/internal/fsio"
 	"repro/internal/metrics"
+	"repro/internal/runerr"
 	"repro/internal/scenario"
+)
+
+// The shard fabric's typed failure classes. Callers branch on these with
+// errors.Is to decide the remedy, instead of grepping messages:
+var (
+	// ErrCorrupt marks data that failed an integrity check — a CRC
+	// mismatch, unparsable envelope, or out-of-range record. Remedy:
+	// delete the file and re-run its shard.
+	ErrCorrupt = errors.New("shard: corrupt data")
+	// ErrGridMismatch marks inputs produced from a different job grid or
+	// schema version than this invocation expects. Remedy: regenerate
+	// with the same flags and code version, or point at the right files.
+	ErrGridMismatch = errors.New("shard: input from a different grid")
+	// ErrIncomplete marks a merge whose inputs do not cover the grid —
+	// missing shard artifacts or uncovered jobs. Remedy: re-run the
+	// missing shards (with -resume where a journal exists).
+	ErrIncomplete = errors.New("shard: incomplete results")
 )
 
 // ArtifactVersion is bumped whenever the artifact schema changes
@@ -23,13 +42,16 @@ const ArtifactVersion = 1
 // JobRecord is one completed (or conclusively failed) replication: the
 // job's position in the flattened grid, its identity (config fingerprint
 // + seed), and its raw-counter result. Summary is nil exactly when the
-// replication failed; Err then carries the (stack-truncated) failure.
+// replication failed; Err then carries the (stack-truncated) failure and
+// ErrKind its taxonomy label (runerr.Kind), so merged logs can summarize
+// failures by class without re-parsing messages.
 type JobRecord struct {
 	Index    int    `json:"index"`
 	Seed     uint64 `json:"seed"`
 	FP       string `json:"fp"`
 	Attempts int    `json:"attempts,omitempty"`
 	Err      string `json:"err,omitempty"`
+	ErrKind  string `json:"err_kind,omitempty"`
 
 	Summary  *metrics.Counters  `json:"summary,omitempty"`
 	PerGroup []metrics.Counters `json:"per_group,omitempty"`
@@ -47,6 +69,7 @@ func RecordOf(index int, r scenario.Result, withGroups bool) JobRecord {
 	}
 	if r.Err != nil {
 		rec.Err = r.Err.Error()
+		rec.ErrKind = runerr.Kind(r.Err)
 		return rec
 	}
 	c := metrics.CountersOf(r.Summary)
@@ -67,6 +90,11 @@ func (rec JobRecord) Result(cfg scenario.Config) scenario.Result {
 	res := scenario.Result{Config: cfg, Attempts: rec.Attempts}
 	if rec.Err != "" {
 		res.Err = fmt.Errorf("%s", rec.Err)
+		// Restore the taxonomy kind recorded at failure time, so a
+		// rehydrated record classifies under errors.Is like a live one.
+		if kind := runerr.Sentinel(rec.ErrKind); kind != nil {
+			res.Err = runerr.Mark(kind, res.Err)
+		}
 		return res
 	}
 	if rec.Summary != nil {
@@ -114,17 +142,24 @@ func seal(body []byte) ([]byte, error) {
 func unseal(data []byte, what string) ([]byte, error) {
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("shard: %s is not a sealed JSON envelope: %w", what, err)
+		return nil, runerr.Mark(ErrCorrupt, fmt.Errorf("shard: %s is not a sealed JSON envelope: %w", what, err))
 	}
 	if got := crc32.ChecksumIEEE(env.Body); got != env.CRC {
-		return nil, fmt.Errorf("shard: %s is corrupt: CRC %08x, recorded %08x", what, got, env.CRC)
+		return nil, runerr.Mark(ErrCorrupt, fmt.Errorf("shard: %s is corrupt: CRC %08x, recorded %08x", what, got, env.CRC))
 	}
 	return env.Body, nil
 }
 
-// WriteArtifact persists a via write-temp → fsync → rename, so a crash
-// mid-write leaves either the previous file or none — never a torn one.
+// WriteArtifact persists a via write-temp → fsync → rename → dir fsync,
+// so a crash mid-write leaves either the previous file or none — never a
+// torn one.
 func WriteArtifact(path string, a *Artifact) error {
+	return WriteArtifactFS(fsio.OS, path, a)
+}
+
+// WriteArtifactFS is WriteArtifact over an explicit filesystem seam —
+// the entry point chaos tests inject faults through.
+func WriteArtifactFS(fsys fsio.FS, path string, a *Artifact) error {
 	a.Version = ArtifactVersion
 	body, err := json.Marshal(a)
 	if err != nil {
@@ -134,12 +169,17 @@ func WriteArtifact(path string, a *Artifact) error {
 	if err != nil {
 		return fmt.Errorf("shard: seal artifact: %w", err)
 	}
-	return atomicWrite(path, append(sealed, '\n'))
+	return atomicWrite(fsys, path, append(sealed, '\n'))
 }
 
 // ReadArtifact loads and integrity-checks one shard artifact.
 func ReadArtifact(path string) (*Artifact, error) {
-	data, err := os.ReadFile(path)
+	return ReadArtifactFS(fsio.OS, path)
+}
+
+// ReadArtifactFS is ReadArtifact over an explicit filesystem seam.
+func ReadArtifactFS(fsys fsio.FS, path string) (*Artifact, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("shard: %w", err)
 	}
@@ -149,10 +189,11 @@ func ReadArtifact(path string) (*Artifact, error) {
 	}
 	var a Artifact
 	if err := json.Unmarshal(body, &a); err != nil {
-		return nil, fmt.Errorf("shard: artifact %s: %w", path, err)
+		return nil, runerr.Mark(ErrCorrupt, fmt.Errorf("shard: artifact %s: %w", path, err))
 	}
 	if a.Version != ArtifactVersion {
-		return nil, fmt.Errorf("shard: artifact %s has schema version %d, this build reads %d", path, a.Version, ArtifactVersion)
+		return nil, runerr.Mark(ErrGridMismatch,
+			fmt.Errorf("shard: artifact %s has schema version %d, this build reads %d", path, a.Version, ArtifactVersion))
 	}
 	return &a, nil
 }
@@ -175,30 +216,38 @@ func Merge(arts []*Artifact, paths []string, kind, gridFP string, totalJobs int)
 	for i, a := range arts {
 		p := paths[i]
 		if a.Kind != kind {
-			return nil, fmt.Errorf("shard: %s holds %q results, merging %q — mixed tool outputs", p, a.Kind, kind)
+			return nil, runerr.Mark(ErrGridMismatch,
+				fmt.Errorf("shard: %s holds %q results, merging %q — mixed tool outputs", p, a.Kind, kind))
 		}
 		if a.GridFP != gridFP {
-			return nil, fmt.Errorf("shard: %s was produced from a different job grid (fingerprint %s, expected %s) — regenerate it with the same flags and code version", p, a.GridFP, gridFP)
+			return nil, runerr.Mark(ErrGridMismatch,
+				fmt.Errorf("shard: %s was produced from a different job grid (fingerprint %s, expected %s) — regenerate it with the same flags and code version", p, a.GridFP, gridFP))
 		}
 		if a.TotalJobs != totalJobs {
-			return nil, fmt.Errorf("shard: %s covers a grid of %d jobs, expected %d", p, a.TotalJobs, totalJobs)
+			return nil, runerr.Mark(ErrGridMismatch,
+				fmt.Errorf("shard: %s covers a grid of %d jobs, expected %d", p, a.TotalJobs, totalJobs))
 		}
 		if a.Shards != n {
-			return nil, fmt.Errorf("shard: %s says %d shards, %s says %d — mixed shard splits", p, a.Shards, paths[0], n)
+			return nil, runerr.Mark(ErrGridMismatch,
+				fmt.Errorf("shard: %s says %d shards, %s says %d — mixed shard splits", p, a.Shards, paths[0], n))
 		}
 		if a.Shard < 1 || a.Shard > n {
-			return nil, fmt.Errorf("shard: %s has shard index %d outside 1..%d", p, a.Shard, n)
+			return nil, runerr.Mark(ErrCorrupt,
+				fmt.Errorf("shard: %s has shard index %d outside 1..%d", p, a.Shard, n))
 		}
 		if prev, dup := haveShard[a.Shard]; dup {
-			return nil, fmt.Errorf("shard: shard %d/%d appears in both %s and %s", a.Shard, n, prev, p)
+			return nil, runerr.Mark(ErrGridMismatch,
+				fmt.Errorf("shard: shard %d/%d appears in both %s and %s", a.Shard, n, prev, p))
 		}
 		haveShard[a.Shard] = p
 		for _, rec := range a.Jobs {
 			if rec.Index < 0 || rec.Index >= totalJobs {
-				return nil, fmt.Errorf("shard: %s carries job %d outside the grid (0..%d)", p, rec.Index, totalJobs-1)
+				return nil, runerr.Mark(ErrCorrupt,
+					fmt.Errorf("shard: %s carries job %d outside the grid (0..%d)", p, rec.Index, totalJobs-1))
 			}
 			if owner[rec.Index] != "" {
-				return nil, fmt.Errorf("shard: job %d (seed %d) appears in both %s and %s", rec.Index, rec.Seed, owner[rec.Index], p)
+				return nil, runerr.Mark(ErrGridMismatch,
+					fmt.Errorf("shard: job %d (seed %d) appears in both %s and %s", rec.Index, rec.Seed, owner[rec.Index], p))
 			}
 			owner[rec.Index] = p
 			records[rec.Index] = rec
@@ -211,7 +260,8 @@ func Merge(arts []*Artifact, paths []string, kind, gridFP string, totalJobs int)
 				missing = append(missing, fmt.Sprintf("%d/%d", k, n))
 			}
 		}
-		return nil, fmt.Errorf("shard: incomplete shard set: missing %s (have %d of %d artifacts)", strings.Join(missing, ", "), len(haveShard), n)
+		return nil, runerr.Mark(ErrIncomplete,
+			fmt.Errorf("shard: incomplete shard set: missing %s (have %d of %d artifacts)", strings.Join(missing, ", "), len(haveShard), n))
 	}
 	var holes []int
 	for i, o := range owner {
@@ -225,7 +275,8 @@ func Merge(arts []*Artifact, paths []string, kind, gridFP string, totalJobs int)
 		if len(show) > 8 {
 			show = show[:8]
 		}
-		return nil, fmt.Errorf("shard: %d job(s) covered by no artifact (e.g. %v) — a shard run exited before writing its records; re-run it with -resume", len(holes), show)
+		return nil, runerr.Mark(ErrIncomplete,
+			fmt.Errorf("shard: %d job(s) covered by no artifact (e.g. %v) — a shard run exited before writing its records; re-run it with -resume", len(holes), show))
 	}
 	return records, nil
 }
@@ -248,14 +299,17 @@ func GridFingerprint(kind string, meta any, cfgs []scenario.Config) string {
 }
 
 // atomicWrite writes data to path via a temp file in the same directory,
-// fsyncs it, and renames it into place.
-func atomicWrite(path string, data []byte) error {
+// fsyncs it, renames it into place, and fsyncs the directory — without
+// the final directory sync the rename itself can be lost to a power cut,
+// resurrecting the previous file after the writer believed the new one
+// durable.
+func atomicWrite(fsys fsio.FS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("shard: %w", err)
@@ -267,7 +321,10 @@ func atomicWrite(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
 	return nil

@@ -1,0 +1,289 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fsio"
+	"repro/internal/runerr"
+	"repro/internal/scenario"
+)
+
+// chaosRate is high enough that every durable-write path faults many
+// times across the seed sweep, low enough that runs still make progress.
+const chaosRate = 0.3
+
+// TestJournalChaosResume drives the journal through seed-scheduled I/O
+// faults — short writes, failed fsyncs, torn renames, crash latches —
+// restarting (fresh FaultFS over the same directory) after every
+// injected failure, and requires the final journal to be byte-identical
+// to a fault-free run's. The atomic-rewrite discipline guarantees the
+// on-disk file is always a complete prefix of the append order, so a
+// resume never loses more than the append in flight and never reads a
+// torn file.
+func TestJournalChaosResume(t *testing.T) {
+	cfgs := grid(6)
+	gridFP := GridFingerprint("figures", struct{}{}, cfgs)
+	records := make([]JobRecord, len(cfgs))
+	for i := range cfgs {
+		records[i] = record(i, cfgs[i])
+	}
+
+	// Fault-free baseline bytes.
+	base := filepath.Join(t.TempDir(), "base.journal")
+	jb, _, err := OpenJournal(base, "figures", gridFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range records {
+		if err := jb.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := uint64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join(t.TempDir(), "j.journal")
+			done := 0
+			for attempt := 0; done < len(records); attempt++ {
+				if attempt > 100 {
+					t.Fatal("no progress after 100 restarts")
+				}
+				ffs := fsio.NewFaultFS(fsio.OS, seed<<8|uint64(attempt), chaosRate)
+				j, skipped, err := OpenJournalFS(ffs, path, "figures", gridFP)
+				if err != nil {
+					t.Fatalf("restart %d: journal refused to open: %v", attempt, err)
+				}
+				if skipped != 0 {
+					t.Fatalf("restart %d: %d corrupt records survived an atomic write discipline", attempt, skipped)
+				}
+				// The on-disk journal must be a prefix of the append order:
+				// records resume exactly where the last crash cut them off.
+				done = 0
+				for done < len(records) {
+					if _, ok := j.Lookup(records[done].FP); !ok {
+						break
+					}
+					done++
+				}
+				for k := done; k < len(records); k++ {
+					if _, ok := j.Lookup(records[k].FP); ok {
+						t.Fatalf("restart %d: journal holds record %d but not %d — on-disk state is not a prefix", attempt, k, done)
+					}
+				}
+				for ; done < len(records); done++ {
+					if err := j.Append(records[done]); err != nil {
+						if !errors.Is(err, fsio.ErrInjected) {
+							t.Fatalf("append %d failed with a non-injected error: %v", done, err)
+						}
+						break // crash: restart with a fresh FS
+					}
+				}
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("chaos journal differs from fault-free journal (%d vs %d bytes)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestArtifactChaosShardMerge runs a 2-way shard split where every
+// artifact write goes through a faulting filesystem, retrying each
+// shard with a fresh FS after injected failures, then merges and
+// requires the result to equal the fault-free merge exactly.
+func TestArtifactChaosShardMerge(t *testing.T) {
+	cfgs := grid(5)
+	gridFP := GridFingerprint("figures", struct{}{}, cfgs)
+
+	cleanDir := t.TempDir()
+	cleanPaths := twoShards(t, cleanDir, cfgs, gridFP)
+	wantRecs, err := Merge(readAll(t, cleanPaths), cleanPaths, "figures", gridFP, len(cfgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := uint64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			paths := make([]string, 2)
+			for k := 1; k <= 2; k++ {
+				a := &Artifact{Kind: "figures", Shard: k, Shards: 2, TotalJobs: len(cfgs), GridFP: gridFP, Meta: []byte(`{}`)}
+				for i := k - 1; i < len(cfgs); i += 2 {
+					a.Jobs = append(a.Jobs, record(i, cfgs[i]))
+				}
+				paths[k-1] = filepath.Join(dir, fmt.Sprintf("s%d.json", k))
+				wrote := false
+				for attempt := 0; !wrote; attempt++ {
+					if attempt > 100 {
+						t.Fatal("no successful artifact write in 100 attempts")
+					}
+					ffs := fsio.NewFaultFS(fsio.OS, seed<<16|uint64(k)<<8|uint64(attempt), chaosRate)
+					err := WriteArtifactFS(ffs, paths[k-1], a)
+					switch {
+					case err == nil:
+						wrote = true
+					case errors.Is(err, fsio.ErrInjected):
+						// retry: the atomic write left the target absent or previous
+					default:
+						t.Fatalf("shard %d write failed with a non-injected error: %v", k, err)
+					}
+				}
+			}
+			got, err := Merge(readAll(t, paths), paths, "figures", gridFP, len(cfgs))
+			if err != nil {
+				t.Fatalf("merge of chaos-written artifacts failed: %v", err)
+			}
+			if len(got) != len(wantRecs) {
+				t.Fatalf("merged %d records, want %d", len(got), len(wantRecs))
+			}
+			for i := range got {
+				if got[i].FP != wantRecs[i].FP || got[i].Seed != wantRecs[i].Seed ||
+					*got[i].Summary != *wantRecs[i].Summary {
+					t.Fatalf("record %d differs from fault-free merge", i)
+				}
+			}
+		})
+	}
+}
+
+// TestJournalHeaderCorruption: damage to the header line — the binding
+// between the journal and its grid — must be a hard typed refusal, not
+// a silent skip: no record in the file can be trusted without it.
+func TestJournalHeaderCorruption(t *testing.T) {
+	mk := func(t *testing.T) (string, string) {
+		cfgs := grid(2)
+		gridFP := GridFingerprint("figures", struct{}{}, cfgs)
+		path := filepath.Join(t.TempDir(), "j.journal")
+		j, _, err := OpenJournal(path, "figures", gridFP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cfgs {
+			if err := j.Append(record(i, cfgs[i])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return path, gridFP
+	}
+
+	t.Run("torn", func(t *testing.T) {
+		path, gridFP := mk(t)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		head := bytes.IndexByte(data, '\n')
+		if err := os.WriteFile(path, data[:head/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = OpenJournal(path, "figures", gridFP)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("torn header not refused as ErrCorrupt: %v", err)
+		}
+		if !strings.Contains(err.Error(), "delete the journal") {
+			t.Fatalf("refusal does not tell the operator the remedy: %v", err)
+		}
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		path, gridFP := mk(t)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip one bit mid-header: either the envelope no longer parses
+		// or the CRC catches it — both must be the same typed refusal.
+		data[bytes.IndexByte(data, '\n')/2] ^= 0x01
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := OpenJournal(path, "figures", gridFP); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit-flipped header not refused as ErrCorrupt: %v", err)
+		}
+	})
+}
+
+// TestTypedShardErrors pins the errors.Is classification of the fabric's
+// refusals: corrupt data, grid mismatches, and incomplete shard sets
+// each carry their sentinel.
+func TestTypedShardErrors(t *testing.T) {
+	cfgs := grid(4)
+	gridFP := GridFingerprint("figures", struct{}{}, cfgs)
+	dir := t.TempDir()
+	paths := twoShards(t, dir, cfgs, gridFP)
+
+	// Corrupt artifact body → ErrCorrupt.
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(data, []byte(`"body"`), []byte(`"b0dy"`), 1)
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(corrupt); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt artifact error = %v, want ErrCorrupt", err)
+	}
+
+	// Wrong grid fingerprint → ErrGridMismatch.
+	arts := readAll(t, paths)
+	if _, err := Merge(arts, paths, "figures", "1111111111111111", len(cfgs)); !errors.Is(err, ErrGridMismatch) {
+		t.Fatalf("grid-mismatch merge error = %v, want ErrGridMismatch", err)
+	}
+
+	// Missing shard → ErrIncomplete.
+	if _, err := Merge(arts[:1], paths[:1], "figures", gridFP, len(cfgs)); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("missing-shard merge error = %v, want ErrIncomplete", err)
+	}
+
+	// Journal bound to another grid → ErrGridMismatch.
+	jp := filepath.Join(dir, "j.journal")
+	j, _, err := OpenJournal(jp, "figures", gridFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(record(0, cfgs[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(jp, "figures", "2222222222222222"); !errors.Is(err, ErrGridMismatch) {
+		t.Fatalf("grid-mismatch journal error = %v, want ErrGridMismatch", err)
+	}
+}
+
+// TestErrKindRoundTrip: a failed replication's taxonomy kind survives
+// the journal round trip — the record stores runerr.Kind, rehydration
+// re-marks the error so errors.Is classifies it like the live failure.
+func TestErrKindRoundTrip(t *testing.T) {
+	cfg := scenario.Default()
+	res := scenario.Result{
+		Config:   cfg,
+		Attempts: 1,
+		Err:      runerr.Mark(runerr.ErrStall, errors.New("scenario: run stalled")),
+	}
+	rec := RecordOf(3, res, false)
+	if rec.ErrKind != "stall" {
+		t.Fatalf("ErrKind = %q, want %q", rec.ErrKind, "stall")
+	}
+	back := rec.Result(cfg)
+	if !errors.Is(back.Err, runerr.ErrStall) {
+		t.Fatalf("rehydrated error lost its kind: %v", back.Err)
+	}
+}

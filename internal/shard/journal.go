@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"repro/internal/fsio"
+	"repro/internal/runerr"
 )
 
 // Journal is the per-process checkpoint: every completed replication is
@@ -27,6 +30,7 @@ import (
 // serialized from the engine's completion callback.
 type Journal struct {
 	mu      sync.Mutex
+	fsys    fsio.FS
 	path    string
 	header  journalHeader
 	records []JobRecord
@@ -45,12 +49,23 @@ type journalHeader struct {
 // otherwise the error explains the journal belongs to a different grid.
 // skipped reports records dropped for failing their integrity check.
 func OpenJournal(path, kind, gridFP string) (j *Journal, skipped int, err error) {
+	return OpenJournalFS(fsio.OS, path, kind, gridFP)
+}
+
+// OpenJournalFS is OpenJournal over an explicit filesystem seam — the
+// entry point chaos tests inject faults through. A corrupt header (the
+// line binding the file to its grid) is a hard, typed refusal: without
+// it no record in the file can be trusted to belong to this grid, so
+// the remedy is to delete the journal and re-run, not to silently
+// resume from it.
+func OpenJournalFS(fsys fsio.FS, path, kind, gridFP string) (j *Journal, skipped int, err error) {
 	j = &Journal{
+		fsys:   fsys,
 		path:   path,
 		header: journalHeader{Version: ArtifactVersion, Kind: kind, GridFP: gridFP},
 		byFP:   map[string]int{},
 	}
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		return j, 0, nil
 	}
@@ -69,18 +84,21 @@ func OpenJournal(path, kind, gridFP string) (j *Journal, skipped int, err error)
 			first = false
 			body, err := unseal(line, fmt.Sprintf("journal %s header", path))
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, fmt.Errorf("%w — delete the journal to restart this shard from scratch", err)
 			}
 			var h journalHeader
 			if err := json.Unmarshal(body, &h); err != nil {
-				return nil, 0, fmt.Errorf("shard: journal %s header: %w", path, err)
+				return nil, 0, runerr.Mark(ErrCorrupt,
+					fmt.Errorf("shard: journal %s header: %w — delete the journal to restart this shard from scratch", path, err))
 			}
 			if h.Version != ArtifactVersion {
-				return nil, 0, fmt.Errorf("shard: journal %s has schema version %d, this build reads %d", path, h.Version, ArtifactVersion)
+				return nil, 0, runerr.Mark(ErrGridMismatch,
+					fmt.Errorf("shard: journal %s has schema version %d, this build reads %d", path, h.Version, ArtifactVersion))
 			}
 			if h.Kind != kind || h.GridFP != gridFP {
-				return nil, 0, fmt.Errorf("shard: journal %s was written for a different grid (kind %q fp %s; this run is kind %q fp %s) — delete it or point -journal elsewhere",
-					path, h.Kind, h.GridFP, kind, gridFP)
+				return nil, 0, runerr.Mark(ErrGridMismatch,
+					fmt.Errorf("shard: journal %s was written for a different grid (kind %q fp %s; this run is kind %q fp %s) — delete it or point -journal elsewhere",
+						path, h.Kind, h.GridFP, kind, gridFP))
 			}
 			continue
 		}
@@ -172,7 +190,7 @@ func (j *Journal) Flush() error {
 		buf.Write(sealed)
 		buf.WriteByte('\n')
 	}
-	if err := atomicWrite(j.path, buf.Bytes()); err != nil {
+	if err := atomicWrite(j.fsys, j.path, buf.Bytes()); err != nil {
 		return err
 	}
 	j.dirty = false

@@ -10,6 +10,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/eventq"
 	"repro/internal/xrand"
@@ -36,7 +37,30 @@ type Simulator struct {
 	// sweep worker. exceeded latches when the bound trips.
 	budget   uint64
 	exceeded bool
+	// stallLimit, when non-zero, bounds the number of consecutive events
+	// Run may fire at one simulated instant. The budget catches runs that
+	// do too much work overall; the stall detector catches the sharper
+	// pathology of a clock that stops advancing entirely (a zero-delay
+	// self-rescheduling cycle) long before the budget would. sameAt counts
+	// the current same-instant streak; stalled latches when it trips.
+	stallLimit uint64
+	sameAt     uint64
+	stalled    bool
+	// deadline, when hasDeadline, is the wall-clock instant past which Run
+	// aborts. Checked every wallCheckEvery events so the time.Now() cost
+	// stays off the per-event path. deadlineHit latches on expiry.
+	deadline    time.Time
+	hasDeadline bool
+	deadlineHit bool
+	// haltAt records the simulated instant a watchdog (stall or deadline)
+	// aborted the run — Run advances the clock to its horizon even on an
+	// abort, so Now() cannot report where the run actually stopped.
+	haltAt Time
 }
+
+// wallCheckEvery is the event stride between wall-clock deadline checks:
+// a power of two so the check compiles to a mask test.
+const wallCheckEvery = 1024
 
 // New creates a simulator whose random streams derive from seed.
 func New(seed uint64) *Simulator {
@@ -56,6 +80,13 @@ func (s *Simulator) Reset(seed uint64) {
 	s.tickers = 0
 	s.budget = 0
 	s.exceeded = false
+	s.stallLimit = 0
+	s.sameAt = 0
+	s.stalled = false
+	s.deadline = time.Time{}
+	s.hasDeadline = false
+	s.deadlineHit = false
+	s.haltAt = 0
 	s.rng = xrand.New(seed)
 	s.queue.Reset()
 }
@@ -66,6 +97,34 @@ func (s *Simulator) SetBudget(n uint64) { s.budget = n }
 
 // BudgetExceeded reports whether a Run was aborted by the event budget.
 func (s *Simulator) BudgetExceeded() bool { return s.exceeded }
+
+// SetStallLimit bounds the number of consecutive events Run may fire
+// without the clock advancing; 0 removes the bound. Reset clears it.
+func (s *Simulator) SetStallLimit(n uint64) { s.stallLimit = n }
+
+// Stalled reports whether a Run was aborted by the stall detector.
+func (s *Simulator) Stalled() bool { return s.stalled }
+
+// SetWallDeadline bounds the wall-clock time Run may consume, measured
+// from this call; d <= 0 removes the bound. Reset clears it. Expiry is
+// detected within wallCheckEvery events, so a single pathologically slow
+// event callback can still overshoot.
+func (s *Simulator) SetWallDeadline(d time.Duration) {
+	if d <= 0 {
+		s.hasDeadline = false
+		return
+	}
+	s.deadline = time.Now().Add(d)
+	s.hasDeadline = true
+}
+
+// DeadlineExceeded reports whether a Run was aborted by the wall-clock
+// deadline.
+func (s *Simulator) DeadlineExceeded() bool { return s.deadlineHit }
+
+// HaltedAt returns the simulated instant at which a watchdog aborted the
+// run (0 if none tripped).
+func (s *Simulator) HaltedAt() Time { return s.haltAt }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
@@ -214,10 +273,26 @@ func (s *Simulator) Run(until Time) Time {
 		if e.At < s.now {
 			panic(fmt.Sprintf("sim: event at %g before now %g", e.At, s.now))
 		}
+		if s.stallLimit != 0 {
+			if e.At > s.now {
+				s.sameAt = 0
+			} else if s.sameAt++; s.sameAt >= s.stallLimit {
+				s.stalled = true
+				s.haltAt = e.At
+				s.queue.Release(e)
+				break
+			}
+		}
 		s.now = e.At
 		s.processed++
 		if s.budget != 0 && s.processed > s.budget {
 			s.exceeded = true
+			s.queue.Release(e)
+			break
+		}
+		if s.hasDeadline && s.processed&(wallCheckEvery-1) == 0 && time.Now().After(s.deadline) {
+			s.deadlineHit = true
+			s.haltAt = e.At
 			s.queue.Release(e)
 			break
 		}

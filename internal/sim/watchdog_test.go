@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStallDetector: a zero-delay self-rescheduling event — the livelock
+// the event budget only catches after its full allowance — trips the
+// stall detector at the configured streak length, with the clock frozen.
+func TestStallDetector(t *testing.T) {
+	s := New(1)
+	s.SetStallLimit(100)
+	var fired int
+	var loop func()
+	loop = func() {
+		fired++
+		s.After(0, loop)
+	}
+	s.Schedule(1, loop)
+	s.Run(50)
+	if !s.Stalled() {
+		t.Fatal("zero-delay loop did not trip the stall detector")
+	}
+	// The seeding event arrives with the clock advancing (streak 0), then
+	// 99 same-instant firings grow the streak to the limit; the 100th
+	// same-instant event aborts without firing.
+	if fired != 100 {
+		t.Fatalf("fired %d callbacks before abort, want 100", fired)
+	}
+}
+
+// TestStallDetectorResetByProgress: a burst below the limit followed by
+// clock progress resets the streak — bursts of same-instant events are
+// normal (protocol cascades), only unbounded ones are livelock.
+func TestStallDetectorResetByProgress(t *testing.T) {
+	s := New(1)
+	s.SetStallLimit(50)
+	var fired int
+	// 40 events at each of 100 distinct instants: every burst is below
+	// the limit, so the run must complete.
+	for i := 0; i < 100; i++ {
+		at := float64(i)
+		for j := 0; j < 40; j++ {
+			s.At(at, func() { fired++ })
+		}
+	}
+	s.Run(200)
+	if s.Stalled() {
+		t.Fatal("sub-limit same-instant bursts tripped the stall detector")
+	}
+	if fired != 4000 {
+		t.Fatalf("fired = %d, want 4000", fired)
+	}
+}
+
+// TestStallDisabledByDefault: without a limit the detector never trips,
+// and Reset clears a configured one.
+func TestStallDisabledByDefault(t *testing.T) {
+	s := New(1)
+	var fired int
+	for i := 0; i < 1000; i++ {
+		s.At(1, func() { fired++ })
+	}
+	s.Run(10)
+	if s.Stalled() || fired != 1000 {
+		t.Fatalf("stalled=%v fired=%d without a limit set", s.Stalled(), fired)
+	}
+
+	s.Reset(1)
+	s.SetStallLimit(10)
+	s.Reset(1)
+	for i := 0; i < 100; i++ {
+		s.At(1, func() {})
+	}
+	s.Run(10)
+	if s.Stalled() {
+		t.Fatal("Reset did not clear the stall limit")
+	}
+}
+
+// TestWallDeadline: an already-expired deadline aborts the run at the
+// first check stride; without a deadline the same run completes.
+func TestWallDeadline(t *testing.T) {
+	s := New(1)
+	s.SetWallDeadline(time.Nanosecond)
+	time.Sleep(time.Millisecond) // guarantee expiry before Run
+	var fired int
+	for i := 0; i < 3*wallCheckEvery; i++ {
+		s.After(float64(i)*1e-3, func() { fired++ })
+	}
+	s.Run(100)
+	if !s.DeadlineExceeded() {
+		t.Fatal("expired deadline did not abort the run")
+	}
+	if fired > wallCheckEvery {
+		t.Fatalf("fired %d events, want abort at the first %d-event stride", fired, wallCheckEvery)
+	}
+
+	s.Reset(1)
+	fired = 0
+	for i := 0; i < 3*wallCheckEvery; i++ {
+		s.After(float64(i)*1e-3, func() { fired++ })
+	}
+	s.Run(100)
+	if s.DeadlineExceeded() || fired != 3*wallCheckEvery {
+		t.Fatalf("after Reset: deadline=%v fired=%d, want clean completion", s.DeadlineExceeded(), fired)
+	}
+}
+
+// TestWallDeadlineGenerous: a generous deadline does not disturb a short
+// run.
+func TestWallDeadlineGenerous(t *testing.T) {
+	s := New(1)
+	s.SetWallDeadline(time.Hour)
+	var fired int
+	for i := 0; i < 2*wallCheckEvery; i++ {
+		s.After(float64(i)*1e-3, func() { fired++ })
+	}
+	s.Run(100)
+	if s.DeadlineExceeded() || fired != 2*wallCheckEvery {
+		t.Fatalf("deadline=%v fired=%d under a generous deadline", s.DeadlineExceeded(), fired)
+	}
+}
