@@ -1,0 +1,119 @@
+// manetlint is the repro's determinism/RNG/error-discipline multichecker
+// (DESIGN §16): a driver for the analyzer fleet under internal/analysis,
+// built entirely on the standard library so it runs in the offline build
+// environment where x/tools is unavailable.
+//
+// Usage:
+//
+//	go run ./cmd/manetlint ./...
+//	go run ./cmd/manetlint -only detrand,mapiter ./internal/sim/...
+//	go run ./cmd/manetlint -notests ./...
+//
+// Exit status is 1 when any analyzer reports a finding, 2 on a driver
+// failure (unparsable package, type error). CI runs the full fleet over
+// the whole tree as a required job; the tree must stay lint-clean, with
+// //detlint:allow <reason> as the only, argued, escape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/errdiscipline"
+	"repro/internal/analysis/fingerprintfields"
+	"repro/internal/analysis/mapiter"
+)
+
+// fleet is every analyzer the driver knows, in reporting order.
+var fleet = []*analysis.Analyzer{
+	analysis.DirectiveAnalyzer,
+	detrand.Analyzer,
+	mapiter.Analyzer,
+	errdiscipline.Analyzer,
+	fingerprintfields.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	notests := flag.Bool("notests", false, "skip _test.go files and external test packages")
+	list := flag.Bool("list", false, "print the analyzer fleet and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: manetlint [-only a,b] [-notests] [patterns]\n\nAnalyzers:\n")
+		for _, a := range fleet {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range fleet {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := fleet
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(fleet))
+		for _, a := range fleet {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "manetlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "manetlint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "manetlint:", err)
+		os.Exit(2)
+	}
+	loader.Tests = !*notests
+
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "manetlint:", err)
+		os.Exit(2)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "manetlint: no packages matched", strings.Join(patterns, " "))
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "manetlint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			findings++
+			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "manetlint: %d finding(s) across %d package unit(s)\n", findings, len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,159 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver surface, built entirely on the
+// standard library's go/ast, go/types and go/importer.
+//
+// The repro module cannot vendor x/tools (the build environment is
+// offline), but the determinism, RNG and error-discipline contracts of
+// DESIGN §14–§16 want compile-time enforcement, not just byte-diff
+// smokes. This package provides the three pieces a pass fleet needs:
+//
+//   - Analyzer / Pass / Diagnostic: the familiar x/tools shapes, so the
+//     passes under internal/analysis/* read like ordinary go/analysis
+//     code and could be ported to the real multichecker verbatim if the
+//     dependency ever becomes available.
+//   - Loader (load.go): a module-aware package loader that parses and
+//     type-checks the repro tree (optionally including _test.go files)
+//     with the stdlib source importer standing in for export data.
+//   - The //detlint:allow directive (directive.go): the single escape
+//     hatch every pass honors, requiring a written reason at the site.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer minus facts and requires —
+// the repro fleet's passes are all independent single-package passes.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and the driver's
+	// -only flag. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph contract statement printed by the
+	// driver's help output.
+	Doc string
+	// Run executes the check on one package. It reports findings via
+	// pass.Report and returns an error only for internal failures
+	// (a broken invariant of the analyzer itself, never a finding).
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed files of the package, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package; PkgPath its import path as the
+	// loader resolved it (module-relative for repro packages).
+	Pkg     *types.Package
+	PkgPath string
+	// TypesInfo has Types, Defs, Uses and Selections populated for
+	// every file in Files.
+	TypesInfo *types.Info
+	// report receives diagnostics; set by the driver.
+	report func(Diagnostic)
+	// directives indexes //detlint:allow comments by file and line;
+	// built lazily by Allowed.
+	directives map[*token.File]map[int]bool
+}
+
+// Diagnostic is one finding at one position. Analyzer carries the
+// reporting pass's name for driver output.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Allowed reports whether the line holding pos — or the line directly
+// above it, for statements too long to share a line with their
+// justification — carries a //detlint:allow directive with a non-empty
+// reason. Every pass in the fleet consults this before reporting, so one
+// grep-able directive grammar suppresses any analyzer:
+//
+//	s.deadline = time.Now().Add(d) //detlint:allow wall-clock watchdog, not simulation state
+//
+// A bare //detlint:allow with no reason does not suppress: the reason is
+// the contract (the directive is an argued exception, not an off switch),
+// and MalformedDirectives surfaces reasonless ones as findings.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.directives == nil {
+		p.directives = buildDirectiveIndex(p.Fset, p.Files)
+	}
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	lines := p.directives[tf]
+	if lines == nil {
+		return false
+	}
+	line := tf.Line(pos)
+	return lines[line] || lines[line-1]
+}
+
+// sortDiagnostics orders findings by position for stable driver output.
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}
+
+// RunAnalyzers applies each analyzer to pkg and returns the merged,
+// position-sorted findings. Analyzer errors (internal failures, not
+// findings) abort the run: a broken checker must not pass for a clean
+// tree.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			PkgPath:   pkg.PkgPath,
+			TypesInfo: pkg.Info,
+			report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}
+
+// TypeIsError reports whether t is the built-in error interface.
+func TypeIsError(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// ImplementsError reports whether t implements the error interface
+// (directly or via pointer receiver when t is already a pointer).
+func ImplementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}

@@ -1,0 +1,159 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring the x/tools
+// package of the same name on the repro-local analysis framework.
+//
+// Fixtures live under <analyzer>/testdata/src/<pkg>/. A line expecting a
+// diagnostic carries a comment of the form
+//
+//	code() // want "regexp"
+//
+// with one quoted (double- or back-quoted) regexp per expected
+// diagnostic on that line. Every diagnostic must be wanted and every
+// want must be matched: surplus on either side fails the test, which is
+// what makes a comment-free fixture an executable negative case.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRx extracts the comment payload after the want marker.
+var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package from dir (conventionally
+// "testdata/src") with test files included, applies a, and compares
+// diagnostics to want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := analysis.NewFixtureLoader(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader.Tests = true
+	for _, pkg := range pkgs {
+		units, err := loader.Load(pkg)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", pkg, err)
+		}
+		if len(units) == 0 {
+			t.Fatalf("analysistest: fixture %s has no Go files", pkg)
+		}
+		for _, unit := range units {
+			checkUnit(t, unit, a)
+		}
+	}
+}
+
+func checkUnit(t *testing.T, unit *analysis.Package, a *analysis.Analyzer) {
+	t.Helper()
+	diags, err := analysis.RunAnalyzers(unit, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	wants := collectWants(t, unit.Fset, unit.Files)
+	for _, d := range diags {
+		pos := unit.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		exps := wants[key]
+		hit := false
+		for _, e := range exps {
+			if !e.matched && e.rx.MatchString(d.Message) {
+				e.matched = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.rx)
+			}
+		}
+	}
+}
+
+// collectWants indexes want expectations by file:line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, raw := range splitQuoted(m[1]) {
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go-quoted strings ("..." or `...`)
+// separated by spaces.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out // unterminated; ignore the tail
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return out
+			}
+			lit, s = unq, s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			lit, s = s[1:end+1], s[end+2:]
+		default:
+			return out
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s)
+	}
+	return out
+}

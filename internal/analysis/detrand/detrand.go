@@ -1,0 +1,182 @@
+// Package detrand enforces the repro's first determinism law: inside the
+// simulation kernel, every source of randomness is a seeded xrand stream
+// and every clock is the simulated clock.
+//
+// Three rules, applied to the non-test files of the packages in
+// analysis.InSimScope:
+//
+//  1. Importing math/rand or math/rand/v2 is forbidden. Their global
+//     generators are process-seeded; even the seeded forms invite state
+//     shared across replications.
+//  2. Referencing the wall clock — time.Now, time.Since, time.Until,
+//     time.After, time.Tick, time.Sleep, time.NewTimer, time.NewTicker,
+//     time.AfterFunc — is forbidden. Simulated time comes from
+//     sim.Simulator; wall time in a result path breaks
+//     workers-1-vs-8 bit-identity. (time.Duration and other pure types
+//     remain fine.)
+//  3. Writing a package-level variable anywhere but a top-level init
+//     function is forbidden. Package-level mutable state outlives one
+//     replication and couples runs that must be independent; the
+//     engine's arenas exist precisely so no kernel package needs it.
+//
+// Test files are exempt: property tests legitimately use math/rand as a
+// fixed-seeded input fuzzer, and the bit-identity suites would catch any
+// nondeterminism a test harness could induce in results.
+//
+// The single escape is //detlint:allow <reason> on (or directly above)
+// the offending line — e.g. the wall-deadline watchdog in
+// internal/sim/sim.go, which reads time.Now by design and can only abort
+// a run, never change what a successful run computes.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand, wall-clock reads, and package-level state writes in the simulation kernel",
+	Run:  run,
+}
+
+// forbiddenImports are banned outright in kernel packages.
+var forbiddenImports = map[string]string{
+	"math/rand":    "process-global RNG; use a seeded xrand stream",
+	"math/rand/v2": "process-global RNG; use a seeded xrand stream",
+}
+
+// wallClock lists the time package's wall-clock-reading functions.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "Sleep": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InSimScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		checkImports(pass, f)
+		checkWallClock(pass, f)
+		checkGlobalWrites(pass, f)
+	}
+	return nil
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+func checkImports(pass *analysis.Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if why, bad := forbiddenImports[path]; bad && !pass.Allowed(imp.Pos()) {
+			pass.Reportf(imp.Pos(), "import of %s in simulation package %s: %s", path, pass.Pkg.Name(), why)
+		}
+	}
+}
+
+func checkWallClock(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			return true
+		}
+		// Only package-level functions read the wall clock; methods on
+		// time.Time / time.Duration (After, Sub, Seconds, …) are pure.
+		if fn, ok := obj.(*types.Func); !ok || fn.Signature().Recv() != nil {
+			return true
+		}
+		if wallClock[obj.Name()] && !pass.Allowed(sel.Pos()) {
+			pass.Reportf(sel.Pos(), "wall-clock time.%s in simulation package %s: simulated time comes from sim.Simulator", obj.Name(), pass.Pkg.Name())
+		}
+		return true
+	})
+}
+
+// checkGlobalWrites flags assignments and inc/dec statements whose
+// target resolves to a package-level variable, unless they occur inside
+// a top-level init function (one-time table construction is fine — the
+// hazard is state mutated between or during replications).
+func checkGlobalWrites(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Recv == nil && fd.Name.Name == "init" {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					reportGlobalTarget(pass, lhs, st.Pos())
+				}
+			case *ast.IncDecStmt:
+				reportGlobalTarget(pass, st.X, st.Pos())
+			}
+			return true
+		})
+	}
+}
+
+// reportGlobalTarget resolves the root object a write lands on and
+// reports it when that object is a package-level variable.
+func reportGlobalTarget(pass *analysis.Pass, expr ast.Expr, at token.Pos) {
+	obj := rootObject(pass, expr)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return
+	}
+	if pass.Allowed(at) {
+		return
+	}
+	pass.Reportf(at, "write to package-level variable %s outside init in simulation package %s: global mutable state couples replications", v.Name(), pass.Pkg.Name())
+}
+
+// rootObject unwraps an assignable expression (selectors, indexes,
+// slices, parens, derefs) to the object its base identifier denotes.
+// Package-qualified selectors resolve to the selected object itself.
+func rootObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[e]
+		case *ast.SelectorExpr:
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					return pass.TypesInfo.Uses[e.Sel]
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

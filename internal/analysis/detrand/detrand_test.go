@@ -1,0 +1,11 @@
+package detrand
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata/src", Analyzer, "sim", "util")
+}

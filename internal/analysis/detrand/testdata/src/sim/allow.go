@@ -1,0 +1,18 @@
+package sim
+
+import "time"
+
+var deadline time.Time
+
+// SetWallDeadline is the watchdog pattern: the directive (with its
+// mandatory reason) suppresses both the wall-clock read and the
+// package-level write on the same line.
+func SetWallDeadline(d time.Duration) {
+	deadline = time.Now().Add(d) //detlint:allow wall-clock watchdog, can only abort a run, never change results
+}
+
+// Above-line placement works too.
+func Touch() {
+	//detlint:allow fixture: directive on the preceding line
+	deadline = time.Time{}
+}

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"math/rand" // want `import of math/rand in simulation package sim`
+	"time"
+)
+
+// counter is package-level state; writes outside init are findings.
+var counter int
+
+// table is built once in init: allowed.
+var table map[string]int
+
+func init() {
+	table = map[string]int{"a": 1}
+}
+
+// Draw mixes every violation class.
+func Draw() float64 {
+	counter++ // want `write to package-level variable counter outside init`
+	return rand.Float64()
+}
+
+func Stamp() int64 {
+	t := time.Now() // want `wall-clock time\.Now in simulation package sim`
+	return t.UnixNano()
+}
+
+func Elapsed(since time.Time) float64 {
+	return time.Since(since).Seconds() // want `wall-clock time\.Since in simulation package sim`
+}
+
+// Reconfigure writes a package-level map entry from an ordinary
+// function.
+func Reconfigure(k string, v int) {
+	table[k] = v // want `write to package-level variable table outside init`
+}
+
+// Durations are pure values: using the time package's types is fine.
+func Horizon() time.Duration { return 3 * time.Second }

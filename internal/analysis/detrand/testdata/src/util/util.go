@@ -1,0 +1,15 @@
+// Package util is outside the simulation kernel: detrand does not apply.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+var hits int
+
+func Sample() float64 {
+	hits++
+	_ = time.Now()
+	return rand.Float64()
+}

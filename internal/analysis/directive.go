@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the directive grammar: //detlint:allow <reason>. The
+// reason is mandatory — see Pass.Allowed.
+const allowPrefix = "//detlint:allow"
+
+// parseAllow splits a comment into (isDirective, reason). Directives
+// follow the Go toolchain convention: no space between // and the tool
+// name, so ordinary prose mentioning detlint does not suppress anything.
+func parseAllow(text string) (bool, string) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return false, ""
+	}
+	rest := text[len(allowPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return false, "" // e.g. //detlint:allowance — not the directive
+	}
+	return true, strings.TrimSpace(rest)
+}
+
+// buildDirectiveIndex maps each file's lines to whether a well-formed
+// (reason-carrying) allow directive appears there.
+func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) map[*token.File]map[int]bool {
+	idx := make(map[*token.File]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ok, reason := parseAllow(c.Text)
+				if !ok || reason == "" {
+					continue
+				}
+				tf := fset.File(c.Pos())
+				if tf == nil {
+					continue
+				}
+				if idx[tf] == nil {
+					idx[tf] = make(map[int]bool)
+				}
+				idx[tf][tf.Line(c.Pos())] = true
+			}
+		}
+	}
+	return idx
+}
+
+// DirectiveAnalyzer flags //detlint:allow directives that carry no
+// reason. A reasonless directive is worse than a finding: it silences a
+// checker while recording nothing reviewers can weigh, so the fleet
+// treats it as a violation of the directive grammar itself.
+var DirectiveAnalyzer = &Analyzer{
+	Name: "detdirective",
+	Doc:  "reject //detlint:allow directives that omit the mandatory reason",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					ok, reason := parseAllow(c.Text)
+					if ok && reason == "" {
+						pass.Reportf(c.Pos(), "detlint:allow directive without a reason; write //detlint:allow <why this site is exempt>")
+					}
+				}
+			}
+		}
+		return nil
+	},
+}

@@ -1,0 +1,260 @@
+// Package errdiscipline enforces the repro's failure-classification
+// contract (DESIGN §15): everything that crosses the engine boundary
+// classifies failures structurally — runerr sentinels under errors.Is —
+// never by message text. Message text is for humans; the moment a string
+// comparison decides retry policy or a test verdict, rewording an error
+// silently changes behavior.
+//
+// Three rules, applied to the packages in analysis.InBoundaryScope,
+// test files included (tests are where string-matching habits breed):
+//
+//  1. err.Error() must not feed a string comparison: ==/!= against a
+//     string, or strings.Contains/HasPrefix/HasSuffix/EqualFold/Index/
+//     Count. Use errors.Is with a runerr sentinel.
+//  2. An error value must not be compared with == or != except against
+//     nil or a package-level sentinel variable (errors.New at package
+//     scope — runerr.ErrBudget, io.EOF, …). Comparing against a local,
+//     field or parameter error defeats wrapping; use errors.Is.
+//  3. fmt.Errorf must not format an error-typed argument (or an
+//     err.Error() call) with any verb but %w: %v/%s flattens the chain
+//     and severs errors.Is. Leaf messages with no error argument are
+//     fine — sentinel tagging is runerr.Mark's job.
+//
+// //detlint:allow <reason> suppresses a finding; the canonical uses are
+// the runerr package's own identity checks (it implements the sentinel
+// machinery the rule steers everyone else toward) and tests whose
+// explicit contract is message wording.
+package errdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdiscipline",
+	Doc:  "forbid error-message string comparison, non-sentinel ==, and chain-severing fmt.Errorf across the engine boundary",
+	Run:  run,
+}
+
+// stringMatchers are the strings-package predicates rule 1 covers.
+var stringMatchers = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true, "Count": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InBoundaryScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, e)
+			case *ast.CallExpr:
+				checkStringMatcher(pass, e)
+				checkErrorf(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrErrorCall reports whether e is a call of the Error method on an
+// error-shaped receiver.
+func isErrErrorCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	return analysis.ImplementsError(s.Recv())
+}
+
+func isErrorType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && analysis.TypeIsError(tv.Type)
+}
+
+func isNilLit(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// isSentinel reports whether e denotes a package-level variable — the
+// shape of every sentinel error (errors.New at package scope), local and
+// imported alike.
+func isSentinel(pass *analysis.Pass, e ast.Expr) bool {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[x.Sel]
+	default:
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// checkComparison applies rules 1 (==/!= arm) and 2.
+func checkComparison(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	// Rule 1: err.Error() compared against string text.
+	if isErrErrorCall(pass, e.X) || isErrErrorCall(pass, e.Y) {
+		if !pass.Allowed(e.Pos()) {
+			pass.Reportf(e.Pos(), "comparing err.Error() text: classify failures with errors.Is and a runerr sentinel, not message wording")
+		}
+		return
+	}
+	// Rule 2: error identity comparison against a non-sentinel.
+	if !isErrorType(pass, e.X) && !isErrorType(pass, e.Y) {
+		return
+	}
+	if isNilLit(pass, e.X) || isNilLit(pass, e.Y) {
+		return
+	}
+	if isSentinel(pass, e.X) || isSentinel(pass, e.Y) {
+		return
+	}
+	if !pass.Allowed(e.Pos()) {
+		pass.Reportf(e.Pos(), "error compared with %s against a non-sentinel value: wrapping breaks identity, use errors.Is", e.Op)
+	}
+}
+
+// checkStringMatcher applies rule 1's strings.* arm.
+func checkStringMatcher(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !stringMatchers[sel.Sel.Name] {
+		return
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "strings" {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrErrorCall(pass, arg) {
+			if !pass.Allowed(call.Pos()) {
+				pass.Reportf(call.Pos(), "strings.%s over err.Error(): classify failures with errors.Is and a runerr sentinel, not message wording", sel.Sel.Name)
+			}
+			return
+		}
+	}
+}
+
+// checkErrorf applies rule 3.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return // dynamic format: out of static reach
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return // explicit argument indexes: too hairy, skip
+	}
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		errArg := isErrErrorCall(pass, arg)
+		if !errArg {
+			tv, ok := pass.TypesInfo.Types[ast.Unparen(arg)]
+			errArg = ok && !tv.IsNil() && (analysis.TypeIsError(tv.Type) || isConcreteError(tv.Type))
+		}
+		if errArg && verbs[i] != 'w' && !pass.Allowed(call.Pos()) {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error with %%%c: use %%w so errors.Is still reaches the cause", verbs[i])
+		}
+	}
+}
+
+// isConcreteError reports whether t is a non-interface type implementing
+// error (e.g. *runerr.PanicError) — flattening one with %v severs the
+// chain exactly like flattening the interface.
+func isConcreteError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		return false // a string-based error carries no chain to sever
+	}
+	return analysis.ImplementsError(t)
+}
+
+// formatVerbs returns the verb letter consuming each successive
+// argument. It understands flags, width, precision and * (which consumes
+// an int argument, recorded as '*'); explicit indexes ([n]) return
+// ok=false.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		if i < len(format) && format[i] == '[' {
+			return nil, false
+		}
+		for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9') || format[i] == '.') {
+			if format[i] == '*' {
+				verbs = append(verbs, '*')
+			}
+			i++
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+			i++
+		}
+	}
+	return verbs, true
+}

@@ -1,0 +1,11 @@
+package errdiscipline
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestErrDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata/src", Analyzer, "scenario", "geom")
+}

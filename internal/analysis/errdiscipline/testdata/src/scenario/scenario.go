@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBudget is a package-level sentinel: == against it is tolerated
+// (though errors.Is remains the steer).
+var ErrBudget = errors.New("event budget exceeded")
+
+type result struct{ err error }
+
+// Classify mixes every comparison-shaped violation.
+func Classify(err error, res result) int {
+	if err.Error() == "event budget exceeded" { // want `comparing err\.Error\(\) text`
+		return 1
+	}
+	if strings.Contains(err.Error(), "budget") { // want `strings\.Contains over err\.Error\(\)`
+		return 2
+	}
+	if strings.HasPrefix(err.Error(), "scenario:") { // want `strings\.HasPrefix over err\.Error\(\)`
+		return 3
+	}
+	if err == ErrBudget { // sentinel: clean
+		return 4
+	}
+	if err == res.err { // want `error compared with == against a non-sentinel`
+		return 5
+	}
+	if errors.Is(err, ErrBudget) { // the steered-to form: clean
+		return 6
+	}
+	if err != nil { // nil checks: clean
+		return 7
+	}
+	return 0
+}
+
+// Wrap flattens the chain with %v.
+func Wrap(err error) error {
+	return fmt.Errorf("run failed: %v", err) // want `fmt\.Errorf formats an error with %v`
+}
+
+// WrapText flattens it even harder through Error().
+func WrapText(err error) error {
+	return fmt.Errorf("run failed: %s", err.Error()) // want `fmt\.Errorf formats an error with %s`
+}
+
+// WrapOK preserves the chain.
+func WrapOK(err error) error {
+	return fmt.Errorf("run failed: %w", err)
+}
+
+// Leaf has no error argument: messages are born somewhere.
+func Leaf(n int) error {
+	return fmt.Errorf("bad replication count %d", n)
+}
+
+// Identity is the runerr-style implementor pattern: argued via directive.
+type kindError struct{ kind error }
+
+func (e *kindError) Error() string { return e.kind.Error() }
+func (e *kindError) Is(target error) bool {
+	return target == e.kind //detlint:allow sentinel identity is this type's entire contract
+}

@@ -1,0 +1,169 @@
+// Package fingerprintfields enforces the resumability contract of the
+// sharded sweep fabric (DESIGN §14, PR 9): scenario.Config's fingerprint
+// must cover every result-determining field, and the only fields outside
+// it are the explicitly listed execution-control knobs.
+//
+// The scenario package encodes the classification in one table,
+// fingerprintFields (field name → fingerprinted?), which Fingerprint
+// consults at runtime. This analyzer cross-checks the table against the
+// Config struct at build time:
+//
+//   - a Config field absent from the table is reported at the field —
+//     adding a field without deciding its class breaks the build;
+//   - a table entry naming no Config field is reported at the entry —
+//     the table cannot drift stale;
+//   - a Fingerprint method that never reads the table is reported — the
+//     table must be the digest's actual input, not documentation.
+//
+// TestConfigFieldsClassified in internal/scenario is the runtime
+// complement (it also exercises digest behavior per class); this pass is
+// the compile-time tripwire with a position.
+package fingerprintfields
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fingerprintfields",
+	Doc:  "cross-check scenario.Config fields against the fingerprintFields classification table",
+	Run:  run,
+}
+
+const tableName = "fingerprintFields"
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "scenario" {
+		return nil
+	}
+	cfg := findStruct(pass, "Config")
+	if cfg == nil {
+		return nil // a package merely named scenario, not the scenario package
+	}
+	table := findTable(pass)
+	if table == nil {
+		pass.Reportf(cfg.Pos(), "scenario.Config has no %s classification table: every field must be declared fingerprinted or excluded", tableName)
+		return nil
+	}
+
+	fields := make(map[string]bool)
+	for _, f := range cfg.Fields.List {
+		for _, name := range f.Names {
+			fields[name.Name] = true
+			if _, ok := table[name.Name]; !ok && !pass.Allowed(name.Pos()) {
+				pass.Reportf(name.Pos(), "Config field %s is not classified in %s: add it as fingerprinted (true) or as an execution-control knob (false)", name.Name, tableName)
+			}
+		}
+		if len(f.Names) == 0 {
+			pass.Reportf(f.Pos(), "embedded Config field defeats per-field fingerprint classification: name it")
+		}
+	}
+	for name, key := range table {
+		if !fields[name] {
+			pass.Reportf(key.Pos(), "%s entry %q names no Config field: remove the stale entry", tableName, name)
+		}
+	}
+	checkFingerprintReadsTable(pass)
+	return nil
+}
+
+// findStruct locates a top-level struct type declaration by name.
+func findStruct(pass *analysis.Pass, name string) *ast.StructType {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findTable locates the package-level fingerprintFields map literal and
+// returns its string keys with their positions.
+func findTable(pass *analysis.Pass) map[string]ast.Node {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != tableName || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					keys := make(map[string]ast.Node)
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						bl, ok := kv.Key.(*ast.BasicLit)
+						if !ok {
+							pass.Reportf(kv.Key.Pos(), "%s key must be a plain string literal so the analyzer can read it", tableName)
+							continue
+						}
+						key, err := strconv.Unquote(bl.Value)
+						if err != nil {
+							continue
+						}
+						keys[key] = kv.Key
+					}
+					return keys
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkFingerprintReadsTable requires the Fingerprint method to actually
+// reference the table.
+func checkFingerprintReadsTable(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Fingerprint" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			reads := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || id.Name != tableName {
+					return true
+				}
+				if obj, isVar := pass.TypesInfo.Uses[id].(*types.Var); isVar && obj.Parent() == obj.Pkg().Scope() {
+					reads = true
+				}
+				return !reads
+			})
+			if !reads {
+				pass.Reportf(fd.Pos(), "Fingerprint does not consult %s: the classification table must drive the digest, not describe it", tableName)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package fingerprintfields
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFingerprintFields(t *testing.T) {
+	analysistest.Run(t, "testdata/src", Analyzer,
+		"scenario_bad", "scenario_clean", "scenario_noread", "scenario_notable")
+}

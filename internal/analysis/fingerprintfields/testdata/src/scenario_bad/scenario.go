@@ -1,0 +1,25 @@
+package scenario
+
+import "fmt"
+
+// Config has a field the table never classifies.
+type Config struct {
+	Seed        uint64
+	N           int
+	RateBps     float64 // want `Config field RateBps is not classified in fingerprintFields`
+	EventBudget uint64
+}
+
+var fingerprintFields = map[string]bool{
+	"Seed":        true,
+	"N":           true,
+	"EventBudget": false,
+	"Gone":        true, // want `fingerprintFields entry "Gone" names no Config field`
+}
+
+func (cfg Config) Fingerprint() string {
+	if !fingerprintFields["EventBudget"] {
+		cfg.EventBudget = 0
+	}
+	return fmt.Sprintf("%#v", cfg)
+}

@@ -1,0 +1,23 @@
+package scenario
+
+import "fmt"
+
+// Config is fully classified: no findings.
+type Config struct {
+	Seed        uint64
+	N           int
+	EventBudget uint64
+}
+
+var fingerprintFields = map[string]bool{
+	"Seed":        true,
+	"N":           true,
+	"EventBudget": false,
+}
+
+func (cfg Config) Fingerprint() string {
+	if !fingerprintFields["EventBudget"] {
+		cfg.EventBudget = 0
+	}
+	return fmt.Sprintf("%#v", cfg)
+}

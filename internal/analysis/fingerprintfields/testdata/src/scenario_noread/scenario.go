@@ -1,0 +1,16 @@
+package scenario
+
+import "fmt"
+
+type Config struct {
+	Seed uint64
+}
+
+var fingerprintFields = map[string]bool{
+	"Seed": true,
+}
+
+// Fingerprint ignores the table: the classification would be dead text.
+func (cfg Config) Fingerprint() string { // want `Fingerprint does not consult fingerprintFields`
+	return fmt.Sprintf("%#v", cfg)
+}

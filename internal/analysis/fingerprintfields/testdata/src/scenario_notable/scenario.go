@@ -1,0 +1,12 @@
+package scenario
+
+import "fmt"
+
+// Config without any classification table at all.
+type Config struct { // want `scenario\.Config has no fingerprintFields classification table`
+	Seed uint64
+}
+
+func (cfg Config) Fingerprint() string {
+	return fmt.Sprintf("%#v", cfg)
+}

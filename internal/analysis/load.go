@@ -1,0 +1,385 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked unit of analysis.
+type Package struct {
+	// PkgPath is the import path the loader resolved (module-relative
+	// for repro packages, the bare directory path for fixture trees).
+	PkgPath string
+	// Dir is the directory the files came from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages rooted at a directory tree.
+//
+// Imports resolve in three tiers: "unsafe" maps to types.Unsafe; paths
+// inside the root (module paths under ModPath, or — when ModPath is
+// empty, the fixture mode analysistest uses — any path whose directory
+// exists under Root) are parsed and type-checked recursively; everything
+// else goes to the standard library via the stdlib source importer, so
+// no export data, network access or x/tools machinery is required.
+//
+// The import view of a package (memoized in plain) never includes its
+// _test.go files: other packages must see exactly what the compiler
+// would export. When Tests is set, Load additionally type-checks an
+// augmented variant (package files + in-package test files) for analysis
+// and a separate unit for any external _test package.
+type Loader struct {
+	Fset *token.FileSet
+	// Root is the directory patterns resolve against.
+	Root string
+	// ModPath, when non-empty, is the module path Root's packages live
+	// under: import path ModPath/x/y loads from Root/x/y.
+	ModPath string
+	// Tests selects whether Load also analyzes test files.
+	Tests bool
+
+	std     types.ImporterFrom
+	plain   map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader rooted at dir. If dir (or a parent) holds a
+// go.mod, its module path scopes local imports; otherwise the loader
+// runs in fixture mode where any import whose directory exists under
+// root resolves locally.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		Root:    abs,
+		plain:   make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if modpath, modroot, ok := findModule(abs); ok {
+		l.ModPath, l.Root = modpath, modroot
+	}
+	return l, nil
+}
+
+// NewFixtureLoader builds a loader in fixture mode: no module detection,
+// Root taken literally, and any import path whose directory exists under
+// Root resolving locally. analysistest uses this for testdata/src trees,
+// which live inside the repro module but must not load through it.
+func NewFixtureLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		Root:    abs,
+		plain:   make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// findModule walks up from dir looking for go.mod and returns the
+// declared module path and its directory.
+func findModule(dir string) (string, string, bool) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest), d, true
+				}
+			}
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", false
+		}
+		d = parent
+	}
+}
+
+// localDir maps an import path to a directory under Root, or "" when the
+// path is not local.
+func (l *Loader) localDir(path string) string {
+	if l.ModPath != "" {
+		if path == l.ModPath {
+			return l.Root
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+			return filepath.Join(l.Root, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+	dir := filepath.Join(l.Root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// Import implements types.Importer over the three tiers.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.localDir(path); dir != "" {
+		return l.importLocal(path, dir)
+	}
+	return l.std.ImportFrom(path, l.Root, 0)
+}
+
+// importLocal returns the memoized import view of a local package,
+// type-checking its non-test files on first use.
+func (l *Loader) importLocal(path, dir string) (*types.Package, error) {
+	if pkg, ok := l.plain[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, _, _, err := listGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parse(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, err := l.check(path, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.plain[path] = pkg
+	return pkg, nil
+}
+
+// listGoFiles returns the build-constrained (goFiles, inPackageTest,
+// externalTest) file names of dir, in sorted order.
+func listGoFiles(dir string) ([]string, []string, []string, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, nil, nil, nil
+		}
+		return nil, nil, nil, err
+	}
+	if len(bp.CgoFiles) > 0 {
+		return nil, nil, nil, fmt.Errorf("analysis: %s uses cgo, unsupported", dir)
+	}
+	sort.Strings(bp.GoFiles)
+	sort.Strings(bp.TestGoFiles)
+	sort.Strings(bp.XTestGoFiles)
+	return bp.GoFiles, bp.TestGoFiles, bp.XTestGoFiles, nil
+}
+
+func (l *Loader) parse(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks files as package path, returning the package and the
+// filled-in info. Hard type errors fail the load: an analysis over a
+// half-checked package would under-report.
+func (l *Loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, *types.Info, error) {
+	if info == nil {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// Load resolves patterns to analysis units. A pattern is either an
+// import-path-ish directory pattern relative to Root ("./...", "./internal/sim",
+// "internal/sim") or a plain fixture package path ("sim"). The trailing
+// /... wildcard walks subdirectories, skipping testdata, vendor and
+// hidden trees. With Tests set, each directory yields an augmented unit
+// (package + in-package tests) and, when present, the external _test
+// package as its own unit.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		units, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}
+
+// expand turns patterns into an ordered, de-duplicated directory list.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		recursive := false
+		if pat == "..." {
+			pat, recursive = "", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		base := filepath.Join(l.Root, filepath.FromSlash(pat))
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// pkgPath maps a directory back to the import path used for loading.
+func (l *Loader) pkgPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	if l.ModPath != "" {
+		if rel == "." {
+			return l.ModPath, nil
+		}
+		return l.ModPath + "/" + rel, nil
+	}
+	return rel, nil
+}
+
+// loadDir builds the analysis units of one directory.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	path, err := l.pkgPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	goNames, testNames, xtestNames, err := listGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(goNames) == 0 && (!l.Tests || len(testNames)+len(xtestNames) == 0) {
+		return nil, nil
+	}
+	var units []*Package
+
+	if len(goNames) > 0 || (l.Tests && len(testNames) > 0) {
+		names := goNames
+		if l.Tests {
+			names = append(append([]string{}, goNames...), testNames...)
+			sort.Strings(names)
+		}
+		files, err := l.parse(dir, names)
+		if err != nil {
+			return nil, err
+		}
+		pkg, info, err := l.check(path, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{
+			PkgPath: path, Dir: dir, Fset: l.Fset,
+			Files: files, Types: pkg, Info: info,
+		})
+		// Memoize the plain (non-test) view for importers if absent, so
+		// sibling loads reuse it. The augmented variant is never shared.
+		if !l.Tests && l.plain[path] == nil {
+			l.plain[path] = pkg
+		}
+	}
+
+	if l.Tests && len(xtestNames) > 0 {
+		files, err := l.parse(dir, xtestNames)
+		if err != nil {
+			return nil, err
+		}
+		xpath := path + "_test"
+		pkg, info, err := l.check(xpath, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{
+			PkgPath: xpath, Dir: dir, Fset: l.Fset,
+			Files: files, Types: pkg, Info: info,
+		})
+	}
+	return units, nil
+}

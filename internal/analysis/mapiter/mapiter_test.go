@@ -1,0 +1,11 @@
+package mapiter
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, "testdata/src", Analyzer, "sim")
+}

@@ -1,0 +1,9 @@
+// Package eventq is a fixture stand-in for the real event queue: the
+// analyzer keys on the receiver type's package name.
+package eventq
+
+type Queue struct{ n int }
+
+func New() *Queue              { return &Queue{} }
+func (q *Queue) Push(at float64) { q.n++ }
+func (q *Queue) Len() int        { return q.n }

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"sort"
+
+	"eventq"
+	"xrand"
+)
+
+// Schedule pushes events in map order: the archetypal determinism bug.
+func Schedule(q *eventq.Queue, deadlines map[int]float64) {
+	for _, at := range deadlines {
+		q.Push(at) // want `event scheduling \(Queue\.Push\) inside map iteration`
+	}
+}
+
+// Jitter draws RNG values in map order, consuming the stream in a
+// run-dependent sequence.
+func Jitter(r *xrand.RNG, nodes map[int]bool) float64 {
+	var sum float64
+	for range nodes {
+		sum += r.Float64() // want `RNG draw \(RNG\.Float64\) inside map iteration`
+	}
+	return sum
+}
+
+// Collect appends in map order and returns without sorting.
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration without a following sort`
+	}
+	return keys
+}
+
+// CollectSorted is the canonical clean idiom: collect, then sort.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum accumulates a commutative reduction: no ordered sink, clean.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Local keeps the appended slice inside the loop: its order never
+// escapes an iteration, clean.
+func Local(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var acc []int
+		acc = append(acc, vs...)
+		n += len(acc)
+	}
+	return n
+}
+
+// Allowed demonstrates the escape hatch on an argued-commutative sink.
+func Allowed(q *eventq.Queue, deadlines map[int]float64) {
+	for range deadlines {
+		q.Len() //detlint:allow read-only length query, no ordering effect
+	}
+}
+
+// SliceRange is not a map range: scheduling from it is fine.
+func SliceRange(q *eventq.Queue, ats []float64) {
+	for _, at := range ats {
+		q.Push(at)
+	}
+}

@@ -1,0 +1,11 @@
+// Package xrand is a fixture stand-in for the seeded RNG package.
+package xrand
+
+type RNG struct{ s uint64 }
+
+func New(seed uint64) *RNG { return &RNG{s: seed} }
+
+func (r *RNG) Float64() float64 {
+	r.s = r.s*6364136223846793005 + 1
+	return float64(r.s>>11) / (1 << 53)
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import "strings"
+
+// The pass fleet scopes by package, not by file: the determinism
+// contract binds the simulation kernel, and the error-discipline
+// contract binds everything that crosses the engine boundary. Scoping by
+// final path element (with the _test suffix of external test packages
+// stripped) keeps the same rules applicable to the real tree and to
+// analysistest fixtures, whose packages are named after the tier they
+// emulate.
+
+// simPackages is the deterministic simulation kernel: every package
+// whose execution must be a pure function of (config, seed). DESIGN §16.
+var simPackages = map[string]bool{
+	"sim": true, "scenario": true, "medium": true, "netsim": true,
+	"faults": true, "mobility": true, "core": true, "flood": true,
+	"odmrp": true, "maodv": true, "eventq": true, "packet": true,
+	"traffic": true, "energy": true, "spatial": true, "topology": true,
+	"geom": true, "fwdpool": true, "metrics": true, "xrand": true,
+}
+
+// boundaryPackages cross the engine boundary: they produce, classify or
+// consume run failures and therefore owe errors.Is discipline over the
+// runerr taxonomy. cmd binaries (package main) are always in scope.
+var boundaryPackages = map[string]bool{
+	"sim": true, "scenario": true, "shard": true, "fsio": true,
+	"sweepgrid": true, "experiments": true, "runerr": true,
+	"netsim": true, "medium": true, "metrics": true,
+}
+
+// scopeName reduces a pass to the name scoping keys on.
+func scopeName(p *Pass) string {
+	return strings.TrimSuffix(p.Pkg.Name(), "_test")
+}
+
+// InSimScope reports whether the pass's package belongs to the
+// deterministic simulation kernel.
+func InSimScope(p *Pass) bool { return simPackages[scopeName(p)] }
+
+// InBoundaryScope reports whether the pass's package crosses the engine
+// boundary (including any cmd/ main package).
+func InBoundaryScope(p *Pass) bool {
+	if boundaryPackages[scopeName(p)] {
+		return true
+	}
+	return scopeName(p) == "main" || strings.Contains(p.PkgPath, "/cmd/")
+}

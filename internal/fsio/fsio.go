@@ -220,7 +220,7 @@ func ParseSpec(s string) (seed uint64, rate float64, err error) {
 	}
 	seed, err = strconv.ParseUint(strings.TrimSpace(a), 10, 64)
 	if err != nil {
-		return 0, 0, fmt.Errorf("fsio: chaos spec %q: bad seed: %v", s, err)
+		return 0, 0, fmt.Errorf("fsio: chaos spec %q: bad seed: %w", s, err)
 	}
 	rate, err = strconv.ParseFloat(strings.TrimSpace(b), 64)
 	if err != nil || !(rate >= 0 && rate <= 1) { // the negation also rejects NaN

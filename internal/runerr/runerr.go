@@ -49,6 +49,13 @@ var (
 	// failed; the concrete error is an *InvariantError. A violation is a
 	// bug in the simulator, not bad luck — never retried.
 	ErrInvariant = errors.New("invariant violated")
+	// ErrDeterministic is an orthogonal tag, not a kind: the engine adds
+	// it when a retried failure repeated identically (SameFailure), so
+	// callers and tests ask errors.Is(err, ErrDeterministic) instead of
+	// grepping the message for the "deterministic:" marker. It never
+	// appears in Kind/Sentinel labels — the underlying kind (budget,
+	// panic, …) remains the persisted classification.
+	ErrDeterministic = errors.New("deterministic failure")
 )
 
 // kindError tags an underlying error with a sentinel kind without
@@ -61,7 +68,7 @@ type kindError struct {
 
 func (e *kindError) Error() string        { return e.err.Error() }
 func (e *kindError) Unwrap() error        { return e.err }
-func (e *kindError) Is(target error) bool { return target == e.kind }
+func (e *kindError) Is(target error) bool { return target == e.kind } //detlint:allow sentinel identity is this type's entire contract; errors.Is delegates here
 
 // Mark tags err with the sentinel kind. The message is unchanged;
 // errors.Is(Mark(kind, err), kind) is true, and wrapped causes of err

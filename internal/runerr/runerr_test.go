@@ -12,7 +12,7 @@ import (
 func TestMark(t *testing.T) {
 	cause := errors.New("underlying cause")
 	err := Mark(ErrBudget, fmt.Errorf("scenario: boom: %w", cause))
-	if err.Error() != "scenario: boom: underlying cause" {
+	if err.Error() != "scenario: boom: underlying cause" { //detlint:allow message preservation through Mark is the property under test
 		t.Fatalf("message altered: %q", err.Error())
 	}
 	if !errors.Is(err, ErrBudget) {

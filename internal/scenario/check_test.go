@@ -2,7 +2,6 @@ package scenario
 
 import (
 	"errors"
-	"strings"
 	"testing"
 
 	"repro/internal/metrics"
@@ -61,8 +60,12 @@ func TestPartitionCheckerTrips(t *testing.T) {
 		if !errors.Is(err, runerr.ErrInvariant) {
 			t.Fatalf("%s: violation not typed ErrInvariant: %v", c.name, err)
 		}
-		if !strings.Contains(err.Error(), c.want) {
-			t.Fatalf("%s: violation names the wrong invariant: %v", c.name, err)
+		var inv *runerr.InvariantError
+		if !errors.As(err, &inv) {
+			t.Fatalf("%s: violation not a *runerr.InvariantError: %v", c.name, err)
+		}
+		if inv.Name != c.want {
+			t.Fatalf("%s: violation names invariant %q, want %q", c.name, inv.Name, c.want)
 		}
 	}
 

@@ -246,7 +246,8 @@ func (e *Engine) runJob(rc *RunContext, j *job) *RunContext {
 		// masked), deadline expiries never compare equal (wall-clock time
 		// is machine load, not config), everything else by message head.
 		if runerr.SameFailure(res.Err, prevErr) {
-			res.Err = fmt.Errorf("%w (deterministic: identical failure on retry, %d attempts)", res.Err, res.Attempts)
+			res.Err = runerr.Mark(runerr.ErrDeterministic,
+				fmt.Errorf("%w (deterministic: identical failure on retry, %d attempts)", res.Err, res.Attempts))
 			break
 		}
 		prevErr = res.Err
@@ -260,7 +261,7 @@ func (e *Engine) runJob(rc *RunContext, j *job) *RunContext {
 			if max := backoff << 4; d > max {
 				d = max
 			}
-			time.Sleep(d)
+			time.Sleep(d) //detlint:allow wall-clock retry backoff between attempts; re-run results are seed-determined regardless of when they start
 		}
 	}
 	b := j.batch
@@ -407,8 +408,10 @@ var (
 func DefaultEngine() *Engine {
 	defaultEngineOnce.Do(func() {
 		if defaultEngineWidth == 0 {
+			//detlint:allow process-wide engine singleton under sync.Once; scheduler state, not simulation state
 			defaultEngineWidth = runtime.GOMAXPROCS(0)
 		}
+		//detlint:allow process-wide engine singleton under sync.Once; scheduler state, not simulation state
 		defaultEngine = NewEngine(defaultEngineWidth)
 	})
 	return defaultEngine
@@ -427,6 +430,7 @@ func ConfigureDefaultEngine(workers int) {
 	if defaultEngine != nil && defaultEngine.Workers() != workers {
 		panic("scenario: ConfigureDefaultEngine after the engine started")
 	}
+	//detlint:allow pre-start width configuration of the process-wide engine; a late change panics above
 	defaultEngineWidth = workers
 	DefaultEngine()
 }

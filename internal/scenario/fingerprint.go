@@ -4,19 +4,77 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"reflect"
 )
+
+// fingerprintFields classifies every Config field for the resumability
+// contract (DESIGN §14, §16): true marks a result-determining field that
+// participates in the fingerprint digest; false marks an
+// execution-control knob — the watchdogs and the invariant tier — that
+// can only decide whether a run fails, never what a successful run
+// computes, and is therefore zeroed before hashing so journals and shard
+// artifacts recorded under one watchdog setting stay resumable under
+// another.
+//
+// Every field MUST appear here. Fingerprint panics on an unclassified
+// field, TestConfigFieldsClassified fails on it, and the
+// fingerprintfields analyzer (cmd/manetlint) breaks the build at the
+// struct field itself — adding a Config field forces a conscious
+// classification decision in the same commit.
+var fingerprintFields = map[string]bool{
+	"Seed":     true,
+	"Protocol": true,
+
+	// Topology.
+	"N":        true,
+	"AreaSide": true,
+
+	// Mobility.
+	"Mobility":      true,
+	"VMin":          true,
+	"VMax":          true,
+	"Pause":         true,
+	"Positions":     true,
+	"GMAlpha":       true,
+	"GMStep":        true,
+	"GroupCount":    true,
+	"GroupRadius":   true,
+	"StreetSpacing": true,
+
+	// Group layout and workload.
+	"Groups":              true,
+	"GroupSize":           true,
+	"ZipfS":               true,
+	"MemberChurnInterval": true,
+
+	// Traffic, timers, channel, energy.
+	"RateBps":        true,
+	"PayloadBytes":   true,
+	"BeaconInterval": true,
+	"SSCore":         true,
+	"Medium":         true,
+
+	// Run control.
+	"Duration":       true,
+	"Warmup":         true,
+	"SampleInterval": true,
+	"Battery":        true,
+	"Faults":         true,
+
+	// Execution-control knobs: excluded from the digest.
+	"EventBudget": false,
+	"Deadline":    false,
+	"StallEvents": false,
+	"Check":       false,
+}
 
 // Fingerprint returns a short stable digest identifying the complete
 // configuration, seed included: two configs share a fingerprint exactly
 // when every result-determining field (protocol, topology, mobility
 // parameters, group layout, traffic, timers, fault processes, run
-// control, seed) is equal.
-//
-// Execution-control knobs — the watchdogs (EventBudget, Deadline,
-// StallEvents) and the invariant tier (Check) — are excluded: they can
-// only decide whether a run fails, never what a successful run computes,
-// so journals and shard artifacts recorded under one watchdog setting
-// stay resumable under another.
+// control, seed) is equal. Which fields count is the fingerprintFields
+// table's single decision; the excluded execution-control knobs are
+// zeroed out of the hashed copy here.
 //
 // The digest is the canonical Go value syntax of the struct hashed with
 // SHA-256, truncated to 64 bits and hex-encoded. Config is a pure value
@@ -27,10 +85,18 @@ import (
 // another. Failed-run diagnostics embed the fingerprint so a panic in a
 // merged log is attributable to the exact (config, seed) job that hit it.
 func (cfg Config) Fingerprint() string {
-	cfg.EventBudget = 0
-	cfg.Deadline = 0
-	cfg.StallEvents = 0
-	cfg.Check = 0
+	v := reflect.ValueOf(&cfg).Elem()
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		hashed, classified := fingerprintFields[t.Field(i).Name]
+		if !classified {
+			panic("scenario: Config field " + t.Field(i).Name +
+				" is not classified in fingerprintFields (fingerprinted or excluded)")
+		}
+		if !hashed {
+			v.Field(i).SetZero()
+		}
+	}
 	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", cfg)))
 	return hex.EncodeToString(h[:8])
 }

@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestConfigFieldsClassified is the runtime complement of the
+// fingerprintfields analyzer (DESIGN §16): every Config field must be
+// consciously classified in fingerprintFields — fingerprinted or
+// excluded — and the table must not go stale. A new field added without
+// touching the table fails here (and at the analyzer, and at the first
+// Fingerprint call).
+func TestConfigFieldsClassified(t *testing.T) {
+	typ := reflect.TypeOf(Config{})
+	fields := make(map[string]bool, typ.NumField())
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		fields[name] = true
+		if _, ok := fingerprintFields[name]; !ok {
+			t.Errorf("Config field %s is not classified in fingerprintFields: decide whether it is result-determining (true) or an execution-control knob (false)", name)
+		}
+	}
+	for name := range fingerprintFields {
+		if !fields[name] {
+			t.Errorf("fingerprintFields entry %q names no Config field: remove the stale entry", name)
+		}
+	}
+}
+
+// TestFingerprintHonorsClassification drives the classification through
+// behavior: mutating an excluded field must leave the digest untouched
+// (that is what makes journals resumable across watchdog settings),
+// mutating a fingerprinted field must change it (that is what makes the
+// digest an identity).
+func TestFingerprintHonorsClassification(t *testing.T) {
+	base := Default()
+	baseFP := base.Fingerprint()
+	typ := reflect.TypeOf(Config{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		hashed, ok := fingerprintFields[name]
+		if !ok {
+			continue // TestConfigFieldsClassified already flags it
+		}
+		cfg := base
+		if !mutateField(reflect.ValueOf(&cfg).Elem().Field(i)) {
+			t.Fatalf("cannot synthesize a non-default value for Config.%s; extend mutateField", name)
+		}
+		got := cfg.Fingerprint()
+		if hashed && got == baseFP {
+			t.Errorf("Config.%s is classified fingerprinted but mutating it left the digest at %s", name, baseFP)
+		}
+		if !hashed && got != baseFP {
+			t.Errorf("Config.%s is classified excluded but mutating it moved the digest %s -> %s", name, baseFP, got)
+		}
+	}
+}
+
+// mutateField drives v away from its current value: numerics and bools
+// flip directly, strings append, slices grow a zero element, and structs
+// recurse into their first mutable field.
+func mutateField(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 7)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 7)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 0.375)
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	case reflect.Slice:
+		v.Set(reflect.Append(v, reflect.Zero(v.Type().Elem())))
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).CanSet() && mutateField(v.Field(i)) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+	return true
+}

@@ -28,10 +28,10 @@ func TestRetryDeterministicClassification(t *testing.T) {
 	if res.Attempts != 2 {
 		t.Fatalf("Attempts = %d, want 2 (first failure + one identical retry)", res.Attempts)
 	}
-	msg := res.Err.Error()
-	if !strings.Contains(msg, "deterministic: identical failure on retry") {
-		t.Fatalf("error not classified deterministic: %s", msg)
+	if !errors.Is(res.Err, runerr.ErrDeterministic) {
+		t.Fatalf("error not classified deterministic: %v", res.Err)
 	}
+	msg := res.Err.Error()
 	// Satellite: panic errors are prefixed with the config fingerprint and
 	// seed so a sharded log line identifies its exact replication.
 	if !strings.Contains(msg, "cfg "+bad.Fingerprint()) {
@@ -54,7 +54,7 @@ func TestRetryDisabled(t *testing.T) {
 	if res.Err == nil || res.Attempts != 1 {
 		t.Fatalf("retries=0: Attempts = %d, err = %v, want 1 attempt with error", res.Attempts, res.Err)
 	}
-	if strings.Contains(res.Err.Error(), "deterministic:") {
+	if errors.Is(res.Err, runerr.ErrDeterministic) {
 		t.Fatalf("single attempt wrongly classified: %v", res.Err)
 	}
 }
@@ -142,7 +142,7 @@ func TestSetupErrorNotRetried(t *testing.T) {
 	if res.Attempts != 1 {
 		t.Fatalf("setup rejection retried: Attempts = %d, want 1", res.Attempts)
 	}
-	if strings.Contains(res.Err.Error(), "deterministic:") {
+	if errors.Is(res.Err, runerr.ErrDeterministic) {
 		t.Fatalf("non-retried failure wrongly classified: %v", res.Err)
 	}
 }
@@ -166,7 +166,7 @@ func TestDeadlineRetriedNeverDeterministic(t *testing.T) {
 	if res.Attempts != 3 {
 		t.Fatalf("deadline expiry: Attempts = %d, want 3 (full retry budget)", res.Attempts)
 	}
-	if strings.Contains(res.Err.Error(), "deterministic:") {
+	if errors.Is(res.Err, runerr.ErrDeterministic) {
 		t.Fatalf("deadline expiry wrongly classified deterministic: %v", res.Err)
 	}
 }
@@ -181,7 +181,7 @@ func TestEventBudgetExactBoundary(t *testing.T) {
 	passes := func(budget uint64) bool {
 		cfg.EventBudget = budget
 		_, err := RunE(cfg)
-		if err != nil && (!strings.Contains(err.Error(), "event budget") || !errors.Is(err, runerr.ErrBudget)) {
+		if err != nil && !errors.Is(err, runerr.ErrBudget) {
 			t.Fatalf("budget %d failed for the wrong reason: %v", budget, err)
 		}
 		return err == nil

@@ -197,7 +197,7 @@ func TestJournalHeaderCorruption(t *testing.T) {
 		if !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("torn header not refused as ErrCorrupt: %v", err)
 		}
-		if !strings.Contains(err.Error(), "delete the journal") {
+		if !strings.Contains(err.Error(), "delete the journal") { //detlint:allow the operator-facing remedy text is the property under test; the refusal kind is asserted as ErrCorrupt above
 			t.Fatalf("refusal does not tell the operator the remedy: %v", err)
 		}
 	})

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -185,33 +186,36 @@ func TestMergeValidation(t *testing.T) {
 	paths := twoShards(t, dir, cfgs, gridFP)
 	arts := readAll(t, paths)
 
-	check := func(name string, arts []*Artifact, paths []string, fp string, total int, wantSub string) {
+	check := func(name string, arts []*Artifact, paths []string, fp string, total int, sentinel error, wantSub string) {
 		t.Helper()
 		_, err := Merge(arts, paths, "figures", fp, total)
-		if err == nil || !strings.Contains(err.Error(), wantSub) {
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("%s: error %v, want %v", name, err, sentinel)
+		}
+		if !strings.Contains(err.Error(), wantSub) { //detlint:allow the substring distinguishes which refusal fired within a sentinel class; the class itself is asserted with errors.Is above
 			t.Fatalf("%s: error %v, want substring %q", name, err, wantSub)
 		}
 	}
-	check("missing shard", arts[:1], paths[:1], gridFP, len(cfgs), "missing 2/2")
-	check("duplicate shard", []*Artifact{arts[0], arts[0]}, []string{paths[0], paths[0]}, gridFP, len(cfgs), "appears in both")
-	check("grid mismatch", arts, paths, "0000000000000000", len(cfgs), "different job grid")
-	check("wrong total", arts, paths, gridFP, len(cfgs)+1, "covers a grid of")
+	check("missing shard", arts[:1], paths[:1], gridFP, len(cfgs), ErrIncomplete, "missing 2/2")
+	check("duplicate shard", []*Artifact{arts[0], arts[0]}, []string{paths[0], paths[0]}, gridFP, len(cfgs), ErrGridMismatch, "appears in both")
+	check("grid mismatch", arts, paths, "0000000000000000", len(cfgs), ErrGridMismatch, "different job grid")
+	check("wrong total", arts, paths, gridFP, len(cfgs)+1, ErrGridMismatch, "covers a grid of")
 
 	kindArts := readAll(t, paths)
 	kindArts[1].Kind = "sweep"
-	check("mixed kinds", kindArts, paths, gridFP, len(cfgs), "mixed tool outputs")
+	check("mixed kinds", kindArts, paths, gridFP, len(cfgs), ErrGridMismatch, "mixed tool outputs")
 
 	splitArts := readAll(t, paths)
 	splitArts[1].Shards = 3
-	check("mixed splits", splitArts, paths, gridFP, len(cfgs), "mixed shard splits")
+	check("mixed splits", splitArts, paths, gridFP, len(cfgs), ErrGridMismatch, "mixed shard splits")
 
 	dupArts := readAll(t, paths)
 	dupArts[1].Jobs = append(dupArts[1].Jobs, dupArts[0].Jobs[0])
-	check("duplicate job", dupArts, paths, gridFP, len(cfgs), "appears in both")
+	check("duplicate job", dupArts, paths, gridFP, len(cfgs), ErrGridMismatch, "appears in both")
 
 	holeArts := readAll(t, paths)
 	holeArts[0].Jobs = holeArts[0].Jobs[1:] // drop job 0
-	check("coverage hole", holeArts, paths, gridFP, len(cfgs), "covered by no artifact")
+	check("coverage hole", holeArts, paths, gridFP, len(cfgs), ErrIncomplete, "covered by no artifact")
 }
 
 func TestJournalAppendResume(t *testing.T) {
@@ -306,12 +310,10 @@ func TestJournalGridMismatchRefused(t *testing.T) {
 	if err := j.Append(record(0, cfgs[0])); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := OpenJournal(path, "figures", "1111111111111111"); err == nil ||
-		!strings.Contains(err.Error(), "different grid") {
+	if _, _, err := OpenJournal(path, "figures", "1111111111111111"); !errors.Is(err, ErrGridMismatch) {
 		t.Fatalf("grid-mismatched journal opened: %v", err)
 	}
-	if _, _, err := OpenJournal(path, "sweep", gridFP); err == nil ||
-		!strings.Contains(err.Error(), "different grid") {
+	if _, _, err := OpenJournal(path, "sweep", gridFP); !errors.Is(err, ErrGridMismatch) {
 		t.Fatalf("kind-mismatched journal opened: %v", err)
 	}
 }

@@ -114,7 +114,7 @@ func (s *Simulator) SetWallDeadline(d time.Duration) {
 		s.hasDeadline = false
 		return
 	}
-	s.deadline = time.Now().Add(d)
+	s.deadline = time.Now().Add(d) //detlint:allow wall-deadline watchdog arm point; can only abort a run, never change a successful result
 	s.hasDeadline = true
 }
 
@@ -290,6 +290,7 @@ func (s *Simulator) Run(until Time) Time {
 			s.queue.Release(e)
 			break
 		}
+		//detlint:allow wall-deadline watchdog check; can only abort a run, never change a successful result
 		if s.hasDeadline && s.processed&(wallCheckEvery-1) == 0 && time.Now().After(s.deadline) {
 			s.deadlineHit = true
 			s.haltAt = e.At
